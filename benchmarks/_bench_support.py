@@ -1,0 +1,20 @@
+"""Benchmark-suite helpers.
+
+Every benchmark renders its paper-comparison table to the terminal
+(bypassing capture, so it lands in ``pytest benchmarks/`` output) and
+persists it under ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, text: str, capsys) -> None:
+    """Print a result table to the real terminal and save it to disk."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    with capsys.disabled():
+        print(f"\n{'=' * 72}\n{text}\n{'=' * 72}")

@@ -1,0 +1,1 @@
+"""Benchmark-suite conftest (helpers live in _bench_support.py)."""

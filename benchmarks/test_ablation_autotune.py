@@ -1,0 +1,29 @@
+"""Ablation A4: automatic TCP buffer tuning (related work [12]/[16]).
+
+The paper's related-work section cites automatic window tuning as one
+of the two TCP-side remedies; this bench quantifies it on the long
+haul against the untouched default and an administrator-tuned buffer.
+"""
+
+from repro.analysis.experiments import ablation_autotune
+
+from _bench_support import emit
+
+NBYTES = 40_000_000
+
+
+def test_ablation_autotune(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: ablation_autotune(nbytes=NBYTES),
+        rounds=1, iterations=1,
+    )
+    emit("ablation_autotune", result.render(), capsys)
+
+    pct = {row[0]: float(row[1].rstrip("%")) for row in result.rows}
+    default = pct["default 64 KiB buffer"]
+    auto = pct["auto-tuned (start 64 KiB)"]
+    tuned = pct["hand-tuned 1 MiB buffer"]
+    # Auto-tuning recovers most of the hand-tuned throughput without
+    # the administrator, and crushes the untouched default.
+    assert auto > 3 * default
+    assert auto > 0.6 * tuned

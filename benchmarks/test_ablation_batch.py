@@ -1,0 +1,21 @@
+"""Ablation A1: batch-send size (the paper found 2 packets best)."""
+
+from repro.analysis.experiments import ablation_batch_size
+
+from _bench_support import emit
+
+NBYTES = 40_000_000
+
+
+def test_ablation_batch_size(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: ablation_batch_size(nbytes=NBYTES),
+        rounds=1, iterations=1,
+    )
+    emit("ablation_batch", result.render(), capsys)
+
+    pct = {row[0]: float(row[1].rstrip("%")) for row in result.rows}
+    # Small batches keep ACK knowledge fresh; the paper's 2 is at or
+    # near the optimum, and no batch size collapses on a clean path.
+    assert pct[2] >= max(v for k, v in pct.items() if k != "adaptive") - 1.0
+    assert all(v > 80 for v in pct.values())

@@ -1,0 +1,28 @@
+"""Ablation A2: packet-selection policy under loss.
+
+The paper: "it became quite clear that the best approach (by far) was
+to treat the data as a circular buffer".
+"""
+
+from repro.analysis.experiments import ablation_selection_policy
+
+from _bench_support import emit
+
+# 10 MB rather than the paper's 40: the losing policies are pathologically
+# slow by design (that is the point of the ablation), and the percentages
+# are steady-state rates that do not depend on the object size.
+NBYTES = 10_000_000
+
+
+def test_ablation_selection_policy(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: ablation_selection_policy(nbytes=NBYTES),
+        rounds=1, iterations=1,
+    )
+    emit("ablation_selection", result.render(), capsys)
+
+    pct = {row[0]: float(row[1].rstrip("%")) for row in result.rows}
+    waste = {row[0]: float(row[2].rstrip("%")) for row in result.rows}
+    # Circular wins "by far" on both metrics.
+    assert pct["circular"] > pct["random"] > pct["sequential_restart"]
+    assert waste["circular"] < waste["random"] < waste["sequential_restart"]

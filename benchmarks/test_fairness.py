@@ -1,0 +1,27 @@
+"""Extension bench: greedy FOBS vs a competing TCP flow.
+
+Quantifies Section 7's motivation for adding congestion control: a TCP
+transfer sharing the short-haul bottleneck with greedy FOBS is starved
+to a small fraction of its solo throughput.
+"""
+
+from repro.analysis.experiments import fairness_scenario
+
+from _bench_support import emit
+
+NBYTES = 20_000_000
+
+
+def test_fairness_scenario(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: fairness_scenario(nbytes=NBYTES),
+        rounds=1, iterations=1,
+    )
+    emit("fairness", result.render(), capsys)
+
+    alone = float(result.rows[0][2].rstrip("%"))
+    vs_greedy = float(result.rows[1][2].rstrip("%"))
+    fobs_share = float(result.rows[1][1].rstrip("%"))
+    # Greedy FOBS takes the lion's share and starves TCP.
+    assert fobs_share > 80
+    assert vs_greedy < 0.4 * alone

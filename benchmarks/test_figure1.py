@@ -1,0 +1,29 @@
+"""Figure 1: FOBS % of max bandwidth vs acknowledgement frequency.
+
+Paper: ~90% of the available bandwidth on both the short haul (26 ms)
+and long haul (65 ms) connections at sensible ack frequencies.
+"""
+
+from repro.analysis.experiments import figure1
+
+from _bench_support import emit
+
+FREQUENCIES = (1, 2, 4, 8, 16, 64, 256, 1024)
+NBYTES = 40_000_000  # the paper's transfer size
+
+
+def test_figure1(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: figure1(nbytes=NBYTES, frequencies=FREQUENCIES),
+        rounds=1, iterations=1,
+    )
+    emit("figure1", result.render(), capsys)
+
+    short = dict(result.series["short haul (paper: ~90% at plateau)"])
+    long_ = dict(result.series["long haul (paper: ~90% at plateau)"])
+    # Shape: plateau near the paper's ~90% on both hauls...
+    assert short[64] > 85
+    assert long_[64] > 85
+    # ...and a clear penalty when acknowledging every packet.
+    assert short[1] < 0.6 * short[64]
+    assert long_[1] < 0.6 * long_[64]

@@ -1,0 +1,28 @@
+"""Figure 2: FOBS wasted network resources vs acknowledgement frequency.
+
+Paper: the greedy sender's duplicate traffic is "quite reasonable,
+representing approximately 3% of the total data transferred".
+"""
+
+from repro.analysis.experiments import figure2
+
+from _bench_support import emit
+
+FREQUENCIES = (1, 2, 4, 8, 16, 64, 256, 1024)
+NBYTES = 40_000_000
+
+
+def test_figure2(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: figure2(nbytes=NBYTES, frequencies=FREQUENCIES),
+        rounds=1, iterations=1,
+    )
+    emit("figure2", result.render(), capsys)
+
+    short = dict(result.series["short haul waste % (paper: ~3%)"])
+    long_ = dict(result.series["long haul waste % (paper: ~3%)"])
+    # At the plateau, waste sits in the paper's low-single-digit range.
+    assert short[64] < 5.0
+    assert long_[64] < 5.0
+    # Over-acknowledging wastes dramatically more (lost-while-acking).
+    assert short[1] > 5 * short[64]

@@ -1,0 +1,29 @@
+"""Figure 3: FOBS % of max bandwidth vs UDP packet size (GigE / OC-12).
+
+Paper: performance rises strongly with packet size and peaks around
+52% of the OC-12 (~40 MB/s) — the endpoints' per-packet costs bound
+the achievable packet rate.
+"""
+
+from repro.analysis.experiments import figure3
+
+from _bench_support import emit
+
+SIZES = (1024, 2048, 4096, 8192, 16384, 32768)
+NBYTES = 40_000_000
+
+
+def test_figure3(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: figure3(nbytes=NBYTES, packet_sizes=SIZES),
+        rounds=1, iterations=1,
+    )
+    emit("figure3", result.render(), capsys)
+
+    series = result.series["% of OC-12 vs packet size (paper: rises to ~52%)"]
+    values = [v for _, v in series]
+    # Monotone rise across the sweep...
+    assert all(a < b for a, b in zip(values, values[1:]))
+    # ...from single digits at 1K to the neighbourhood of the paper's 52%.
+    assert values[0] < 12
+    assert 40 < values[-1] < 60

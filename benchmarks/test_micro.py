@@ -1,0 +1,135 @@
+"""Micro-benchmarks of the hot data structures.
+
+Standard pytest-benchmark timing (many rounds) for the code the HPC
+guide says to keep vectorized: the per-ACK bitmap merge, the circular
+scan, event-loop throughput and reassembly insertion.
+"""
+
+import numpy as np
+
+from repro.core.bitmap import PacketBitmap
+from repro.core.scheduling import CircularScheduler
+from repro.simnet.engine import Simulator
+from repro.tcp.reassembly import ReassemblyBuffer
+
+#: the paper's 40 MB / 1 KB object
+NPACKETS = 39063
+
+
+def test_bitmap_merge_throughput(benchmark):
+    """One full-bitmap ACK merge (the per-ACK cost at the sender)."""
+    bm = PacketBitmap(NPACKETS)
+    other = np.zeros(NPACKETS, dtype=np.bool_)
+    other[::2] = True
+    benchmark(bm.merge, other)
+
+
+def test_bitmap_next_missing_scan(benchmark):
+    """Circular scan with a half-full bitmap."""
+    bm = PacketBitmap(NPACKETS)
+    for seq in range(0, NPACKETS, 2):
+        bm.mark(seq)
+    benchmark(bm.next_missing, NPACKETS // 2)
+
+
+def test_bitmap_pack_unpack(benchmark):
+    """Wire encoding of the full ACK bitmap."""
+    bm = PacketBitmap(NPACKETS)
+    for seq in range(0, NPACKETS, 3):
+        bm.mark(seq)
+    benchmark(bm.to_bytes)
+
+
+def test_circular_scheduler_step(benchmark):
+    """One next_seq + record_sent cycle mid-transfer."""
+    acked = PacketBitmap(NPACKETS)
+    for seq in range(0, NPACKETS, 2):
+        acked.mark(seq)
+    sched = CircularScheduler(NPACKETS)
+
+    def step():
+        seq = sched.next_seq(acked)
+        sched.record_sent(seq)
+
+    benchmark(step)
+
+
+def test_engine_event_throughput(benchmark):
+    """Schedule + dispatch cost per event (the simulator's heartbeat)."""
+
+    def run_events():
+        sim = Simulator()
+        for i in range(1000):
+            sim.schedule(i * 1e-6, _noop)
+        sim.run()
+
+    benchmark(run_events)
+
+
+def _noop():
+    return None
+
+
+def test_reassembly_in_order_insert(benchmark):
+    """Receiver-side cost of an in-order segment arrival."""
+    buf = ReassemblyBuffer()
+    state = {"seq": 0}
+
+    def insert():
+        buf.add(state["seq"], 1460)
+        state["seq"] += 1460
+
+    benchmark(insert)
+
+
+def test_reassembly_out_of_order_insert(benchmark):
+    """Receiver-side cost with a standing loss hole (SACK regime)."""
+    buf = ReassemblyBuffer()
+    buf.add(0, 1460)
+    # leave a permanent hole at [1460, 2920); insert above it
+    state = {"seq": 2920}
+
+    def insert():
+        buf.add(state["seq"], 1460)
+        state["seq"] += 1460
+
+    benchmark(insert)
+
+
+def test_ack_wire_encode(benchmark):
+    """Real-socket backend: full-bitmap ACK serialization."""
+    from repro.core.packets import AckPacket
+    from repro.runtime import wire
+
+    bm = np.zeros(NPACKETS, dtype=np.bool_)
+    bm[::2] = True
+    ack = AckPacket(ack_id=1, received_count=NPACKETS // 2, bitmap=bm)
+    benchmark(wire.encode_ack, ack)
+
+
+def test_ack_wire_decode(benchmark):
+    """Real-socket backend: full-bitmap ACK parsing."""
+    from repro.core.packets import AckPacket
+    from repro.runtime import wire
+
+    bm = np.zeros(NPACKETS, dtype=np.bool_)
+    bm[::3] = True
+    raw = wire.encode_ack(AckPacket(ack_id=1, received_count=NPACKETS // 3 + 1,
+                                    bitmap=bm))
+    benchmark(wire.decode_ack, raw)
+
+
+def test_fobs_end_to_end_small_transfer(benchmark):
+    """Whole-stack cost: one 1 MB FOBS transfer on the short haul.
+
+    This is the number that bounds how fast the figure sweeps run.
+    """
+    from repro.core import FobsConfig, run_fobs_transfer
+    from repro.simnet import topology
+
+    def run():
+        net = topology.short_haul(seed=0)
+        return run_fobs_transfer(net, 1_000_000, FobsConfig(ack_frequency=64))
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.completed

@@ -1,0 +1,24 @@
+"""Extension bench: the related-work [10] satellite scenario.
+
+The most extreme high-bandwidth-high-delay case — a 560 ms GEO relay —
+where the window-vs-object distinction is starkest.
+"""
+
+from repro.analysis.experiments import satellite_scenario
+
+from _bench_support import emit
+
+NBYTES = 10_000_000
+
+
+def test_satellite_scenario(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: satellite_scenario(nbytes=NBYTES),
+        rounds=1, iterations=1,
+    )
+    emit("satellite", result.render(), capsys)
+
+    pct = {row[0]: float(row[1].rstrip("%")) for row in result.rows}
+    assert pct["FOBS"] > 80
+    assert pct["TCP without LWE"] < 5
+    assert pct["FOBS"] > pct["TCP with LWE (8 MB buffers)"]

@@ -1,0 +1,27 @@
+"""Baseline shootout: FOBS vs TCP+LWE vs PSockets vs RBUDP vs SABUL.
+
+Positions FOBS against every protocol the paper's related-work section
+discusses, on the clean long haul and the contended path.
+"""
+
+from repro.analysis.experiments import baseline_shootout
+
+from _bench_support import emit
+
+NBYTES = 40_000_000
+
+
+def test_baseline_shootout(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: baseline_shootout(nbytes=NBYTES),
+        rounds=1, iterations=1,
+    )
+    emit("shootout", result.render(), capsys)
+
+    by_path = {row[0]: [float(c.rstrip("%")) for c in row[1:]] for row in result.rows}
+    fobs, tcp, ps, rudp, sabul = by_path["contended"]
+    # On the contended path FOBS leads every protocol that interprets
+    # loss as congestion.
+    assert fobs > tcp
+    assert fobs > ps
+    assert fobs > sabul

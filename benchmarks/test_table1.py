@@ -1,0 +1,28 @@
+"""Table 1: TCP with and without the Large Window Extensions.
+
+Paper: short haul with LWE 86%, long haul with LWE 51%, long haul
+without LWE 11%.
+"""
+
+from repro.analysis.experiments import table1
+
+from _bench_support import emit
+
+NBYTES = 40_000_000
+SEEDS = tuple(range(8))
+
+
+def test_table1(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: table1(nbytes=NBYTES, seeds=SEEDS),
+        rounds=1, iterations=1,
+    )
+    emit("table1", result.render(), capsys)
+
+    measured = [float(row[1].rstrip("%")) for row in result.rows]
+    short_lwe, long_lwe, long_no = measured
+    # Ordering and rough magnitudes of the paper's three rows.
+    assert short_lwe > long_lwe > long_no
+    assert short_lwe > 75          # paper: 86%
+    assert 35 < long_lwe < 70      # paper: 51%
+    assert long_no < 15            # paper: 11%

@@ -1,0 +1,31 @@
+"""Table 2: FOBS vs PSockets on the contended NCSA-CACR path.
+
+Paper: FOBS 76% vs PSockets 56%; FOBS waste 2%; optimal socket
+count 20.
+"""
+
+from repro.analysis.experiments import table2
+
+from _bench_support import emit
+
+NBYTES = 40_000_000
+
+
+def test_table2(benchmark, capsys):
+    result = benchmark.pedantic(
+        lambda: table2(nbytes=NBYTES),
+        rounds=1, iterations=1,
+    )
+    emit("table2", result.render(), capsys)
+
+    ps_pct = float(result.rows[0][1].rstrip("%"))
+    fobs_pct = float(result.rows[0][2].rstrip("%"))
+    fobs_waste = float(result.rows[1][2].rstrip("%"))
+    best_n = int(result.rows[2][1])
+    # FOBS wins by a clear margin (paper: 76 vs 56)...
+    assert fobs_pct > ps_pct + 10
+    assert 65 < fobs_pct < 90
+    # ...with single-digit waste (paper: 2%)...
+    assert fobs_waste < 6
+    # ...and the probe lands on a socket count in the tens (paper: 20).
+    assert best_n >= 12

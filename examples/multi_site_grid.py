@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Multi-site grid: concurrent FOBS transfers over an Abilene-like mesh.
+
+The paper's setting is the early computational grid — multiple sites
+moving datasets over a shared national backbone.  This example builds a
+mesh (4 sites, 6 backbone routers, shortest-path routing), launches two
+simultaneous FOBS transfers on crossing paths, and watches the shared
+links with the time-series monitor.  It then diagnoses where any
+packet losses happened.
+
+Run:  python examples/multi_site_grid.py
+"""
+
+from repro.analysis.diagnostics import loss_breakdown
+from repro.core import FobsConfig, FobsTransfer
+from repro.simnet import Monitor, PairView, abilene_like
+
+
+def main() -> None:
+    mesh = abilene_like(seed=0)
+    nbytes = 8_000_000
+
+    flows = {
+        "anl->lcse": FobsTransfer(
+            PairView(mesh, "anl", "lcse"), nbytes, FobsConfig(ack_frequency=64)
+        ),
+        "ncsa->cacr": FobsTransfer(
+            PairView(mesh, "ncsa", "cacr"), nbytes,
+            FobsConfig(ack_frequency=64, data_port=7011, ack_port=7012,
+                       ctrl_port=7013),
+        ),
+    }
+
+    monitor = Monitor(mesh.sim, interval=0.02)
+    for src, dst in (("anl", "chi"), ("ncsa", "chi"), ("lax", "cacr")):
+        monitor.watch_link_utilization(mesh.link(src, dst))
+    monitor.start()
+
+    for flow in flows.values():
+        flow.start()
+    mesh.sim.run(
+        until=120.0,
+        stop_when=lambda: all(f.sender.complete for f in flows.values()),
+    )
+    monitor.stop()
+
+    print(f"Two concurrent {nbytes / 1e6:.0f} MB transfers over the mesh:\n")
+    for name, flow in flows.items():
+        stats = flow.collect_stats()
+        print(f"  {name:<11} {stats.percent_of_bottleneck:5.1f}% of the "
+              f"100 Mb/s site links, waste {100 * stats.wasted_fraction:.1f}%, "
+              f"done at t={stats.receiver_completed_at:.2f}s")
+
+    print("\nShared-link utilization over the run:")
+    for name in monitor.series:
+        print(" ", monitor.render(name))
+
+    view = PairView(mesh, "anl", "lcse")
+    bd = loss_breakdown(view)
+    print(f"\nLoss diagnosis: {bd.render()}")
+    print("(Both sites hang off the same Chicago router, yet the flows "
+          "don't collide: their shortest paths diverge at the backbone.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Quickstart: one FOBS transfer over the paper's short-haul path.
+
+Builds the simulated ANL <-> LCSE connection (26 ms RTT, 100 Mb/s
+bottleneck), moves a 4 MB object with FOBS, and prints the two metrics
+the paper reports: percentage of the maximum available bandwidth, and
+wasted network resources.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FobsConfig, run_fobs_transfer, short_haul
+
+
+def main() -> None:
+    net = short_haul(seed=0)
+    print(f"Path: {net.spec.a_name} <-> {net.spec.b_name}, "
+          f"RTT {net.spec.rtt() * 1e3:.1f} ms, "
+          f"bottleneck {net.spec.bottleneck_bps / 1e6:.0f} Mb/s")
+
+    config = FobsConfig(
+        packet_size=1024,    # the paper's packet size
+        batch_size=2,        # "two packets per batch-send was best"
+        ack_frequency=64,    # ACK every 64 newly received packets
+    )
+    stats = run_fobs_transfer(net, nbytes=4_000_000, config=config)
+
+    print(f"\nTransferred {stats.nbytes / 1e6:.1f} MB "
+          f"({stats.npackets} packets) in {stats.duration:.3f} s")
+    print(f"Throughput: {stats.throughput_bps / 1e6:.1f} Mb/s "
+          f"= {stats.percent_of_bottleneck:.1f}% of the maximum "
+          f"available bandwidth (paper: ~90%)")
+    print(f"Wasted network resources: {100 * stats.wasted_fraction:.1f}% "
+          f"(paper: ~3% — waste is the greedy tail of the transfer, so "
+          f"it shrinks as the object grows; the 40 MB benchmarks land "
+          f"near the paper's figure)")
+    print(f"ACKs sent: {stats.acks_sent}, retransmissions: "
+          f"{stats.retransmissions}, receiver socket drops: "
+          f"{stats.receiver_socket_drops}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+"""repro — a reproduction of "An Evaluation of Object-Based Data
+Transfers on High Performance Networks" (Dickens & Gropp, HPDC 2002).
+
+Top-level convenience exports; the full API lives in the subpackages:
+
+* :mod:`repro.core` — FOBS, the paper's protocol;
+* :mod:`repro.simnet` — the deterministic network-testbed substitute;
+* :mod:`repro.tcp` — TCP Reno/NewReno with LWE (window scaling) & SACK;
+* :mod:`repro.psockets`, :mod:`repro.rudp`, :mod:`repro.sabul` —
+  the compared/related protocols;
+* :mod:`repro.runtime` — real-socket (loopback) backend for the
+  sans-IO FOBS core;
+* :mod:`repro.analysis` — per-figure/table experiment harness and CLI.
+
+Quickstart::
+
+    import repro
+
+    net = repro.short_haul()
+    stats = repro.run_fobs_transfer(net, 40_000_000)
+    print(stats)
+"""
+
+from repro.core import (
+    FobsConfig,
+    FobsReceiver,
+    FobsSender,
+    FobsTransfer,
+    PacketBitmap,
+    TransferStats,
+    run_fobs_transfer,
+)
+from repro.simnet import (
+    Network,
+    Simulator,
+    contended_path,
+    gigabit_path,
+    long_haul,
+    short_haul,
+)
+from repro.tcp import TcpOptions, run_bulk_transfer
+from repro.psockets import probe_optimal_sockets, run_striped_transfer
+from repro.rudp import run_rudp_transfer
+from repro.sabul import run_sabul_transfer
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FobsConfig",
+    "FobsSender",
+    "FobsReceiver",
+    "FobsTransfer",
+    "PacketBitmap",
+    "TransferStats",
+    "run_fobs_transfer",
+    "Network",
+    "Simulator",
+    "short_haul",
+    "long_haul",
+    "gigabit_path",
+    "contended_path",
+    "TcpOptions",
+    "run_bulk_transfer",
+    "run_striped_transfer",
+    "probe_optimal_sockets",
+    "run_rudp_transfer",
+    "run_sabul_transfer",
+    "__version__",
+]

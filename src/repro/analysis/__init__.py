@@ -1,0 +1,52 @@
+"""Experiment harness: metrics, per-figure/table experiment runners,
+plain-text report rendering and the ``fobs-repro`` CLI."""
+
+from repro.analysis.metrics import (
+    mean,
+    percent_of_bandwidth,
+    stddev,
+    wasted_resources,
+)
+from repro.analysis.report import render_series, render_table
+from repro.analysis.diagnostics import LossBreakdown, loss_breakdown
+from repro.analysis.experiments import (
+    EXPERIMENTS,
+    ExperimentResult,
+    ack_frequency_sweep,
+    figure1,
+    figure2,
+    figure3,
+    table1,
+    table2,
+    ablation_batch_size,
+    ablation_selection_policy,
+    ablation_congestion_modes,
+    ablation_autotune,
+    satellite_scenario,
+    baseline_shootout,
+)
+
+__all__ = [
+    "mean",
+    "stddev",
+    "percent_of_bandwidth",
+    "wasted_resources",
+    "render_table",
+    "render_series",
+    "LossBreakdown",
+    "loss_breakdown",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ack_frequency_sweep",
+    "figure1",
+    "figure2",
+    "figure3",
+    "table1",
+    "table2",
+    "ablation_batch_size",
+    "ablation_selection_policy",
+    "ablation_congestion_modes",
+    "ablation_autotune",
+    "satellite_scenario",
+    "baseline_shootout",
+]

@@ -1,0 +1,115 @@
+"""``fobs-repro`` command-line interface.
+
+Examples::
+
+    fobs-repro list
+    fobs-repro run figure1
+    fobs-repro run table2 --nbytes 10000000
+    fobs-repro run figure3 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.analysis.experiments import EXPERIMENTS
+
+#: --quick substitutes a small object so every experiment finishes in
+#: seconds; figures keep their sweep structure with fewer points.
+QUICK_KWARGS: dict[str, dict] = {
+    "figure1": {"nbytes": 4_000_000, "frequencies": (1, 4, 16, 64, 256)},
+    "figure2": {"nbytes": 4_000_000, "frequencies": (1, 4, 16, 64, 256)},
+    "figure3": {"nbytes": 4_000_000, "packet_sizes": (1024, 4096, 16384, 32768)},
+    "table1": {"nbytes": 10_000_000, "seeds": (0, 1, 2)},
+    "table2": {"nbytes": 10_000_000, "probe_bytes": 2_000_000,
+               "candidates": (1, 4, 8, 16, 20, 32)},
+    "ablation_batch": {"nbytes": 4_000_000},
+    "ablation_selection": {"nbytes": 4_000_000},
+    "ablation_congestion": {"nbytes": 4_000_000},
+    "ablation_autotune": {"nbytes": 10_000_000, "seeds": (0, 1)},
+    "satellite": {"nbytes": 4_000_000},
+    "fairness": {"nbytes": 6_000_000},
+    "shootout": {"nbytes": 10_000_000},
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="fobs-repro",
+        description="Reproduce the FOBS paper's tables and figures on the simulated testbed.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment and print its table")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    run.add_argument("--nbytes", type=int, default=None,
+                     help="object size in bytes (default: the paper's 40 MB)")
+    run.add_argument("--seed", type=int, default=None, help="base RNG seed")
+    run.add_argument("--quick", action="store_true",
+                     help="small object / fewer sweep points, for a fast look")
+    run.add_argument("--csv", metavar="PATH", default=None,
+                     help="also write the result rows as CSV")
+
+    sweep = sub.add_parser(
+        "sweep", help="sweep one protocol parameter over a path preset")
+    sweep.add_argument("protocol", choices=("fobs", "tcp"))
+    sweep.add_argument("--path", default="short_haul",
+                       help="path preset (short_haul/long_haul/gigabit/"
+                            "contended/satellite)")
+    sweep.add_argument("--param", required=True,
+                       help="parameter to sweep (e.g. ack_frequency)")
+    sweep.add_argument("--values", required=True,
+                       help="comma-separated values, e.g. 1,4,16,64")
+    sweep.add_argument("--nbytes", type=int, default=10_000_000)
+    sweep.add_argument("--seed", type=int, default=0)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            doc = (EXPERIMENTS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<22} {doc}")
+        return 0
+
+    if args.command == "sweep":
+        from repro.analysis.sweep import parse_values, sweep_fobs, sweep_tcp
+
+        values = parse_values(args.protocol, args.param, args.values)
+        runner = sweep_fobs if args.protocol == "fobs" else sweep_tcp
+        result = runner(args.path, args.param, values,
+                        nbytes=args.nbytes, seed=args.seed)
+        print(result.render())
+        return 0
+
+    runner = EXPERIMENTS[args.experiment]
+    kwargs = dict(QUICK_KWARGS.get(args.experiment, {})) if args.quick else {}
+    if args.nbytes is not None:
+        kwargs["nbytes"] = args.nbytes
+    if args.seed is not None:
+        if args.experiment == "table1":
+            kwargs["seeds"] = (args.seed,)
+        else:
+            kwargs["seed"] = args.seed
+    start = time.perf_counter()
+    result = runner(**kwargs)
+    elapsed = time.perf_counter() - start
+    print(result.render())
+    if args.csv:
+        import csv
+
+        with open(args.csv, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(result.headers)
+            writer.writerows(result.rows)
+        print(f"[rows written to {args.csv}]")
+    print(f"\n[{args.experiment} finished in {elapsed:.1f}s wall clock]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,600 @@
+"""Experiment runners — one per table/figure in the paper, plus ablations.
+
+Every runner returns an :class:`ExperimentResult` whose ``rows`` carry
+both the measured values and the paper's reference numbers, and whose
+``render()`` prints the comparison.  The benchmark files under
+``benchmarks/`` are thin wrappers around these runners; the CLI exposes
+them as ``fobs-repro run <name>``.
+
+Default workload: the paper's 40 MB object.  Every runner accepts
+``nbytes`` so tests can use small objects and users can scale up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.analysis.metrics import mean
+from repro.analysis.report import render_series, render_table
+from repro.core import FobsConfig, TransferStats, run_fobs_transfer
+from repro.psockets import probe_optimal_sockets, run_striped_transfer
+from repro.rudp import run_rudp_transfer
+from repro.sabul import run_sabul_transfer
+from repro.simnet import topology
+from repro.simnet.topology import Network
+from repro.tcp import TcpOptions, run_bulk_transfer
+
+DEFAULT_NBYTES = 40_000_000
+DEFAULT_FREQUENCIES = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+DEFAULT_PACKET_SIZES = (1024, 2048, 4096, 8192, 16384, 32768)
+
+
+@dataclass
+class ExperimentResult:
+    """Uniform container for one experiment's outcome."""
+
+    name: str
+    description: str
+    headers: Sequence[str]
+    rows: list[Sequence[object]]
+    series: dict[str, list[tuple[object, float]]] = field(default_factory=dict)
+    notes: str = ""
+
+    def render(self) -> str:
+        parts = [render_table(self.headers, self.rows, title=f"{self.name}: {self.description}")]
+        for label, points in self.series.items():
+            parts.append("")
+            parts.append(render_series(label, "x", "value", points, ymax=100.0))
+        if self.notes:
+            parts.append("")
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+
+# ----------------------------------------------------------------------
+# Figures 1 & 2: FOBS vs acknowledgement frequency
+# ----------------------------------------------------------------------
+
+def ack_frequency_sweep(
+    haul: str,
+    nbytes: int = DEFAULT_NBYTES,
+    frequencies: Sequence[int] = DEFAULT_FREQUENCIES,
+    seed: int = 0,
+) -> list[tuple[int, TransferStats]]:
+    """Run one FOBS transfer per acknowledgement frequency.
+
+    ``haul`` is ``"short"`` or ``"long"`` (the paper's two connections).
+    """
+    if haul == "short":
+        make_net: Callable[[int], Network] = topology.short_haul
+    elif haul == "long":
+        make_net = topology.long_haul
+    else:
+        raise ValueError("haul must be 'short' or 'long'")
+    out: list[tuple[int, TransferStats]] = []
+    for freq in frequencies:
+        net = make_net(seed=seed)
+        stats = run_fobs_transfer(net, nbytes, FobsConfig(ack_frequency=freq))
+        out.append((freq, stats))
+    return out
+
+
+def figure1(
+    nbytes: int = DEFAULT_NBYTES,
+    frequencies: Sequence[int] = DEFAULT_FREQUENCIES,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 1: % of max bandwidth vs ack frequency, both hauls.
+
+    Paper: FOBS achieves ~90 % of the available bandwidth on both the
+    short (26 ms) and long (65 ms) connections once the acknowledgement
+    frequency is large enough to amortize the receiver's ACK-building
+    pauses.
+    """
+    short = ack_frequency_sweep("short", nbytes, frequencies, seed)
+    long_ = ack_frequency_sweep("long", nbytes, frequencies, seed)
+    rows = []
+    for (freq, s_short), (_, s_long) in zip(short, long_):
+        rows.append(
+            (freq, f"{s_short.percent_of_bottleneck:.1f}%", f"{s_long.percent_of_bottleneck:.1f}%")
+        )
+    return ExperimentResult(
+        name="Figure 1",
+        description="FOBS %% of max bandwidth vs acknowledgement frequency",
+        headers=("ack_freq", "short haul", "long haul"),
+        rows=rows,
+        series={
+            "short haul (paper: ~90% at plateau)": [
+                (f, s.percent_of_bottleneck) for f, s in short
+            ],
+            "long haul (paper: ~90% at plateau)": [
+                (f, s.percent_of_bottleneck) for f, s in long_
+            ],
+        },
+        notes="Paper reference: ~90% of available bandwidth on both connections.",
+    )
+
+
+def figure2(
+    nbytes: int = DEFAULT_NBYTES,
+    frequencies: Sequence[int] = DEFAULT_FREQUENCIES,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 2: wasted network resources vs ack frequency.
+
+    Paper: the greedy sender's overhead is "quite reasonable,
+    representing approximately 3% of the total data transferred" at
+    sensible acknowledgement frequencies.
+    """
+    short = ack_frequency_sweep("short", nbytes, frequencies, seed)
+    long_ = ack_frequency_sweep("long", nbytes, frequencies, seed)
+    rows = []
+    for (freq, s_short), (_, s_long) in zip(short, long_):
+        rows.append(
+            (
+                freq,
+                f"{100 * s_short.wasted_fraction:.1f}%",
+                f"{100 * s_long.wasted_fraction:.1f}%",
+            )
+        )
+    return ExperimentResult(
+        name="Figure 2",
+        description="FOBS wasted network resources vs acknowledgement frequency",
+        headers=("ack_freq", "short haul waste", "long haul waste"),
+        rows=rows,
+        series={
+            "short haul waste % (paper: ~3%)": [
+                (f, 100 * s.wasted_fraction) for f, s in short
+            ],
+            "long haul waste % (paper: ~3%)": [
+                (f, 100 * s.wasted_fraction) for f, s in long_
+            ],
+        },
+        notes="Paper reference: approximately 3% of the total data transferred.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figure 3: packet-size sweep on the gigabit path
+# ----------------------------------------------------------------------
+
+def figure3(
+    nbytes: int = DEFAULT_NBYTES,
+    packet_sizes: Sequence[int] = DEFAULT_PACKET_SIZES,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Figure 3: % of max bandwidth vs UDP packet size, GigE/OC-12 path.
+
+    Paper: "the size of the data packet makes a tremendous difference
+    in performance", peaking around 52% of the OC-12 (~40 MB/s) —
+    endpoint per-packet costs bound the packet rate, so bigger packets
+    win.  The acknowledgement frequency is scaled to keep a constant
+    byte volume between ACKs, and the receiver's socket buffer scales
+    with the datagram size (as any real deployment would).
+    """
+    rows = []
+    points = []
+    for size in packet_sizes:
+        net = topology.gigabit_path(seed=seed)
+        config = FobsConfig(
+            packet_size=size,
+            ack_frequency=max(4, 131072 // size),
+            recv_buffer=max(65536, 8 * (size + 400)),
+        )
+        stats = run_fobs_transfer(net, nbytes, config)
+        rows.append(
+            (
+                f"{size // 1024}K",
+                f"{stats.percent_of_bottleneck:.1f}%",
+                f"{100 * stats.wasted_fraction:.1f}%",
+            )
+        )
+        points.append((f"{size // 1024}K", stats.percent_of_bottleneck))
+    return ExperimentResult(
+        name="Figure 3",
+        description="FOBS %% of max bandwidth vs UDP packet size (GigE / OC-12)",
+        headers=("packet size", "% of max bandwidth", "waste"),
+        rows=rows,
+        series={"% of OC-12 vs packet size (paper: rises to ~52%)": points},
+        notes="Paper reference: performance rises strongly with packet size, peaking ~52%.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 1: TCP with and without the Large Window Extensions
+# ----------------------------------------------------------------------
+
+def table1(
+    nbytes: int = DEFAULT_NBYTES,
+    seeds: Sequence[int] = tuple(range(8)),
+) -> ExperimentResult:
+    """Table 1: TCP %% of max bandwidth across the three configurations.
+
+    Paper: short haul with LWE 86%, long haul with LWE 51%, long haul
+    without LWE 11%.  The long-haul rows are averaged over seeds: rare
+    residual loss makes individual Reno transfers bimodal (the paper's
+    own numbers are averages over repeated runs on a live network).
+    """
+    lwe = TcpOptions(window_scaling=True, sack=True)
+    no_lwe = TcpOptions(window_scaling=False, sack=False)
+
+    def run_case(make_net, opts) -> float:
+        vals = []
+        for seed in seeds:
+            net = make_net(seed=seed)
+            res = run_bulk_transfer(net, nbytes, sender_options=opts, receiver_options=opts)
+            vals.append(res.percent_of_bottleneck)
+        return mean(vals)
+
+    short_lwe = run_case(topology.short_haul, lwe)
+    long_lwe = run_case(topology.long_haul, lwe)
+    long_no = run_case(topology.long_haul, no_lwe)
+    rows = [
+        ("Short Haul with LWE", f"{short_lwe:.0f}%", "86%"),
+        ("Long Haul with LWE", f"{long_lwe:.0f}%", "51%"),
+        ("Long Haul without LWE", f"{long_no:.0f}%", "11%"),
+    ]
+    return ExperimentResult(
+        name="Table 1",
+        description="TCP %% of maximum bandwidth with/without Large Window Extensions",
+        headers=("network connection", "measured", "paper"),
+        rows=rows,
+        notes=f"Averaged over {len(seeds)} seeds per row.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Table 2: FOBS vs PSockets on the contended path
+# ----------------------------------------------------------------------
+
+def table2(
+    nbytes: int = DEFAULT_NBYTES,
+    seed: int = 0,
+    probe_bytes: int = 8_000_000,
+    candidates: Sequence[int] = (1, 2, 4, 8, 12, 16, 20, 24, 32),
+) -> ExperimentResult:
+    """Table 2: FOBS vs PSockets across the contended NCSA-CACR path.
+
+    Paper: FOBS 76% vs PSockets 56% of the maximum bandwidth; FOBS
+    wasted 2% of network resources; PSockets' experimentally determined
+    optimal socket count was 20.
+    """
+    fobs_net = topology.contended_path(seed=seed)
+    fobs = run_fobs_transfer(fobs_net, nbytes)
+
+    probe = probe_optimal_sockets(
+        lambda s: topology.contended_path(seed=s),
+        probe_bytes=probe_bytes,
+        candidates=candidates,
+    )
+    ps_net = topology.contended_path(seed=seed + 1)
+    ps = run_striped_transfer(ps_net, nbytes, probe.best_nsockets)
+
+    rows = [
+        (
+            "Percentage of maximum bandwidth",
+            f"{ps.percent_of_bottleneck:.0f}%",
+            f"{fobs.percent_of_bottleneck:.0f}%",
+            "56%",
+            "76%",
+        ),
+        (
+            "Percentage of wasted network resources",
+            "-",
+            f"{100 * fobs.wasted_fraction:.0f}%",
+            "-",
+            "2%",
+        ),
+        (
+            "Optimal number of parallel sockets",
+            str(probe.best_nsockets),
+            "-",
+            "20",
+            "-",
+        ),
+    ]
+    return ExperimentResult(
+        name="Table 2",
+        description="FOBS vs PSockets on one contended high-performance connection",
+        headers=("metric", "PSockets", "FOBS", "paper PSockets", "paper FOBS"),
+        rows=rows,
+        series={
+            "PSockets probe throughput (Mb/s) by socket count": [
+                (n, bps / 1e6) for n, bps in sorted(probe.throughput_by_count.items())
+            ]
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# Ablations (design choices DESIGN.md calls out)
+# ----------------------------------------------------------------------
+
+def ablation_batch_size(
+    nbytes: int = DEFAULT_NBYTES,
+    batch_sizes: Sequence[int] = (1, 2, 4, 8, 16, 64),
+    seed: int = 0,
+) -> ExperimentResult:
+    """A1: effect of the batch-send size (paper: 2 packets was best)."""
+    rows = []
+    for b in batch_sizes:
+        net = topology.short_haul(seed=seed)
+        stats = run_fobs_transfer(net, nbytes, FobsConfig(batch_size=b))
+        rows.append(
+            (b, f"{stats.percent_of_bottleneck:.2f}%", f"{100 * stats.wasted_fraction:.2f}%")
+        )
+    # Also show the adaptive policy (the paper's phase-2 feedback idea).
+    net = topology.short_haul(seed=seed)
+    stats = run_fobs_transfer(net, nbytes, FobsConfig(batch_policy="adaptive"))
+    rows.append(
+        ("adaptive", f"{stats.percent_of_bottleneck:.2f}%", f"{100 * stats.wasted_fraction:.2f}%")
+    )
+    return ExperimentResult(
+        name="Ablation A1",
+        description="Batch-send size (paper found 2 best)",
+        headers=("batch size", "% of max bandwidth", "waste"),
+        rows=rows,
+    )
+
+
+def ablation_selection_policy(
+    nbytes: int = DEFAULT_NBYTES,
+    seed: int = 0,
+) -> ExperimentResult:
+    """A2: packet-selection policy (paper: circular was best 'by far').
+
+    Run on the contended path, where retransmissions actually happen —
+    on a loss-free path the policies are indistinguishable.
+    """
+    rows = []
+    for policy in ("circular", "sequential_restart", "random"):
+        net = topology.contended_path(seed=seed)
+        stats = run_fobs_transfer(net, nbytes, FobsConfig(scheduler=policy),
+                                  time_limit=1200.0)
+        rows.append(
+            (
+                policy,
+                f"{stats.percent_of_bottleneck:.1f}%",
+                f"{100 * stats.wasted_fraction:.1f}%",
+                "yes" if stats.completed else "NO",
+            )
+        )
+    return ExperimentResult(
+        name="Ablation A2",
+        description="Packet-selection policy under loss (paper: circular best by far)",
+        headers=("policy", "% of max bandwidth", "waste", "completed"),
+        rows=rows,
+    )
+
+
+def ablation_congestion_modes(
+    nbytes: int = DEFAULT_NBYTES,
+    seed: int = 0,
+    cross_rate_bps: float = 30e6,
+) -> ExperimentResult:
+    """A3: Section 7 congestion responses under heavy contention.
+
+    Heavier ON/OFF cross traffic than Table 2's path: the greedy FOBS
+    bulldozes through (at the cross traffic's expense), backoff trades
+    some bandwidth for less waste, tcp_switch hands the tail to TCP.
+    """
+    rows = []
+    for mode in ("greedy", "backoff", "tcp_switch"):
+        net = topology.contended_path(seed=seed, cross_rate_bps=cross_rate_bps,
+                                      loss_rate=5e-3)
+        stats = run_fobs_transfer(net, nbytes, FobsConfig(congestion_mode=mode),
+                                  time_limit=1200.0)
+        sink = net.cross_sinks[0]
+        rows.append(
+            (
+                mode,
+                f"{stats.percent_of_bottleneck:.1f}%",
+                f"{100 * stats.wasted_fraction:.1f}%",
+                f"{sink.bytes / 1e6:.1f} MB",
+                "yes" if stats.switched_to_tcp else "no",
+            )
+        )
+    return ExperimentResult(
+        name="Ablation A3",
+        description="Section 7 congestion-response modes under heavy contention",
+        headers=("mode", "% of max bandwidth", "waste", "cross traffic delivered", "switched"),
+        rows=rows,
+    )
+
+
+def ablation_autotune(
+    nbytes: int = DEFAULT_NBYTES,
+    seeds: Sequence[int] = tuple(range(4)),
+) -> ExperimentResult:
+    """A4: automatic TCP buffer tuning (related work [12]/[16]).
+
+    Long haul: the untouched 64 KiB default vs DRS-style auto-tuning vs
+    an administrator-tuned 1 MB buffer — the two TCP-improvement tracks
+    the paper's related-work section surveys, quantified.
+    """
+    cases = {
+        "default 64 KiB buffer": TcpOptions(recv_buffer=64 * 1024, sack=True),
+        "auto-tuned (start 64 KiB)": TcpOptions(
+            autotune_buffers=True, recv_buffer=1 << 21,
+            autotune_initial_buffer=64 * 1024, sack=True),
+        "hand-tuned 1 MiB buffer": TcpOptions(recv_buffer=1 << 20, sack=True),
+    }
+    rows = []
+    for label, opts in cases.items():
+        vals = []
+        for seed in seeds:
+            net = topology.long_haul(seed=seed)
+            res = run_bulk_transfer(net, nbytes, sender_options=opts,
+                                    receiver_options=opts)
+            vals.append(res.percent_of_bottleneck)
+        rows.append((label, f"{mean(vals):.1f}%"))
+    return ExperimentResult(
+        name="Ablation A4",
+        description="Automatic TCP buffer tuning on the long haul",
+        headers=("configuration", "% of max bandwidth"),
+        rows=rows,
+        notes=f"Averaged over {len(seeds)} seeds.",
+    )
+
+
+def satellite_scenario(
+    nbytes: int = 10_000_000,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Extension: the related-work [10] satellite scenario.
+
+    GEO relay, 560 ms RTT, 45 Mb/s: the most extreme
+    high-bandwidth-high-delay case — unscaled TCP collapses to a couple
+    of percent, FOBS barely notices the RTT.
+    """
+    fobs = run_fobs_transfer(topology.satellite_path(seed=seed), nbytes,
+                             FobsConfig(ack_frequency=64), time_limit=300.0)
+    no_lwe = TcpOptions(window_scaling=False)
+    tcp_no = run_bulk_transfer(topology.satellite_path(seed=seed), nbytes,
+                               sender_options=no_lwe, receiver_options=no_lwe,
+                               time_limit=600.0)
+    lwe = TcpOptions(sack=True, recv_buffer=1 << 23, send_buffer=1 << 23)
+    tcp_lwe = run_bulk_transfer(topology.satellite_path(seed=seed), nbytes,
+                                sender_options=lwe, receiver_options=lwe,
+                                time_limit=600.0)
+    rows = [
+        ("FOBS", f"{fobs.percent_of_bottleneck:.1f}%"),
+        ("TCP with LWE (8 MB buffers)", f"{tcp_lwe.percent_of_bottleneck:.1f}%"),
+        ("TCP without LWE", f"{tcp_no.percent_of_bottleneck:.1f}%"),
+    ]
+    return ExperimentResult(
+        name="Satellite",
+        description="GEO satellite path (560 ms RTT, 45 Mb/s)",
+        headers=("protocol", "% of max bandwidth"),
+        rows=rows,
+    )
+
+
+def fairness_scenario(
+    nbytes: int = 20_000_000,
+    seed: int = 0,
+) -> ExperimentResult:
+    """Extension: what greedy FOBS does to a competing TCP flow.
+
+    Section 7's motivation quantified: a TCP transfer sharing the
+    short-haul bottleneck with a greedy FOBS flow is starved to a small
+    fraction of what it gets alone — "some form of congestion control
+    is needed before the algorithm can become generally used."  The
+    backoff mode gives some of it back.
+    """
+    from repro.core.session import FobsTransfer
+    from repro.simnet.packet import Address
+    from repro.tcp.connection import TcpConnection, TcpListener
+
+    def tcp_alone() -> float:
+        net = topology.short_haul(seed=seed)
+        res = run_bulk_transfer(net, nbytes, sender_options=TcpOptions(sack=True),
+                                receiver_options=TcpOptions(sack=True))
+        return res.percent_of_bottleneck
+
+    def tcp_sharing(fobs_mode: str) -> tuple[float, float]:
+        net = topology.short_haul(seed=seed)
+        sim = net.sim
+        # FOBS moves a 3x larger object so it is active for the whole
+        # TCP transfer — otherwise TCP's average includes an
+        # uncontended tail after FOBS finishes.
+        fobs = FobsTransfer(net, 3 * nbytes, FobsConfig(congestion_mode=fobs_mode))
+        opts = TcpOptions(sack=True)
+        state = {"delivered": 0, "done_at": None}
+
+        def on_conn(conn):
+            def on_deliver(n):
+                state["delivered"] += n
+                if state["delivered"] >= nbytes and state["done_at"] is None:
+                    state["done_at"] = sim.now
+
+            conn.on_deliver = on_deliver
+
+        TcpListener(sim, net.b, 5002, options=opts, on_connection=on_conn)
+        client = TcpConnection(sim, net.a, net.a.allocate_port(),
+                               peer=Address(net.b.name, 5002), options=opts)
+        client.on_established = lambda: client.app_write(nbytes)
+        fobs.start()
+        client.connect()
+        sim.run(until=600.0,
+                stop_when=lambda: state["done_at"] is not None and fobs.sender.complete)
+        fobs_stats = fobs.collect_stats()
+        tcp_end = state["done_at"] if state["done_at"] is not None else sim.now
+        tcp_pct = 100.0 * state["delivered"] * 8.0 / max(tcp_end, 1e-12) / net.spec.bottleneck_bps
+        return fobs_stats.percent_of_bottleneck, tcp_pct
+
+    alone = tcp_alone()
+    fobs_greedy, tcp_vs_greedy = tcp_sharing("greedy")
+    fobs_backoff, tcp_vs_backoff = tcp_sharing("backoff")
+    rows = [
+        ("TCP alone", "-", f"{alone:.1f}%"),
+        ("TCP vs greedy FOBS", f"{fobs_greedy:.1f}%", f"{tcp_vs_greedy:.1f}%"),
+        ("TCP vs backoff FOBS", f"{fobs_backoff:.1f}%", f"{tcp_vs_backoff:.1f}%"),
+    ]
+    return ExperimentResult(
+        name="Fairness",
+        description="TCP sharing the short-haul bottleneck with FOBS",
+        headers=("scenario", "FOBS %", "TCP %"),
+        rows=rows,
+        notes=("Section 7's motivation: the greedy mode starves TCP. "
+               "Note backoff only reacts to loss FOBS itself observes; on "
+               "this drop-free shared NIC the victim is TCP's RTT, so "
+               "backoff behaves like greedy — switching away (tcp_switch) "
+               "or explicit rate pacing is what actually restores fairness."),
+    )
+
+
+def baseline_shootout(
+    nbytes: int = DEFAULT_NBYTES,
+    seed: int = 0,
+) -> ExperimentResult:
+    """All five protocols on the clean long haul and the contended path.
+
+    Positions FOBS against everything the related-work section
+    discusses: TCP(+LWE), PSockets, RBUDP and SABUL.
+    """
+    rows = []
+    for path_name, make_net in (("long_haul", topology.long_haul),
+                                ("contended", topology.contended_path)):
+        fobs = run_fobs_transfer(make_net(seed=seed), nbytes)
+        tcp = run_bulk_transfer(
+            make_net(seed=seed), nbytes,
+            sender_options=TcpOptions(sack=True), receiver_options=TcpOptions(sack=True),
+        )
+        ps = run_striped_transfer(make_net(seed=seed), nbytes, 20)
+        rudp = run_rudp_transfer(make_net(seed=seed), nbytes)
+        sabul = run_sabul_transfer(make_net(seed=seed), nbytes)
+        rows.append(
+            (
+                path_name,
+                f"{fobs.percent_of_bottleneck:.1f}%",
+                f"{tcp.percent_of_bottleneck:.1f}%",
+                f"{ps.percent_of_bottleneck:.1f}%",
+                f"{rudp.percent_of_bottleneck:.1f}%",
+                f"{sabul.percent_of_bottleneck:.1f}%",
+            )
+        )
+    return ExperimentResult(
+        name="Baseline shootout",
+        description="All protocols, %% of max bandwidth per path",
+        headers=("path", "FOBS", "TCP+LWE", "PSockets(20)", "RBUDP", "SABUL"),
+        rows=rows,
+    )
+
+
+#: Registry used by the CLI: name -> (runner, quick-kwargs).
+EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "table1": table1,
+    "table2": table2,
+    "ablation_batch": ablation_batch_size,
+    "ablation_selection": ablation_selection_policy,
+    "ablation_congestion": ablation_congestion_modes,
+    "ablation_autotune": ablation_autotune,
+    "satellite": satellite_scenario,
+    "fairness": fairness_scenario,
+    "shootout": baseline_shootout,
+}

@@ -1,0 +1,49 @@
+"""The paper's metrics, as plain functions.
+
+Section 4: "The metric of interest was the percentage of the maximum
+available bandwidth obtained by each approach."  Section 3.1 defines
+wasted resources as "the total number of packets sent, minus the number
+of packets that must be transferred, divided by the number of packets
+that must be transferred."
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+
+def percent_of_bandwidth(throughput_bps: float, bottleneck_bps: float) -> float:
+    """Throughput as a percentage of the maximum available bandwidth."""
+    if bottleneck_bps <= 0:
+        raise ValueError("bottleneck_bps must be positive")
+    if throughput_bps < 0:
+        raise ValueError("throughput_bps must be non-negative")
+    return 100.0 * throughput_bps / bottleneck_bps
+
+
+def wasted_resources(packets_sent: int, packets_required: int) -> float:
+    """The paper's waste metric (a fraction; multiply by 100 to print %)."""
+    if packets_required <= 0:
+        raise ValueError("packets_required must be positive")
+    if packets_sent < packets_required:
+        raise ValueError("cannot send fewer packets than required and finish")
+    return (packets_sent - packets_required) / packets_required
+
+
+def mean(values: Sequence[float] | Iterable[float]) -> float:
+    vals = list(values)
+    if not vals:
+        raise ValueError("mean of empty sequence")
+    return sum(vals) / len(vals)
+
+
+def stddev(values: Sequence[float] | Iterable[float]) -> float:
+    """Sample standard deviation (ddof=1); 0.0 for a single value."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("stddev of empty sequence")
+    if len(vals) == 1:
+        return 0.0
+    m = mean(vals)
+    return math.sqrt(sum((v - m) ** 2 for v in vals) / (len(vals) - 1))

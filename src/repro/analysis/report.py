@@ -1,0 +1,46 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper reports,
+side by side with the paper's numbers, so a reader can eyeball the
+shape agreement straight from ``pytest benchmarks/ --benchmark-only``
+output.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = "") -> str:
+    """Fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    title: str,
+    xlabel: str,
+    ylabel: str,
+    points: Sequence[tuple[object, float]],
+    width: int = 40,
+    ymax: float | None = None,
+) -> str:
+    """A horizontal-bar sketch of one data series (figures in ASCII)."""
+    if not points:
+        return f"{title}\n(no data)"
+    values = [v for _, v in points]
+    top = ymax if ymax is not None else max(values) or 1.0
+    lines = [title, f"  {xlabel:>8} | {ylabel}"]
+    for x, v in points:
+        bar = "#" * max(0, min(width, round(width * v / top)))
+        lines.append(f"  {str(x):>8} | {bar} {v:.1f}")
+    return "\n".join(lines)

@@ -1,0 +1,87 @@
+"""FOBS configuration.
+
+The two parameters the paper studies explicitly:
+
+* ``ack_frequency`` — packets newly received before the receiver emits
+  a bitmap acknowledgement (Figures 1 and 2's x-axis);
+* ``batch_size`` — packets placed on the network per batch-send before
+  the sender polls (non-blocking) for an acknowledgement; the paper
+  found 2 best and used it throughout.
+
+Plus the knobs exercised by the ablation benches: the packet-selection
+policy (the paper's circular-buffer discipline vs the naive
+alternatives it rejected) and the Section 7 congestion-response modes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+SCHEDULERS = ("circular", "sequential_restart", "random")
+BATCH_POLICIES = ("fixed", "adaptive")
+CONGESTION_MODES = ("greedy", "backoff", "tcp_switch")
+
+
+@dataclass(frozen=True)
+class FobsConfig:
+    """Tunable parameters of one FOBS transfer."""
+
+    #: UDP payload bytes per data packet (the paper's default: 1024).
+    packet_size: int = 1024
+    #: New packets received before the receiver sends an ACK.
+    ack_frequency: int = 64
+    #: Packets per batch-send operation (paper: 2).
+    batch_size: int = 2
+    #: Packet-selection policy: "circular" (the paper's winner),
+    #: "sequential_restart" or "random" (ablations).
+    scheduler: str = "circular"
+    #: Batch-size policy: "fixed" or "adaptive" (phase-2 feedback).
+    batch_policy: str = "fixed"
+    #: Maximum batch size the adaptive policy may choose.
+    max_batch_size: int = 64
+    #: Section 7 congestion response: "greedy" (the paper's evaluated
+    #: mode), "backoff", or "tcp_switch".
+    congestion_mode: str = "greedy"
+    #: Loss fraction above which the non-greedy modes react.
+    congestion_threshold: float = 0.10
+    #: Optional sending-rate cap, bits/second of wire traffic.  None
+    #: (the paper's configuration) paces only on the NIC and the send
+    #: CPU cost; a finite rate inserts inter-packet gaps, RBUDP-style.
+    send_rate_bps: Optional[float] = None
+    #: Kernel UDP receive buffer at the data receiver, bytes.
+    recv_buffer: int = 65536
+    #: Kernel UDP receive buffer for acknowledgements at the sender.
+    ack_recv_buffer: int = 65536
+    #: Well-known ports used by a transfer session.
+    data_port: int = 7001
+    ack_port: int = 7002
+    ctrl_port: int = 7003
+
+    def __post_init__(self) -> None:
+        if self.packet_size <= 0:
+            raise ValueError("packet_size must be positive")
+        if self.ack_frequency < 1:
+            raise ValueError("ack_frequency must be >= 1")
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        if self.max_batch_size < self.batch_size:
+            raise ValueError("max_batch_size must be >= batch_size")
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(f"scheduler must be one of {SCHEDULERS}")
+        if self.batch_policy not in BATCH_POLICIES:
+            raise ValueError(f"batch_policy must be one of {BATCH_POLICIES}")
+        if self.congestion_mode not in CONGESTION_MODES:
+            raise ValueError(f"congestion_mode must be one of {CONGESTION_MODES}")
+        if not 0.0 < self.congestion_threshold < 1.0:
+            raise ValueError("congestion_threshold must be in (0, 1)")
+        if self.recv_buffer < self.packet_size:
+            raise ValueError("recv_buffer must hold at least one packet")
+        if self.send_rate_bps is not None and self.send_rate_bps <= 0:
+            raise ValueError("send_rate_bps must be positive when set")
+
+    def npackets(self, total_bytes: int) -> int:
+        """Number of fixed-size packets covering ``total_bytes``."""
+        if total_bytes <= 0:
+            raise ValueError("total_bytes must be positive")
+        return -(-total_bytes // self.packet_size)

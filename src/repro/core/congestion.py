@@ -1,0 +1,162 @@
+"""Section 7 congestion-response policies (the paper's future work).
+
+The evaluated FOBS is deliberately greedy.  The paper sketches two
+remedies it was exploring: (a) decrease FOBS's greediness when
+congestion of sufficient duration is detected, and (b) switch to a
+high-performance TCP while congestion persists.  Both are implemented
+here as pluggable policies so the ablation bench can compare them under
+growing contention.
+
+Congestion detection follows the paper's own signal: the sender knows,
+from consecutive acknowledgements, how many packets it sent versus how
+many the receiver actually gained — the shortfall is the observed loss
+fraction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CongestionSignal:
+    """One inter-ACK observation window at the sender."""
+
+    sent: int
+    delivered: int
+    interval: float
+
+    @property
+    def loss_fraction(self) -> float:
+        if self.sent <= 0:
+            return 0.0
+        return max(0.0, 1.0 - self.delivered / self.sent)
+
+
+class GreedyPolicy:
+    """The evaluated FOBS: never slow down (no congestion control)."""
+
+    def observe(self, signal: CongestionSignal) -> None:
+        del signal
+
+    def batch_delay(self) -> float:
+        return 0.0
+
+    def should_switch_to_tcp(self) -> bool:
+        return False
+
+
+class _LossMonitor:
+    """EWMA loss estimate with a sustained-congestion counter."""
+
+    def __init__(self, threshold: float, sustain: int, alpha: float = 0.3):
+        self.threshold = threshold
+        self.sustain = sustain
+        self.alpha = alpha
+        self.loss_estimate = 0.0
+        self.congested_intervals = 0
+
+    def observe(self, signal: CongestionSignal) -> None:
+        self.loss_estimate = (
+            (1 - self.alpha) * self.loss_estimate + self.alpha * signal.loss_fraction
+        )
+        if self.loss_estimate > self.threshold:
+            self.congested_intervals += 1
+        else:
+            self.congested_intervals = 0
+
+    @property
+    def sustained(self) -> bool:
+        return self.congested_intervals >= self.sustain
+
+
+class BackoffPolicy:
+    """Decrease greediness under sustained congestion.
+
+    While the EWMA loss estimate stays above ``threshold`` for
+    ``sustain`` consecutive ACK intervals, an inter-batch pause grows
+    multiplicatively (up to ``max_delay``); when congestion dissipates
+    the pause decays back toward zero and FOBS returns to full
+    greediness — the paper's "switch back" behaviour.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.10,
+        sustain: int = 3,
+        initial_delay: float = 200e-6,
+        growth: float = 1.5,
+        decay: float = 0.5,
+        max_delay: float = 20e-3,
+    ):
+        if not 0 < threshold < 1:
+            raise ValueError("threshold must be in (0, 1)")
+        self._monitor = _LossMonitor(threshold, sustain)
+        self.initial_delay = initial_delay
+        self.growth = growth
+        self.decay = decay
+        self.max_delay = max_delay
+        self._delay = 0.0
+
+    @property
+    def loss_estimate(self) -> float:
+        return self._monitor.loss_estimate
+
+    @property
+    def current_delay(self) -> float:
+        return self._delay
+
+    def observe(self, signal: CongestionSignal) -> None:
+        self._monitor.observe(signal)
+        if self._monitor.sustained:
+            self._delay = min(
+                self.max_delay, max(self.initial_delay, self._delay * self.growth)
+            )
+        else:
+            self._delay *= self.decay
+            if self._delay < self.initial_delay / 2:
+                self._delay = 0.0
+
+    def batch_delay(self) -> float:
+        return self._delay
+
+    def should_switch_to_tcp(self) -> bool:
+        return False
+
+
+class TcpSwitchPolicy:
+    """Fall back to TCP when congestion persists.
+
+    Signals the transfer driver to finish the remaining object bytes
+    over a (window-scaled, SACK-enabled) TCP connection once the loss
+    estimate stays above ``threshold`` for ``sustain`` ACK intervals.
+    The evaluated implementation switches once per transfer; the
+    paper's envisioned switch-*back* is left to the driver.
+    """
+
+    def __init__(self, threshold: float = 0.10, sustain: int = 5):
+        self._monitor = _LossMonitor(threshold, sustain)
+
+    @property
+    def loss_estimate(self) -> float:
+        return self._monitor.loss_estimate
+
+    def observe(self, signal: CongestionSignal) -> None:
+        self._monitor.observe(signal)
+
+    def batch_delay(self) -> float:
+        return 0.0
+
+    def should_switch_to_tcp(self) -> bool:
+        return self._monitor.sustained
+
+
+def make_congestion_policy(mode: str, threshold: float):
+    """Factory keyed by :attr:`FobsConfig.congestion_mode`."""
+    if mode == "greedy":
+        return GreedyPolicy()
+    if mode == "backoff":
+        return BackoffPolicy(threshold=threshold)
+    if mode == "tcp_switch":
+        return TcpSwitchPolicy(threshold=threshold)
+    raise ValueError(f"unknown congestion mode {mode!r}")

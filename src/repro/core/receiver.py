@@ -1,0 +1,84 @@
+"""The FOBS data-receiving state machine (sans-IO).
+
+Section 3.2: the receiver polls the network, places each packet by
+sequence number, and after every ``ack_frequency`` *newly* received
+packets builds a bitmap acknowledgement.  Completion always triggers a
+final acknowledgement (and the IO driver then fires the TCP completion
+signal).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.bitmap import PacketBitmap
+from repro.core.config import FobsConfig
+from repro.core.packets import AckPacket, CompletionSignal
+
+
+@dataclass
+class ReceiverStats:
+    """Counters accumulated by one receiver."""
+
+    packets_new: int = 0
+    packets_duplicate: int = 0
+    acks_built: int = 0
+    completed_at: Optional[float] = None
+
+
+class FobsReceiver:
+    """Sans-IO FOBS receiver for one object transfer."""
+
+    def __init__(self, config: FobsConfig, total_bytes: int):
+        self.config = config
+        self.total_bytes = total_bytes
+        self.npackets = config.npackets(total_bytes)
+        self.bitmap = PacketBitmap(self.npackets)
+        self.stats = ReceiverStats()
+        self._new_since_ack = 0
+        self._next_ack_id = 0
+
+    @property
+    def complete(self) -> bool:
+        return self.bitmap.is_complete
+
+    # ------------------------------------------------------------------
+    def on_data(self, seq: int, now: float) -> Optional[AckPacket]:
+        """Incorporate packet ``seq``; maybe return an ACK to transmit.
+
+        An ACK is produced when ``ack_frequency`` new packets have
+        arrived since the last one, or when this packet completes the
+        object (the final acknowledgement).
+        """
+        if self.bitmap.mark(seq):
+            self.stats.packets_new += 1
+            self._new_since_ack += 1
+        else:
+            self.stats.packets_duplicate += 1
+            return None
+        if self.complete:
+            if self.stats.completed_at is None:
+                self.stats.completed_at = now
+            return self.build_ack()
+        if self._new_since_ack >= self.config.ack_frequency:
+            return self.build_ack()
+        return None
+
+    def build_ack(self) -> AckPacket:
+        """Snapshot the bitmap into an acknowledgement packet."""
+        ack = AckPacket(
+            ack_id=self._next_ack_id,
+            received_count=self.bitmap.count,
+            bitmap=self.bitmap.snapshot(),
+        )
+        self._next_ack_id += 1
+        self._new_since_ack = 0
+        self.stats.acks_built += 1
+        return ack
+
+    def completion_signal(self) -> CompletionSignal:
+        """The TCP-borne end-of-transfer message."""
+        if not self.complete:
+            raise RuntimeError("transfer not complete")
+        return CompletionSignal(total_packets=self.npackets)

@@ -1,0 +1,165 @@
+"""The FOBS data-sending state machine (sans-IO).
+
+Implements the three-phase loop of Section 3.1:
+
+1. *batch-send* — :meth:`FobsSender.next_batch` yields the packets for
+   one batch-send operation, sized by the batch policy;
+2. *acknowledgement processing* — :meth:`FobsSender.on_ack` merges the
+   receiver's bitmap, measures the receiver's progress since the
+   previous ACK and feeds the batch/congestion policies;
+3. *packet selection* — delegated to the configured scheduler (the
+   paper's circular-buffer discipline by default).
+
+The sender is greedy: it produces packets until every packet is
+acknowledged or the completion signal arrives
+(:meth:`FobsSender.on_completion`).  IO drivers own the sockets and
+clocks; this class never blocks and never sleeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.bitmap import PacketBitmap
+from repro.core.config import FobsConfig
+from repro.core.congestion import CongestionSignal, make_congestion_policy
+from repro.core.packets import AckPacket, DataPacket
+from repro.core.rate import make_batch_policy
+from repro.core.scheduling import make_scheduler
+
+
+@dataclass
+class SenderStats:
+    """Counters accumulated by one sender."""
+
+    packets_sent: int = 0
+    first_transmissions: int = 0
+    retransmissions: int = 0
+    batches: int = 0
+    acks_processed: int = 0
+    stale_acks: int = 0
+    completed_at: Optional[float] = None
+
+    def wasted_fraction(self, packets_required: int) -> float:
+        """The paper's waste metric: (sent - required) / required."""
+        if packets_required <= 0:
+            raise ValueError("packets_required must be positive")
+        return (self.packets_sent - packets_required) / packets_required
+
+
+class FobsSender:
+    """Sans-IO FOBS sender for one object transfer."""
+
+    def __init__(
+        self,
+        config: FobsConfig,
+        total_bytes: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        self.config = config
+        self.total_bytes = total_bytes
+        self.npackets = config.npackets(total_bytes)
+        #: packets the receiver has acknowledged
+        self.acked = PacketBitmap(self.npackets)
+        self.scheduler = make_scheduler(config.scheduler, self.npackets, rng)
+        self.batch_policy = make_batch_policy(
+            config.batch_policy, config.batch_size, config.max_batch_size
+        )
+        self.congestion = make_congestion_policy(
+            config.congestion_mode, config.congestion_threshold
+        )
+        self.complete = False
+        self.stats = SenderStats()
+        self._last_ack_id = -1
+        self._last_ack_count = 0
+        self._last_ack_time: Optional[float] = None
+        self._sent_since_ack = 0
+
+    # ------------------------------------------------------------------
+    def payload_bytes(self, seq: int) -> int:
+        """Payload size of packet ``seq`` (the final packet may be short)."""
+        if seq == self.npackets - 1:
+            tail = self.total_bytes - seq * self.config.packet_size
+            return tail if tail > 0 else self.config.packet_size
+        return self.config.packet_size
+
+    def next_batch(self) -> list[DataPacket]:
+        """Packets for the next batch-send operation.
+
+        Empty when the transfer is complete *or* when every packet is
+        locally acknowledged and the sender is merely waiting for the
+        completion signal.
+        """
+        if self.complete:
+            return []
+        size = self.batch_policy.next_batch_size()
+        batch: list[DataPacket] = []
+        for _ in range(size):
+            seq = self.scheduler.next_seq(self.acked)
+            if seq is None:
+                break
+            transmission = int(self.scheduler.send_count[seq])
+            batch.append(
+                DataPacket(
+                    seq=seq,
+                    total=self.npackets,
+                    payload_bytes=self.payload_bytes(seq),
+                    transmission=transmission,
+                )
+            )
+            self.scheduler.record_sent(seq)
+            self.stats.packets_sent += 1
+            if transmission == 0:
+                self.stats.first_transmissions += 1
+            else:
+                self.stats.retransmissions += 1
+        if batch:
+            self.stats.batches += 1
+            self._sent_since_ack += len(batch)
+        return batch
+
+    # ------------------------------------------------------------------
+    def on_ack(self, ack: AckPacket, now: float) -> int:
+        """Merge an acknowledgement; returns packets newly confirmed.
+
+        Stale (reordered) ACKs still merge — the bitmap is cumulative,
+        so out-of-order delivery can only add information — but they do
+        not feed the progress estimators.
+        """
+        newly = self.acked.merge(np.asarray(ack.bitmap))
+        self.stats.acks_processed += 1
+        if ack.ack_id <= self._last_ack_id:
+            self.stats.stale_acks += 1
+            return newly
+        delta = ack.received_count - self._last_ack_count
+        interval = now - self._last_ack_time if self._last_ack_time is not None else 0.0
+        self.batch_policy.on_ack_progress(max(0, delta), interval)
+        self.congestion.observe(
+            CongestionSignal(
+                sent=self._sent_since_ack, delivered=max(0, delta), interval=interval
+            )
+        )
+        self._last_ack_id = ack.ack_id
+        self._last_ack_count = ack.received_count
+        self._last_ack_time = now
+        self._sent_since_ack = 0
+        return newly
+
+    def on_completion(self, now: float) -> None:
+        """Completion signal arrived on the TCP control connection."""
+        self.complete = True
+        if self.stats.completed_at is None:
+            self.stats.completed_at = now
+
+    # ------------------------------------------------------------------
+    @property
+    def all_acked(self) -> bool:
+        return self.acked.is_complete
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Waste so far, per the paper's definition."""
+        return self.stats.wasted_fraction(self.npackets)

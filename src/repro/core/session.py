@@ -1,0 +1,369 @@
+"""FOBS transfer driver over the simulated network.
+
+Wires a :class:`~repro.core.sender.FobsSender` and
+:class:`~repro.core.receiver.FobsReceiver` to UDP sockets on the two
+endpoints of a :class:`~repro.simnet.topology.Network`, models the
+application CPU costs from each host's
+:class:`~repro.simnet.node.EndpointProfile`, and runs the transfer to
+completion.
+
+Faithful to the paper's structure:
+
+* one UDP connection for data, one UDP connection for acknowledgements,
+  one TCP connection for the completion signal (Section 3);
+* the sender performs batch-sends, using a ``select()``-equivalent
+  check for NIC buffer space before each packet, and polls (never
+  blocks) for acknowledgements between batches (Section 3.1);
+* the receiver is event-driven but charges per-packet and
+  per-acknowledgement CPU time — while it is "busy creating and sending
+  an acknowledgement" arriving datagrams can overflow the UDP socket
+  buffer and be lost (Section 3.2's stated hazard);
+* the sender stays greedy until the TCP completion signal lands.
+
+The ``tcp_switch`` congestion mode (Section 7) hands the remaining
+bytes to a TCP bulk transfer when the policy trips.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import FobsConfig
+from repro.core.packets import COMPLETION_BYTES, AckPacket, DataPacket, bitmap_wire_bytes
+from repro.core.receiver import FobsReceiver, ReceiverStats
+from repro.core.sender import FobsSender, SenderStats
+from repro.simnet.packet import Address
+from repro.simnet.sockets import UdpSocket
+from repro.simnet.topology import Network
+from repro.simnet.trace import Tracer
+from repro.tcp.connection import TcpConnection, TcpListener
+from repro.tcp.options import TcpOptions
+
+
+@dataclass
+class TransferStats:
+    """Outcome of one FOBS transfer — the paper's two metrics and more."""
+
+    nbytes: int
+    npackets: int
+    duration: float
+    throughput_bps: float
+    percent_of_bottleneck: float
+    completed: bool
+    #: (packets sent - packets required) / packets required  (Figure 2)
+    wasted_fraction: float
+    packets_sent: int
+    retransmissions: int
+    duplicates_received: int
+    receiver_socket_drops: int
+    ack_socket_drops: int
+    acks_sent: int
+    acks_processed: int
+    receiver_completed_at: Optional[float]
+    sender_completed_at: Optional[float]
+    switched_to_tcp: bool
+    sender_stats: SenderStats
+    receiver_stats: ReceiverStats
+
+    def __str__(self) -> str:
+        return (
+            f"TransferStats({self.nbytes / 1e6:.1f} MB in {self.duration:.2f}s = "
+            f"{self.throughput_bps / 1e6:.1f} Mb/s, "
+            f"{self.percent_of_bottleneck:.1f}% of bottleneck, "
+            f"waste={100 * self.wasted_fraction:.1f}%)"
+        )
+
+
+class FobsTransfer:
+    """One FOBS object transfer from ``net.a`` to ``net.b``."""
+
+    def __init__(
+        self,
+        net: Network,
+        nbytes: int,
+        config: Optional[FobsConfig] = None,
+        tracer: Optional["Tracer"] = None,
+    ):
+        if nbytes <= 0:
+            raise ValueError("nbytes must be positive")
+        self.net = net
+        self.sim = net.sim
+        self.nbytes = nbytes
+        self.config = config if config is not None else FobsConfig()
+        self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+
+        self.sender = FobsSender(
+            self.config, nbytes, rng=net.rng.stream("fobs:sender")
+        )
+        self.receiver = FobsReceiver(self.config, nbytes)
+        self._bitmap_bytes = bitmap_wire_bytes(self.sender.npackets)
+
+        a, b = net.a, net.b
+        self._a_profile = a.profile
+        self._b_profile = b.profile
+        # Data: A -> (B, data_port).  ACKs: B -> (A, ack_port).
+        self.data_out = UdpSocket(a, a.allocate_port())
+        self.data_in = UdpSocket(b, self.config.data_port,
+                                 recv_buffer_bytes=self.config.recv_buffer)
+        self.ack_out = UdpSocket(b, b.allocate_port())
+        self.ack_in = UdpSocket(a, self.config.ack_port,
+                                recv_buffer_bytes=self.config.ack_recv_buffer)
+        self._data_dst = Address(b.name, self.config.data_port)
+        self._ack_dst = Address(a.name, self.config.ack_port)
+
+        # TCP completion channel: receiver (B) connects to sender (A).
+        self._ctrl_listener = TcpListener(
+            self.sim, a, self.config.ctrl_port, on_connection=self._on_ctrl_conn
+        )
+        self._ctrl_client = TcpConnection(
+            self.sim, b, b.allocate_port(), peer=Address(a.name, self.config.ctrl_port)
+        )
+
+        self._pending: deque[DataPacket] = deque()
+        self._recv_busy = False
+        self._recv_scheduled = False
+        self._completion_sent = False
+        self._started = False
+        self._start_time: Optional[float] = None
+        self._receiver_closed = False
+        # Section 7 tcp_switch mode state
+        self.switched_to_tcp = False
+        self._tcp_tail: Optional[TcpConnection] = None
+        self._tcp_tail_listener: Optional[TcpListener] = None
+        self._tcp_tail_bytes = 0
+        self._tcp_tail_delivered = 0
+
+        self.data_in.on_readable = self._wake_receiver
+
+    # ------------------------------------------------------------------
+    # Control channel
+    # ------------------------------------------------------------------
+    def _on_ctrl_conn(self, conn: TcpConnection) -> None:
+        conn.on_deliver = self._on_ctrl_bytes
+
+    def _on_ctrl_bytes(self, nbytes: int) -> None:
+        del nbytes
+        self.sender.on_completion(self.sim.now)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._started:
+            raise RuntimeError("transfer already started")
+        self._started = True
+        self._start_time = self.sim.now
+        self._ctrl_client.connect()
+        self.sim.schedule(0.0, self._sender_step)
+
+    def run(self, time_limit: float = 600.0) -> TransferStats:
+        """Start (if needed) and simulate until the sender finishes."""
+        if not self._started:
+            self.start()
+        deadline = self._start_time + time_limit
+        self.sim.run(until=deadline, stop_when=self._finished)
+        return self.collect_stats()
+
+    def _finished(self) -> bool:
+        if self.switched_to_tcp:
+            return self._tcp_tail_delivered >= self._tcp_tail_bytes
+        return self.sender.complete
+
+    # ------------------------------------------------------------------
+    # Sender loop (Section 3.1's three phases, one event per action)
+    # ------------------------------------------------------------------
+    def _sender_step(self) -> None:
+        if self.sender.complete or self.switched_to_tcp:
+            return
+
+        # Phase: emit the current batch one packet at a time, pacing on
+        # the NIC via the select()-equivalent writability check.
+        if self._pending:
+            pkt = self._pending[0]
+            wire = pkt.wire_bytes
+            if not self.data_out.can_send(wire, self._data_dst):
+                wait = self.data_out.send_wait_hint(wire, self._data_dst)
+                self.sim.schedule(max(wait, 1e-6), self._sender_step)
+                return
+            self._pending.popleft()
+            self.data_out.sendto(pkt, wire, self._data_dst)
+            if self.tracer.enabled:
+                self.tracer.emit(self.sim.now, "data_tx",
+                                 f"seq={pkt.seq} txno={pkt.transmission}")
+            delay = self._a_profile.send_cost(wire)
+            if self.config.send_rate_bps is not None:
+                delay = max(delay, wire * 8.0 / self.config.send_rate_bps)
+            self.sim.schedule(delay, self._sender_step)
+            return
+
+        # Phase 2: look for (but do not block on) an acknowledgement.
+        frame = self.ack_in.poll()
+        if frame is not None:
+            ack: AckPacket = frame.payload
+            cost = self._a_profile.recv_cost(frame.size_bytes)
+            self.sender.on_ack(ack, self.sim.now)
+            if self.tracer.enabled:
+                self.tracer.emit(self.sim.now, "ack_rx",
+                                 f"id={ack.ack_id} count={ack.received_count}")
+            if self.sender.congestion.should_switch_to_tcp():
+                self.sim.schedule(cost, self._switch_to_tcp)
+                return
+            self.sim.schedule(cost, self._sender_step)
+            return
+
+        # Phases 1+3: assemble the next batch via the schedule policy.
+        batch = self.sender.next_batch()
+        if not batch:
+            # Everything locally acked; poll for the completion signal.
+            self.sim.schedule(1e-3, self._sender_step)
+            return
+        self._pending.extend(batch)
+        delay = self.sender.congestion.batch_delay()
+        if delay > 0:
+            self.sim.schedule(delay, self._sender_step)
+        else:
+            self._sender_step()
+
+    # ------------------------------------------------------------------
+    # Receiver loop (event-driven, CPU-cost accurate)
+    # ------------------------------------------------------------------
+    def _wake_receiver(self) -> None:
+        if self._recv_busy or self._recv_scheduled or self._receiver_closed:
+            return
+        self._recv_scheduled = True
+        self.sim.schedule(0.0, self._recv_step)
+
+    def _recv_step(self) -> None:
+        self._recv_scheduled = False
+        if self._receiver_closed:
+            return
+        frame = self.data_in.poll()
+        if frame is None:
+            return
+        pkt: DataPacket = frame.payload
+        cost = self._b_profile.recv_cost(frame.size_bytes)
+        ack = self.receiver.on_data(pkt.seq, self.sim.now)
+        if ack is not None:
+            cost += self._b_profile.ack_cost(self._bitmap_bytes)
+            cost += self._b_profile.send_cost(ack.wire_bytes)
+        self._recv_busy = True
+        self.sim.schedule(cost, self._recv_after, ack)
+
+    def _recv_after(self, ack: Optional[AckPacket]) -> None:
+        self._recv_busy = False
+        if ack is not None:
+            self.ack_out.sendto(ack, ack.wire_bytes, self._ack_dst)
+            if self.tracer.enabled:
+                self.tracer.emit(self.sim.now, "ack_tx",
+                                 f"id={ack.ack_id} count={ack.received_count}")
+        if self.receiver.complete and not self._completion_sent:
+            self._completion_sent = True
+            if self.tracer.enabled:
+                self.tracer.emit(self.sim.now, "complete", "receiver done")
+            self._ctrl_client.app_write(COMPLETION_BYTES)
+            self._close_receiver()
+            return
+        if self.data_in.readable and not self._recv_scheduled:
+            self._recv_scheduled = True
+            self.sim.schedule(0.0, self._recv_step)
+
+    def _close_receiver(self) -> None:
+        """Stop consuming data packets once the object is complete."""
+        self._receiver_closed = True
+        self.data_in.close()
+
+    # ------------------------------------------------------------------
+    # Section 7: TCP fallback
+    # ------------------------------------------------------------------
+    def _switch_to_tcp(self) -> None:
+        """Finish the remaining object bytes over TCP (tcp_switch mode)."""
+        if self.switched_to_tcp or self.sender.complete:
+            return
+        self.switched_to_tcp = True
+        self._pending.clear()
+        missing = self.sender.acked.missing
+        self._tcp_tail_bytes = max(1, missing * self.config.packet_size)
+        port = self.config.ctrl_port + 1
+        a, b = self.net.a, self.net.b
+        # "switches to a high-performance TCP algorithm" (Section 7):
+        # window-scaled, SACK-enabled HighSpeed TCP.
+        opts = TcpOptions(window_scaling=True, sack=True,
+                          congestion_control="highspeed")
+
+        def on_conn(conn: TcpConnection) -> None:
+            conn.on_deliver = self._on_tcp_tail_bytes
+
+        self._tcp_tail_listener = TcpListener(self.sim, b, port, options=opts,
+                                              on_connection=on_conn)
+        self._tcp_tail = TcpConnection(
+            self.sim, a, a.allocate_port(), peer=Address(b.name, port), options=opts
+        )
+        total = self._tcp_tail_bytes
+        self._tcp_tail.on_established = lambda: self._tcp_tail.app_write(total)
+        self._tcp_tail.connect()
+
+    def _on_tcp_tail_bytes(self, nbytes: int) -> None:
+        self._tcp_tail_delivered += nbytes
+        if self._tcp_tail_delivered >= self._tcp_tail_bytes:
+            # The TCP tail covered every missing packet.
+            now = self.sim.now
+            if self.receiver.stats.completed_at is None:
+                self.receiver.stats.completed_at = now
+            self.sender.on_completion(now)
+
+    # ------------------------------------------------------------------
+    def collect_stats(self) -> TransferStats:
+        """Summarize the transfer (valid anytime; final once finished)."""
+        start = self._start_time if self._start_time is not None else 0.0
+        done_at = self.receiver.stats.completed_at
+        completed = done_at is not None
+        end = done_at if completed else self.sim.now
+        duration = max(end - start, 1e-12)
+        delivered = (
+            self.nbytes
+            if completed
+            else self.receiver.bitmap.count * self.config.packet_size
+        )
+        throughput = delivered * 8.0 / duration
+        # Waste per the paper: (sent - required) / required.  When the
+        # tcp_switch mode handed the tail to TCP, "required" for the
+        # FOBS phase is what FOBS actually delivered, keeping the
+        # metric a non-negative duplicate fraction.
+        if self.switched_to_tcp:
+            fobs_delivered = max(1, self.receiver.bitmap.count)
+            waste = (self.sender.stats.packets_sent - fobs_delivered) / self.sender.npackets
+        else:
+            waste = self.sender.wasted_fraction
+        return TransferStats(
+            nbytes=self.nbytes,
+            npackets=self.sender.npackets,
+            duration=duration,
+            throughput_bps=throughput,
+            percent_of_bottleneck=100.0 * throughput / self.net.spec.bottleneck_bps,
+            completed=completed,
+            wasted_fraction=waste,
+            packets_sent=self.sender.stats.packets_sent,
+            retransmissions=self.sender.stats.retransmissions,
+            duplicates_received=self.receiver.stats.packets_duplicate,
+            receiver_socket_drops=self.data_in.datagrams_dropped,
+            ack_socket_drops=self.ack_in.datagrams_dropped,
+            acks_sent=self.receiver.stats.acks_built,
+            acks_processed=self.sender.stats.acks_processed,
+            receiver_completed_at=self.receiver.stats.completed_at,
+            sender_completed_at=self.sender.stats.completed_at,
+            switched_to_tcp=self.switched_to_tcp,
+            sender_stats=self.sender.stats,
+            receiver_stats=self.receiver.stats,
+        )
+
+
+def run_fobs_transfer(
+    net: Network,
+    nbytes: int,
+    config: Optional[FobsConfig] = None,
+    time_limit: float = 600.0,
+) -> TransferStats:
+    """Convenience wrapper: build, run and summarize one transfer."""
+    return FobsTransfer(net, nbytes, config).run(time_limit=time_limit)

@@ -1,0 +1,18 @@
+"""PSockets baseline: application-level striping over parallel TCP.
+
+PSockets (Sivakumar, Bailey & Grossman, SC2000) divides a data flow
+across N TCP sockets, chosen experimentally, to (a) aggregate per-socket
+window limits and (b) decorrelate congestion-control blocking across
+streams.  Section 6 of the FOBS paper compares against it on the
+contended NCSA ↔ CACR path (Table 2).
+"""
+
+from repro.psockets.striping import StripedResult, run_striped_transfer
+from repro.psockets.probe import ProbeResult, probe_optimal_sockets
+
+__all__ = [
+    "StripedResult",
+    "run_striped_transfer",
+    "ProbeResult",
+    "probe_optimal_sockets",
+]

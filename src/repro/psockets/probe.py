@@ -1,0 +1,63 @@
+"""Experimental determination of the optimal socket count.
+
+PSockets "attempts to experimentally determine the optimal number of
+TCP sockets for a given flow, and then transfers the data using this
+pre-determined number of sockets" (Section 1 of the FOBS paper).  The
+probe here does the same: short calibration transfers at each candidate
+count on fresh instances of the path, picking the count with the best
+throughput.  Table 2 reports the chosen count alongside the transfer
+results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.psockets.striping import run_striped_transfer
+from repro.simnet.topology import Network
+from repro.tcp.options import TcpOptions
+
+DEFAULT_CANDIDATES = (1, 2, 4, 8, 12, 16, 20, 24, 32)
+
+
+@dataclass
+class ProbeResult:
+    """Outcome of a socket-count probe."""
+
+    best_nsockets: int
+    throughput_by_count: dict[int, float]
+
+    def __str__(self) -> str:
+        series = ", ".join(
+            f"{n}:{bps / 1e6:.1f}Mb/s" for n, bps in sorted(self.throughput_by_count.items())
+        )
+        return f"ProbeResult(best={self.best_nsockets}; {series})"
+
+
+def probe_optimal_sockets(
+    make_net: Callable[[int], Network],
+    probe_bytes: int = 4_000_000,
+    candidates: Sequence[int] = DEFAULT_CANDIDATES,
+    options: Optional[TcpOptions] = None,
+    seed: int = 1000,
+    time_limit: float = 600.0,
+) -> ProbeResult:
+    """Probe each candidate count with a short transfer; pick the best.
+
+    ``make_net`` builds a fresh network per run (probes must not share
+    simulator state); each candidate uses a distinct seed offset so the
+    probe sees the same path statistics the real transfer will, not the
+    same sample path.
+    """
+    if not candidates:
+        raise ValueError("need at least one candidate count")
+    throughput: dict[int, float] = {}
+    for i, n in enumerate(candidates):
+        net = make_net(seed + i)
+        result = run_striped_transfer(
+            net, probe_bytes, n, options=options, time_limit=time_limit
+        )
+        throughput[n] = result.throughput_bps if result.completed else 0.0
+    best = max(throughput, key=lambda n: throughput[n])
+    return ProbeResult(best_nsockets=best, throughput_by_count=throughput)

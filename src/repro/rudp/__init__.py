@@ -1,0 +1,16 @@
+"""Reliable Blast UDP (RBUDP) baseline.
+
+The closest related protocol the paper discusses (Leigh et al., the
+Tele-Immersion work): "all of the data is blasted across the network
+without any communication between the data sender and receiver.  Then,
+after some timeout period, the receiver sends a list of all missing
+packets to the sender.  The data sender then retransmits all of the
+lost packets, and this cycle is repeated until all of the data has
+been successfully transferred."  RBUDP targets QoS-enabled networks
+with near-zero loss; the comparison benches show how it degrades where
+FOBS does not.
+"""
+
+from repro.rudp.protocol import RudpConfig, RudpStats, RudpTransfer, run_rudp_transfer
+
+__all__ = ["RudpConfig", "RudpStats", "RudpTransfer", "run_rudp_transfer"]

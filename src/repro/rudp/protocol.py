@@ -1,0 +1,229 @@
+"""RBUDP: blast rounds with per-round missing-packet lists over TCP."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.bitmap import PacketBitmap
+from repro.core.packets import DataPacket
+from repro.simnet.packet import Address
+from repro.simnet.sockets import UdpSocket
+from repro.simnet.topology import Network
+from repro.tcp.channel import MessageChannel
+
+
+@dataclass(frozen=True)
+class RudpConfig:
+    """RBUDP tunables."""
+
+    packet_size: int = 1024
+    #: Blast pacing; None means paced only by the sender CPU/NIC.
+    send_rate_bps: Optional[float] = None
+    #: Receiver settles this long after the round-done marker before
+    #: reporting (lets in-flight packets land).
+    settle_time: float = 0.05
+    recv_buffer: int = 1 << 20
+    data_port: int = 7101
+    done_port: int = 7102
+    report_port: int = 7103
+
+    def npackets(self, total_bytes: int) -> int:
+        if total_bytes <= 0:
+            raise ValueError("total_bytes must be positive")
+        return -(-total_bytes // self.packet_size)
+
+
+@dataclass
+class RudpStats:
+    """Outcome of one RBUDP transfer."""
+
+    nbytes: int
+    npackets: int
+    rounds: int
+    packets_sent: int
+    duration: float
+    throughput_bps: float
+    percent_of_bottleneck: float
+    completed: bool
+    wasted_fraction: float
+
+
+@dataclass(frozen=True)
+class _RoundDone:
+    round_id: int
+
+
+@dataclass(frozen=True)
+class _MissingReport:
+    round_id: int
+    missing: tuple[int, ...]
+
+
+class RudpTransfer:
+    """One RBUDP object transfer from ``net.a`` to ``net.b``."""
+
+    def __init__(self, net: Network, nbytes: int, config: Optional[RudpConfig] = None):
+        self.net = net
+        self.sim = net.sim
+        self.nbytes = nbytes
+        self.config = config if config is not None else RudpConfig()
+        self.npackets = self.config.npackets(nbytes)
+        self.bitmap = PacketBitmap(self.npackets)
+
+        a, b = net.a, net.b
+        self._a_profile, self._b_profile = a.profile, b.profile
+        self.data_out = UdpSocket(a, a.allocate_port())
+        self.data_in = UdpSocket(b, self.config.data_port,
+                                 recv_buffer_bytes=self.config.recv_buffer)
+        self._data_dst = Address(b.name, self.config.data_port)
+        # sender -> receiver round-done markers; receiver -> sender reports
+        self._done_ch = MessageChannel(self.sim, a, b, self.config.done_port,
+                                       self._on_round_done)
+        self._report_ch = MessageChannel(self.sim, b, a, self.config.report_port,
+                                         self._on_report)
+
+        self.data_in.on_readable = self._wake_receiver
+        self._recv_busy = False
+        self._recv_scheduled = False
+
+        self.packets_sent = 0
+        self.rounds = 0
+        self._queue: list[int] = []
+        self._queue_pos = 0
+        self._round_id = 0
+        self._gap = (
+            self.config.packet_size * 8.0 / self.config.send_rate_bps
+            if self.config.send_rate_bps
+            else 0.0
+        )
+        self._start: Optional[float] = None
+        self.completed_at: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._start = self.sim.now
+        self._queue = list(range(self.npackets))
+        self._queue_pos = 0
+        self.rounds = 1
+        self.sim.schedule(0.0, self._blast_step)
+
+    def run(self, time_limit: float = 600.0) -> RudpStats:
+        if self._start is None:
+            self.start()
+        self.sim.run(until=self._start + time_limit,
+                     stop_when=lambda: self.completed_at is not None)
+        return self.collect_stats()
+
+    # ------------------------------------------------------------------
+    # Sender
+    # ------------------------------------------------------------------
+    def _payload(self, seq: int) -> int:
+        if seq == self.npackets - 1:
+            tail = self.nbytes - seq * self.config.packet_size
+            return tail if tail > 0 else self.config.packet_size
+        return self.config.packet_size
+
+    def _blast_step(self) -> None:
+        if self.completed_at is not None:
+            return
+        if self._queue_pos >= len(self._queue):
+            # Round over: tell the receiver via TCP.
+            self._done_ch.send(_RoundDone(self._round_id), 8)
+            return
+        seq = self._queue[self._queue_pos]
+        pkt = DataPacket(seq=seq, total=self.npackets, payload_bytes=self._payload(seq))
+        wire = pkt.wire_bytes
+        if not self.data_out.can_send(wire, self._data_dst):
+            wait = self.data_out.send_wait_hint(wire, self._data_dst)
+            self.sim.schedule(max(wait, 1e-6), self._blast_step)
+            return
+        self._queue_pos += 1
+        self.data_out.sendto(pkt, wire, self._data_dst)
+        self.packets_sent += 1
+        delay = max(self._a_profile.send_cost(wire), self._gap)
+        self.sim.schedule(delay, self._blast_step)
+
+    def _on_report(self, msg: _MissingReport) -> None:
+        if self.completed_at is not None:
+            return
+        if not msg.missing:
+            return  # completion is signalled by an empty report; see below
+        self._queue = list(msg.missing)
+        self._queue_pos = 0
+        self._round_id += 1
+        self.rounds += 1
+        self.sim.schedule(0.0, self._blast_step)
+
+    # ------------------------------------------------------------------
+    # Receiver
+    # ------------------------------------------------------------------
+    def _wake_receiver(self) -> None:
+        if self._recv_busy or self._recv_scheduled:
+            return
+        self._recv_scheduled = True
+        self.sim.schedule(0.0, self._recv_step)
+
+    def _recv_step(self) -> None:
+        self._recv_scheduled = False
+        frame = self.data_in.poll()
+        if frame is None:
+            return
+        pkt: DataPacket = frame.payload
+        self.bitmap.mark(pkt.seq)
+        cost = self._b_profile.recv_cost(frame.size_bytes)
+        self._recv_busy = True
+        self.sim.schedule(cost, self._recv_continue)
+
+    def _recv_continue(self) -> None:
+        self._recv_busy = False
+        if self.bitmap.is_complete and self.completed_at is None:
+            self.completed_at = self.sim.now
+            self._report_ch.send(_MissingReport(self._round_id, ()), 8)
+            return
+        if self.data_in.readable and not self._recv_scheduled:
+            self._recv_scheduled = True
+            self.sim.schedule(0.0, self._recv_step)
+
+    def _on_round_done(self, msg: _RoundDone) -> None:
+        # Settle, then report what is still missing for this round.
+        self.sim.schedule(self.config.settle_time, self._send_report, msg.round_id)
+
+    def _send_report(self, round_id: int) -> None:
+        if self.completed_at is not None:
+            return
+        missing = tuple(int(i) for i in self.bitmap.missing_indices())
+        nbytes = 8 + 4 * len(missing)
+        self._report_ch.send(_MissingReport(round_id, missing), nbytes)
+
+    # ------------------------------------------------------------------
+    def collect_stats(self) -> RudpStats:
+        start = self._start if self._start is not None else 0.0
+        completed = self.completed_at is not None
+        end = self.completed_at if completed else self.sim.now
+        duration = max(end - start, 1e-12)
+        delivered = self.nbytes if completed else self.bitmap.count * self.config.packet_size
+        throughput = delivered * 8.0 / duration
+        return RudpStats(
+            nbytes=self.nbytes,
+            npackets=self.npackets,
+            rounds=self.rounds,
+            packets_sent=self.packets_sent,
+            duration=duration,
+            throughput_bps=throughput,
+            percent_of_bottleneck=100.0 * throughput / self.net.spec.bottleneck_bps,
+            completed=completed,
+            wasted_fraction=(self.packets_sent - self.npackets) / self.npackets,
+        )
+
+
+def run_rudp_transfer(
+    net: Network,
+    nbytes: int,
+    config: Optional[RudpConfig] = None,
+    time_limit: float = 600.0,
+) -> RudpStats:
+    """Convenience wrapper: build, run and summarize one RBUDP transfer."""
+    return RudpTransfer(net, nbytes, config).run(time_limit=time_limit)

@@ -1,0 +1,36 @@
+"""Real-socket backend for the sans-IO FOBS core.
+
+Drives :class:`~repro.core.sender.FobsSender` and
+:class:`~repro.core.receiver.FobsReceiver` over actual UDP/TCP sockets
+(two threads on localhost), with the byte-level wire formats in
+:mod:`repro.runtime.wire`.  This demonstrates the protocol core is a
+real implementation rather than simulator-bound; per the repro scoping
+note, the GIL and loopback mean no line-rate throughput claims are made
+from this backend — correctness (checksummed object delivery over a
+lossy-capable datagram path) is what it verifies.
+"""
+
+from repro.runtime.wire import (
+    decode_ack,
+    decode_completion,
+    decode_data,
+    encode_ack,
+    encode_completion,
+    encode_data,
+)
+from repro.runtime.transfer import LoopbackResult, run_loopback_transfer
+from repro.runtime.files import FileTransferResult, receive_file, send_file
+
+__all__ = [
+    "FileTransferResult",
+    "send_file",
+    "receive_file",
+    "encode_data",
+    "decode_data",
+    "encode_ack",
+    "decode_ack",
+    "encode_completion",
+    "decode_completion",
+    "LoopbackResult",
+    "run_loopback_transfer",
+]

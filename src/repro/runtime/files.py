@@ -1,0 +1,212 @@
+"""Point-to-point file transfer over the real-socket FOBS backend.
+
+A minimal session protocol on top of the FOBS data plane, so two
+*separate processes* (or machines) can move a file:
+
+1. the receiver listens on a TCP control port;
+2. the sender connects and sends a :data:`FileOffer` (file size,
+   packet size, its UDP acknowledgement port);
+3. the receiver binds a UDP data socket and replies with a
+   :data:`FileAccept` carrying the data port;
+4. FOBS runs — UDP data one way, UDP bitmap ACKs the other;
+5. the receiver sends the completion signal back on the still-open
+   TCP control connection and both sides verify a CRC32 of the object.
+
+Used by the ``fobs-xfer`` CLI (:mod:`repro.runtime.cli`).
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import FobsConfig
+from repro.core.receiver import FobsReceiver
+from repro.core.sender import FobsSender
+from repro.runtime import wire
+
+OFFER_MAGIC = 0xF0B50FFE
+ACCEPT_MAGIC = 0xF0B5ACC0
+_OFFER = struct.Struct("!IQIII")   # magic, filesize, packet_size, ack_port, crc32
+_ACCEPT = struct.Struct("!III")    # magic, data_port, reserved
+
+
+@dataclass
+class FileTransferResult:
+    """Outcome of one file transfer (either side)."""
+
+    path: str
+    nbytes: int
+    duration: float
+    throughput_bps: float
+    crc_ok: bool
+    packets_sent: int = 0
+    packets_retransmitted: int = 0
+
+
+def _recv_exact(sock: socket.socket, nbytes: int) -> bytes:
+    chunks = []
+    remaining = nbytes
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("control connection closed early")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_file(
+    path: str,
+    host: str,
+    port: int,
+    config: Optional[FobsConfig] = None,
+    timeout: float = 120.0,
+) -> FileTransferResult:
+    """Send ``path`` to a :func:`receive_file` peer at ``host:port``."""
+    config = config if config is not None else FobsConfig(ack_frequency=32)
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if not data:
+        raise ValueError(f"{path} is empty")
+    crc = zlib.crc32(data)
+    deadline = time.monotonic() + timeout
+
+    ack_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    ack_sock.bind(("0.0.0.0", 0))
+    ack_sock.setblocking(False)
+    data_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as ctrl:
+            ctrl.sendall(_OFFER.pack(OFFER_MAGIC, len(data), config.packet_size,
+                                     ack_sock.getsockname()[1], crc))
+            magic, data_port, _ = _ACCEPT.unpack(_recv_exact(ctrl, _ACCEPT.size))
+            if magic != ACCEPT_MAGIC:
+                raise ValueError("bad accept message from receiver")
+            data_addr = (host, data_port)
+
+            sender = FobsSender(config, len(data),
+                                rng=np.random.default_rng(0))
+            ctrl.setblocking(False)
+            start = time.monotonic()
+            while not sender.complete:
+                if time.monotonic() > deadline:
+                    raise TimeoutError("file send timed out")
+                for pkt in sender.next_batch():
+                    off = pkt.seq * config.packet_size
+                    payload = data[off:off + pkt.payload_bytes]
+                    data_sock.sendto(wire.encode_data(pkt, payload), data_addr)
+                try:
+                    ack = wire.decode_ack(ack_sock.recv(1 << 20))
+                    sender.on_ack(ack, time.monotonic())
+                except BlockingIOError:
+                    pass
+                try:
+                    msg = ctrl.recv(64)
+                    if msg:
+                        wire.decode_completion(msg)
+                        sender.on_completion(time.monotonic())
+                except BlockingIOError:
+                    pass
+                if sender.all_acked and not sender.complete:
+                    time.sleep(0.001)
+            duration = max(time.monotonic() - start, 1e-9)
+    finally:
+        ack_sock.close()
+        data_sock.close()
+
+    return FileTransferResult(
+        path=path,
+        nbytes=len(data),
+        duration=duration,
+        throughput_bps=len(data) * 8.0 / duration,
+        crc_ok=True,  # the receiver verifies; completion implies success
+        packets_sent=sender.stats.packets_sent,
+        packets_retransmitted=sender.stats.retransmissions,
+    )
+
+
+def receive_file(
+    output_path: str,
+    port: int,
+    bind: str = "0.0.0.0",
+    timeout: float = 120.0,
+    ready: Optional[threading.Event] = None,
+) -> FileTransferResult:
+    """Accept one file from a :func:`send_file` peer; returns on completion.
+
+    ``ready`` (a :class:`threading.Event`), when given, is set once the
+    control port is listening — lets tests start the sender without
+    racing the bind.
+    """
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    listener.bind((bind, port))
+    listener.listen(1)
+    listener.settimeout(timeout)
+    if ready is not None:
+        ready.set()
+    deadline = time.monotonic() + timeout
+
+    try:
+        ctrl, peer = listener.accept()
+    finally:
+        listener.close()
+    with ctrl:
+        ctrl.settimeout(timeout)
+        magic, filesize, packet_size, ack_port, crc_expected = _OFFER.unpack(
+            _recv_exact(ctrl, _OFFER.size))
+        if magic != OFFER_MAGIC:
+            raise ValueError("bad offer message from sender")
+        config = FobsConfig(packet_size=packet_size, ack_frequency=32)
+
+        data_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        data_sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1 << 20)
+        data_sock.bind((bind, 0))
+        data_sock.settimeout(0.05)
+        ack_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            ctrl.sendall(_ACCEPT.pack(ACCEPT_MAGIC, data_sock.getsockname()[1], 0))
+
+            receiver = FobsReceiver(config, filesize)
+            buffer = bytearray(filesize)
+            start = time.monotonic()
+            while not receiver.complete:
+                if time.monotonic() > deadline:
+                    raise TimeoutError("file receive timed out")
+                try:
+                    datagram = data_sock.recv(65535)
+                except socket.timeout:
+                    continue
+                pkt, payload = wire.decode_data(datagram)
+                off = pkt.seq * packet_size
+                buffer[off:off + len(payload)] = payload
+                ack = receiver.on_data(pkt.seq, time.monotonic())
+                if ack is not None:
+                    ack_sock.sendto(wire.encode_ack(ack), (peer[0], ack_port))
+            duration = max(time.monotonic() - start, 1e-9)
+            crc_ok = zlib.crc32(bytes(buffer)) == crc_expected
+            if crc_ok:
+                ctrl.sendall(wire.encode_completion(receiver.npackets))
+            else:
+                raise ValueError("CRC mismatch after reassembly")
+        finally:
+            data_sock.close()
+            ack_sock.close()
+
+    with open(output_path, "wb") as fh:
+        fh.write(bytes(buffer))
+    return FileTransferResult(
+        path=output_path,
+        nbytes=filesize,
+        duration=duration,
+        throughput_bps=filesize * 8.0 / duration,
+        crc_ok=crc_ok,
+    )

@@ -1,0 +1,247 @@
+"""Loopback transfer: the sans-IO core over real UDP/TCP sockets.
+
+Two threads on 127.0.0.1 — a sender driving :class:`FobsSender` and a
+receiver driving :class:`FobsReceiver` — with the paper's three
+connections: a UDP data socket, a UDP acknowledgement socket, and a TCP
+completion connection.  The transferred object is checksummed on both
+sides.
+
+An optional ``drop_rate`` discards outgoing data datagrams at the
+sender (deterministic RNG) to exercise the retransmission machinery on
+an otherwise loss-free loopback path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.config import FobsConfig
+from repro.core.receiver import FobsReceiver
+from repro.core.sender import FobsSender
+from repro.runtime import wire
+
+
+@dataclass
+class LoopbackResult:
+    """Outcome of one loopback transfer."""
+
+    nbytes: int
+    duration: float
+    throughput_bps: float
+    checksum_ok: bool
+    packets_sent: int
+    packets_retransmitted: int
+    duplicates_received: int
+    acks_sent: int
+    wasted_fraction: float
+
+
+class _Receiver(threading.Thread):
+    def __init__(
+        self,
+        config: FobsConfig,
+        nbytes: int,
+        data_port: int,
+        ack_addr: tuple[str, int],
+        ctrl_addr: tuple[str, int],
+        deadline: float,
+    ):
+        super().__init__(name="fobs-receiver", daemon=True)
+        self.config = config
+        self.nbytes = nbytes
+        self.receiver = FobsReceiver(config, nbytes)
+        self.buffer = bytearray(nbytes)
+        self.deadline = deadline
+        self.error: Optional[BaseException] = None
+        self._ack_addr = ack_addr
+        self._ctrl_addr = ctrl_addr
+        self.data_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.data_sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1 << 20)
+        self.data_sock.bind(("127.0.0.1", data_port))
+        self.data_sock.settimeout(0.05)
+        self.ack_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+
+    @property
+    def data_port(self) -> int:
+        return self.data_sock.getsockname()[1]
+
+    def run(self) -> None:
+        try:
+            self._loop()
+        except BaseException as exc:  # surfaced by the harness
+            self.error = exc
+        finally:
+            self.data_sock.close()
+            self.ack_sock.close()
+
+    def _loop(self) -> None:
+        packet_size = self.config.packet_size
+        while not self.receiver.complete:
+            if time.monotonic() > self.deadline:
+                raise TimeoutError("receiver deadline exceeded")
+            try:
+                datagram = self.data_sock.recv(65535)
+            except socket.timeout:
+                continue
+            pkt, payload = wire.decode_data(datagram)
+            offset = pkt.seq * packet_size
+            self.buffer[offset:offset + len(payload)] = payload
+            ack = self.receiver.on_data(pkt.seq, time.monotonic())
+            if ack is not None:
+                self.ack_sock.sendto(wire.encode_ack(ack), self._ack_addr)
+        # Completion signal over TCP (the paper's third connection).
+        with socket.create_connection(self._ctrl_addr, timeout=5.0) as ctrl:
+            ctrl.sendall(wire.encode_completion(self.receiver.npackets))
+
+
+class _Sender(threading.Thread):
+    def __init__(
+        self,
+        config: FobsConfig,
+        data: bytes,
+        data_addr: tuple[str, int],
+        ack_port: int,
+        deadline: float,
+        drop_rate: float = 0.0,
+        seed: int = 0,
+    ):
+        super().__init__(name="fobs-sender", daemon=True)
+        self.config = config
+        self.data = data
+        self.sender = FobsSender(config, len(data), rng=np.random.default_rng(seed))
+        self.deadline = deadline
+        self.error: Optional[BaseException] = None
+        self.drop_rate = drop_rate
+        self._drop_rng = np.random.default_rng(seed + 1)
+        self._data_addr = data_addr
+        self.data_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.ack_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.ack_sock.bind(("127.0.0.1", ack_port))
+        self.ack_sock.setblocking(False)
+        self.ctrl_listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self.ctrl_listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self.ctrl_listener.bind(("127.0.0.1", 0))
+        self.ctrl_listener.listen(1)
+        self.ctrl_listener.settimeout(0.0)
+
+    @property
+    def ack_port(self) -> int:
+        return self.ack_sock.getsockname()[1]
+
+    @property
+    def ctrl_addr(self) -> tuple[str, int]:
+        return self.ctrl_listener.getsockname()
+
+    def run(self) -> None:
+        try:
+            self._loop()
+        except BaseException as exc:
+            self.error = exc
+        finally:
+            self.data_sock.close()
+            self.ack_sock.close()
+            self.ctrl_listener.close()
+
+    def _check_completion(self) -> None:
+        try:
+            conn, _addr = self.ctrl_listener.accept()
+        except (BlockingIOError, socket.timeout):
+            return
+        with conn:
+            conn.settimeout(2.0)
+            msg = conn.recv(64)
+            wire.decode_completion(msg)
+            self.sender.on_completion(time.monotonic())
+
+    def _loop(self) -> None:
+        packet_size = self.config.packet_size
+        while not self.sender.complete:
+            if time.monotonic() > self.deadline:
+                raise TimeoutError("sender deadline exceeded")
+            # Phase 1/3: batch-send.
+            batch = self.sender.next_batch()
+            for pkt in batch:
+                offset = pkt.seq * packet_size
+                payload = self.data[offset:offset + pkt.payload_bytes]
+                if self.drop_rate and self._drop_rng.random() < self.drop_rate:
+                    continue  # simulated wide-area loss
+                self.data_sock.sendto(wire.encode_data(pkt, payload), self._data_addr)
+            # Phase 2: poll (never block) for an acknowledgement.
+            try:
+                datagram = self.ack_sock.recv(1 << 20)
+                ack = wire.decode_ack(datagram)
+                self.sender.on_ack(ack, time.monotonic())
+            except BlockingIOError:
+                pass
+            self._check_completion()
+            if not batch:
+                # All packets acked locally; wait for the TCP signal.
+                time.sleep(0.001)
+
+
+def run_loopback_transfer(
+    nbytes: int = 1_000_000,
+    config: Optional[FobsConfig] = None,
+    drop_rate: float = 0.0,
+    seed: int = 0,
+    timeout: float = 60.0,
+    data: Optional[bytes] = None,
+) -> LoopbackResult:
+    """Transfer a checksummed object over real sockets on localhost.
+
+    Returns throughput and protocol counters; ``checksum_ok`` confirms
+    byte-exact delivery.  ``drop_rate`` discards that fraction of data
+    datagrams at the sender to exercise retransmission.
+    """
+    config = config if config is not None else FobsConfig(ack_frequency=32)
+    if data is None:
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 256, size=nbytes, dtype=np.uint8).tobytes()
+    elif len(data) != nbytes:
+        raise ValueError("len(data) must equal nbytes")
+
+    deadline = time.monotonic() + timeout
+    receiver = _Receiver(
+        config, nbytes, data_port=0, ack_addr=("127.0.0.1", 0),
+        ctrl_addr=("127.0.0.1", 0), deadline=deadline,
+    )
+    sender = _Sender(
+        config, data, data_addr=("127.0.0.1", receiver.data_port),
+        ack_port=0, deadline=deadline, drop_rate=drop_rate, seed=seed,
+    )
+    # Late-bind the dynamic ports discovered after socket creation.
+    receiver._ack_addr = ("127.0.0.1", sender.ack_port)
+    receiver._ctrl_addr = sender.ctrl_addr
+
+    start = time.monotonic()
+    receiver.start()
+    sender.start()
+    sender.join(timeout=timeout + 5)
+    receiver.join(timeout=5)
+    duration = max(time.monotonic() - start, 1e-9)
+
+    for thread in (sender, receiver):
+        if thread.error is not None:
+            raise RuntimeError(f"{thread.name} failed") from thread.error
+        if thread.is_alive():
+            raise TimeoutError(f"{thread.name} did not finish within {timeout}s")
+
+    checksum_ok = hashlib.sha256(bytes(receiver.buffer)).digest() == hashlib.sha256(data).digest()
+    return LoopbackResult(
+        nbytes=nbytes,
+        duration=duration,
+        throughput_bps=nbytes * 8.0 / duration,
+        checksum_ok=checksum_ok,
+        packets_sent=sender.sender.stats.packets_sent,
+        packets_retransmitted=sender.sender.stats.retransmissions,
+        duplicates_received=receiver.receiver.stats.packets_duplicate,
+        acks_sent=receiver.receiver.stats.acks_built,
+        wasted_fraction=sender.sender.wasted_fraction,
+    )

@@ -1,0 +1,83 @@
+"""Byte-level wire formats for the real-socket backend.
+
+All integers are big-endian (network order).  Layouts::
+
+    DATA        !IIi  seq, total, transmission   + payload bytes
+    ACK         !IIII ack_id, received_count, npackets, reserved
+                + packed bitmap (1 bit per packet, numpy packbits order)
+    COMPLETION  !III  magic, total_packets, reserved
+
+The simulator's :class:`~repro.core.packets.DataPacket` /
+:class:`~repro.core.packets.AckPacket` header-size constants are kept
+consistent with these layouts (12 and 16 bytes respectively).
+"""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.core.packets import AckPacket, DataPacket
+
+_DATA_HDR = struct.Struct("!IIi")
+_ACK_HDR = struct.Struct("!IIII")
+_COMPLETION = struct.Struct("!III")
+COMPLETION_MAGIC = 0xF0B5D011
+
+
+def encode_data(packet: DataPacket, payload: bytes) -> bytes:
+    """Serialize a data packet header plus its payload slice."""
+    if len(payload) != packet.payload_bytes:
+        raise ValueError(
+            f"payload length {len(payload)} != declared {packet.payload_bytes}"
+        )
+    return _DATA_HDR.pack(packet.seq, packet.total, packet.transmission) + payload
+
+
+def decode_data(datagram: bytes) -> tuple[DataPacket, bytes]:
+    """Parse a data datagram; returns (header, payload bytes)."""
+    if len(datagram) < _DATA_HDR.size:
+        raise ValueError("datagram shorter than data header")
+    seq, total, transmission = _DATA_HDR.unpack_from(datagram)
+    payload = datagram[_DATA_HDR.size:]
+    if not payload:
+        raise ValueError("data packet with empty payload")
+    pkt = DataPacket(
+        seq=seq, total=total, payload_bytes=len(payload), transmission=transmission
+    )
+    return pkt, payload
+
+
+def encode_ack(ack: AckPacket) -> bytes:
+    """Serialize an acknowledgement: header + packed bitmap."""
+    packed = np.packbits(np.asarray(ack.bitmap)).tobytes()
+    return _ACK_HDR.pack(ack.ack_id, ack.received_count, ack.npackets, 0) + packed
+
+
+def decode_ack(datagram: bytes) -> AckPacket:
+    """Parse an acknowledgement datagram."""
+    if len(datagram) < _ACK_HDR.size:
+        raise ValueError("datagram shorter than ack header")
+    ack_id, received_count, npackets, _reserved = _ACK_HDR.unpack_from(datagram)
+    packed = np.frombuffer(datagram, dtype=np.uint8, offset=_ACK_HDR.size)
+    expected = -(-npackets // 8)
+    if packed.shape[0] < expected:
+        raise ValueError("ack bitmap truncated")
+    bits = np.unpackbits(packed[:expected], count=npackets).astype(np.bool_)
+    return AckPacket(ack_id=ack_id, received_count=received_count, bitmap=bits)
+
+
+def encode_completion(total_packets: int) -> bytes:
+    """Serialize the TCP completion signal."""
+    return _COMPLETION.pack(COMPLETION_MAGIC, total_packets, 0)
+
+
+def decode_completion(data: bytes) -> int:
+    """Parse the completion signal; returns the total packet count."""
+    if len(data) < _COMPLETION.size:
+        raise ValueError("completion message truncated")
+    magic, total_packets, _reserved = _COMPLETION.unpack_from(data)
+    if magic != COMPLETION_MAGIC:
+        raise ValueError(f"bad completion magic {magic:#x}")
+    return total_packets

@@ -1,0 +1,13 @@
+"""SABUL baseline (Simple Available Bandwidth Utilization Library).
+
+Sivakumar, Mazzucco, Zhang & Grossman: a single UDP stream for data and
+a TCP stream for control.  The key contrast the paper draws with FOBS:
+"SABUL makes the assumption that packet loss implies congestion, and,
+similar to TCP, reduces the sending rate to accommodate such perceived
+congestion" — FOBS does not.  The comparison benches quantify what that
+assumption costs on paths where loss is *not* congestion.
+"""
+
+from repro.sabul.protocol import SabulConfig, SabulStats, SabulTransfer, run_sabul_transfer
+
+__all__ = ["SabulConfig", "SabulStats", "SabulTransfer", "run_sabul_transfer"]

@@ -1,0 +1,261 @@
+"""SABUL: rate-based UDP data with TCP loss reports and rate backoff.
+
+Simplified but faithful to the published design:
+
+* the sender transmits sequenced packets at a controlled rate
+  (inter-packet gap), retransmitting NAKed packets before new data;
+* the receiver detects gaps and periodically reports missing sequence
+  numbers over the TCP control connection (a SYN-interval timer);
+* rate control interprets loss as congestion: every report carrying
+  losses multiplies the inter-packet gap by ``backoff`` (slowing
+  down), every loss-free report shrinks it by ``speedup`` toward the
+  configured peak rate — the loss-equals-congestion assumption FOBS
+  explicitly rejects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.bitmap import PacketBitmap
+from repro.core.packets import DataPacket
+from repro.simnet.packet import Address
+from repro.simnet.sockets import UdpSocket
+from repro.simnet.topology import Network
+from repro.tcp.channel import MessageChannel
+
+
+@dataclass(frozen=True)
+class SabulConfig:
+    """SABUL tunables."""
+
+    packet_size: int = 1024
+    #: Peak sending rate the rate controller may reach.
+    peak_rate_bps: float = 100e6
+    #: Initial sending rate.
+    initial_rate_bps: float = 50e6
+    #: Receiver's loss-report (SYN) interval, seconds.
+    syn_interval: float = 10e-3
+    #: Multiplicative gap increase on a lossy report (rate decrease).
+    backoff: float = 1.125
+    #: Multiplicative gap decrease on a clean report (rate increase).
+    speedup: float = 0.96
+    recv_buffer: int = 1 << 20
+    data_port: int = 7201
+    ctrl_port: int = 7202
+
+    def npackets(self, total_bytes: int) -> int:
+        if total_bytes <= 0:
+            raise ValueError("total_bytes must be positive")
+        return -(-total_bytes // self.packet_size)
+
+
+@dataclass
+class SabulStats:
+    """Outcome of one SABUL transfer."""
+
+    nbytes: int
+    npackets: int
+    packets_sent: int
+    duration: float
+    throughput_bps: float
+    percent_of_bottleneck: float
+    completed: bool
+    wasted_fraction: float
+    final_rate_bps: float
+    loss_reports: int
+
+
+@dataclass(frozen=True)
+class _LossReport:
+    #: missing sequence numbers observed below the receive frontier
+    missing: tuple[int, ...]
+    received_count: int
+    complete: bool
+
+
+class SabulTransfer:
+    """One SABUL object transfer from ``net.a`` to ``net.b``."""
+
+    def __init__(self, net: Network, nbytes: int, config: Optional[SabulConfig] = None):
+        self.net = net
+        self.sim = net.sim
+        self.nbytes = nbytes
+        self.config = config if config is not None else SabulConfig()
+        self.npackets = self.config.npackets(nbytes)
+        self.bitmap = PacketBitmap(self.npackets)
+
+        a, b = net.a, net.b
+        self._a_profile, self._b_profile = a.profile, b.profile
+        self.data_out = UdpSocket(a, a.allocate_port())
+        self.data_in = UdpSocket(b, self.config.data_port,
+                                 recv_buffer_bytes=self.config.recv_buffer)
+        self._data_dst = Address(b.name, self.config.data_port)
+        self._ctrl = MessageChannel(self.sim, b, a, self.config.ctrl_port,
+                                    self._on_report)
+
+        self.data_in.on_readable = self._wake_receiver
+        self._recv_busy = False
+        self._recv_scheduled = False
+
+        wire_bits = (self.config.packet_size + 40) * 8.0
+        self._gap = wire_bits / self.config.initial_rate_bps
+        self._min_gap = wire_bits / self.config.peak_rate_bps
+        self._wire_bits = wire_bits
+
+        self.packets_sent = 0
+        self.loss_reports = 0
+        self._next_new = 0
+        self._rexmit: list[int] = []
+        self._frontier = 0  # receiver: highest seq seen + 1
+        self._start: Optional[float] = None
+        self.completed_at: Optional[float] = None
+        self._sender_done = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        self._start = self.sim.now
+        self.sim.schedule(0.0, self._send_step)
+        self.sim.schedule(self.config.syn_interval, self._syn_tick)
+
+    def run(self, time_limit: float = 600.0) -> SabulStats:
+        if self._start is None:
+            self.start()
+        self.sim.run(until=self._start + time_limit,
+                     stop_when=lambda: self.completed_at is not None)
+        return self.collect_stats()
+
+    @property
+    def current_rate_bps(self) -> float:
+        return self._wire_bits / self._gap
+
+    # ------------------------------------------------------------------
+    # Sender
+    # ------------------------------------------------------------------
+    def _payload(self, seq: int) -> int:
+        if seq == self.npackets - 1:
+            tail = self.nbytes - seq * self.config.packet_size
+            return tail if tail > 0 else self.config.packet_size
+        return self.config.packet_size
+
+    def _next_seq(self) -> Optional[int]:
+        while self._rexmit:
+            seq = self._rexmit.pop(0)
+            if not self.bitmap.array[seq]:
+                return seq
+        if self._next_new < self.npackets:
+            seq = self._next_new
+            self._next_new += 1
+            return seq
+        return None
+
+    def _send_step(self) -> None:
+        if self.completed_at is not None:
+            return
+        seq = self._next_seq()
+        if seq is None:
+            # Everything sent once and no outstanding NAKs: idle until a
+            # report arrives or the transfer completes.
+            self._sender_done = True
+            return
+        pkt = DataPacket(seq=seq, total=self.npackets, payload_bytes=self._payload(seq))
+        wire = pkt.wire_bytes
+        if not self.data_out.can_send(wire, self._data_dst):
+            wait = self.data_out.send_wait_hint(wire, self._data_dst)
+            self.sim.schedule(max(wait, 1e-6), self._send_step)
+            return
+        self.data_out.sendto(pkt, wire, self._data_dst)
+        self.packets_sent += 1
+        delay = max(self._a_profile.send_cost(wire), self._gap)
+        self.sim.schedule(delay, self._send_step)
+
+    def _on_report(self, report: _LossReport) -> None:
+        if report.complete:
+            return
+        if report.missing:
+            self.loss_reports += 1
+            known = set(self._rexmit)
+            for seq in report.missing:
+                if seq not in known:
+                    self._rexmit.append(seq)
+            # Loss means congestion to SABUL: slow down.
+            self._gap = min(self._gap * self.config.backoff, 1.0)
+        else:
+            # Clean interval: creep back toward the peak rate.
+            self._gap = max(self._gap * self.config.speedup, self._min_gap)
+        if self._sender_done and (self._rexmit or self._next_new < self.npackets):
+            self._sender_done = False
+            self.sim.schedule(0.0, self._send_step)
+
+    # ------------------------------------------------------------------
+    # Receiver
+    # ------------------------------------------------------------------
+    def _wake_receiver(self) -> None:
+        if self._recv_busy or self._recv_scheduled:
+            return
+        self._recv_scheduled = True
+        self.sim.schedule(0.0, self._recv_step)
+
+    def _recv_step(self) -> None:
+        self._recv_scheduled = False
+        frame = self.data_in.poll()
+        if frame is None:
+            return
+        pkt: DataPacket = frame.payload
+        self.bitmap.mark(pkt.seq)
+        if pkt.seq >= self._frontier:
+            self._frontier = pkt.seq + 1
+        cost = self._b_profile.recv_cost(frame.size_bytes)
+        self._recv_busy = True
+        self.sim.schedule(cost, self._recv_continue)
+
+    def _recv_continue(self) -> None:
+        self._recv_busy = False
+        if self.bitmap.is_complete and self.completed_at is None:
+            self.completed_at = self.sim.now
+            self._ctrl.send(_LossReport((), self.bitmap.count, True), 8)
+            return
+        if self.data_in.readable and not self._recv_scheduled:
+            self._recv_scheduled = True
+            self.sim.schedule(0.0, self._recv_step)
+
+    def _syn_tick(self) -> None:
+        if self.completed_at is not None:
+            return
+        missing = self.bitmap.missing_indices()
+        missing = missing[missing < self._frontier]
+        msg = _LossReport(tuple(int(i) for i in missing), self.bitmap.count, False)
+        self._ctrl.send(msg, 8 + 4 * len(msg.missing))
+        self.sim.schedule(self.config.syn_interval, self._syn_tick)
+
+    # ------------------------------------------------------------------
+    def collect_stats(self) -> SabulStats:
+        start = self._start if self._start is not None else 0.0
+        completed = self.completed_at is not None
+        end = self.completed_at if completed else self.sim.now
+        duration = max(end - start, 1e-12)
+        delivered = self.nbytes if completed else self.bitmap.count * self.config.packet_size
+        throughput = delivered * 8.0 / duration
+        return SabulStats(
+            nbytes=self.nbytes,
+            npackets=self.npackets,
+            packets_sent=self.packets_sent,
+            duration=duration,
+            throughput_bps=throughput,
+            percent_of_bottleneck=100.0 * throughput / self.net.spec.bottleneck_bps,
+            completed=completed,
+            wasted_fraction=(self.packets_sent - self.npackets) / self.npackets,
+            final_rate_bps=self.current_rate_bps,
+            loss_reports=self.loss_reports,
+        )
+
+
+def run_sabul_transfer(
+    net: Network,
+    nbytes: int,
+    config: Optional[SabulConfig] = None,
+    time_limit: float = 600.0,
+) -> SabulStats:
+    """Convenience wrapper: build, run and summarize one SABUL transfer."""
+    return SabulTransfer(net, nbytes, config).run(time_limit=time_limit)

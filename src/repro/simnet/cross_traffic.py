@@ -1,0 +1,119 @@
+"""Background traffic generators.
+
+The paper attributes TCP's long-haul collapse and the reduced Table 2
+numbers to "some contention in the network".  These generators create
+that contention: they inject UDP datagrams that share the bottleneck
+queue with the measured flow.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.simnet.engine import Simulator
+from repro.simnet.node import Host
+from repro.simnet.packet import Address
+from repro.simnet.sockets import UdpSocket
+
+
+class TrafficSink:
+    """Swallows datagrams at the far end of a cross-traffic flow."""
+
+    def __init__(self, host: Host, port: int):
+        self.datagrams = 0
+        self.bytes = 0
+        self._port = port
+        self._host = host
+        host.bind_handler("udp", port, self._absorb)
+
+    def _absorb(self, frame) -> None:
+        self.datagrams += 1
+        self.bytes += frame.size_bytes
+
+
+class PoissonTraffic:
+    """Poisson datagram arrivals at a target average bit rate."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: Host,
+        dst: Address,
+        rate_bps: float,
+        packet_bytes: int = 1000,
+        rng: Optional[np.random.Generator] = None,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+    ):
+        if rate_bps <= 0:
+            raise ValueError("rate_bps must be positive")
+        self.sim = sim
+        self.dst = dst
+        self.packet_bytes = packet_bytes
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.mean_gap = packet_bytes * 8.0 / rate_bps
+        self.stop = stop
+        self.sent = 0
+        self.socket = UdpSocket(src, src.allocate_port())
+        sim.schedule_at(start + self.rng.exponential(self.mean_gap), self._fire)
+
+    def _fire(self) -> None:
+        if self.stop is not None and self.sim.now >= self.stop:
+            return
+        self.socket.sendto(None, self.packet_bytes, self.dst)
+        self.sent += 1
+        self.sim.schedule(self.rng.exponential(self.mean_gap), self._fire)
+
+
+class OnOffTraffic:
+    """Exponential ON/OFF burst source (CBR during ON periods).
+
+    Burstier than Poisson at the same mean rate; used in the ablation
+    benches to stress the congestion-response modes of Section 7.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: Host,
+        dst: Address,
+        on_rate_bps: float,
+        mean_on: float,
+        mean_off: float,
+        packet_bytes: int = 1000,
+        rng: Optional[np.random.Generator] = None,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+    ):
+        if on_rate_bps <= 0 or mean_on <= 0 or mean_off <= 0:
+            raise ValueError("rates and period means must be positive")
+        self.sim = sim
+        self.dst = dst
+        self.packet_bytes = packet_bytes
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.gap = packet_bytes * 8.0 / on_rate_bps
+        self.mean_on = mean_on
+        self.mean_off = mean_off
+        self.stop = stop
+        self.sent = 0
+        self._on_until = 0.0
+        self.socket = UdpSocket(src, src.allocate_port())
+        sim.schedule_at(start + self.rng.exponential(self.mean_off), self._start_burst)
+
+    def _start_burst(self) -> None:
+        if self.stop is not None and self.sim.now >= self.stop:
+            return
+        self._on_until = self.sim.now + self.rng.exponential(self.mean_on)
+        self._fire()
+
+    def _fire(self) -> None:
+        if self.stop is not None and self.sim.now >= self.stop:
+            return
+        if self.sim.now >= self._on_until:
+            self.sim.schedule(self.rng.exponential(self.mean_off), self._start_burst)
+            return
+        self.socket.sendto(None, self.packet_bytes, self.dst)
+        self.sent += 1
+        self.sim.schedule(self.gap, self._fire)

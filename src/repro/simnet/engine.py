@@ -1,0 +1,175 @@
+"""Discrete-event simulation engine.
+
+A minimal, fast event loop: events are ``(time, sequence, callback)``
+triples kept in a binary heap.  The sequence number makes the ordering of
+simultaneous events deterministic (FIFO in scheduling order), which in
+turn makes every experiment in this repository exactly reproducible for
+a given seed.
+
+The engine is deliberately callback-based rather than coroutine-based:
+profiling showed that for packet-per-event workloads (several hundred
+thousand events per transfer) plain callbacks are 2-3x faster than
+generator-based processes, and the protocol state machines in
+:mod:`repro.core` are written sans-IO anyway.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class EventHandle:
+    """Handle to a scheduled event, supporting O(1) cancellation.
+
+    Cancellation marks the entry dead; the heap entry is discarded lazily
+    when it reaches the top.  This is the standard "lazy deletion" trick
+    and keeps :meth:`Simulator.schedule` allocation-free beyond the tuple.
+    """
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, fn: Callable[..., Any], args: tuple):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+        # Drop references so cancelled timers do not pin protocol state.
+        self.fn = _noop
+        self.args = ()
+
+
+def _noop(*_args: Any) -> None:
+    return None
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1.5, my_callback, arg1, arg2)
+        sim.run(until=10.0)
+
+    All times are seconds (floats).  ``run`` processes events in
+    non-decreasing time order; ties break in scheduling order.
+    """
+
+    __slots__ = ("now", "_heap", "_seq", "_running", "_processed")
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, EventHandle]] = []
+        self._seq: int = 0
+        self._running = False
+        self._processed: int = 0
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        return self.schedule_at(self.now + delay, fn, *args)
+
+    def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
+        """Schedule ``fn(*args)`` at absolute simulation time ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past: {time!r} < {self.now!r}")
+        handle = EventHandle(time, fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (time, self._seq, handle))
+        return handle
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Run the single next event.  Returns False if none remain."""
+        heap = self._heap
+        while heap:
+            time, _seq, handle = heapq.heappop(heap)
+            if handle.cancelled:
+                continue
+            self.now = time
+            fn, args = handle.fn, handle.args
+            handle.fn = _noop  # release references once fired
+            handle.args = ()
+            fn(*args)
+            self._processed += 1
+            return True
+        return False
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> None:
+        """Run events until the heap drains or a bound is hit.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would fire strictly after this time;
+            ``sim.now`` is advanced to ``until`` in that case.
+        max_events:
+            Safety valve for runaway simulations.
+        stop_when:
+            Predicate checked after every event; return True to stop.
+        """
+        if self._running:
+            raise RuntimeError("Simulator.run() is not reentrant")
+        self._running = True
+        try:
+            heap = self._heap
+            count = 0
+            while heap:
+                time, _seq, handle = heap[0]
+                if until is not None and time > until:
+                    self.now = until
+                    return
+                heapq.heappop(heap)
+                if handle.cancelled:
+                    continue
+                self.now = time
+                fn, args = handle.fn, handle.args
+                handle.fn = _noop
+                handle.args = ()
+                fn(*args)
+                self._processed += 1
+                count += 1
+                if max_events is not None and count >= max_events:
+                    return
+                if stop_when is not None and stop_when():
+                    return
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Number of queued (possibly cancelled) events."""
+        return len(self._heap)
+
+    @property
+    def processed(self) -> int:
+        """Total events executed so far."""
+        return self._processed
+
+    def peek_time(self) -> Optional[float]:
+        """Time of the next live event, or None if the heap is empty."""
+        heap = self._heap
+        while heap and heap[0][2].cancelled:
+            heapq.heappop(heap)
+        return heap[0][0] if heap else None

@@ -1,0 +1,199 @@
+"""Arbitrary mesh topologies from networkx graphs.
+
+The paper's experiments are point-to-point paths, but a grid is a
+mesh: this module builds a :class:`~repro.simnet.topology.Network`-like
+:class:`MeshNetwork` from any (multi)graph whose edges carry link
+parameters, installing static shortest-path routes (weighted by
+propagation delay).  The multi-site example uses it to run several
+simultaneous FOBS transfers over a shared backbone.
+
+Edge attributes (per direction; the graph is treated as undirected and
+both directions get identical links):
+
+* ``bandwidth_bps`` — float, or ``None`` for a pure DelayLink;
+* ``delay`` — propagation delay, seconds (also the routing weight);
+* ``queue_bytes`` — egress queue size (serializing links only);
+* ``loss_rate`` — optional Bernoulli loss.
+
+Node attributes:
+
+* ``host`` — truthy for endpoints (gets a :class:`Host`); routers
+  otherwise;
+* ``profile`` — optional :class:`EndpointProfile` for hosts.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import networkx as nx
+
+from repro.simnet.engine import Simulator
+from repro.simnet.link import DelayLink, Link
+from repro.simnet.node import EndpointProfile, Host, Node, Router
+from repro.simnet.queues import DropTailQueue
+from repro.simnet.rng import RngStreams
+
+
+class MeshNetwork:
+    """A simulated network built from a networkx graph."""
+
+    def __init__(self, graph: nx.Graph, seed: int = 0, default_bottleneck_bps: float = 1e8):
+        self.graph = graph
+        self.sim = Simulator()
+        self.rng = RngStreams(seed)
+        self.hosts: dict[str, Host] = {}
+        self.routers: dict[str, Router] = {}
+        self.nodes: dict[str, Node] = {}
+        self.links: dict[tuple[str, str], Link | DelayLink] = {}
+        #: normalization constant for percent-of-bandwidth metrics
+        self.bottleneck_bps = default_bottleneck_bps
+        self._build()
+        self._install_routes()
+
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        for name, attrs in self.graph.nodes(data=True):
+            name = str(name)
+            if attrs.get("host"):
+                host = Host(self.sim, name, profile=attrs.get("profile"))
+                self.hosts[name] = host
+                self.nodes[name] = host
+            else:
+                router = Router(self.sim, name)
+                self.routers[name] = router
+                self.nodes[name] = router
+        for u, v, attrs in self.graph.edges(data=True):
+            self._make_link(str(u), str(v), attrs)
+            self._make_link(str(v), str(u), attrs)
+
+    def _make_link(self, src: str, dst: str, attrs: dict) -> None:
+        bandwidth = attrs.get("bandwidth_bps")
+        delay = attrs.get("delay", 1e-3)
+        loss = attrs.get("loss_rate", 0.0)
+        rng = self.rng.stream(f"loss:{src}->{dst}") if loss else None
+        if bandwidth is None:
+            link: Link | DelayLink = DelayLink(
+                self.sim, f"{src}->{dst}", prop_delay=delay, loss_rate=loss, rng=rng
+            )
+        else:
+            queue_bytes = attrs.get("queue_bytes", 1 << 20)
+            link = Link(
+                self.sim,
+                f"{src}->{dst}",
+                bandwidth_bps=bandwidth,
+                prop_delay=delay,
+                queue=DropTailQueue(queue_bytes),
+                loss_rate=loss,
+                rng=rng,
+            )
+        link.connect(self.nodes[dst])
+        self.links[(src, dst)] = link
+
+    def _install_routes(self) -> None:
+        """Static next-hop routes along delay-weighted shortest paths."""
+        paths = dict(
+            nx.all_pairs_dijkstra_path(
+                self.graph, weight=lambda u, v, d: d.get("delay", 1e-3)
+            )
+        )
+        for src, dsts in paths.items():
+            src = str(src)
+            node = self.nodes[src]
+            for dst, path in dsts.items():
+                dst = str(dst)
+                if dst == src or dst not in self.hosts:
+                    continue
+                if len(path) < 2:
+                    continue
+                next_hop = str(path[1])
+                node.add_route(dst, self.links[(src, next_hop)])
+
+    # ------------------------------------------------------------------
+    def host(self, name: str) -> Host:
+        return self.hosts[str(name)]
+
+    def link(self, src: str, dst: str) -> Link | DelayLink:
+        return self.links[(str(src), str(dst))]
+
+    # Duck-type compatibility with topology.Network for the transfer
+    # drivers, which need .sim, .rng, .a/.b or explicit hosts, and
+    # .spec.bottleneck_bps for the percent metric.
+    @property
+    def spec(self):  # noqa: ANN201 - lightweight shim
+        mesh = self
+
+        class _Spec:
+            bottleneck_bps = mesh.bottleneck_bps
+
+        return _Spec()
+
+
+class PairView:
+    """Adapter presenting two mesh hosts as a Network's (a, b) pair.
+
+    Lets :func:`repro.core.run_fobs_transfer` and the TCP/PSockets
+    harnesses run between any two hosts of a :class:`MeshNetwork`.
+    """
+
+    def __init__(self, mesh: MeshNetwork, a: str, b: str,
+                 bottleneck_bps: Optional[float] = None):
+        self.mesh = mesh
+        self.sim = mesh.sim
+        self.rng = mesh.rng
+        self._a = mesh.host(a)
+        self._b = mesh.host(b)
+        self._bottleneck = bottleneck_bps if bottleneck_bps is not None else mesh.bottleneck_bps
+        self.cross_sources: list = []
+        self.cross_sinks: list = []
+
+    @property
+    def a(self) -> Host:
+        return self._a
+
+    @property
+    def b(self) -> Host:
+        return self._b
+
+    @property
+    def links(self):
+        return {f"{s}->{d}": link for (s, d), link in self.mesh.links.items()}
+
+    @property
+    def spec(self):  # noqa: ANN201 - lightweight shim
+        view = self
+
+        class _Spec:
+            bottleneck_bps = view._bottleneck
+
+        return _Spec()
+
+
+def abilene_like(seed: int = 0) -> MeshNetwork:
+    """A Abilene-flavoured 6-router national backbone with 4 sites.
+
+    Sites (hosts): anl, ncsa, lcse, cacr — hanging off routers chi,
+    chi, mpls, lax respectively; backbone delays are rough great-circle
+    figures.  Every site access link is 100 Mb/s (the era's interface
+    cards), the backbone is delay-only (never the bottleneck).
+    """
+    g = nx.Graph()
+    for site in ("anl", "ncsa", "lcse", "cacr"):
+        g.add_node(site, host=True)
+    for router in ("chi", "mpls", "den", "lax", "hou", "atl"):
+        g.add_node(router)
+    # site access links
+    access = dict(bandwidth_bps=1e8, delay=2e-4, queue_bytes=64 * 1024)
+    g.add_edge("anl", "chi", **access)
+    g.add_edge("ncsa", "chi", **access)
+    g.add_edge("lcse", "mpls", **access)
+    g.add_edge("cacr", "lax", **access)
+    # backbone (delay-only)
+    g.add_edge("chi", "mpls", bandwidth_bps=None, delay=6e-3)
+    g.add_edge("chi", "den", bandwidth_bps=None, delay=9e-3)
+    g.add_edge("den", "lax", bandwidth_bps=None, delay=12e-3)
+    g.add_edge("chi", "atl", bandwidth_bps=None, delay=8e-3)
+    g.add_edge("atl", "hou", bandwidth_bps=None, delay=7e-3)
+    g.add_edge("hou", "lax", bandwidth_bps=None, delay=14e-3)
+    g.add_edge("mpls", "den", bandwidth_bps=None, delay=7e-3)
+    return MeshNetwork(g, seed=seed, default_bottleneck_bps=1e8)

@@ -1,0 +1,213 @@
+"""Simulated links: serialization, propagation, queueing and random loss.
+
+Two flavours:
+
+* :class:`Link` — finite bandwidth: frames serialize one at a time at
+  ``bandwidth_bps`` behind a finite egress queue, then propagate for
+  ``prop_delay``.  Used for NICs and bottleneck hops.
+* :class:`DelayLink` — pure propagation (infinite bandwidth, no queue).
+  Used for backbone hops that are never the bottleneck; this keeps the
+  event count per packet low (per the HPC guide: compute less).
+
+Random loss (``loss_rate``) models the residual wide-area loss the paper
+attributes to transient contention; it is applied at transmit completion
+so lost frames still consumed link capacity, as in reality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.simnet.engine import Simulator
+from repro.simnet.packet import Frame
+from repro.simnet.queues import DropTailQueue
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.node import Node
+
+
+@dataclass
+class LinkStats:
+    """Traffic counters for one unidirectional link."""
+
+    frames_offered: int = 0
+    frames_sent: int = 0
+    bytes_sent: int = 0
+    frames_lost_random: int = 0
+    busy_time: float = 0.0
+
+    def utilization(self, elapsed: float, bandwidth_bps: float) -> float:
+        """Fraction of ``elapsed`` the link spent transmitting."""
+        del bandwidth_bps  # busy_time already embodies the rate
+        return self.busy_time / elapsed if elapsed > 0 else 0.0
+
+
+class DelayLink:
+    """Propagation-only hop: deliver every frame after ``prop_delay``.
+
+    ``jitter`` adds a uniform random extra delay in ``[0, jitter]`` per
+    frame, which *reorders* closely spaced frames — the wide-area
+    pathology that provokes TCP duplicate ACKs but that FOBS's
+    order-free bitmap shrugs off.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        prop_delay: float,
+        loss_rate: float = 0.0,
+        jitter: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if prop_delay < 0:
+            raise ValueError("prop_delay must be non-negative")
+        if jitter < 0:
+            raise ValueError("jitter must be non-negative")
+        if (loss_rate or jitter) and rng is None:
+            raise ValueError("loss_rate/jitter > 0 requires an rng")
+        self.sim = sim
+        self.name = name
+        self.prop_delay = prop_delay
+        self.loss_rate = loss_rate
+        self.jitter = jitter
+        self._rng = rng
+        self.dst_node: Optional["Node"] = None
+        self.stats = LinkStats()
+
+    def connect(self, dst_node: "Node") -> None:
+        self.dst_node = dst_node
+
+    def can_send(self, nbytes: int) -> bool:
+        del nbytes
+        return True
+
+    def time_until_room(self, nbytes: int) -> float:
+        del nbytes
+        return 0.0
+
+    def send(self, frame: Frame) -> bool:
+        if self.dst_node is None:
+            raise RuntimeError(f"link {self.name} not connected")
+        self.stats.frames_offered += 1
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += frame.size_bytes
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.stats.frames_lost_random += 1
+            return True
+        delay = self.prop_delay
+        if self.jitter:
+            delay += self._rng.random() * self.jitter
+        self.sim.schedule(delay, self._deliver, frame)
+        return True
+
+    def _deliver(self, frame: Frame) -> None:
+        frame.hops += 1
+        self.dst_node.receive(frame)
+
+
+class Link:
+    """Finite-bandwidth hop with an egress queue.
+
+    ``send`` never blocks: if the transmitter is busy the frame goes to
+    the queue, and the queue's discipline decides whether it is dropped.
+    Senders that want ``select()``-style backpressure (the paper's FOBS
+    sender checks for socket-buffer space before each send) should call
+    :meth:`can_send` first and retry after :meth:`time_until_room`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        bandwidth_bps: float,
+        prop_delay: float,
+        queue: DropTailQueue,
+        loss_rate: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        if bandwidth_bps <= 0:
+            raise ValueError("bandwidth_bps must be positive")
+        if prop_delay < 0:
+            raise ValueError("prop_delay must be non-negative")
+        if loss_rate and rng is None:
+            raise ValueError("loss_rate > 0 requires an rng")
+        self.sim = sim
+        self.name = name
+        self.bandwidth_bps = bandwidth_bps
+        self.prop_delay = prop_delay
+        self.queue = queue
+        self.loss_rate = loss_rate
+        self._rng = rng
+        self.dst_node: Optional["Node"] = None
+        self._busy = False
+        self._busy_since = 0.0
+        self._current_tx_end = 0.0
+        self.stats = LinkStats()
+
+    # ------------------------------------------------------------------
+    def connect(self, dst_node: "Node") -> None:
+        self.dst_node = dst_node
+
+    def tx_time(self, nbytes: int) -> float:
+        """Serialization delay for ``nbytes`` on this link."""
+        return nbytes * 8.0 / self.bandwidth_bps
+
+    def can_send(self, nbytes: int) -> bool:
+        """Would a frame of ``nbytes`` be accepted right now?"""
+        if not self._busy:
+            return True
+        return self.queue.bytes_queued + nbytes <= self.queue.capacity_bytes and (
+            self.queue.capacity_frames is None
+            or len(self.queue) < self.queue.capacity_frames
+        )
+
+    def time_until_room(self, nbytes: int) -> float:
+        """Estimated wait until a frame of ``nbytes`` would fit.
+
+        Upper-bound estimate: residual transmission of the in-flight
+        frame plus draining enough queued bytes to make room.
+        """
+        if self.can_send(nbytes):
+            return 0.0
+        residual = max(0.0, self._current_tx_end - self.sim.now)
+        overflow = self.queue.bytes_queued + nbytes - self.queue.capacity_bytes
+        return residual + self.tx_time(max(0, overflow))
+
+    # ------------------------------------------------------------------
+    def send(self, frame: Frame) -> bool:
+        """Offer a frame; returns False only if the queue dropped it."""
+        if self.dst_node is None:
+            raise RuntimeError(f"link {self.name} not connected")
+        self.stats.frames_offered += 1
+        if self._busy:
+            return self.queue.try_enqueue(frame)
+        self._start_tx(frame)
+        return True
+
+    def _start_tx(self, frame: Frame) -> None:
+        self._busy = True
+        tx = self.tx_time(frame.size_bytes)
+        self._current_tx_end = self.sim.now + tx
+        self.stats.busy_time += tx
+        self.sim.schedule(tx, self._tx_done, frame)
+
+    def _tx_done(self, frame: Frame) -> None:
+        self.stats.frames_sent += 1
+        self.stats.bytes_sent += frame.size_bytes
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self.stats.frames_lost_random += 1
+        else:
+            self.sim.schedule(self.prop_delay, self._deliver, frame)
+        nxt = self.queue.dequeue()
+        if nxt is not None:
+            self._start_tx(nxt)
+        else:
+            self._busy = False
+
+    def _deliver(self, frame: Frame) -> None:
+        frame.hops += 1
+        self.dst_node.receive(frame)

@@ -1,0 +1,129 @@
+"""Periodic time-series sampling of simulator state.
+
+A :class:`Monitor` samples registered probes on a fixed interval and
+accumulates ``(time, value)`` series — link utilization, queue depth,
+congestion windows, transfer progress — which the examples render and
+the tests assert over.  Probes are plain callables so anything in the
+simulation can be observed without coupling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Link
+
+
+@dataclass
+class Series:
+    """One sampled time series."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def append(self, t: float, v: float) -> None:
+        self.times.append(t)
+        self.values.append(v)
+
+    @property
+    def last(self) -> Optional[float]:
+        return self.values[-1] if self.values else None
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} has no samples")
+        return sum(self.values) / len(self.values)
+
+    def max(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} has no samples")
+        return max(self.values)
+
+
+class Monitor:
+    """Samples named probes every ``interval`` simulated seconds."""
+
+    def __init__(self, sim: Simulator, interval: float = 0.05):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.sim = sim
+        self.interval = interval
+        self._probes: dict[str, Callable[[], float]] = {}
+        self.series: dict[str, Series] = {}
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    def add_probe(self, name: str, fn: Callable[[], float]) -> None:
+        """Register a probe; duplicate names are rejected."""
+        if name in self._probes:
+            raise ValueError(f"probe {name!r} already registered")
+        self._probes[name] = fn
+        self.series[name] = Series(name)
+
+    def watch_link_utilization(self, link: Link, name: Optional[str] = None) -> None:
+        """Sample a link's utilization over each sampling window."""
+        label = name if name is not None else f"util:{link.name}"
+        state = {"busy": 0.0, "t": self.sim.now}
+
+        def probe() -> float:
+            now = self.sim.now
+            window = now - state["t"]
+            busy = link.stats.busy_time - state["busy"]
+            state["busy"] = link.stats.busy_time
+            state["t"] = now
+            # busy_time is booked at transmission start, so a window can
+            # momentarily observe slightly more than its own length;
+            # clamp to the physical range.
+            return min(1.0, busy / window) if window > 0 else 0.0
+
+        self.add_probe(label, probe)
+
+    def watch_queue_depth(self, link: Link, name: Optional[str] = None) -> None:
+        """Sample a link's egress queue occupancy in bytes."""
+        label = name if name is not None else f"queue:{link.name}"
+        self.add_probe(label, lambda: float(link.queue.bytes_queued))
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            raise RuntimeError("monitor already started")
+        self._running = True
+        self.sim.schedule(self.interval, self._tick)
+
+    def stop(self) -> None:
+        """No further samples after the current simulated instant."""
+        self._stopped = True
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        now = self.sim.now
+        for name, fn in self._probes.items():
+            self.series[name].append(now, float(fn()))
+        self.sim.schedule(self.interval, self._tick)
+
+    # ------------------------------------------------------------------
+    def render(self, name: str, width: int = 50, height: int = 8) -> str:
+        """Coarse ASCII sparkline of one series."""
+        series = self.series[name]
+        if not series.values:
+            return f"{name}: (no samples)"
+        values = series.values
+        lo, hi = min(values), max(values)
+        span = hi - lo or 1.0
+        # downsample to `width` buckets by averaging
+        buckets = []
+        per = max(1, len(values) // width)
+        for i in range(0, len(values), per):
+            chunk = values[i:i + per]
+            buckets.append(sum(chunk) / len(chunk))
+        marks = "▁▂▃▄▅▆▇█"
+        line = "".join(
+            marks[min(len(marks) - 1, int((v - lo) / span * (len(marks) - 1)))]
+            for v in buckets
+        )
+        return f"{name} [{lo:.3g}..{hi:.3g}]: {line}"

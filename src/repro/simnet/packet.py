@@ -1,0 +1,109 @@
+"""Simulated network frames and addressing.
+
+A :class:`Frame` is the unit carried by links.  ``payload`` is an
+arbitrary protocol object (e.g. a FOBS data packet or a TCP segment);
+``size_bytes`` is the on-the-wire size *including* transport/IP headers
+— links serialize and queue by this size, while protocols account
+goodput by their own payload sizes.  Keeping the two separate is what
+lets the benchmarks report "percentage of the maximum available
+bandwidth" the same way the paper does (payload over link capacity).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+#: IPv4 (20 B) + UDP (8 B) header overhead applied to simulated datagrams.
+UDP_HEADER_BYTES = 28
+#: IPv4 (20 B) + TCP (20 B) header overhead applied to simulated segments.
+TCP_HEADER_BYTES = 40
+
+_frame_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Address:
+    """A (host, port) transport address on the simulated network."""
+
+    host: str
+    port: int
+
+    def __str__(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+@dataclass
+class Frame:
+    """One link-layer frame in flight.
+
+    Attributes
+    ----------
+    src, dst:
+        Transport addresses.  Routing is by ``dst.host``.
+    proto:
+        ``"udp"`` or ``"tcp"``; selects the demultiplexer at the
+        destination host.
+    size_bytes:
+        Wire size (payload + headers) used for serialization delay and
+        queue occupancy.
+    payload:
+        Protocol-level object delivered to the bound socket.
+    """
+
+    src: Address
+    dst: Address
+    proto: str
+    size_bytes: int
+    payload: Any = None
+    created_at: float = 0.0
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    hops: int = 0
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError(f"frame size must be positive, got {self.size_bytes}")
+        if self.proto not in ("udp", "tcp"):
+            raise ValueError(f"unknown protocol {self.proto!r}")
+
+
+def udp_frame(
+    src: Address,
+    dst: Address,
+    payload: Any,
+    payload_bytes: int,
+    created_at: float = 0.0,
+) -> Frame:
+    """Build a UDP frame; wire size adds :data:`UDP_HEADER_BYTES`."""
+    return Frame(
+        src=src,
+        dst=dst,
+        proto="udp",
+        size_bytes=payload_bytes + UDP_HEADER_BYTES,
+        payload=payload,
+        created_at=created_at,
+    )
+
+
+def tcp_frame(
+    src: Address,
+    dst: Address,
+    payload: Any,
+    payload_bytes: int,
+    created_at: float = 0.0,
+    option_bytes: int = 0,
+) -> Frame:
+    """Build a TCP frame; wire size adds headers plus ``option_bytes``.
+
+    SACK blocks and timestamps enlarge the TCP header; callers pass the
+    extra option length so wire accounting stays honest.
+    """
+    return Frame(
+        src=src,
+        dst=dst,
+        proto="tcp",
+        size_bytes=payload_bytes + TCP_HEADER_BYTES + option_bytes,
+        payload=payload,
+        created_at=created_at,
+    )

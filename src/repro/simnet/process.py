@@ -1,0 +1,121 @@
+"""Generator-based processes over the callback engine.
+
+The engine is callback-based for speed; this optional layer gives
+library users the friendlier coroutine style for writing custom
+traffic sources and experiment logic::
+
+    def app(proc):
+        for i in range(10):
+            yield proc.sleep(0.1)          # advance simulated time
+            socket.sendto(...)
+        yield proc.wait(event)             # block on an Event
+
+    Process(sim, app)
+
+A :class:`Process` drives its generator: each ``yield`` must produce a
+:class:`Sleep` or :class:`Wait` command (created by the ``proc.sleep``
+/ ``proc.wait`` helpers).  :class:`Event` is a one-shot broadcast that
+wakes every waiting process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.simnet.engine import Simulator
+
+
+class Sleep:
+    """Command: resume after a simulated delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.delay = delay
+
+
+class Wait:
+    """Command: resume when an :class:`Event` fires."""
+
+    __slots__ = ("event",)
+
+    def __init__(self, event: "Event"):
+        self.event = event
+
+
+class Event:
+    """One-shot broadcast event with an optional payload."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.fired = False
+        self.payload: Any = None
+        self._waiters: list[Callable[[Any], None]] = []
+
+    def fire(self, payload: Any = None) -> None:
+        """Wake every waiter (idempotent; later waits resume at once)."""
+        if self.fired:
+            return
+        self.fired = True
+        self.payload = payload
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            self.sim.schedule(0.0, waiter, payload)
+
+    def _subscribe(self, fn: Callable[[Any], None]) -> None:
+        if self.fired:
+            self.sim.schedule(0.0, fn, self.payload)
+        else:
+            self._waiters.append(fn)
+
+
+class Process:
+    """Drives one generator function as a simulated process."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        fn: Callable[["Process"], Generator],
+        start_delay: float = 0.0,
+    ):
+        self.sim = sim
+        self.finished = False
+        self.result: Any = None
+        self.done = Event(sim)
+        self._gen: Optional[Generator] = None
+        self._fn = fn
+        sim.schedule(start_delay, self._start)
+
+    # ------------------------------------------------------------------
+    # Command helpers available to the generator body
+    # ------------------------------------------------------------------
+    def sleep(self, delay: float) -> Sleep:
+        return Sleep(delay)
+
+    def wait(self, event: Event) -> Wait:
+        return Wait(event)
+
+    # ------------------------------------------------------------------
+    def _start(self) -> None:
+        self._gen = self._fn(self)
+        self._step(None)
+
+    def _step(self, value: Any) -> None:
+        assert self._gen is not None
+        try:
+            command = self._gen.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            self.done.fire(stop.value)
+            return
+        if isinstance(command, Sleep):
+            self.sim.schedule(command.delay, self._step, None)
+        elif isinstance(command, Wait):
+            command.event._subscribe(self._step)
+        else:
+            raise TypeError(
+                f"process yielded {command!r}; yield proc.sleep(...) or proc.wait(...)"
+            )

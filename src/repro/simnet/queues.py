@@ -1,0 +1,136 @@
+"""Egress queue disciplines for links.
+
+The paper's key congestion effects (TCP loss under contention, FOBS
+batch-burst loss) arise from finite router/NIC buffers; we provide the
+classic drop-tail queue plus RED for ablations.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.simnet.packet import Frame
+
+
+@dataclass
+class QueueStats:
+    """Counters accumulated by a queue over its lifetime."""
+
+    enqueued: int = 0
+    dequeued: int = 0
+    dropped: int = 0
+    bytes_enqueued: int = 0
+    bytes_dropped: int = 0
+    peak_bytes: int = 0
+
+    def drop_rate(self) -> float:
+        """Fraction of offered frames that were dropped."""
+        offered = self.enqueued + self.dropped
+        return self.dropped / offered if offered else 0.0
+
+
+class DropTailQueue:
+    """FIFO queue bounded by bytes (and optionally frames).
+
+    ``capacity_bytes`` approximates a router buffer; NIC-attached links in
+    the topology presets use a capacity of a few tens of KB to mirror
+    2002-era interface buffering.
+    """
+
+    def __init__(self, capacity_bytes: int, capacity_frames: Optional[int] = None):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.capacity_frames = capacity_frames
+        self._frames: deque[Frame] = deque()
+        self._bytes = 0
+        self.stats = QueueStats()
+
+    def __len__(self) -> int:
+        return len(self._frames)
+
+    @property
+    def bytes_queued(self) -> int:
+        return self._bytes
+
+    def would_accept(self, frame: Frame) -> bool:
+        """True if ``try_enqueue`` would succeed for ``frame`` right now."""
+        if self.capacity_frames is not None and len(self._frames) >= self.capacity_frames:
+            return False
+        return self._bytes + frame.size_bytes <= self.capacity_bytes
+
+    def try_enqueue(self, frame: Frame) -> bool:
+        """Enqueue or drop; returns True if the frame was accepted."""
+        if not self.would_accept(frame):
+            self.stats.dropped += 1
+            self.stats.bytes_dropped += frame.size_bytes
+            return False
+        self._frames.append(frame)
+        self._bytes += frame.size_bytes
+        self.stats.enqueued += 1
+        self.stats.bytes_enqueued += frame.size_bytes
+        if self._bytes > self.stats.peak_bytes:
+            self.stats.peak_bytes = self._bytes
+        return True
+
+    def dequeue(self) -> Optional[Frame]:
+        """Pop the head frame, or None when empty."""
+        if not self._frames:
+            return None
+        frame = self._frames.popleft()
+        self._bytes -= frame.size_bytes
+        self.stats.dequeued += 1
+        return frame
+
+
+class REDQueue(DropTailQueue):
+    """Random Early Detection (Floyd & Jacobson 1993), byte mode.
+
+    Used by the congestion-control ablation benches: RED at the
+    bottleneck desynchronizes parallel TCP streams, which is one of the
+    conditions under which PSockets-style striping behaves differently.
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        min_thresh_bytes: Optional[int] = None,
+        max_thresh_bytes: Optional[int] = None,
+        max_p: float = 0.1,
+        weight: float = 0.002,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__(capacity_bytes)
+        self.min_thresh = min_thresh_bytes if min_thresh_bytes is not None else capacity_bytes // 4
+        self.max_thresh = max_thresh_bytes if max_thresh_bytes is not None else capacity_bytes // 2
+        if not 0 < self.min_thresh < self.max_thresh <= capacity_bytes:
+            raise ValueError("require 0 < min_thresh < max_thresh <= capacity")
+        self.max_p = max_p
+        self.weight = weight
+        self._avg = 0.0
+        self._count_since_drop = -1
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def try_enqueue(self, frame: Frame) -> bool:
+        self._avg = (1.0 - self.weight) * self._avg + self.weight * self._bytes
+        if self._avg >= self.max_thresh:
+            early_drop = True
+        elif self._avg > self.min_thresh:
+            p_base = self.max_p * (self._avg - self.min_thresh) / (self.max_thresh - self.min_thresh)
+            self._count_since_drop += 1
+            denom = max(1e-9, 1.0 - self._count_since_drop * p_base)
+            p_actual = min(1.0, p_base / denom)
+            early_drop = self._rng.random() < p_actual
+        else:
+            self._count_since_drop = -1
+            early_drop = False
+        if early_drop:
+            self._count_since_drop = -1
+            self.stats.dropped += 1
+            self.stats.bytes_dropped += frame.size_bytes
+            return False
+        return super().try_enqueue(frame)

@@ -1,0 +1,124 @@
+"""User-level socket abstractions over simulated hosts.
+
+:class:`UdpSocket` models the kernel UDP receive buffer explicitly:
+datagrams arriving while the application is not draining accumulate up
+to ``recv_buffer_bytes`` and further arrivals are *dropped* — the
+mechanism behind the paper's observation that acknowledging too often
+loses packets ("those packets missed while creating and sending an
+acknowledgement will, in all likelihood, be lost").
+
+:class:`RawConduit` is the thin segment-delivery service the TCP layer
+builds on; TCP keeps its own buffering semantics so the conduit does no
+buffering of its own.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.simnet.node import Host
+from repro.simnet.packet import Address, Frame, udp_frame
+
+
+class UdpSocket:
+    """A bound UDP endpoint with a finite kernel receive buffer."""
+
+    def __init__(self, host: Host, port: int, recv_buffer_bytes: int = 65536):
+        if recv_buffer_bytes <= 0:
+            raise ValueError("recv_buffer_bytes must be positive")
+        self.host = host
+        self.port = port
+        self.address = Address(host.name, port)
+        self.recv_buffer_bytes = recv_buffer_bytes
+        self._buffer: deque[Frame] = deque()
+        self._buffered_bytes = 0
+        self.datagrams_received = 0
+        self.datagrams_dropped = 0
+        self.datagrams_sent = 0
+        self.send_failures = 0
+        #: optional callback fired when the buffer goes empty → non-empty
+        #: (lets event-driven applications sleep instead of busy-polling).
+        self.on_readable: Optional[Callable[[], None]] = None
+        host.bind_handler("udp", port, self._deliver)
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def can_send(self, payload_bytes: int, dst: Address) -> bool:
+        """select()-for-write: is there room on the egress NIC queue?"""
+        frame_bytes = payload_bytes + 28  # UDP_HEADER_BYTES
+        return self.host.can_send(frame_bytes, dst.host)
+
+    def send_wait_hint(self, payload_bytes: int, dst: Address) -> float:
+        frame_bytes = payload_bytes + 28
+        return self.host.send_wait_hint(frame_bytes, dst.host)
+
+    def sendto(self, payload: Any, payload_bytes: int, dst: Address) -> bool:
+        """Transmit one datagram; False if the NIC egress queue dropped it."""
+        frame = udp_frame(
+            src=self.address,
+            dst=dst,
+            payload=payload,
+            payload_bytes=payload_bytes,
+            created_at=self.host.sim.now,
+        )
+        ok = self.host.send_frame(frame)
+        if ok:
+            self.datagrams_sent += 1
+        else:
+            self.send_failures += 1
+        return ok
+
+    # ------------------------------------------------------------------
+    # Receiving
+    # ------------------------------------------------------------------
+    def _deliver(self, frame: Frame) -> None:
+        if self._buffered_bytes + frame.size_bytes > self.recv_buffer_bytes:
+            self.datagrams_dropped += 1
+            return
+        self._buffer.append(frame)
+        self._buffered_bytes += frame.size_bytes
+        self.datagrams_received += 1
+        if len(self._buffer) == 1 and self.on_readable is not None:
+            self.on_readable()
+
+    def poll(self) -> Optional[Frame]:
+        """Non-blocking receive: pop the next buffered datagram or None."""
+        if not self._buffer:
+            return None
+        frame = self._buffer.popleft()
+        self._buffered_bytes -= frame.size_bytes
+        return frame
+
+    @property
+    def readable(self) -> int:
+        """Number of datagrams currently buffered."""
+        return len(self._buffer)
+
+    def close(self) -> None:
+        self.host.unbind_handler("udp", self.port)
+        self._buffer.clear()
+        self._buffered_bytes = 0
+
+
+class RawConduit:
+    """Delivers TCP segments for one local port directly to a callback.
+
+    TCP's receive-window bookkeeping subsumes kernel buffering, so the
+    conduit performs no buffering: every arriving segment is handed to
+    ``on_segment`` immediately.
+    """
+
+    def __init__(self, host: Host, port: int, on_segment: Callable[[Frame], None]):
+        self.host = host
+        self.port = port
+        self.address = Address(host.name, port)
+        self._on_segment = on_segment
+        host.bind_handler("tcp", port, on_segment)
+
+    def send(self, frame: Frame) -> bool:
+        return self.host.send_frame(frame)
+
+    def close(self) -> None:
+        self.host.unbind_handler("tcp", self.port)

@@ -1,0 +1,459 @@
+"""Topology presets matching the paper's Abilene test paths.
+
+Four presets, each returning a fully wired :class:`Network`:
+
+* :func:`short_haul` — ANL desktop ↔ LCSE (RTT ≈ 26 ms, 100 Mb/s
+  bottleneck at the ANL desktop NIC, no contention).
+* :func:`long_haul` — ANL ↔ CACR (RTT ≈ 65 ms, 100 Mb/s bottleneck,
+  light residual wide-area loss standing in for transient contention).
+* :func:`gigabit_path` — NCSA ↔ LCSE (GigE NICs, OC-12 = 622 Mb/s
+  bottleneck, endpoint CPU costs dominate — the Figure 3 scenario).
+* :func:`contended_path` — NCSA ↔ CACR HP V2500 (100 Mb/s external
+  interface, bursty cross traffic sharing the bottleneck — the Table 2
+  scenario).
+
+All physical constants live here so the calibration is auditable in one
+place; EXPERIMENTS.md records the resulting paper-vs-measured numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.simnet.cross_traffic import OnOffTraffic, PoissonTraffic, TrafficSink
+from repro.simnet.engine import Simulator
+from repro.simnet.link import DelayLink, Link
+from repro.simnet.node import EndpointProfile, Host, Node, Router
+from repro.simnet.packet import Address
+from repro.simnet.queues import DropTailQueue
+from repro.simnet.rng import RngStreams
+
+MBPS = 1e6
+GBPS = 1e9
+#: OC-12 line rate used by the paper's gigabit experiments.
+OC12_BPS = 622 * MBPS
+
+#: 2002-era commodity PC (Pentium3 / Winsock2): cheap per-packet path.
+#: ack_build_cost is calibrated so acknowledging every packet (F=1)
+#: overruns the per-packet budget of a 100 Mb/s link by ~3x — the
+#: receiver-busy loss the paper reports for small ack frequencies —
+#: while F >= 8 amortizes it to noise.
+PC_PROFILE = EndpointProfile(
+    send_packet_cost=5e-6,
+    send_byte_cost=0.0,
+    recv_packet_cost=10e-6,
+    recv_byte_cost=2e-9,
+    ack_build_cost=250e-6,
+    ack_byte_cost=8e-9,
+)
+
+#: Gigabit-attached host: the per-packet cost that shapes Figure 3.
+#: recv ≈ 150 µs + 20 ns/B puts the 1 KB point near 8% and the 32 KB
+#: point near 52% of OC-12, matching the paper's sweep.  Send costs are
+#: calibrated just above the receive path so the pipeline is endpoint-
+#: balanced (2002 hosts could not source 170 MB/s of UDP either);
+#: otherwise the greedy sender drowns the receiver in duplicates.
+GIGE_PROFILE = EndpointProfile(
+    send_packet_cost=150e-6,
+    send_byte_cost=20e-9,
+    recv_packet_cost=150e-6,
+    recv_byte_cost=20e-9,
+    ack_build_cost=100e-6,
+    ack_byte_cost=8e-9,
+)
+
+
+@dataclass(frozen=True)
+class HopSpec:
+    """One unidirectional hop in a chain path.
+
+    ``bandwidth_bps=None`` builds a pure-propagation :class:`DelayLink`
+    (non-bottleneck backbone segments), otherwise a serializing
+    :class:`Link` behind a drop-tail queue of ``queue_bytes``.
+    """
+
+    bandwidth_bps: Optional[float]
+    delay: float
+    queue_bytes: int = 0
+    loss_rate: float = 0.0
+    #: uniform extra delay in [0, jitter] per frame — reorders frames.
+    #: Only valid on DelayLink hops (serializing links stay in-order).
+    jitter: float = 0.0
+
+
+@dataclass(frozen=True)
+class PathSpec:
+    """Declarative description of an end-to-end chain A ↔ B."""
+
+    name: str
+    a_name: str
+    b_name: str
+    hops: tuple[HopSpec, ...]
+    a_profile: EndpointProfile = field(default=PC_PROFILE)
+    b_profile: EndpointProfile = field(default=PC_PROFILE)
+    #: "Maximum available bandwidth" the paper normalizes against.
+    bottleneck_bps: float = 100 * MBPS
+
+    def rtt(self) -> float:
+        """Nominal round-trip propagation delay of the path."""
+        return 2.0 * sum(h.delay for h in self.hops)
+
+
+class Network:
+    """A wired topology: simulator + hosts + routers + links.
+
+    Built by :func:`build_path`; exposes the two measurement endpoints
+    as :attr:`a` and :attr:`b` plus helpers to attach cross traffic.
+    """
+
+    def __init__(self, sim: Simulator, rng: RngStreams, spec: PathSpec):
+        self.sim = sim
+        self.rng = rng
+        self.spec = spec
+        self.hosts: dict[str, Host] = {}
+        self.routers: dict[str, Router] = {}
+        self.links: dict[str, Link | DelayLink] = {}
+        #: chain[i] for routing: [a, r1, ..., rk, b]
+        self.chain: list[Node] = []
+        #: attach index (position in chain) of every host, for routing.
+        self._host_index: dict[str, int] = {}
+        self.cross_sources: list[PoissonTraffic | OnOffTraffic] = []
+        self.cross_sinks: list[TrafficSink] = []
+
+    @property
+    def a(self) -> Host:
+        return self.hosts[self.spec.a_name]
+
+    @property
+    def b(self) -> Host:
+        return self.hosts[self.spec.b_name]
+
+    def link_between(self, src: str, dst: str) -> Link | DelayLink:
+        return self.links[f"{src}->{dst}"]
+
+    # ------------------------------------------------------------------
+    def _make_link(self, src: Node, dst: Node, hop: HopSpec, stream: str) -> Link | DelayLink:
+        name = f"{src.name}->{dst.name}"
+        if hop.bandwidth_bps is None:
+            needs_rng = bool(hop.loss_rate or hop.jitter)
+            link: Link | DelayLink = DelayLink(
+                self.sim,
+                name,
+                prop_delay=hop.delay,
+                loss_rate=hop.loss_rate,
+                jitter=hop.jitter,
+                rng=self.rng.stream(f"loss:{stream}:{name}") if needs_rng else None,
+            )
+        else:
+            if hop.jitter:
+                raise ValueError("jitter is only supported on DelayLink hops")
+            queue_bytes = hop.queue_bytes if hop.queue_bytes > 0 else 1 << 30
+            link = Link(
+                self.sim,
+                name,
+                bandwidth_bps=hop.bandwidth_bps,
+                prop_delay=hop.delay,
+                queue=DropTailQueue(queue_bytes),
+                loss_rate=hop.loss_rate,
+                rng=self.rng.stream(f"loss:{stream}:{name}") if hop.loss_rate else None,
+            )
+        link.connect(dst)
+        self.links[name] = link
+        return link
+
+    def _refresh_routes(self) -> None:
+        """Install chain routing: every node routes each host by side."""
+        chain = self.chain
+        for i, node in enumerate(chain):
+            for host_name, at in self._host_index.items():
+                if host_name == node.name:
+                    continue
+                if at > i:
+                    nxt = chain[i + 1]
+                    node.add_route(host_name, self.links[f"{node.name}->{nxt.name}"])
+                elif at < i:
+                    prv = chain[i - 1]
+                    node.add_route(host_name, self.links[f"{node.name}->{prv.name}"])
+                else:
+                    # Host hangs off this router via an access link.
+                    node.add_route(host_name, self.links[f"{node.name}->{host_name}"])
+
+    def attach_host(
+        self,
+        name: str,
+        router_index: int,
+        bandwidth_bps: float = GBPS,
+        delay: float = 1e-4,
+        queue_bytes: int = 1 << 20,
+        profile: EndpointProfile = PC_PROFILE,
+    ) -> Host:
+        """Hang an extra host (cross-traffic source/sink) off a router.
+
+        ``router_index`` counts chain positions, so 1 is the first
+        router after endpoint A.
+        """
+        router = self.chain[router_index]
+        if not isinstance(router, Router):
+            raise ValueError(f"chain[{router_index}] is not a router")
+        host = Host(self.sim, name, profile=profile)
+        self.hosts[name] = host
+        hop = HopSpec(bandwidth_bps, delay, queue_bytes)
+        up = self._make_link(host, router, hop, "access")
+        down = self._make_link(router, host, hop, "access")
+        del up, down
+        host.set_default_route(self.links[f"{name}->{router.name}"])
+        self._host_index[name] = router_index
+        self._refresh_routes()
+        return host
+
+    def _cross_endpoints(
+        self, src_router: int, dst: int | str, label: str
+    ) -> tuple[Host, Address]:
+        """Resolve a cross-traffic source host and sink address.
+
+        ``dst`` is either a chain router index (a dedicated sink host is
+        attached there) or ``"a"``/``"b"`` to sink on a measurement
+        endpoint — the latter makes the flow traverse the endpoint's
+        access hop, which is how Table 2's contention reaches the HP's
+        100 Mb/s interface.
+        """
+        src = self.attach_host(f"{label}src", src_router)
+        if isinstance(dst, str):
+            sink_host = self.a if dst == "a" else self.b
+        else:
+            sink_host = self.attach_host(f"{label}sink", dst)
+        port = 9 + len(self.cross_sinks)
+        self.cross_sinks.append(TrafficSink(sink_host, port=port))
+        return src, Address(sink_host.name, port)
+
+    def add_poisson_cross_traffic(
+        self,
+        rate_bps: float,
+        src_router: int,
+        dst: int | str,
+        packet_bytes: int = 1000,
+        label: str = "x",
+    ) -> PoissonTraffic:
+        """Poisson flow from a host at ``src_router`` to ``dst``."""
+        src, sink_addr = self._cross_endpoints(src_router, dst, label)
+        gen = PoissonTraffic(
+            self.sim,
+            src,
+            sink_addr,
+            rate_bps=rate_bps,
+            packet_bytes=packet_bytes,
+            rng=self.rng.stream(f"xtraffic:{label}"),
+        )
+        self.cross_sources.append(gen)
+        return gen
+
+    def add_onoff_cross_traffic(
+        self,
+        on_rate_bps: float,
+        mean_on: float,
+        mean_off: float,
+        src_router: int,
+        dst: int | str,
+        packet_bytes: int = 1000,
+        label: str = "x",
+    ) -> OnOffTraffic:
+        """Bursty ON/OFF flow from a host at ``src_router`` to ``dst``."""
+        src, sink_addr = self._cross_endpoints(src_router, dst, label)
+        gen = OnOffTraffic(
+            self.sim,
+            src,
+            sink_addr,
+            on_rate_bps=on_rate_bps,
+            mean_on=mean_on,
+            mean_off=mean_off,
+            packet_bytes=packet_bytes,
+            rng=self.rng.stream(f"xtraffic:{label}"),
+        )
+        self.cross_sources.append(gen)
+        return gen
+
+
+def build_path(spec: PathSpec, seed: int = 0, sim: Optional[Simulator] = None) -> Network:
+    """Construct the chain topology described by ``spec``.
+
+    The chain is ``A - R1 - ... - Rk - B`` with one router between each
+    pair of consecutive hops (k = len(hops) - 1 routers).  The reverse
+    direction mirrors the same hop parameters.
+    """
+    if len(spec.hops) < 1:
+        raise ValueError("need at least one hop")
+    sim = sim if sim is not None else Simulator()
+    rng = RngStreams(seed)
+    net = Network(sim, rng, spec)
+
+    a = Host(sim, spec.a_name, profile=spec.a_profile)
+    b = Host(sim, spec.b_name, profile=spec.b_profile)
+    net.hosts[a.name] = a
+    net.hosts[b.name] = b
+    routers = [Router(sim, f"r{i + 1}") for i in range(len(spec.hops) - 1)]
+    for r in routers:
+        net.routers[r.name] = r
+    chain: list[Node] = [a, *routers, b]
+    net.chain = chain
+    net._host_index[a.name] = 0
+    net._host_index[b.name] = len(chain) - 1
+
+    for i, hop in enumerate(spec.hops):
+        net._make_link(chain[i], chain[i + 1], hop, "fwd")
+        net._make_link(chain[i + 1], chain[i], hop, "rev")
+
+    a.set_default_route(net.links[f"{a.name}->{chain[1].name}"])
+    b.set_default_route(net.links[f"{b.name}->{chain[-2].name}"])
+    net._refresh_routes()
+    return net
+
+
+# ----------------------------------------------------------------------
+# Paper topology presets
+# ----------------------------------------------------------------------
+
+def short_haul(seed: int = 0) -> Network:
+    """ANL ↔ LCSE: ~26 ms RTT, 100 Mb/s desktop NIC bottleneck."""
+    spec = PathSpec(
+        name="short_haul",
+        a_name="anl",
+        b_name="lcse",
+        hops=(
+            HopSpec(100 * MBPS, 2e-4, queue_bytes=64 * 1024),  # ANL desktop NIC
+            HopSpec(None, 12.5e-3),                            # Abilene backbone
+            HopSpec(1 * GBPS, 2e-4, queue_bytes=256 * 1024),   # LCSE campus
+        ),
+        a_profile=PC_PROFILE,
+        b_profile=PC_PROFILE,
+        bottleneck_bps=100 * MBPS,
+    )
+    return build_path(spec, seed=seed)
+
+
+def long_haul(seed: int = 0, loss_rate: float = 9e-5) -> Network:
+    """ANL ↔ CACR: ~65 ms RTT, 100 Mb/s bottleneck, residual loss.
+
+    ``loss_rate`` is the Bernoulli per-packet loss on the backbone
+    standing in for the paper's transient contention; the default is
+    calibrated so TCP-with-LWE lands near the paper's 51 % while FOBS
+    barely notices (Table 1 vs Figure 1).
+    """
+    spec = PathSpec(
+        name="long_haul",
+        a_name="anl",
+        b_name="cacr",
+        hops=(
+            HopSpec(100 * MBPS, 2e-4, queue_bytes=64 * 1024),
+            HopSpec(None, 32e-3, loss_rate=loss_rate),
+            HopSpec(1 * GBPS, 2e-4, queue_bytes=256 * 1024),
+        ),
+        a_profile=PC_PROFILE,
+        b_profile=PC_PROFILE,
+        bottleneck_bps=100 * MBPS,
+    )
+    return build_path(spec, seed=seed)
+
+
+def gigabit_path(seed: int = 0) -> Network:
+    """NCSA ↔ LCSE: GigE NICs, OC-12 bottleneck, CPU-bound endpoints."""
+    spec = PathSpec(
+        name="gigabit_path",
+        a_name="ncsa",
+        b_name="lcse",
+        hops=(
+            HopSpec(1 * GBPS, 2e-4, queue_bytes=1 << 20),   # GigE NIC
+            HopSpec(OC12_BPS, 5e-3, queue_bytes=1 << 20),   # OC-12 uplink
+            HopSpec(None, 5e-3),                            # backbone
+            HopSpec(1 * GBPS, 2e-4, queue_bytes=1 << 20),   # GigE NIC
+        ),
+        a_profile=GIGE_PROFILE,
+        b_profile=GIGE_PROFILE,
+        bottleneck_bps=OC12_BPS,
+    )
+    return build_path(spec, seed=seed)
+
+
+def satellite_path(seed: int = 0, loss_rate: float = 1e-5) -> Network:
+    """GEO satellite hop: the related-work [10] scenario (WOSBIS).
+
+    ~560 ms RTT through a geostationary relay with a 45 Mb/s downlink.
+    The extreme bandwidth-delay product (BDP ≈ 3.2 MB) makes unscaled
+    TCP virtually unusable (64 KiB / 560 ms ≈ 0.9 Mb/s ≈ 2 %), which is
+    why Ostermann et al. built an application-level solution — and why
+    FOBS, with its object-sized window, is indifferent to the RTT.
+    """
+    spec = PathSpec(
+        name="satellite_path",
+        a_name="ground_a",
+        b_name="ground_b",
+        hops=(
+            HopSpec(45 * MBPS, 1e-3, queue_bytes=256 * 1024),  # uplink gateway
+            HopSpec(None, 278e-3, loss_rate=loss_rate),        # up+down bounce
+            HopSpec(1 * GBPS, 1e-3, queue_bytes=256 * 1024),   # terrestrial tail
+        ),
+        a_profile=PC_PROFILE,
+        b_profile=PC_PROFILE,
+        bottleneck_bps=45 * MBPS,
+    )
+    return build_path(spec, seed=seed)
+
+
+#: NCSA's SGI Origin2000 as a UDP source: the send path is CPU-bound
+#: near 80 Mb/s of 1 KB datagrams, which is what lets the paper's FOBS
+#: post 76 % goodput with only ~2 % waste on a lossy path (a sender
+#: pushing full line rate into 0.8 % loss would waste far more).
+SGI_PROFILE = EndpointProfile(
+    send_packet_cost=106e-6,
+    send_byte_cost=0.0,
+    recv_packet_cost=12e-6,
+    recv_byte_cost=2e-9,
+    ack_build_cost=250e-6,
+    ack_byte_cost=8e-9,
+)
+
+
+def contended_path(
+    seed: int = 0,
+    cross_rate_bps: float = 6 * MBPS,
+    mean_on: float = 0.25,
+    mean_off: float = 0.25,
+    loss_rate: float = 1e-3,
+) -> Network:
+    """NCSA ↔ CACR (HP V2500): Table 2's contended 100 Mb/s path.
+
+    Contention appears two ways: a Bernoulli loss rate on the backbone
+    (``loss_rate``, default 0.1 % — transient congestion elsewhere on
+    the shared path) plus light bursty ON/OFF cross traffic sharing the
+    final 100 Mb/s hop's drop-tail queue.  The loss rate is what
+    separates the protocols: no-LWE TCP streams lose slow-start and
+    recovery time to every drop, while FOBS simply resends the ~0.1 %
+    of packets it loses.
+    """
+    spec = PathSpec(
+        name="contended_path",
+        a_name="ncsa",
+        b_name="cacr",
+        hops=(
+            HopSpec(1 * GBPS, 2e-4, queue_bytes=1 << 20),    # NCSA GigE NIC
+            HopSpec(OC12_BPS, 10e-3, queue_bytes=1 << 20),   # OC-12 uplink
+            HopSpec(None, 18e-3, loss_rate=loss_rate),       # backbone
+            HopSpec(100 * MBPS, 5e-4, queue_bytes=64 * 1024),  # HP 100 Mb/s NIC
+        ),
+        a_profile=SGI_PROFILE,
+        b_profile=PC_PROFILE,
+        bottleneck_bps=100 * MBPS,
+    )
+    net = build_path(spec, seed=seed)
+    if cross_rate_bps > 0:
+        # Source hangs off the router feeding the 100 Mb/s hop, so the
+        # cross traffic contends in that hop's drop-tail queue.
+        net.add_onoff_cross_traffic(
+            on_rate_bps=2.0 * cross_rate_bps,
+            mean_on=mean_on,
+            mean_off=mean_off,
+            src_router=3,
+            dst="b",
+            label="x",
+        )
+    return net

@@ -1,0 +1,48 @@
+"""Lightweight packet/event tracing.
+
+Disabled by default (tracing every packet of a 40 MB transfer would
+dominate runtime); experiments enable it selectively for debugging and
+for the diagnostics examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event."""
+
+    time: float
+    kind: str
+    detail: str
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` entries when enabled."""
+
+    def __init__(self, enabled: bool = False, max_records: Optional[int] = None):
+        self.enabled = enabled
+        self.max_records = max_records
+        self.records: list[TraceRecord] = []
+        self.truncated = False
+
+    def emit(self, time: float, kind: str, detail: str) -> None:
+        if not self.enabled:
+            return
+        if self.max_records is not None and len(self.records) >= self.max_records:
+            self.truncated = True
+            return
+        self.records.append(TraceRecord(time, kind, detail))
+
+    def of_kind(self, kind: str) -> Iterable[TraceRecord]:
+        return (r for r in self.records if r.kind == kind)
+
+    def render(self, limit: int = 50) -> str:
+        """Human-readable dump of the first ``limit`` records."""
+        lines = [f"{r.time:12.6f}  {r.kind:<12} {r.detail}" for r in self.records[:limit]]
+        if len(self.records) > limit:
+            lines.append(f"... {len(self.records) - limit} more")
+        return "\n".join(lines)

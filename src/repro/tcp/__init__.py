@@ -1,0 +1,45 @@
+"""User-level TCP implementation over the simulated network.
+
+Implements what Table 1 of the paper contrasts: TCP Reno/NewReno bulk
+transfer with and without the RFC 1323 *Large Window Extensions*
+(window scaling), plus optional RFC 2018 selective acknowledgements —
+the two TCP improvement tracks the paper's related-work section
+surveys.
+
+Layering::
+
+    BulkSender / run_bulk_transfer        (tcp.bulk)
+        TcpConnection / TcpListener       (tcp.connection)
+            RenoController                (tcp.reno)
+            RttEstimator                  (tcp.rtt)
+            ReassemblyBuffer              (tcp.reassembly)
+            Segment wire format           (tcp.segments)
+            TcpOptions                    (tcp.options)
+"""
+
+from repro.tcp.options import TcpOptions
+from repro.tcp.rtt import RttEstimator
+from repro.tcp.reno import RenoController
+from repro.tcp.highspeed import HighSpeedController, hs_alpha, hs_beta, make_controller
+from repro.tcp.segments import Segment, segment_option_bytes
+from repro.tcp.reassembly import ReassemblyBuffer
+from repro.tcp.connection import TcpConnection, TcpListener, ConnStats
+from repro.tcp.bulk import BulkResult, run_bulk_transfer
+
+__all__ = [
+    "TcpOptions",
+    "RttEstimator",
+    "RenoController",
+    "HighSpeedController",
+    "hs_alpha",
+    "hs_beta",
+    "make_controller",
+    "Segment",
+    "segment_option_bytes",
+    "ReassemblyBuffer",
+    "TcpConnection",
+    "TcpListener",
+    "ConnStats",
+    "BulkResult",
+    "run_bulk_transfer",
+]

@@ -1,0 +1,100 @@
+"""Bulk TCP transfer application: the Table 1 measurement harness.
+
+``run_bulk_transfer`` pushes ``nbytes`` from endpoint A to endpoint B of
+a :class:`~repro.simnet.topology.Network` over one TCP connection and
+reports the paper's metric — percentage of the path's maximum available
+bandwidth — along with loss-recovery statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.simnet.packet import Address
+from repro.simnet.topology import Network
+from repro.tcp.connection import ConnStats, TcpConnection, TcpListener
+from repro.tcp.options import TcpOptions
+
+
+@dataclass
+class BulkResult:
+    """Outcome of one bulk TCP transfer."""
+
+    nbytes: int
+    duration: float
+    throughput_bps: float
+    percent_of_bottleneck: float
+    completed: bool
+    sender_stats: ConnStats
+    lwe_negotiated: bool
+
+    def __str__(self) -> str:
+        return (
+            f"BulkResult({self.nbytes / 1e6:.1f} MB in {self.duration:.2f}s = "
+            f"{self.throughput_bps / 1e6:.1f} Mb/s, "
+            f"{self.percent_of_bottleneck:.1f}% of bottleneck, "
+            f"rexmt={self.sender_stats.retransmitted_segments}, "
+            f"timeouts={self.sender_stats.timeouts})"
+        )
+
+
+def run_bulk_transfer(
+    net: Network,
+    nbytes: int,
+    sender_options: Optional[TcpOptions] = None,
+    receiver_options: Optional[TcpOptions] = None,
+    port: int = 5001,
+    time_limit: float = 600.0,
+) -> BulkResult:
+    """Transfer ``nbytes`` from ``net.a`` to ``net.b`` over one TCP flow.
+
+    The simulation runs until the receiver has delivered every byte in
+    order (or ``time_limit`` simulated seconds elapse — reported as an
+    incomplete transfer rather than an exception, since a stalled run
+    is itself a measurement the experiments want to see).
+    """
+    if nbytes <= 0:
+        raise ValueError("nbytes must be positive")
+    sender_options = sender_options if sender_options is not None else TcpOptions()
+    receiver_options = receiver_options if receiver_options is not None else TcpOptions()
+
+    sim = net.sim
+    state = {"delivered": 0, "done_at": None}
+
+    def on_server_connection(conn: TcpConnection) -> None:
+        def on_deliver(n: int) -> None:
+            state["delivered"] += n
+            if state["delivered"] >= nbytes and state["done_at"] is None:
+                state["done_at"] = sim.now
+
+        conn.on_deliver = on_deliver
+
+    listener = TcpListener(sim, net.b, port, options=receiver_options,
+                           on_connection=on_server_connection)
+    client = TcpConnection(
+        sim, net.a, net.a.allocate_port(), peer=Address(net.b.name, port),
+        options=sender_options,
+    )
+    client.on_established = lambda: client.app_write(nbytes)
+
+    start = sim.now
+    client.connect()
+    sim.run(until=start + time_limit, stop_when=lambda: state["done_at"] is not None)
+
+    completed = state["done_at"] is not None
+    end = state["done_at"] if completed else sim.now
+    duration = max(end - start, 1e-12)
+    throughput = state["delivered"] * 8.0 / duration
+    result = BulkResult(
+        nbytes=nbytes,
+        duration=duration,
+        throughput_bps=throughput,
+        percent_of_bottleneck=100.0 * throughput / net.spec.bottleneck_bps,
+        completed=completed,
+        sender_stats=client.stats,
+        lwe_negotiated=client.eff_window_scaling,
+    )
+    client.close()
+    listener.close()
+    return result

@@ -1,0 +1,94 @@
+"""Framed message channel over a simulated TCP connection.
+
+RUDP and SABUL exchange structured control messages (missing-packet
+lists, loss reports) over TCP.  The simulator's TCP carries byte counts
+rather than byte contents, so :class:`MessageChannel` pairs each
+``send(obj, nbytes)`` with a length-framed queue entry: the message
+object is delivered to the peer's callback exactly when the TCP stream
+has delivered the frame's worth of bytes — contents ride "out of band"
+but timing, ordering and wire cost are exact.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Optional
+
+from repro.simnet.engine import Simulator
+from repro.simnet.node import Host
+from repro.simnet.packet import Address
+from repro.tcp.connection import TcpConnection, TcpListener
+from repro.tcp.options import TcpOptions
+
+#: Per-message framing overhead (length + type tag), bytes.
+FRAME_HEADER_BYTES = 8
+
+
+class MessageChannel:
+    """One direction of a framed message stream (client side connects)."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: Host,
+        dst: Host,
+        port: int,
+        on_message: Callable[[Any], None],
+        options: Optional[TcpOptions] = None,
+    ):
+        self.sim = sim
+        self.on_message = on_message
+        self._outbox: deque[tuple[Any, int]] = deque()
+        self._delivered = 0
+        self._boundary = 0
+        self._connected = False
+        self._backlog: deque[tuple[Any, int]] = deque()
+
+        self._listener = TcpListener(
+            sim, dst, port, options=options, on_connection=self._on_server_conn
+        )
+        self._client = TcpConnection(
+            sim, src, src.allocate_port(), peer=Address(dst.name, port), options=options
+        )
+        self._client.on_established = self._on_established
+        self._client.connect()
+
+    # ------------------------------------------------------------------
+    def _on_server_conn(self, conn: TcpConnection) -> None:
+        conn.on_deliver = self._on_bytes
+
+    def _on_established(self) -> None:
+        self._connected = True
+        while self._backlog:
+            obj, nbytes = self._backlog.popleft()
+            self._enqueue(obj, nbytes)
+
+    # ------------------------------------------------------------------
+    def send(self, obj: Any, nbytes: int) -> None:
+        """Queue one message whose wire size is ``nbytes`` (+ framing)."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if not self._connected:
+            self._backlog.append((obj, nbytes))
+            return
+        self._enqueue(obj, nbytes)
+
+    def _enqueue(self, obj: Any, nbytes: int) -> None:
+        total = nbytes + FRAME_HEADER_BYTES
+        self._outbox.append((obj, total))
+        self._client.app_write(total)
+
+    def _on_bytes(self, nbytes: int) -> None:
+        self._delivered += nbytes
+        while self._outbox:
+            obj, total = self._outbox[0]
+            if self._delivered < self._boundary + total:
+                break
+            self._boundary += total
+            self._outbox.popleft()
+            self.on_message(obj)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        self._client.close()
+        self._listener.close()

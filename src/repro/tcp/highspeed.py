@@ -1,0 +1,90 @@
+"""HighSpeed TCP (RFC 3649) congestion control.
+
+The paper's Section 7 proposes switching FOBS to "a high-performance
+TCP algorithm" under congestion; this is the canonical one from that
+era.  Below ``LOW_WINDOW`` segments it behaves exactly like Reno; above
+it the congestion-avoidance increase a(w) grows and the multiplicative
+decrease b(w) shrinks with the window, per the RFC's response function:
+
+    p(w) = 0.078 / w^1.2
+    b(w) = (B_H - 0.5) * (ln w - ln W_L) / (ln W_H - ln W_L) + 0.5
+    a(w) = w^2 * p(w) * 2 * b(w) / (2 - b(w))
+
+with W_L = 38, W_H = 83000, B_H = 0.1.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.tcp.reno import RenoController
+
+#: Window (in segments) below which HighSpeed TCP is plain Reno.
+LOW_WINDOW = 38
+#: The RFC's calibration point: w = 83000 segments at p = 1e-7.
+HIGH_WINDOW = 83000
+#: Decrease factor at HIGH_WINDOW.
+HIGH_DECREASE = 0.1
+
+
+def hs_beta(w_segments: float) -> float:
+    """Multiplicative-decrease fraction b(w) (0.5 at/below W_L)."""
+    if w_segments <= LOW_WINDOW:
+        return 0.5
+    w = min(w_segments, HIGH_WINDOW)
+    frac = (math.log(w) - math.log(LOW_WINDOW)) / (
+        math.log(HIGH_WINDOW) - math.log(LOW_WINDOW)
+    )
+    return (HIGH_DECREASE - 0.5) * frac + 0.5
+
+
+def hs_alpha(w_segments: float) -> float:
+    """Per-RTT additive increase a(w) in segments (1 at/below W_L)."""
+    if w_segments <= LOW_WINDOW:
+        return 1.0
+    w = min(w_segments, HIGH_WINDOW)
+    p = 0.078 / (w ** 1.2)
+    b = hs_beta(w)
+    return max(1.0, (w * w * p * 2.0 * b) / (2.0 - b))
+
+
+class HighSpeedController(RenoController):
+    """Reno with the RFC 3649 response function above LOW_WINDOW."""
+
+    def _w(self) -> float:
+        return self.cwnd / self.mss
+
+    def on_new_ack(self, newly_acked: int) -> None:
+        if newly_acked <= 0:
+            return
+        if self.cwnd < self.ssthresh:
+            self.cwnd += min(newly_acked, 2 * self.mss)
+            return
+        # a(w) MSS per RTT -> a(w) * MSS^2 / cwnd per ACKed-MSS.
+        self.cwnd += hs_alpha(self._w()) * self.mss * self.mss / self.cwnd
+
+    def enter_fast_recovery(self, flight_size: int, recover_point: int) -> None:
+        b = hs_beta(self._w())
+        self.ssthresh = max(flight_size * (1.0 - b), 2.0 * self.mss)
+        self.cwnd = self.ssthresh + 3.0 * self.mss
+        self.in_fast_recovery = True
+        self.recover_point = recover_point
+        self.fast_recoveries += 1
+
+    def on_timeout(self, flight_size: int) -> None:
+        # Timeouts keep Reno's severity: the RFC modifies only the
+        # steady-state response function, not the RTO response.
+        super().on_timeout(flight_size)
+
+
+def make_controller(name: str, mss: int, init_cwnd_segments: int = 2) -> RenoController:
+    """Factory keyed by :attr:`TcpOptions.congestion_control`."""
+    if name == "reno":
+        return RenoController(mss, init_cwnd_segments)
+    if name == "highspeed":
+        return HighSpeedController(mss, init_cwnd_segments)
+    if name == "vegas":
+        from repro.tcp.vegas import VegasController
+
+        return VegasController(mss, init_cwnd_segments)
+    raise ValueError(f"unknown congestion control {name!r}")

@@ -1,0 +1,78 @@
+"""Reno congestion control (RFC 5681), byte-based.
+
+Slow start, congestion avoidance, fast retransmit / fast recovery with
+window inflation, and the multiplicative decrease on timeout.  The
+controller is pure state — the connection drives it with ACK events —
+so it is unit-testable in isolation and reusable by PSockets streams.
+"""
+
+from __future__ import annotations
+
+
+class RenoController:
+    """Congestion window state machine for one TCP flow."""
+
+    def __init__(self, mss: int, init_cwnd_segments: int = 2, ssthresh: float | None = None):
+        if mss <= 0:
+            raise ValueError("mss must be positive")
+        self.mss = mss
+        self.cwnd: float = float(mss * init_cwnd_segments)
+        self.ssthresh: float = float(ssthresh) if ssthresh is not None else float("inf")
+        self.in_fast_recovery = False
+        #: sequence number that ends the current recovery episode
+        self.recover_point = 0
+        # statistics
+        self.fast_recoveries = 0
+        self.timeouts = 0
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh and not self.in_fast_recovery
+
+    def on_rtt_sample(self, rtt: float) -> None:
+        """RTT feedback hook; loss-based Reno ignores it (Vegas uses it)."""
+        del rtt
+
+    # ------------------------------------------------------------------
+    def on_new_ack(self, newly_acked: int) -> None:
+        """Cumulative ACK advanced by ``newly_acked`` bytes (not in recovery)."""
+        if newly_acked <= 0:
+            return
+        if self.cwnd < self.ssthresh:
+            # Slow start with appropriate byte counting (RFC 3465, L=2).
+            self.cwnd += min(newly_acked, 2 * self.mss)
+        else:
+            # Congestion avoidance: ~one MSS per RTT.
+            self.cwnd += self.mss * self.mss / self.cwnd
+
+    def enter_fast_recovery(self, flight_size: int, recover_point: int) -> None:
+        """Triggered by the third duplicate ACK."""
+        self.ssthresh = max(flight_size / 2.0, 2.0 * self.mss)
+        self.cwnd = self.ssthresh + 3.0 * self.mss
+        self.in_fast_recovery = True
+        self.recover_point = recover_point
+        self.fast_recoveries += 1
+
+    def on_dup_ack_in_recovery(self) -> None:
+        """Window inflation: each further dup ACK signals a departure."""
+        self.cwnd += self.mss
+
+    def on_partial_ack(self, newly_acked: int) -> None:
+        """NewReno partial ACK: deflate by the amount acked, re-inflate one MSS."""
+        self.cwnd = max(self.ssthresh, self.cwnd - newly_acked + self.mss)
+
+    def exit_fast_recovery(self) -> None:
+        """Full ACK received: deflate the window back to ssthresh."""
+        self.cwnd = self.ssthresh
+        self.in_fast_recovery = False
+
+    def on_timeout(self, flight_size: int) -> None:
+        """RTO fired: collapse to one segment and restart slow start."""
+        self.ssthresh = max(flight_size / 2.0, 2.0 * self.mss)
+        self.cwnd = float(self.mss)
+        self.in_fast_recovery = False
+        self.timeouts += 1
+
+    def usable_window(self, flight_size: int, peer_rwnd: int) -> int:
+        """Bytes the sender may still put in flight right now."""
+        return max(0, int(min(self.cwnd, peer_rwnd)) - flight_size)

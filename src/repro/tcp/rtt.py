@@ -1,0 +1,45 @@
+"""Round-trip time estimation and retransmission timeout (RFC 6298).
+
+Includes Karn's algorithm by construction: callers must only feed
+samples from segments that were transmitted exactly once.
+"""
+
+from __future__ import annotations
+
+
+class RttEstimator:
+    """SRTT/RTTVAR smoothing and RTO computation."""
+
+    ALPHA = 1.0 / 8.0
+    BETA = 1.0 / 4.0
+    K = 4.0
+
+    def __init__(self, initial_rto: float = 1.0, min_rto: float = 0.2, max_rto: float = 60.0):
+        self.srtt: float | None = None
+        self.rttvar: float | None = None
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self._rto = max(initial_rto, min_rto)
+        self.samples = 0
+
+    @property
+    def rto(self) -> float:
+        return self._rto
+
+    def sample(self, rtt: float) -> None:
+        """Incorporate one RTT measurement (seconds)."""
+        if rtt < 0:
+            raise ValueError("rtt must be non-negative")
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * abs(self.srtt - rtt)
+            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * rtt
+        self.samples += 1
+        self._rto = min(self.max_rto, max(self.min_rto, self.srtt + self.K * self.rttvar))
+
+    def backoff(self) -> float:
+        """Exponential timer backoff after a retransmission timeout."""
+        self._rto = min(self.max_rto, self._rto * 2.0)
+        return self._rto

@@ -1,0 +1,83 @@
+"""TCP Vegas congestion avoidance (Brahmo & Peterson 1995).
+
+The delay-based alternative of the era: compare the *expected*
+throughput (cwnd / baseRTT) with the *actual* throughput (cwnd / RTT)
+once per RTT, and nudge the window so the difference stays between
+``alpha`` and ``beta`` segments — backing off *before* queues overflow
+instead of after.  Interesting against FOBS because Vegas is maximally
+congestion-averse where FOBS is maximally congestion-indifferent: the
+two ends of the design spectrum the paper's Section 7 navigates.
+
+Loss handling (fast recovery, timeouts) stays Reno-style; only the
+congestion-avoidance increase rule differs.
+"""
+
+from __future__ import annotations
+
+from repro.tcp.reno import RenoController
+
+
+class VegasController(RenoController):
+    """Reno with Vegas's delay-based congestion avoidance."""
+
+    def __init__(
+        self,
+        mss: int,
+        init_cwnd_segments: int = 2,
+        alpha: float = 2.0,
+        beta: float = 4.0,
+    ):
+        super().__init__(mss, init_cwnd_segments)
+        if not 0 < alpha <= beta:
+            raise ValueError("require 0 < alpha <= beta")
+        self.alpha = alpha
+        self.beta = beta
+        self.base_rtt: float | None = None
+        self._last_rtt: float | None = None
+        self._acked_since_adjust = 0
+
+    # ------------------------------------------------------------------
+    def on_rtt_sample(self, rtt: float) -> None:
+        """Feed every RTT measurement (the connection calls this)."""
+        if rtt <= 0:
+            raise ValueError("rtt must be positive")
+        if self.base_rtt is None or rtt < self.base_rtt:
+            self.base_rtt = rtt
+        self._last_rtt = rtt
+
+    def diff_segments(self) -> float | None:
+        """Vegas's diff = (expected - actual) * baseRTT, in segments."""
+        if self.base_rtt is None or self._last_rtt is None:
+            return None
+        w = self.cwnd / self.mss
+        expected = w / self.base_rtt
+        actual = w / self._last_rtt
+        return (expected - actual) * self.base_rtt
+
+    # ------------------------------------------------------------------
+    def on_new_ack(self, newly_acked: int) -> None:
+        if newly_acked <= 0:
+            return
+        if self.cwnd < self.ssthresh:
+            # Vegas slow start: exit on the delay signal (the original's
+            # gamma threshold) instead of waiting for loss — this is
+            # exactly what keeps Vegas out of the bottleneck queue.
+            diff = self.diff_segments()
+            if diff is not None and diff > self.alpha:
+                self.ssthresh = self.cwnd
+                return
+            self.cwnd += min(newly_acked, 2 * self.mss)
+            return
+        # Congestion avoidance: adjust once per cwnd of acked data.
+        self._acked_since_adjust += newly_acked
+        if self._acked_since_adjust < self.cwnd:
+            return
+        self._acked_since_adjust = 0
+        diff = self.diff_segments()
+        if diff is None:
+            self.cwnd += self.mss  # no signal yet: Reno growth
+        elif diff < self.alpha:
+            self.cwnd += self.mss
+        elif diff > self.beta:
+            self.cwnd = max(2.0 * self.mss, self.cwnd - self.mss)
+        # else: hold — the queue share is where Vegas wants it

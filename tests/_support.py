@@ -1,0 +1,38 @@
+"""Shared helpers for the test suite (imported by test modules).
+
+Kept outside conftest.py so the import name is unambiguous when tests
+and benchmarks run in the same pytest invocation.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import FobsConfig
+from repro.simnet.topology import HopSpec, MBPS, Network, PathSpec, build_path
+
+
+def tiny_path(
+    seed: int = 0,
+    bandwidth_bps: float = 100 * MBPS,
+    delay: float = 1e-3,
+    queue_bytes: int = 64 * 1024,
+    loss_rate: float = 0.0,
+) -> Network:
+    """A minimal two-hop path for fast protocol tests (RTT = 4*delay)."""
+    spec = PathSpec(
+        name="tiny",
+        a_name="a",
+        b_name="b",
+        hops=(
+            HopSpec(bandwidth_bps, delay, queue_bytes=queue_bytes, loss_rate=loss_rate),
+            HopSpec(bandwidth_bps, delay, queue_bytes=queue_bytes),
+        ),
+        bottleneck_bps=bandwidth_bps,
+    )
+    return build_path(spec, seed=seed)
+
+
+def quick_config(**overrides) -> FobsConfig:
+    """FOBS config suited to sub-MB test transfers."""
+    defaults = dict(ack_frequency=16)
+    defaults.update(overrides)
+    return FobsConfig(**defaults)

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite.
+
+Tests run tiny transfers (tens to hundreds of KB) — enough to exercise
+every code path in seconds; the benchmarks run the paper-scale 40 MB
+workloads.  Reusable helpers live in tests/_support.py.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simnet import topology
+from repro.simnet.engine import Simulator
+from repro.simnet.topology import Network
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def short_net() -> Network:
+    return topology.short_haul(seed=0)
+
+
+@pytest.fixture
+def long_net() -> Network:
+    return topology.long_haul(seed=0)

@@ -1,0 +1,49 @@
+"""Tests for FOBS configuration validation."""
+
+import pytest
+
+from repro.core.config import FobsConfig
+
+
+class TestValidation:
+    def test_defaults_match_paper(self):
+        cfg = FobsConfig()
+        assert cfg.packet_size == 1024  # the paper's packet size
+        assert cfg.batch_size == 2      # "two packets per batch-send"
+        assert cfg.scheduler == "circular"
+        assert cfg.congestion_mode == "greedy"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"packet_size": 0},
+        {"ack_frequency": 0},
+        {"batch_size": 0},
+        {"batch_size": 8, "max_batch_size": 4},
+        {"scheduler": "bogus"},
+        {"batch_policy": "bogus"},
+        {"congestion_mode": "bogus"},
+        {"congestion_threshold": 0.0},
+        {"congestion_threshold": 1.0},
+        {"recv_buffer": 100, "packet_size": 1024},
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            FobsConfig(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            FobsConfig().packet_size = 99  # type: ignore[misc]
+
+
+class TestNpackets:
+    def test_exact_multiple(self):
+        assert FobsConfig(packet_size=1000).npackets(10_000) == 10
+
+    def test_rounds_up(self):
+        assert FobsConfig(packet_size=1000).npackets(10_001) == 11
+
+    def test_single_short_packet(self):
+        assert FobsConfig(packet_size=1024).npackets(5) == 1
+
+    def test_zero_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            FobsConfig().npackets(0)

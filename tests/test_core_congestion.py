@@ -1,0 +1,120 @@
+"""Tests for the Section 7 congestion-response policies."""
+
+import pytest
+
+from repro.core.congestion import (
+    BackoffPolicy,
+    CongestionSignal,
+    GreedyPolicy,
+    TcpSwitchPolicy,
+    make_congestion_policy,
+)
+
+
+def lossy(frac=0.5):
+    return CongestionSignal(sent=100, delivered=int(100 * (1 - frac)), interval=0.01)
+
+
+def clean():
+    return CongestionSignal(sent=100, delivered=100, interval=0.01)
+
+
+class TestSignal:
+    def test_loss_fraction(self):
+        assert lossy(0.3).loss_fraction == pytest.approx(0.3)
+
+    def test_zero_sent_is_no_loss(self):
+        assert CongestionSignal(0, 0, 0.01).loss_fraction == 0.0
+
+    def test_more_delivered_than_sent_clamps(self):
+        # stale counting can report delivered > sent; clamp at zero loss
+        assert CongestionSignal(10, 15, 0.01).loss_fraction == 0.0
+
+
+class TestGreedy:
+    def test_never_delays_or_switches(self):
+        p = GreedyPolicy()
+        for _ in range(100):
+            p.observe(lossy(0.9))
+        assert p.batch_delay() == 0.0
+        assert not p.should_switch_to_tcp()
+
+
+class TestBackoff:
+    def test_no_delay_under_clean_traffic(self):
+        p = BackoffPolicy()
+        for _ in range(20):
+            p.observe(clean())
+        assert p.batch_delay() == 0.0
+
+    def test_delay_grows_under_sustained_loss(self):
+        p = BackoffPolicy(threshold=0.1, sustain=3)
+        for _ in range(10):
+            p.observe(lossy(0.5))
+        assert p.batch_delay() > 0
+
+    def test_transient_loss_does_not_trigger(self):
+        p = BackoffPolicy(threshold=0.1, sustain=5)
+        p.observe(lossy(0.5))
+        for _ in range(10):
+            p.observe(clean())
+        assert p.batch_delay() == 0.0
+
+    def test_delay_decays_after_congestion_clears(self):
+        p = BackoffPolicy(threshold=0.1, sustain=2)
+        for _ in range(10):
+            p.observe(lossy(0.5))
+        peak = p.batch_delay()
+        for _ in range(30):
+            p.observe(clean())
+        assert p.batch_delay() < peak
+        assert p.batch_delay() == 0.0  # fully recovered (switch back)
+
+    def test_delay_capped(self):
+        p = BackoffPolicy(threshold=0.05, sustain=1, max_delay=1e-3)
+        for _ in range(100):
+            p.observe(lossy(0.9))
+        assert p.batch_delay() <= 1e-3
+
+    def test_never_switches_to_tcp(self):
+        p = BackoffPolicy()
+        for _ in range(100):
+            p.observe(lossy(0.9))
+        assert not p.should_switch_to_tcp()
+
+    def test_invalid_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            BackoffPolicy(threshold=0.0)
+
+
+class TestTcpSwitch:
+    def test_switches_after_sustained_loss(self):
+        p = TcpSwitchPolicy(threshold=0.1, sustain=3)
+        assert not p.should_switch_to_tcp()
+        for _ in range(10):
+            p.observe(lossy(0.5))
+        assert p.should_switch_to_tcp()
+
+    def test_does_not_switch_on_transient(self):
+        p = TcpSwitchPolicy(threshold=0.1, sustain=5)
+        p.observe(lossy(0.9))
+        assert not p.should_switch_to_tcp()
+
+    def test_loss_estimate_exposed(self):
+        p = TcpSwitchPolicy()
+        p.observe(lossy(0.5))
+        assert 0 < p.loss_estimate <= 0.5
+
+
+class TestFactory:
+    @pytest.mark.parametrize("mode,cls", [
+        ("greedy", GreedyPolicy),
+        ("backoff", BackoffPolicy),
+        ("tcp_switch", TcpSwitchPolicy),
+    ])
+    def test_modes(self, mode, cls):
+        assert isinstance(make_congestion_policy(mode, 0.1), cls)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_congestion_policy("bogus", 0.1)

@@ -1,0 +1,79 @@
+"""Tests for batch-size policies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.rate import AdaptiveBatchPolicy, FixedBatchPolicy, make_batch_policy
+
+
+class TestFixed:
+    def test_constant(self):
+        p = FixedBatchPolicy(2)
+        for _ in range(5):
+            assert p.next_batch_size() == 2
+
+    def test_feedback_ignored(self):
+        p = FixedBatchPolicy(2)
+        p.on_ack_progress(1000, 0.1)
+        assert p.next_batch_size() == 2
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            FixedBatchPolicy(0)
+
+
+class TestAdaptive:
+    def test_starts_at_min(self):
+        p = AdaptiveBatchPolicy(min_batch=1, max_batch=64)
+        assert p.next_batch_size() == 1
+
+    def test_grows_with_receiver_progress(self):
+        p = AdaptiveBatchPolicy(min_batch=1, max_batch=64)
+        for _ in range(50):
+            p.on_ack_progress(32, 0.01)
+        assert p.next_batch_size() == 32
+
+    def test_clamped_to_max(self):
+        p = AdaptiveBatchPolicy(min_batch=1, max_batch=8)
+        for _ in range(50):
+            p.on_ack_progress(1000, 0.01)
+        assert p.next_batch_size() == 8
+
+    def test_shrinks_when_receiver_stalls(self):
+        p = AdaptiveBatchPolicy(min_batch=1, max_batch=64)
+        for _ in range(50):
+            p.on_ack_progress(32, 0.01)
+        for _ in range(50):
+            p.on_ack_progress(0, 0.01)
+        assert p.next_batch_size() == 1
+
+    def test_negative_delta_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveBatchPolicy().on_ack_progress(-1, 0.01)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            AdaptiveBatchPolicy(min_batch=5, max_batch=2)
+        with pytest.raises(ValueError):
+            AdaptiveBatchPolicy(alpha=0.0)
+
+    @given(deltas=st.lists(st.integers(0, 10_000), max_size=100))
+    def test_property_always_within_bounds(self, deltas):
+        p = AdaptiveBatchPolicy(min_batch=2, max_batch=16)
+        for d in deltas:
+            p.on_ack_progress(d, 0.01)
+            assert 2 <= p.next_batch_size() <= 16
+
+
+class TestFactory:
+    def test_fixed(self):
+        p = make_batch_policy("fixed", 4, 64)
+        assert isinstance(p, FixedBatchPolicy)
+        assert p.next_batch_size() == 4
+
+    def test_adaptive(self):
+        assert isinstance(make_batch_policy("adaptive", 2, 64), AdaptiveBatchPolicy)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_batch_policy("bogus", 2, 64)

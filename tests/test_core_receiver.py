@@ -1,0 +1,82 @@
+"""Tests for the sans-IO FOBS receiver state machine."""
+
+import pytest
+
+from repro.core.config import FobsConfig
+from repro.core.receiver import FobsReceiver
+
+
+class TestAckTriggering:
+    def test_ack_after_frequency_new_packets(self):
+        r = FobsReceiver(FobsConfig(ack_frequency=3), 10 * 1024)
+        assert r.on_data(0, now=0.1) is None
+        assert r.on_data(1, now=0.2) is None
+        ack = r.on_data(2, now=0.3)
+        assert ack is not None
+        assert ack.received_count == 3
+
+    def test_duplicates_do_not_count_toward_frequency(self):
+        r = FobsReceiver(FobsConfig(ack_frequency=2), 10 * 1024)
+        r.on_data(0, now=0.1)
+        assert r.on_data(0, now=0.2) is None  # dup
+        assert r.stats.packets_duplicate == 1
+        ack = r.on_data(1, now=0.3)
+        assert ack is not None
+
+    def test_counter_resets_after_ack(self):
+        r = FobsReceiver(FobsConfig(ack_frequency=2), 10 * 1024)
+        r.on_data(0, 0.1)
+        assert r.on_data(1, 0.2) is not None
+        assert r.on_data(2, 0.3) is None  # counter restarted
+
+    def test_ack_ids_increment(self):
+        r = FobsReceiver(FobsConfig(ack_frequency=1), 10 * 1024)
+        a0 = r.on_data(0, 0.1)
+        a1 = r.on_data(1, 0.2)
+        assert (a0.ack_id, a1.ack_id) == (0, 1)
+
+    def test_ack_bitmap_snapshot_reflects_state(self):
+        r = FobsReceiver(FobsConfig(ack_frequency=2), 4 * 1024)
+        r.on_data(3, 0.1)
+        ack = r.on_data(1, 0.2)
+        assert list(ack.bitmap) == [False, True, False, True]
+
+
+class TestCompletion:
+    def test_final_packet_always_triggers_ack(self):
+        r = FobsReceiver(FobsConfig(ack_frequency=1000), 3 * 1024)
+        r.on_data(0, 0.1)
+        r.on_data(1, 0.2)
+        ack = r.on_data(2, 0.3)
+        assert ack is not None
+        assert r.complete
+        assert r.stats.completed_at == 0.3
+
+    def test_completion_signal_requires_completion(self):
+        r = FobsReceiver(FobsConfig(), 2 * 1024)
+        with pytest.raises(RuntimeError):
+            r.completion_signal()
+        r.on_data(0, 0.1)
+        r.on_data(1, 0.2)
+        assert r.completion_signal().total_packets == 2
+
+    def test_completed_at_not_overwritten(self):
+        r = FobsReceiver(FobsConfig(ack_frequency=1), 1024)
+        r.on_data(0, 0.5)
+        r.on_data(0, 0.9)
+        assert r.stats.completed_at == 0.5
+
+
+class TestStats:
+    def test_new_and_duplicate_counts(self):
+        r = FobsReceiver(FobsConfig(ack_frequency=100), 10 * 1024)
+        for seq in (0, 1, 1, 2, 0):
+            r.on_data(seq, 0.1)
+        assert r.stats.packets_new == 3
+        assert r.stats.packets_duplicate == 2
+
+    def test_acks_built_counted(self):
+        r = FobsReceiver(FobsConfig(ack_frequency=1), 3 * 1024)
+        for seq in range(3):
+            r.on_data(seq, 0.1)
+        assert r.stats.acks_built == 3

@@ -1,0 +1,150 @@
+"""Tests for packet-selection policies, incl. the circular invariant."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitmap import PacketBitmap
+from repro.core.scheduling import (
+    CircularScheduler,
+    RandomScheduler,
+    SequentialRestartScheduler,
+    make_scheduler,
+)
+
+
+class TestCircular:
+    def test_first_pass_is_sequential(self):
+        acked = PacketBitmap(5)
+        sched = CircularScheduler(5)
+        order = []
+        for _ in range(5):
+            seq = sched.next_seq(acked)
+            sched.record_sent(seq)
+            order.append(seq)
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_skips_acked_packets(self):
+        acked = PacketBitmap(5)
+        acked.mark(1)
+        acked.mark(3)
+        sched = CircularScheduler(5)
+        order = []
+        for _ in range(3):
+            seq = sched.next_seq(acked)
+            sched.record_sent(seq)
+            order.append(seq)
+        assert order == [0, 2, 4]
+
+    def test_wraps_around(self):
+        acked = PacketBitmap(3)
+        sched = CircularScheduler(3)
+        order = []
+        for _ in range(6):
+            seq = sched.next_seq(acked)
+            sched.record_sent(seq)
+            order.append(seq)
+        assert order == [0, 1, 2, 0, 1, 2]
+        assert sched.rounds >= 1
+
+    def test_returns_none_when_complete(self):
+        acked = PacketBitmap(2)
+        acked.mark(0)
+        acked.mark(1)
+        assert CircularScheduler(2).next_seq(acked) is None
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            CircularScheduler(0)
+
+    @settings(max_examples=30)
+    @given(
+        npackets=st.integers(min_value=2, max_value=40),
+        data=st.data(),
+    )
+    def test_property_fairness_invariant(self, npackets, data):
+        """max(send_count) - min(send_count) <= 1 over unacked packets:
+        no packet is retransmitted the (n+1)st time while another
+        unacked packet has been sent fewer than n times."""
+        acked = PacketBitmap(npackets)
+        sched = CircularScheduler(npackets)
+        steps = data.draw(st.integers(min_value=1, max_value=200))
+        for _ in range(steps):
+            # occasionally ack a random packet (simulates ACK arrival)
+            if data.draw(st.booleans()) and not acked.is_complete:
+                candidates = acked.missing_indices()
+                idx = data.draw(st.integers(0, len(candidates) - 1))
+                acked.mark(int(candidates[idx]))
+            seq = sched.next_seq(acked)
+            if seq is None:
+                break
+            sched.record_sent(seq)
+            unacked = ~np.asarray(acked.array)
+            counts = sched.send_count[unacked]
+            if counts.size:
+                assert counts.max() - counts.min() <= 1
+
+
+class TestSequentialRestart:
+    def test_restarts_from_lowest_unacked(self):
+        acked = PacketBitmap(100)
+        sched = SequentialRestartScheduler(100, window=4)
+        order = []
+        for _ in range(10):
+            seq = sched.next_seq(acked)
+            sched.record_sent(seq)
+            order.append(seq)
+        # window of 4, nothing acked: cycles 0-3 repeatedly
+        assert order == [0, 1, 2, 3, 0, 1, 2, 3, 0, 1]
+
+    def test_advances_past_acked(self):
+        acked = PacketBitmap(10)
+        sched = SequentialRestartScheduler(10, window=4)
+        for _ in range(4):
+            sched.record_sent(sched.next_seq(acked))
+        for i in range(4):
+            acked.mark(i)
+        seq = sched.next_seq(acked)
+        assert seq == 4
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialRestartScheduler(10, window=0)
+
+
+class TestRandom:
+    def test_only_returns_unacked(self):
+        acked = PacketBitmap(10)
+        for i in range(9):
+            acked.mark(i)
+        sched = RandomScheduler(10, np.random.default_rng(0))
+        for _ in range(5):
+            assert sched.next_seq(acked) == 9
+
+    def test_none_when_complete(self):
+        acked = PacketBitmap(2)
+        acked.mark(0)
+        acked.mark(1)
+        assert RandomScheduler(2).next_seq(acked) is None
+
+    def test_deterministic_given_rng(self):
+        acked = PacketBitmap(100)
+        a = RandomScheduler(100, np.random.default_rng(7))
+        b = RandomScheduler(100, np.random.default_rng(7))
+        assert [a.next_seq(acked) for _ in range(10)] == [
+            b.next_seq(acked) for _ in range(10)
+        ]
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [
+        ("circular", CircularScheduler),
+        ("sequential_restart", SequentialRestartScheduler),
+        ("random", RandomScheduler),
+    ])
+    def test_known_names(self, name, cls):
+        assert isinstance(make_scheduler(name, 10), cls)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheduler("fifo", 10)

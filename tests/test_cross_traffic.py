@@ -1,0 +1,74 @@
+"""Tests for the cross-traffic generators."""
+
+import pytest
+
+from repro.simnet import topology
+from repro.simnet.cross_traffic import OnOffTraffic, PoissonTraffic, TrafficSink
+from repro.simnet.packet import Address
+
+
+class TestPoisson:
+    def test_mean_rate_approximates_target(self):
+        net = topology.short_haul()
+        gen = net.add_poisson_cross_traffic(rate_bps=10e6, src_router=1, dst=2)
+        net.sim.run(until=2.0)
+        achieved = gen.sent * gen.packet_bytes * 8 / 2.0
+        assert achieved == pytest.approx(10e6, rel=0.15)
+
+    def test_sink_receives_traffic(self):
+        net = topology.short_haul()
+        net.add_poisson_cross_traffic(rate_bps=5e6, src_router=1, dst=2)
+        net.sim.run(until=1.0)
+        sink = net.cross_sinks[0]
+        assert sink.datagrams > 100
+
+    def test_stop_time_honoured(self):
+        net = topology.short_haul()
+        gen = net.add_poisson_cross_traffic(rate_bps=10e6, src_router=1, dst=2)
+        gen.stop = 0.5
+        net.sim.run(until=2.0)
+        achieved = gen.sent * gen.packet_bytes * 8
+        assert achieved <= 10e6 * 0.7
+
+    def test_invalid_rate_rejected(self):
+        net = topology.short_haul()
+        with pytest.raises(ValueError):
+            PoissonTraffic(net.sim, net.a, Address("lcse", 9), rate_bps=0)
+
+
+class TestOnOff:
+    def test_mean_rate_is_duty_cycle_fraction(self):
+        net = topology.short_haul()
+        gen = net.add_onoff_cross_traffic(
+            on_rate_bps=20e6, mean_on=0.05, mean_off=0.05, src_router=1, dst=2
+        )
+        net.sim.run(until=4.0)
+        achieved = gen.sent * gen.packet_bytes * 8 / 4.0
+        # 50% duty cycle of 20 Mb/s ~ 10 Mb/s
+        assert achieved == pytest.approx(10e6, rel=0.35)
+
+    def test_invalid_params_rejected(self):
+        net = topology.short_haul()
+        with pytest.raises(ValueError):
+            OnOffTraffic(net.sim, net.a, Address("lcse", 9),
+                         on_rate_bps=1e6, mean_on=0.0, mean_off=1.0)
+
+    def test_sink_to_endpoint_b_traverses_bottleneck(self):
+        net = topology.contended_path()
+        # preset wires ON/OFF traffic into endpoint b
+        final_hop = net.link_between("r3", "cacr")
+        net.sim.run(until=1.0)
+        assert net.cross_sinks[0].datagrams > 0
+        assert final_hop.stats.frames_sent >= net.cross_sinks[0].datagrams
+
+
+class TestSink:
+    def test_counts_bytes(self):
+        net = topology.short_haul()
+        sink = TrafficSink(net.b, port=999)
+        from repro.simnet.sockets import UdpSocket
+        tx = UdpSocket(net.a, net.a.allocate_port())
+        tx.sendto(None, 100, Address("lcse", 999))
+        net.sim.run()
+        assert sink.datagrams == 1
+        assert sink.bytes == 128  # 100 + UDP/IP headers

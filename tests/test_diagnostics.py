@@ -1,0 +1,58 @@
+"""Tests for the loss-cause diagnostics."""
+
+import repro.simnet as sn
+from repro.analysis.diagnostics import LossBreakdown, loss_breakdown
+from repro.core import FobsConfig, run_fobs_transfer
+
+from _support import quick_config, tiny_path
+
+
+class TestLossBreakdown:
+    def test_clean_run_has_no_losses(self):
+        net = tiny_path()
+        stats = run_fobs_transfer(net, 300_000, quick_config())
+        bd = loss_breakdown(net, stats.receiver_socket_drops)
+        assert bd.total == 0
+        assert bd.dominant_cause() == "none"
+
+    def test_random_loss_attributed(self):
+        net = tiny_path(loss_rate=0.05, seed=1)
+        stats = run_fobs_transfer(net, 300_000, quick_config())
+        bd = loss_breakdown(net, stats.receiver_socket_drops)
+        assert bd.random_losses > 0
+        assert bd.dominant_cause() == "random_loss"
+
+    def test_receiver_overflow_attributed(self):
+        """F=1 on the PC profile overruns the receiver: drops happen at
+        the UDP socket, not in the network."""
+        net = sn.short_haul()
+        stats = run_fobs_transfer(net, 1_000_000, FobsConfig(ack_frequency=1))
+        bd = loss_breakdown(net, stats.receiver_socket_drops)
+        assert bd.receiver_drops > 0
+        assert bd.dominant_cause() == "receiver_socket_overflow"
+
+    def test_queue_overflow_attributed(self):
+        """A tiny bottleneck queue under a 2x feeder drops in-network.
+
+        The feeder is only twice the bottleneck so the greedy sender's
+        duplicate volume — and hence the event count — stays bounded.
+        """
+        from repro.simnet.topology import HopSpec, PathSpec, build_path
+        spec = PathSpec(
+            "q", "a", "b",
+            hops=(HopSpec(2e7, 1e-3, queue_bytes=1 << 20),
+                  HopSpec(1e7, 1e-3, queue_bytes=4096)),
+            bottleneck_bps=1e7,
+        )
+        net = build_path(spec)
+        stats = run_fobs_transfer(net, 100_000, quick_config(), time_limit=60.0)
+        bd = loss_breakdown(net, stats.receiver_socket_drops)
+        assert bd.queue_drops > 0
+        assert bd.dominant_cause() == "queue_overflow"
+        assert stats.completed
+
+    def test_render(self):
+        bd = LossBreakdown(receiver_drops=1, queue_drops=2, random_losses=3)
+        out = bd.render()
+        assert "6 total" in out
+        assert "random_loss" in out

@@ -1,0 +1,114 @@
+"""Tests for mesh topologies built from networkx graphs."""
+
+import networkx as nx
+import pytest
+
+from repro.core import run_fobs_transfer
+from repro.simnet.graph import MeshNetwork, PairView, abilene_like
+from repro.simnet.packet import Address
+from repro.simnet.sockets import UdpSocket
+from repro.tcp import run_bulk_transfer
+
+from _support import quick_config
+
+
+def small_mesh(seed=0):
+    g = nx.Graph()
+    g.add_node("x", host=True)
+    g.add_node("y", host=True)
+    g.add_node("r")
+    g.add_edge("x", "r", bandwidth_bps=1e8, delay=1e-3, queue_bytes=1 << 16)
+    g.add_edge("r", "y", bandwidth_bps=1e8, delay=1e-3, queue_bytes=1 << 16)
+    return MeshNetwork(g, seed=seed)
+
+
+class TestMeshConstruction:
+    def test_hosts_and_routers_partitioned(self):
+        mesh = small_mesh()
+        assert set(mesh.hosts) == {"x", "y"}
+        assert set(mesh.routers) == {"r"}
+
+    def test_links_bidirectional(self):
+        mesh = small_mesh()
+        assert ("x", "r") in mesh.links
+        assert ("r", "x") in mesh.links
+
+    def test_basic_delivery(self):
+        mesh = small_mesh()
+        tx = UdpSocket(mesh.host("x"), 100)
+        rx = UdpSocket(mesh.host("y"), 200)
+        tx.sendto("hi", 64, Address("y", 200))
+        mesh.sim.run()
+        assert rx.poll().payload == "hi"
+
+
+class TestShortestPathRouting:
+    def test_traffic_takes_lowest_delay_path(self):
+        g = nx.Graph()
+        g.add_node("s", host=True)
+        g.add_node("t", host=True)
+        for r in ("fast", "slow"):
+            g.add_node(r)
+        g.add_edge("s", "fast", bandwidth_bps=1e8, delay=1e-3)
+        g.add_edge("fast", "t", bandwidth_bps=1e8, delay=1e-3)
+        g.add_edge("s", "slow", bandwidth_bps=1e8, delay=50e-3)
+        g.add_edge("slow", "t", bandwidth_bps=1e8, delay=50e-3)
+        mesh = MeshNetwork(g)
+        tx = UdpSocket(mesh.host("s"), 100)
+        rx = UdpSocket(mesh.host("t"), 200)
+        tx.sendto(None, 64, Address("t", 200))
+        mesh.sim.run()
+        assert rx.datagrams_received == 1
+        assert mesh.link("s", "fast").stats.frames_sent == 1
+        assert mesh.link("s", "slow").stats.frames_sent == 0
+
+
+class TestPairView:
+    def test_fobs_transfer_over_mesh(self):
+        mesh = small_mesh()
+        net = PairView(mesh, "x", "y")
+        stats = run_fobs_transfer(net, 300_000, quick_config())
+        assert stats.completed
+        assert stats.percent_of_bottleneck > 50
+
+    def test_tcp_transfer_over_mesh(self):
+        mesh = small_mesh()
+        net = PairView(mesh, "x", "y")
+        res = run_bulk_transfer(net, 300_000)
+        assert res.completed
+
+    def test_bottleneck_override(self):
+        mesh = small_mesh()
+        net = PairView(mesh, "x", "y", bottleneck_bps=2e8)
+        stats = run_fobs_transfer(net, 300_000, quick_config())
+        assert stats.percent_of_bottleneck < 55  # normalized to 200 Mb/s
+
+
+class TestAbileneLike:
+    def test_all_sites_present(self):
+        mesh = abilene_like()
+        assert set(mesh.hosts) == {"anl", "ncsa", "lcse", "cacr"}
+
+    def test_concurrent_transfers_share_backbone(self):
+        """Two FOBS flows between disjoint site pairs run at once."""
+        from repro.core import FobsConfig, FobsTransfer
+
+        mesh = abilene_like()
+        t1 = FobsTransfer(PairView(mesh, "anl", "lcse"), 500_000,
+                          FobsConfig(ack_frequency=16))
+        cfg2 = FobsConfig(ack_frequency=16, data_port=7011, ack_port=7012,
+                          ctrl_port=7013)
+        t2 = FobsTransfer(PairView(mesh, "ncsa", "cacr"), 500_000, cfg2)
+        t1.start()
+        t2.start()
+        mesh.sim.run(until=30.0,
+                     stop_when=lambda: t1.sender.complete and t2.sender.complete)
+        assert t1.receiver.complete
+        assert t2.receiver.complete
+
+    def test_deterministic(self):
+        a = run_fobs_transfer(PairView(abilene_like(seed=1), "anl", "cacr"),
+                              200_000, quick_config())
+        b = run_fobs_transfer(PairView(abilene_like(seed=1), "anl", "cacr"),
+                              200_000, quick_config())
+        assert a.duration == b.duration

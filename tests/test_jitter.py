@@ -1,0 +1,86 @@
+"""Tests for link jitter / packet reordering and protocol robustness."""
+
+import numpy as np
+import pytest
+
+from repro.core import run_fobs_transfer
+from repro.simnet.engine import Simulator
+from repro.simnet.link import DelayLink
+from repro.simnet.packet import Address, udp_frame
+from repro.simnet.topology import HopSpec, PathSpec, build_path
+from repro.tcp import TcpOptions, run_bulk_transfer
+
+from _support import quick_config
+
+
+def jittery_path(seed=0, jitter=2e-3):
+    spec = PathSpec(
+        "jit", "a", "b",
+        hops=(
+            HopSpec(1e8, 1e-3, queue_bytes=1 << 16),
+            HopSpec(None, 5e-3, jitter=jitter),
+            HopSpec(1e8, 1e-3, queue_bytes=1 << 16),
+        ),
+        bottleneck_bps=1e8,
+    )
+    return build_path(spec, seed=seed)
+
+
+class TestJitterMechanics:
+    def test_jitter_reorders_frames(self):
+        sim = Simulator()
+        link = DelayLink(sim, "j", prop_delay=1e-3, jitter=5e-3,
+                         rng=np.random.default_rng(0))
+        order = []
+
+        class Sink:
+            def receive(self, frame):
+                order.append(frame.payload)
+
+        link.connect(Sink())
+        for i in range(50):
+            link.send(udp_frame(Address("a", 1), Address("b", 2), i, 100))
+        sim.run()
+        assert sorted(order) == list(range(50))
+        assert order != list(range(50))  # actually reordered
+
+    def test_jitter_requires_rng(self):
+        with pytest.raises(ValueError):
+            DelayLink(Simulator(), "j", prop_delay=0.0, jitter=1e-3)
+
+    def test_negative_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            DelayLink(Simulator(), "j", prop_delay=0.0, jitter=-1.0,
+                      rng=np.random.default_rng(0))
+
+    def test_jitter_on_serializing_hop_rejected(self):
+        spec = PathSpec("bad", "a", "b",
+                        hops=(HopSpec(1e8, 1e-3, jitter=1e-3),))
+        with pytest.raises(ValueError):
+            build_path(spec)
+
+
+class TestProtocolRobustness:
+    def test_fobs_immune_to_reordering(self):
+        """Object-based transfer has no ordering requirement at all:
+        heavy reordering costs FOBS essentially nothing."""
+        ordered = run_fobs_transfer(jittery_path(jitter=0.0), 1_000_000,
+                                    quick_config())
+        reordered = run_fobs_transfer(jittery_path(jitter=4e-3), 1_000_000,
+                                      quick_config())
+        assert reordered.completed
+        assert reordered.percent_of_bottleneck > 0.9 * ordered.percent_of_bottleneck
+
+    def test_tcp_penalized_by_reordering(self):
+        """Reordering generates duplicate ACKs -> spurious fast
+        retransmits -> needless window halvings for TCP."""
+        opts = TcpOptions(sack=True)
+        reordered = run_bulk_transfer(jittery_path(jitter=4e-3), 2_000_000,
+                                      sender_options=opts, receiver_options=opts)
+        assert reordered.completed
+        assert reordered.sender_stats.fast_retransmits > 0
+
+    def test_fobs_no_duplicate_delivery_under_reordering(self):
+        stats = run_fobs_transfer(jittery_path(jitter=4e-3), 500_000,
+                                  quick_config())
+        assert stats.receiver_stats.packets_new == stats.npackets

@@ -1,0 +1,70 @@
+"""Frame-conservation property tests for links under random traffic."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.simnet.engine import Simulator
+from repro.simnet.link import Link
+from repro.simnet.packet import Address, udp_frame
+from repro.simnet.queues import DropTailQueue
+
+
+class CountingSink:
+    def __init__(self):
+        self.delivered = 0
+
+    def receive(self, frame):
+        self.delivered += 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=29, max_value=1500),
+                   min_size=1, max_size=200),
+    queue_bytes=st.integers(min_value=1500, max_value=20_000),
+    loss=st.floats(min_value=0.0, max_value=0.5),
+    seed=st.integers(0, 1000),
+)
+def test_property_frames_conserved(sizes, queue_bytes, loss, seed):
+    """offered == delivered + queue-dropped + randomly-lost, always."""
+    sim = Simulator()
+    link = Link(sim, "l", bandwidth_bps=1e6, prop_delay=1e-3,
+                queue=DropTailQueue(queue_bytes),
+                loss_rate=loss, rng=np.random.default_rng(seed))
+    sink = CountingSink()
+    link.connect(sink)
+    a, b = Address("a", 1), Address("b", 2)
+    for nbytes in sizes:
+        link.send(udp_frame(a, b, None, nbytes - 28))
+    sim.run()
+    offered = link.stats.frames_offered
+    assert offered == len(sizes)
+    assert offered == (
+        sink.delivered + link.queue.stats.dropped + link.stats.frames_lost_random
+    )
+    # once drained, no bytes remain queued
+    assert link.queue.bytes_queued == 0
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=29, max_value=1500),
+                   min_size=2, max_size=100),
+)
+def test_property_fifo_delivery_order(sizes):
+    """A serializing link without loss delivers frames in send order."""
+    sim = Simulator()
+    link = Link(sim, "l", bandwidth_bps=1e7, prop_delay=1e-3,
+                queue=DropTailQueue(1 << 20))
+    order = []
+
+    class Sink:
+        def receive(self, frame):
+            order.append(frame.payload)
+
+    link.connect(Sink())
+    a, b = Address("a", 1), Address("b", 2)
+    for i, nbytes in enumerate(sizes):
+        link.send(udp_frame(a, b, i, nbytes - 28))
+    sim.run()
+    assert order == list(range(len(sizes)))

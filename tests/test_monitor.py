@@ -1,0 +1,100 @@
+"""Tests for the time-series monitor."""
+
+import pytest
+
+from repro.core import run_fobs_transfer
+from repro.simnet.monitor import Monitor, Series
+
+from _support import quick_config, tiny_path
+
+
+class TestSeries:
+    def test_append_and_stats(self):
+        s = Series("x")
+        s.append(0.0, 1.0)
+        s.append(1.0, 3.0)
+        assert s.mean() == 2.0
+        assert s.max() == 3.0
+        assert s.last == 3.0
+
+    def test_empty_stats_rejected(self):
+        with pytest.raises(ValueError):
+            Series("x").mean()
+
+
+class TestMonitor:
+    def test_samples_on_interval(self):
+        net = tiny_path()
+        mon = Monitor(net.sim, interval=0.01)
+        mon.add_probe("const", lambda: 7.0)
+        mon.start()
+        net.sim.run(until=0.1)
+        series = mon.series["const"]
+        assert 8 <= len(series.values) <= 11
+        assert all(v == 7.0 for v in series.values)
+
+    def test_duplicate_probe_rejected(self):
+        mon = Monitor(tiny_path().sim)
+        mon.add_probe("x", lambda: 0.0)
+        with pytest.raises(ValueError):
+            mon.add_probe("x", lambda: 0.0)
+
+    def test_double_start_rejected(self):
+        mon = Monitor(tiny_path().sim)
+        mon.start()
+        with pytest.raises(RuntimeError):
+            mon.start()
+
+    def test_stop_ends_sampling(self):
+        net = tiny_path()
+        mon = Monitor(net.sim, interval=0.01)
+        mon.add_probe("x", lambda: 0.0)
+        mon.start()
+        net.sim.run(until=0.05)
+        mon.stop()
+        count = len(mon.series["x"].values)
+        net.sim.run(until=0.2)
+        assert len(mon.series["x"].values) == count
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(ValueError):
+            Monitor(tiny_path().sim, interval=0.0)
+
+
+class TestLinkProbes:
+    def test_utilization_high_during_transfer(self):
+        net = tiny_path()
+        link = net.link_between("a", "r1")
+        mon = Monitor(net.sim, interval=0.01)
+        mon.watch_link_utilization(link)
+        mon.start()
+        run_fobs_transfer(net, 1_000_000, quick_config())
+        series = mon.series[f"util:{link.name}"]
+        assert series.max() > 0.8
+        assert all(0.0 <= v <= 1.0 + 1e-9 for v in series.values)
+
+    def test_queue_depth_probe(self):
+        net = tiny_path()
+        link = net.link_between("a", "r1")
+        mon = Monitor(net.sim, interval=0.005)
+        mon.watch_queue_depth(link)
+        mon.start()
+        run_fobs_transfer(net, 500_000, quick_config())
+        series = mon.series[f"queue:{link.name}"]
+        assert len(series.values) > 0
+        assert all(v >= 0 for v in series.values)
+
+    def test_render_sparkline(self):
+        net = tiny_path()
+        mon = Monitor(net.sim, interval=0.01)
+        mon.add_probe("ramp", lambda: net.sim.now)
+        mon.start()
+        net.sim.run(until=0.2)
+        out = mon.render("ramp")
+        assert "ramp" in out
+        assert len(out) > 10
+
+    def test_render_empty(self):
+        mon = Monitor(tiny_path().sim)
+        mon.add_probe("x", lambda: 0.0)
+        assert "no samples" in mon.render("x")

@@ -1,0 +1,136 @@
+"""Tests for hosts, routers, routing and the endpoint CPU model."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.link import DelayLink
+from repro.simnet.node import EndpointProfile, Host, HostCPU, Router
+from repro.simnet.packet import Address, udp_frame
+
+
+def wire(sim, src, dst, delay=0.0):
+    link = DelayLink(sim, f"{src.name}->{dst.name}", prop_delay=delay)
+    link.connect(dst)
+    return link
+
+
+class TestHostCPU:
+    def test_serializes_work(self, sim):
+        cpu = HostCPU(sim)
+        done = []
+        cpu.run(1.0, lambda: done.append(sim.now))
+        cpu.run(2.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [1.0, 3.0]
+
+    def test_idle_cpu_starts_immediately(self, sim):
+        cpu = HostCPU(sim)
+        sim.schedule(5.0, lambda: cpu.run(1.0, lambda: None))
+        sim.run()
+        assert sim.now == 6.0
+
+    def test_total_busy_accumulates(self, sim):
+        cpu = HostCPU(sim)
+        cpu.run(1.5, lambda: None)
+        cpu.run(0.5, lambda: None)
+        sim.run()
+        assert cpu.total_busy == pytest.approx(2.0)
+
+    def test_idle_at(self, sim):
+        cpu = HostCPU(sim)
+        cpu.run(2.0, lambda: None)
+        assert cpu.idle_at == 2.0
+
+    def test_negative_cost_rejected(self, sim):
+        with pytest.raises(ValueError):
+            HostCPU(sim).run(-1.0, lambda: None)
+
+
+class TestEndpointProfile:
+    def test_send_cost_linear_in_bytes(self):
+        p = EndpointProfile(send_packet_cost=1e-6, send_byte_cost=1e-9)
+        assert p.send_cost(1000) == pytest.approx(2e-6)
+
+    def test_recv_cost(self):
+        p = EndpointProfile(recv_packet_cost=2e-6, recv_byte_cost=0.0)
+        assert p.recv_cost(5000) == pytest.approx(2e-6)
+
+    def test_ack_cost(self):
+        p = EndpointProfile(ack_build_cost=1e-4, ack_byte_cost=1e-8)
+        assert p.ack_cost(1000) == pytest.approx(1.1e-4)
+
+
+class TestRouting:
+    def test_host_default_route(self, sim):
+        a = Host(sim, "a")
+        b = Host(sim, "b")
+        a.set_default_route(wire(sim, a, b))
+        a.send_frame(udp_frame(Address("a", 1), Address("b", 2), None, 100))
+        # frame dropped at b: no handler bound, but received
+        sim.run()
+        assert b.frames_received == 1
+        assert b.frames_unclaimed == 1
+
+    def test_router_forwards_by_destination(self, sim):
+        a, r, b, c = Host(sim, "a"), Router(sim, "r"), Host(sim, "b"), Host(sim, "c")
+        a.set_default_route(wire(sim, a, r))
+        r.add_route("b", wire(sim, r, b))
+        r.add_route("c", wire(sim, r, c))
+        a.send_frame(udp_frame(Address("a", 1), Address("c", 2), None, 100))
+        sim.run()
+        assert c.frames_received == 1
+        assert b.frames_received == 0
+        assert r.frames_forwarded == 1
+
+    def test_router_counts_unroutable(self, sim):
+        r = Router(sim, "r")
+        r.receive(udp_frame(Address("a", 1), Address("nowhere", 2), None, 100))
+        assert r.frames_unroutable == 1
+
+    def test_no_route_raises_at_host(self, sim):
+        a = Host(sim, "a")
+        with pytest.raises(RuntimeError):
+            a.send_frame(udp_frame(Address("a", 1), Address("b", 2), None, 100))
+
+    def test_misdelivered_frame_dropped(self, sim):
+        b = Host(sim, "b")
+        b.receive(udp_frame(Address("a", 1), Address("other", 2), None, 100))
+        assert b.frames_unclaimed == 1
+        assert b.frames_received == 0
+
+
+class TestHostDemux:
+    def test_handler_receives_frame(self, sim):
+        b = Host(sim, "b")
+        got = []
+        b.bind_handler("udp", 9, got.append)
+        b.receive(udp_frame(Address("a", 1), Address("b", 9), "payload", 100))
+        assert len(got) == 1
+        assert got[0].payload == "payload"
+
+    def test_double_bind_rejected(self, sim):
+        b = Host(sim, "b")
+        b.bind_handler("udp", 9, lambda f: None)
+        with pytest.raises(ValueError):
+            b.bind_handler("udp", 9, lambda f: None)
+
+    def test_unbind_allows_rebind(self, sim):
+        b = Host(sim, "b")
+        b.bind_handler("udp", 9, lambda f: None)
+        b.unbind_handler("udp", 9)
+        b.bind_handler("udp", 9, lambda f: None)
+
+    def test_proto_separates_ports(self, sim):
+        b = Host(sim, "b")
+        udp_got, tcp_got = [], []
+        b.bind_handler("udp", 9, udp_got.append)
+        b.bind_handler("tcp", 9, tcp_got.append)
+        from repro.simnet.packet import tcp_frame
+        b.receive(tcp_frame(Address("a", 1), Address("b", 9), None, 0))
+        assert len(tcp_got) == 1
+        assert udp_got == []
+
+    def test_allocate_port_unique(self, sim):
+        a = Host(sim, "a")
+        ports = {a.allocate_port() for _ in range(50)}
+        assert len(ports) == 50

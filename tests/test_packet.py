@@ -1,0 +1,53 @@
+"""Tests for frame construction and wire-size accounting."""
+
+import pytest
+
+from repro.simnet.packet import (
+    Address,
+    Frame,
+    TCP_HEADER_BYTES,
+    UDP_HEADER_BYTES,
+    tcp_frame,
+    udp_frame,
+)
+
+A = Address("hosta", 1000)
+B = Address("hostb", 2000)
+
+
+class TestAddress:
+    def test_str(self):
+        assert str(A) == "hosta:1000"
+
+    def test_equality_and_hash(self):
+        assert Address("h", 1) == Address("h", 1)
+        assert hash(Address("h", 1)) == hash(Address("h", 1))
+        assert Address("h", 1) != Address("h", 2)
+
+
+class TestFrame:
+    def test_udp_frame_adds_header_overhead(self):
+        f = udp_frame(A, B, payload="x", payload_bytes=1000)
+        assert f.size_bytes == 1000 + UDP_HEADER_BYTES
+        assert f.proto == "udp"
+
+    def test_tcp_frame_adds_header_and_options(self):
+        f = tcp_frame(A, B, payload="seg", payload_bytes=1460, option_bytes=12)
+        assert f.size_bytes == 1460 + TCP_HEADER_BYTES + 12
+
+    def test_tcp_pure_ack_is_header_only(self):
+        f = tcp_frame(A, B, payload="ack", payload_bytes=0)
+        assert f.size_bytes == TCP_HEADER_BYTES
+
+    def test_frame_ids_are_unique(self):
+        f1 = udp_frame(A, B, None, 10)
+        f2 = udp_frame(A, B, None, 10)
+        assert f1.frame_id != f2.frame_id
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ValueError):
+            Frame(src=A, dst=B, proto="udp", size_bytes=0)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(ValueError):
+            Frame(src=A, dst=B, proto="icmp", size_bytes=10)

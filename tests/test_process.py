@@ -1,0 +1,148 @@
+"""Tests for the generator-based process layer."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.process import Event, Process
+
+
+class TestProcess:
+    def test_sleep_advances_time(self, sim):
+        trace = []
+
+        def app(proc):
+            trace.append(sim.now)
+            yield proc.sleep(1.5)
+            trace.append(sim.now)
+            yield proc.sleep(0.5)
+            trace.append(sim.now)
+
+        Process(sim, app)
+        sim.run()
+        assert trace == [0.0, 1.5, 2.0]
+
+    def test_return_value_captured(self, sim):
+        def app(proc):
+            yield proc.sleep(1.0)
+            return 42
+
+        p = Process(sim, app)
+        sim.run()
+        assert p.finished
+        assert p.result == 42
+
+    def test_start_delay(self, sim):
+        started = []
+
+        def app(proc):
+            started.append(sim.now)
+            yield proc.sleep(0)
+
+        Process(sim, app, start_delay=3.0)
+        sim.run()
+        assert started == [3.0]
+
+    def test_bad_yield_raises(self, sim):
+        def app(proc):
+            yield "nonsense"
+
+        Process(sim, app)
+        with pytest.raises(TypeError):
+            sim.run()
+
+    def test_two_processes_interleave(self, sim):
+        trace = []
+
+        def make(tag, period):
+            def app(proc):
+                for _ in range(3):
+                    yield proc.sleep(period)
+                    trace.append((tag, sim.now))
+            return app
+
+        Process(sim, make("a", 1.0))
+        Process(sim, make("b", 0.4))
+        sim.run()
+        assert [tag for tag, _ in trace] == ["b", "b", "a", "b", "a", "a"]
+        assert [t for _, t in trace] == pytest.approx(
+            [0.4, 0.8, 1.0, 1.2, 2.0, 3.0])
+
+
+class TestEvent:
+    def test_wait_resumes_on_fire(self, sim):
+        evt = Event(sim)
+        got = []
+
+        def waiter(proc):
+            payload = yield proc.wait(evt)
+            got.append((sim.now, payload))
+
+        def firer(proc):
+            yield proc.sleep(2.0)
+            evt.fire("hello")
+
+        Process(sim, waiter)
+        Process(sim, firer)
+        sim.run()
+        assert got == [(2.0, "hello")]
+
+    def test_fire_is_idempotent(self, sim):
+        evt = Event(sim)
+        evt.fire(1)
+        evt.fire(2)
+        assert evt.payload == 1
+
+    def test_wait_on_fired_event_resumes_immediately(self, sim):
+        evt = Event(sim)
+        evt.fire("early")
+        got = []
+
+        def waiter(proc):
+            payload = yield proc.wait(evt)
+            got.append(payload)
+
+        Process(sim, waiter)
+        sim.run()
+        assert got == ["early"]
+
+    def test_done_event_chains_processes(self, sim):
+        order = []
+
+        def first(proc):
+            yield proc.sleep(1.0)
+            order.append("first")
+            return "result"
+
+        p1 = Process(sim, first)
+
+        def second(proc):
+            value = yield proc.wait(p1.done)
+            order.append(f"second saw {value}")
+
+        Process(sim, second)
+        sim.run()
+        assert order == ["first", "second saw result"]
+
+    def test_broadcast_wakes_all_waiters(self, sim):
+        evt = Event(sim)
+        woken = []
+
+        def make(tag):
+            def app(proc):
+                yield proc.wait(evt)
+                woken.append(tag)
+            return app
+
+        for tag in "abc":
+            Process(sim, make(tag))
+        sim.schedule(1.0, evt.fire)
+        sim.run()
+        assert sorted(woken) == ["a", "b", "c"]
+
+    def test_negative_sleep_rejected(self, sim):
+        def app(proc):
+            yield proc.sleep(-1.0)
+
+        Process(sim, app)
+        with pytest.raises(ValueError):
+            sim.run()

@@ -1,0 +1,103 @@
+"""Tests for the PSockets striping baseline and the socket-count probe."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.psockets import probe_optimal_sockets, run_striped_transfer
+from repro.psockets.striping import stripe_sizes
+from repro.tcp import TcpOptions
+
+from _support import tiny_path
+
+
+class TestStripeSizes:
+    def test_even_split(self):
+        assert stripe_sizes(100, 4) == [25, 25, 25, 25]
+
+    def test_remainder_spread(self):
+        assert stripe_sizes(10, 3) == [4, 3, 3]
+
+    def test_single_socket(self):
+        assert stripe_sizes(100, 1) == [100]
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            stripe_sizes(100, 0)
+        with pytest.raises(ValueError):
+            stripe_sizes(2, 3)
+
+    @given(nbytes=st.integers(min_value=1, max_value=10**9),
+           n=st.integers(min_value=1, max_value=64))
+    def test_property_sizes_sum_and_balance(self, nbytes, n):
+        if nbytes < n:
+            return
+        sizes = stripe_sizes(nbytes, n)
+        assert sum(sizes) == nbytes
+        assert max(sizes) - min(sizes) <= 1
+        assert all(s > 0 for s in sizes)
+
+
+class TestStripedTransfer:
+    def test_single_stream_equals_tcp(self):
+        net = tiny_path()
+        res = run_striped_transfer(net, 300_000, 1)
+        assert res.completed
+        assert res.nsockets == 1
+        assert len(res.per_stream) == 1
+
+    def test_multi_stream_completes(self):
+        net = tiny_path()
+        res = run_striped_transfer(net, 300_000, 8)
+        assert res.completed
+        assert len(res.per_stream) == 8
+
+    def test_striping_aggregates_unscaled_windows(self):
+        """On a high-BDP path without LWE, 8 streams beat 1 stream —
+        the first PSockets effect the paper describes."""
+        opts = TcpOptions(window_scaling=False)
+        one = run_striped_transfer(tiny_path(delay=20e-3), 2_000_000, 1, options=opts)
+        eight = run_striped_transfer(tiny_path(delay=20e-3), 2_000_000, 8, options=opts)
+        assert eight.throughput_bps > 3 * one.throughput_bps
+
+    def test_lossy_path_completes(self):
+        net = tiny_path(loss_rate=0.01, seed=1)
+        res = run_striped_transfer(net, 500_000, 4)
+        assert res.completed
+
+    def test_aggregate_counters(self):
+        net = tiny_path(loss_rate=0.02, seed=2)
+        res = run_striped_transfer(net, 500_000, 4)
+        assert res.total_retransmits >= 0
+        assert res.total_timeouts >= 0
+
+    def test_str_rendering(self):
+        res = run_striped_transfer(tiny_path(), 100_000, 2)
+        assert "n=2" in str(res)
+
+
+class TestProbe:
+    def test_probe_picks_best_candidate(self):
+        """On an unscaled-window fat pipe, more sockets win."""
+        opts = TcpOptions(window_scaling=False)
+        probe = probe_optimal_sockets(
+            lambda seed: tiny_path(seed=seed, delay=20e-3),
+            probe_bytes=1_000_000,
+            candidates=(1, 8),
+            options=opts,
+        )
+        assert probe.best_nsockets == 8
+        assert set(probe.throughput_by_count) == {1, 8}
+
+    def test_probe_requires_candidates(self):
+        with pytest.raises(ValueError):
+            probe_optimal_sockets(lambda s: tiny_path(seed=s), candidates=())
+
+    def test_probe_str(self):
+        opts = TcpOptions(window_scaling=False)
+        probe = probe_optimal_sockets(
+            lambda seed: tiny_path(seed=seed),
+            probe_bytes=200_000,
+            candidates=(1, 2),
+            options=opts,
+        )
+        assert "best=" in str(probe)

@@ -1,0 +1,63 @@
+"""Public-API stability tests: the names README/docs promise exist."""
+
+import importlib
+
+import pytest
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_quickstart_surface(self):
+        import repro
+
+        for name in ("FobsConfig", "run_fobs_transfer", "short_haul",
+                     "long_haul", "gigabit_path", "contended_path",
+                     "TcpOptions", "run_bulk_transfer",
+                     "run_striped_transfer", "probe_optimal_sockets",
+                     "run_rudp_transfer", "run_sabul_transfer"):
+            assert name in repro.__all__
+
+    def test_version_string(self):
+        import repro
+
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+
+@pytest.mark.parametrize("module", [
+    "repro.core", "repro.simnet", "repro.tcp", "repro.psockets",
+    "repro.rudp", "repro.sabul", "repro.runtime", "repro.analysis",
+])
+class TestSubpackages:
+    def test_all_exports_resolve(self, module):
+        mod = importlib.import_module(module)
+        assert hasattr(mod, "__all__")
+        for name in mod.__all__:
+            assert getattr(mod, name, None) is not None, f"{module}.{name}"
+
+    def test_module_docstring(self, module):
+        mod = importlib.import_module(module)
+        assert mod.__doc__ and len(mod.__doc__.strip()) > 40
+
+
+class TestConsoleScripts:
+    def test_entry_points_registered(self):
+        import tomllib
+
+        with open("pyproject.toml", "rb") as fh:
+            meta = tomllib.load(fh)
+        scripts = meta["project"]["scripts"]
+        assert scripts["fobs-repro"] == "repro.analysis.cli:main"
+        assert scripts["fobs-xfer"] == "repro.runtime.cli:main"
+
+    def test_cli_mains_importable(self):
+        from repro.analysis.cli import main as repro_main
+        from repro.runtime.cli import main as xfer_main
+
+        assert callable(repro_main) and callable(xfer_main)

@@ -1,0 +1,113 @@
+"""Tests for the queue disciplines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simnet.packet import Address, udp_frame
+from repro.simnet.queues import DropTailQueue, REDQueue
+
+A, B = Address("a", 1), Address("b", 2)
+
+
+def frame(nbytes: int):
+    return udp_frame(A, B, None, nbytes - 28)
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        q = DropTailQueue(10_000)
+        frames = [frame(100) for _ in range(5)]
+        for f in frames:
+            assert q.try_enqueue(f)
+        assert [q.dequeue() for _ in range(5)] == frames
+
+    def test_rejects_when_bytes_exceeded(self):
+        q = DropTailQueue(250)
+        assert q.try_enqueue(frame(100))
+        assert q.try_enqueue(frame(100))
+        assert not q.try_enqueue(frame(100))
+        assert q.stats.dropped == 1
+
+    def test_frame_capacity_limit(self):
+        q = DropTailQueue(1 << 20, capacity_frames=2)
+        assert q.try_enqueue(frame(100))
+        assert q.try_enqueue(frame(100))
+        assert not q.try_enqueue(frame(100))
+
+    def test_dequeue_empty_returns_none(self):
+        assert DropTailQueue(100).dequeue() is None
+
+    def test_bytes_tracking(self):
+        q = DropTailQueue(10_000)
+        q.try_enqueue(frame(100))
+        q.try_enqueue(frame(200))
+        assert q.bytes_queued == 300
+        q.dequeue()
+        assert q.bytes_queued == 200
+
+    def test_would_accept_matches_try_enqueue(self):
+        q = DropTailQueue(150)
+        f = frame(100)
+        assert q.would_accept(f)
+        q.try_enqueue(f)
+        assert not q.would_accept(frame(100))
+
+    def test_peak_bytes_statistic(self):
+        q = DropTailQueue(10_000)
+        q.try_enqueue(frame(100))
+        q.try_enqueue(frame(100))
+        q.dequeue()
+        q.dequeue()
+        assert q.stats.peak_bytes == 200
+
+    def test_drop_rate(self):
+        q = DropTailQueue(100)
+        q.try_enqueue(frame(100))
+        q.try_enqueue(frame(100))  # dropped
+        assert q.stats.drop_rate() == pytest.approx(0.5)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(0)
+
+    @given(sizes=st.lists(st.integers(min_value=29, max_value=1500),
+                          min_size=1, max_size=100))
+    def test_property_byte_conservation(self, sizes):
+        """enqueued bytes == dequeued bytes + still-queued bytes."""
+        q = DropTailQueue(8000)
+        for s in sizes:
+            q.try_enqueue(frame(s))
+        drained = 0
+        while True:
+            f = q.dequeue()
+            if f is None:
+                break
+            drained += f.size_bytes
+        assert q.stats.bytes_enqueued == drained
+        assert q.bytes_queued == 0
+
+
+class TestRed:
+    def test_accepts_below_min_threshold(self):
+        q = REDQueue(10_000, min_thresh_bytes=5_000, max_thresh_bytes=8_000,
+                     rng=np.random.default_rng(0))
+        for _ in range(10):
+            assert q.try_enqueue(frame(128))
+
+    def test_drops_probabilistically_between_thresholds(self):
+        q = REDQueue(100_000, min_thresh_bytes=1_000, max_thresh_bytes=10_000,
+                     max_p=0.5, weight=0.5, rng=np.random.default_rng(0))
+        accepted = sum(q.try_enqueue(frame(500)) for _ in range(200))
+        assert 0 < accepted < 200
+
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            REDQueue(1000, min_thresh_bytes=900, max_thresh_bytes=800)
+
+    def test_red_counts_early_drops(self):
+        q = REDQueue(100_000, min_thresh_bytes=500, max_thresh_bytes=2_000,
+                     max_p=1.0, weight=1.0, rng=np.random.default_rng(1))
+        for _ in range(50):
+            q.try_enqueue(frame(500))
+        assert q.stats.dropped > 0

@@ -1,0 +1,43 @@
+"""Tests for named reproducible RNG streams."""
+
+import numpy as np
+import pytest
+
+from repro.simnet.rng import RngStreams
+
+
+class TestRngStreams:
+    def test_same_seed_same_stream(self):
+        a = RngStreams(7).stream("loss").random(10)
+        b = RngStreams(7).stream("loss").random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).stream("loss").random(10)
+        b = RngStreams(2).stream("loss").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_different_names_are_independent(self):
+        streams = RngStreams(0)
+        a = streams.stream("alpha").random(10)
+        b = streams.stream("beta").random(10)
+        assert not np.array_equal(a, b)
+
+    def test_stream_is_cached(self):
+        streams = RngStreams(0)
+        assert streams.stream("x") is streams.stream("x")
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        s1 = RngStreams(0)
+        s1.stream("a").random(5)
+        tail1 = s1.stream("a").random(5)
+
+        s2 = RngStreams(0)
+        s2.stream("a").random(5)
+        s2.stream("b")  # extra stream created in between
+        tail2 = s2.stream("a").random(5)
+        assert np.array_equal(tail1, tail2)
+
+    def test_non_int_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngStreams("42")  # type: ignore[arg-type]

@@ -1,0 +1,50 @@
+"""Tests for the Reliable Blast UDP baseline."""
+
+import pytest
+
+from repro.rudp import RudpConfig, run_rudp_transfer
+
+from _support import tiny_path
+
+
+class TestRudp:
+    def test_clean_path_single_round(self):
+        net = tiny_path()
+        res = run_rudp_transfer(net, 500_000)
+        assert res.completed
+        assert res.rounds == 1
+        assert res.wasted_fraction == 0.0
+
+    def test_lossy_path_multiple_rounds(self):
+        net = tiny_path(loss_rate=0.05, seed=1)
+        res = run_rudp_transfer(net, 500_000)
+        assert res.completed
+        assert res.rounds >= 2
+        assert res.packets_sent > res.npackets
+
+    def test_heavy_loss_still_completes(self):
+        net = tiny_path(loss_rate=0.3, seed=2)
+        res = run_rudp_transfer(net, 200_000, time_limit=300.0)
+        assert res.completed
+
+    def test_rate_limited_blast(self):
+        net = tiny_path()
+        cfg = RudpConfig(send_rate_bps=10e6)  # 1/10 of the link
+        res = run_rudp_transfer(net, 500_000, cfg)
+        assert res.completed
+        assert res.percent_of_bottleneck < 15
+
+    def test_waste_roughly_tracks_loss(self):
+        net = tiny_path(loss_rate=0.1, seed=3)
+        res = run_rudp_transfer(net, 500_000)
+        # each loss costs exactly one retransmission per round
+        assert 0.03 < res.wasted_fraction < 0.4
+
+    def test_npackets_validation(self):
+        with pytest.raises(ValueError):
+            RudpConfig().npackets(0)
+
+    def test_throughput_accounting(self):
+        net = tiny_path()
+        res = run_rudp_transfer(net, 300_000)
+        assert res.throughput_bps == pytest.approx(300_000 * 8 / res.duration)

@@ -1,0 +1,109 @@
+"""Tests for the real-socket file-transfer session protocol and CLI."""
+
+import subprocess
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import FobsConfig
+from repro.runtime.files import receive_file, send_file
+
+pytestmark = pytest.mark.loopback
+
+
+def make_file(tmp_path, nbytes, seed=0):
+    data = np.random.default_rng(seed).integers(0, 256, nbytes,
+                                                dtype=np.uint8).tobytes()
+    path = tmp_path / "payload.bin"
+    path.write_bytes(data)
+    return path, data
+
+
+def run_pair(tmp_path, nbytes, port, config=None, seed=0):
+    src, data = make_file(tmp_path, nbytes, seed)
+    out = tmp_path / "out.bin"
+    ready = threading.Event()
+    result = {}
+
+    def recv():
+        result["recv"] = receive_file(str(out), port, bind="127.0.0.1",
+                                      ready=ready, timeout=60.0)
+
+    thread = threading.Thread(target=recv, daemon=True)
+    thread.start()
+    assert ready.wait(10)
+    result["send"] = send_file(str(src), "127.0.0.1", port,
+                               config=config, timeout=60.0)
+    thread.join(15)
+    assert not thread.is_alive()
+    return data, out, result
+
+
+class TestFileTransfer:
+    def test_roundtrip_byte_exact(self, tmp_path):
+        data, out, result = run_pair(tmp_path, 300_000, port=39211)
+        assert out.read_bytes() == data
+        assert result["recv"].crc_ok
+        assert result["send"].nbytes == 300_000
+
+    def test_small_file(self, tmp_path):
+        data, out, result = run_pair(tmp_path, 100, port=39212)
+        assert out.read_bytes() == data
+
+    def test_odd_size_with_custom_packet(self, tmp_path):
+        config = FobsConfig(packet_size=4096, ack_frequency=8)
+        data, out, result = run_pair(tmp_path, 123_457, port=39213,
+                                     config=config)
+        assert out.read_bytes() == data
+
+    def test_empty_file_rejected(self, tmp_path):
+        empty = tmp_path / "empty"
+        empty.write_bytes(b"")
+        with pytest.raises(ValueError):
+            send_file(str(empty), "127.0.0.1", 39214)
+
+    def test_throughput_reported(self, tmp_path):
+        _, _, result = run_pair(tmp_path, 200_000, port=39215)
+        assert result["send"].throughput_bps > 0
+        assert result["recv"].duration > 0
+
+
+class TestCliProcesses:
+    def test_two_process_transfer(self, tmp_path):
+        """End-to-end: receiver and sender as separate OS processes."""
+        import time
+
+        src, data = make_file(tmp_path, 200_000, seed=3)
+        out = tmp_path / "cli_out.bin"
+        port = 39216
+        recv_proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.runtime.cli", "recv",
+             "--port", str(port), "--output", str(out), "--bind", "127.0.0.1",
+             "--timeout", "60"],
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            # The sender retries while the receiver's listener comes up.
+            deadline = time.monotonic() + 20
+            send = None
+            while time.monotonic() < deadline:
+                send = subprocess.run(
+                    [sys.executable, "-m", "repro.runtime.cli", "send",
+                     str(src), "--host", "127.0.0.1", "--port", str(port),
+                     "--timeout", "60"],
+                    capture_output=True, text=True, timeout=90,
+                )
+                if send.returncode == 0 or "Connection refused" not in send.stderr:
+                    break
+                time.sleep(0.2)
+            assert send is not None and send.returncode == 0, send.stderr
+            assert "Mb/s" in send.stdout
+            stdout, stderr = recv_proc.communicate(timeout=30)
+            assert recv_proc.returncode == 0, stderr
+            assert "crc ok" in stdout
+            assert out.read_bytes() == data
+        finally:
+            if recv_proc.poll() is None:
+                recv_proc.kill()

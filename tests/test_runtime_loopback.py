@@ -1,0 +1,47 @@
+"""Real-socket loopback tests for the sans-IO FOBS core."""
+
+import pytest
+
+from repro.core.config import FobsConfig
+from repro.runtime import run_loopback_transfer
+
+pytestmark = pytest.mark.loopback
+
+
+class TestLoopback:
+    def test_clean_transfer_checksums(self):
+        res = run_loopback_transfer(500_000)
+        assert res.checksum_ok
+        assert res.nbytes == 500_000
+        assert res.throughput_bps > 0
+
+    def test_lossy_transfer_recovers(self):
+        res = run_loopback_transfer(300_000, drop_rate=0.05, seed=1)
+        assert res.checksum_ok
+        assert res.packets_retransmitted > 0
+
+    def test_heavy_loss_recovers(self):
+        res = run_loopback_transfer(100_000, drop_rate=0.3, seed=2)
+        assert res.checksum_ok
+
+    def test_odd_object_size(self):
+        res = run_loopback_transfer(100_001)
+        assert res.checksum_ok
+
+    def test_custom_packet_size(self):
+        cfg = FobsConfig(packet_size=4096, ack_frequency=8)
+        res = run_loopback_transfer(200_000, config=cfg)
+        assert res.checksum_ok
+
+    def test_explicit_data(self):
+        data = bytes(range(256)) * 100
+        res = run_loopback_transfer(len(data), data=data)
+        assert res.checksum_ok
+
+    def test_data_length_validated(self):
+        with pytest.raises(ValueError):
+            run_loopback_transfer(100, data=b"short")
+
+    def test_waste_reported(self):
+        res = run_loopback_transfer(200_000, drop_rate=0.1, seed=3)
+        assert res.wasted_fraction > 0.03

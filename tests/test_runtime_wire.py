@@ -1,0 +1,83 @@
+"""Tests for the real-socket wire formats, incl. roundtrip properties."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.packets import AckPacket, DataPacket
+from repro.runtime import wire
+
+
+class TestDataRoundtrip:
+    def test_roundtrip(self):
+        pkt = DataPacket(seq=5, total=10, payload_bytes=4, transmission=2)
+        decoded, payload = wire.decode_data(wire.encode_data(pkt, b"abcd"))
+        assert decoded == pkt
+        assert payload == b"abcd"
+
+    def test_payload_length_checked(self):
+        pkt = DataPacket(seq=0, total=1, payload_bytes=4)
+        with pytest.raises(ValueError):
+            wire.encode_data(pkt, b"toolongpayload")
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            wire.decode_data(b"\x00\x01")
+
+    def test_empty_payload_rejected(self):
+        pkt = DataPacket(seq=0, total=1, payload_bytes=1)
+        raw = wire.encode_data(pkt, b"x")[:-1]
+        with pytest.raises(ValueError):
+            wire.decode_data(raw)
+
+    @given(
+        total=st.integers(min_value=1, max_value=1000),
+        data=st.data(),
+    )
+    def test_property_roundtrip(self, total, data):
+        seq = data.draw(st.integers(0, total - 1))
+        payload = data.draw(st.binary(min_size=1, max_size=100))
+        pkt = DataPacket(seq=seq, total=total, payload_bytes=len(payload))
+        decoded, out = wire.decode_data(wire.encode_data(pkt, payload))
+        assert decoded == pkt and out == payload
+
+
+class TestAckRoundtrip:
+    def make(self, n, marked):
+        bm = np.zeros(n, dtype=np.bool_)
+        bm[list(marked)] = True
+        return AckPacket(ack_id=3, received_count=len(marked), bitmap=bm)
+
+    def test_roundtrip(self):
+        ack = self.make(20, [0, 7, 19])
+        decoded = wire.decode_ack(wire.encode_ack(ack))
+        assert decoded.ack_id == 3
+        assert decoded.received_count == 3
+        assert np.array_equal(decoded.bitmap, ack.bitmap)
+
+    def test_truncated_bitmap_rejected(self):
+        raw = wire.encode_ack(self.make(100, [5]))
+        with pytest.raises(ValueError):
+            wire.decode_ack(raw[:-5])
+
+    @given(n=st.integers(min_value=1, max_value=500), data=st.data())
+    def test_property_roundtrip(self, n, data):
+        marked = data.draw(st.sets(st.integers(0, n - 1), max_size=50))
+        ack = self.make(n, marked)
+        decoded = wire.decode_ack(wire.encode_ack(ack))
+        assert np.array_equal(decoded.bitmap, ack.bitmap)
+
+
+class TestCompletion:
+    def test_roundtrip(self):
+        assert wire.decode_completion(wire.encode_completion(12345)) == 12345
+
+    def test_bad_magic_rejected(self):
+        raw = bytearray(wire.encode_completion(1))
+        raw[0] ^= 0xFF
+        with pytest.raises(ValueError):
+            wire.decode_completion(bytes(raw))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(ValueError):
+            wire.decode_completion(b"\x00")

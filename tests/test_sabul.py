@@ -1,0 +1,51 @@
+"""Tests for the SABUL baseline."""
+
+import pytest
+
+from repro.sabul import SabulConfig, run_sabul_transfer
+
+from _support import tiny_path
+
+
+class TestSabul:
+    def test_clean_path_completes(self):
+        net = tiny_path()
+        res = run_sabul_transfer(net, 500_000)
+        assert res.completed
+        assert res.loss_reports == 0
+
+    def test_rate_ramps_toward_peak_on_clean_path(self):
+        net = tiny_path()
+        cfg = SabulConfig(initial_rate_bps=20e6, peak_rate_bps=100e6)
+        res = run_sabul_transfer(net, 2_000_000, cfg)
+        assert res.completed
+        assert res.final_rate_bps > 20e6
+
+    def test_loss_triggers_reports_and_backoff(self):
+        net = tiny_path(loss_rate=0.05, seed=1)
+        cfg = SabulConfig(initial_rate_bps=80e6, peak_rate_bps=100e6)
+        res = run_sabul_transfer(net, 1_000_000, cfg)
+        assert res.completed
+        assert res.loss_reports > 0
+        assert res.final_rate_bps < 100e6
+
+    def test_loss_means_congestion_assumption_costs_bandwidth(self):
+        """SABUL slows on non-congestion loss; FOBS does not — the
+        paper's core distinction between the two protocols."""
+        from repro.core import run_fobs_transfer
+        from _support import quick_config
+        sabul = run_sabul_transfer(tiny_path(loss_rate=0.02, seed=2), 1_000_000,
+                                   SabulConfig(initial_rate_bps=90e6))
+        fobs = run_fobs_transfer(tiny_path(loss_rate=0.02, seed=2), 1_000_000,
+                                 quick_config())
+        assert fobs.throughput_bps > sabul.throughput_bps
+
+    def test_retransmissions_cover_losses(self):
+        net = tiny_path(loss_rate=0.1, seed=3)
+        res = run_sabul_transfer(net, 300_000, time_limit=300.0)
+        assert res.completed
+        assert res.packets_sent > res.npackets
+
+    def test_npackets_validation(self):
+        with pytest.raises(ValueError):
+            SabulConfig().npackets(-5)

@@ -1,0 +1,69 @@
+"""Tests for the satellite preset and FOBS rate pacing."""
+
+import pytest
+
+import repro.simnet as sn
+from repro.core import FobsConfig, run_fobs_transfer
+from repro.tcp import TcpOptions, run_bulk_transfer
+
+from _support import quick_config, tiny_path
+
+
+class TestSatellitePath:
+    def test_rtt_is_geostationary(self):
+        net = sn.satellite_path()
+        assert 0.5 < net.spec.rtt() < 0.6
+
+    def test_unscaled_tcp_is_unusable(self):
+        """Related work [10]: 64 KiB / 560 ms ~ 2% of a 45 Mb/s link."""
+        opts = TcpOptions(window_scaling=False)
+        res = run_bulk_transfer(sn.satellite_path(), 2_000_000,
+                                sender_options=opts, receiver_options=opts,
+                                time_limit=120.0)
+        assert res.completed
+        assert res.percent_of_bottleneck < 5
+
+    @pytest.mark.slow
+    def test_fobs_indifferent_to_rtt(self):
+        """FOBS's object-sized window doesn't care about 560 ms RTT."""
+        stats = run_fobs_transfer(sn.satellite_path(), 10_000_000,
+                                  FobsConfig(ack_frequency=64),
+                                  time_limit=120.0)
+        assert stats.completed
+        assert stats.percent_of_bottleneck > 80
+
+    @pytest.mark.slow
+    def test_fobs_vs_tcp_gap_is_extreme_on_satellite(self):
+        fobs = run_fobs_transfer(sn.satellite_path(), 5_000_000,
+                                 FobsConfig(ack_frequency=64), time_limit=120.0)
+        opts = TcpOptions(window_scaling=False)
+        tcp = run_bulk_transfer(sn.satellite_path(), 5_000_000,
+                                sender_options=opts, receiver_options=opts,
+                                time_limit=120.0)
+        assert fobs.percent_of_bottleneck > 10 * tcp.percent_of_bottleneck
+
+
+class TestPacing:
+    def test_rate_cap_honoured(self):
+        net = tiny_path()  # 100 Mb/s link
+        stats = run_fobs_transfer(
+            net, 1_000_000, quick_config(send_rate_bps=20e6))
+        assert stats.completed
+        # goodput below the cap (wire rate is the capped quantity)
+        assert stats.throughput_bps < 20e6
+
+    def test_uncapped_faster_than_capped(self):
+        capped = run_fobs_transfer(tiny_path(), 1_000_000,
+                                   quick_config(send_rate_bps=10e6))
+        free = run_fobs_transfer(tiny_path(), 1_000_000, quick_config())
+        assert free.duration < 0.3 * capped.duration
+
+    def test_cap_above_link_rate_is_noop(self):
+        capped = run_fobs_transfer(tiny_path(), 1_000_000,
+                                   quick_config(send_rate_bps=1e9))
+        free = run_fobs_transfer(tiny_path(), 1_000_000, quick_config())
+        assert capped.duration == pytest.approx(free.duration, rel=0.05)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            FobsConfig(send_rate_bps=0)

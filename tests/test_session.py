@@ -1,0 +1,182 @@
+"""End-to-end tests for FOBS transfers over the simulated network."""
+
+import pytest
+
+from repro.core import FobsConfig, FobsTransfer, run_fobs_transfer
+
+from _support import quick_config, tiny_path
+
+
+class TestBasicTransfer:
+    def test_small_transfer_completes(self):
+        net = tiny_path()
+        stats = run_fobs_transfer(net, 200_000, quick_config())
+        assert stats.completed
+        assert stats.npackets == 196
+        assert stats.receiver_completed_at is not None
+        assert stats.sender_completed_at is not None
+
+    def test_sender_learns_completion_after_receiver(self):
+        net = tiny_path()
+        stats = run_fobs_transfer(net, 200_000, quick_config())
+        assert stats.sender_completed_at > stats.receiver_completed_at
+
+    def test_throughput_close_to_link_rate(self):
+        net = tiny_path()  # 100 Mb/s, RTT 4 ms, no loss
+        stats = run_fobs_transfer(net, 1_000_000, quick_config())
+        assert stats.percent_of_bottleneck > 80
+
+    def test_single_packet_object(self):
+        net = tiny_path()
+        stats = run_fobs_transfer(net, 100, quick_config(ack_frequency=1))
+        assert stats.completed
+        assert stats.npackets == 1
+
+    def test_object_not_multiple_of_packet_size(self):
+        net = tiny_path()
+        stats = run_fobs_transfer(net, 100_001, quick_config())
+        assert stats.completed
+        assert stats.npackets == 98
+
+    def test_invalid_nbytes_rejected(self):
+        with pytest.raises(ValueError):
+            FobsTransfer(tiny_path(), 0)
+
+    def test_double_start_rejected(self):
+        t = FobsTransfer(tiny_path(), 10_000)
+        t.start()
+        with pytest.raises(RuntimeError):
+            t.start()
+
+    def test_time_limit_reports_incomplete(self):
+        net = tiny_path(bandwidth_bps=1e5)  # 100 kb/s: 1 MB needs ~80 s
+        stats = run_fobs_transfer(net, 1_000_000, quick_config(), time_limit=1.0)
+        assert not stats.completed
+        assert stats.percent_of_bottleneck < 100
+
+
+class TestLossRecovery:
+    def test_completes_under_heavy_loss(self):
+        net = tiny_path(loss_rate=0.1, seed=1)
+        stats = run_fobs_transfer(net, 200_000, quick_config())
+        assert stats.completed
+        assert stats.retransmissions > 0
+
+    def test_waste_tracks_loss_rate(self):
+        clean = run_fobs_transfer(tiny_path(), 500_000, quick_config())
+        lossy = run_fobs_transfer(tiny_path(loss_rate=0.05, seed=2), 500_000,
+                                  quick_config())
+        assert lossy.wasted_fraction > clean.wasted_fraction
+
+    def test_all_sent_implies_delivered_plus_lost_plus_dup(self):
+        """Conservation: every receiver-new packet is unique."""
+        net = tiny_path(loss_rate=0.05, seed=3)
+        stats = run_fobs_transfer(net, 300_000, quick_config())
+        assert stats.receiver_stats.packets_new == stats.npackets
+        assert stats.packets_sent >= stats.npackets
+
+
+class TestAckFrequencyEffects:
+    def test_small_frequency_costs_performance(self):
+        """F=1 overruns the receiver CPU on the paper's PC profile."""
+        import repro.simnet as sn
+        slow = run_fobs_transfer(sn.short_haul(), 2_000_000,
+                                 FobsConfig(ack_frequency=1))
+        fast = run_fobs_transfer(sn.short_haul(), 2_000_000,
+                                 FobsConfig(ack_frequency=64))
+        assert fast.percent_of_bottleneck > 1.5 * slow.percent_of_bottleneck
+
+    def test_small_frequency_causes_receiver_drops(self):
+        import repro.simnet as sn
+        stats = run_fobs_transfer(sn.short_haul(), 2_000_000,
+                                  FobsConfig(ack_frequency=1))
+        assert stats.receiver_socket_drops > 0
+
+    def test_ack_count_scales_inversely_with_frequency(self):
+        few = run_fobs_transfer(tiny_path(), 500_000, quick_config(ack_frequency=64))
+        many = run_fobs_transfer(tiny_path(), 500_000, quick_config(ack_frequency=8))
+        assert many.acks_sent > 4 * few.acks_sent
+
+
+class TestWasteAccounting:
+    def test_waste_definition_identity(self):
+        """wasted_fraction == (sent - required) / required, exactly."""
+        net = tiny_path(loss_rate=0.02, seed=4)
+        stats = run_fobs_transfer(net, 300_000, quick_config())
+        expected = (stats.packets_sent - stats.npackets) / stats.npackets
+        assert stats.wasted_fraction == pytest.approx(expected)
+
+    def test_waste_is_tail_dominated_and_amortizes(self):
+        """On a clean path waste comes from the final round-trip of
+        greedy sending; it shrinks as the object grows."""
+        small = run_fobs_transfer(tiny_path(), 250_000, quick_config())
+        large = run_fobs_transfer(tiny_path(), 4_000_000, quick_config())
+        assert large.wasted_fraction < small.wasted_fraction
+        assert large.wasted_fraction < 0.05
+
+
+class TestCongestionModes:
+    def test_backoff_mode_completes(self):
+        net = tiny_path(loss_rate=0.2, seed=5)
+        stats = run_fobs_transfer(
+            net, 200_000, quick_config(congestion_mode="backoff"))
+        assert stats.completed
+
+    def test_backoff_reduces_waste_under_persistent_loss(self):
+        greedy = run_fobs_transfer(
+            tiny_path(loss_rate=0.3, seed=6), 200_000,
+            quick_config(congestion_mode="greedy"))
+        backoff = run_fobs_transfer(
+            tiny_path(loss_rate=0.3, seed=6), 200_000,
+            quick_config(congestion_mode="backoff"))
+        assert backoff.completed and greedy.completed
+        # Backoff sends no *more* than greedy under identical loss.
+        assert backoff.packets_sent <= greedy.packets_sent * 1.05
+
+    def test_tcp_switch_triggers_under_heavy_loss(self):
+        net = tiny_path(loss_rate=0.4, seed=7)
+        stats = run_fobs_transfer(
+            net, 300_000,
+            quick_config(congestion_mode="tcp_switch", congestion_threshold=0.2),
+            time_limit=300.0,
+        )
+        assert stats.switched_to_tcp
+        assert stats.completed
+
+    def test_tcp_switch_not_triggered_on_clean_path(self):
+        net = tiny_path()
+        stats = run_fobs_transfer(
+            net, 300_000, quick_config(congestion_mode="tcp_switch"))
+        assert not stats.switched_to_tcp
+        assert stats.completed
+
+
+class TestSchedulers:
+    @pytest.mark.parametrize("policy", ["circular", "sequential_restart", "random"])
+    def test_all_schedulers_complete(self, policy):
+        net = tiny_path(loss_rate=0.02, seed=8)
+        stats = run_fobs_transfer(net, 100_000, quick_config(scheduler=policy),
+                                  time_limit=300.0)
+        assert stats.completed
+
+    def test_circular_wastes_least(self):
+        results = {}
+        for policy in ("circular", "sequential_restart"):
+            net = tiny_path(loss_rate=0.02, seed=8)
+            results[policy] = run_fobs_transfer(
+                net, 100_000, quick_config(scheduler=policy), time_limit=300.0)
+        assert (results["circular"].wasted_fraction
+                < results["sequential_restart"].wasted_fraction)
+
+
+class TestBatchPolicies:
+    def test_adaptive_policy_completes(self):
+        net = tiny_path()
+        stats = run_fobs_transfer(net, 500_000, quick_config(batch_policy="adaptive"))
+        assert stats.completed
+
+    @pytest.mark.parametrize("batch", [1, 2, 8])
+    def test_batch_sizes_complete(self, batch):
+        net = tiny_path()
+        stats = run_fobs_transfer(net, 200_000, quick_config(batch_size=batch))
+        assert stats.completed

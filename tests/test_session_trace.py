@@ -1,0 +1,48 @@
+"""Tests for session-level tracing."""
+
+from repro.core import FobsTransfer
+from repro.simnet.trace import Tracer
+
+from _support import quick_config, tiny_path
+
+
+class TestSessionTracing:
+    def run_traced(self, tracer, nbytes=100_000):
+        net = tiny_path()
+        transfer = FobsTransfer(net, nbytes, quick_config(), tracer=tracer)
+        stats = transfer.run()
+        assert stats.completed
+        return tracer
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = self.run_traced(Tracer(enabled=False))
+        assert tracer.records == []
+
+    def test_traces_cover_the_protocol_events(self):
+        tracer = self.run_traced(Tracer(enabled=True))
+        kinds = {r.kind for r in tracer.records}
+        assert kinds == {"data_tx", "ack_rx", "ack_tx", "complete"}
+
+    def test_data_tx_count_matches_packets_sent(self):
+        tracer = Tracer(enabled=True)
+        net = tiny_path()
+        transfer = FobsTransfer(net, 100_000, quick_config(), tracer=tracer)
+        stats = transfer.run()
+        tx = sum(1 for r in tracer.records if r.kind == "data_tx")
+        # Up to one batch may sit un-transmitted when the completion
+        # signal stops the sender.
+        assert stats.packets_sent - quick_config().batch_size <= tx <= stats.packets_sent
+
+    def test_trace_times_monotone(self):
+        tracer = self.run_traced(Tracer(enabled=True))
+        times = [r.time for r in tracer.records]
+        assert times == sorted(times)
+
+    def test_completion_traced_once(self):
+        tracer = self.run_traced(Tracer(enabled=True))
+        assert sum(1 for r in tracer.records if r.kind == "complete") == 1
+
+    def test_max_records_bound_respected(self):
+        tracer = self.run_traced(Tracer(enabled=True, max_records=10))
+        assert len(tracer.records) == 10
+        assert tracer.truncated

@@ -1,0 +1,125 @@
+"""Tests for the UDP socket abstraction and the TCP raw conduit."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.link import DelayLink
+from repro.simnet.node import Host
+from repro.simnet.packet import Address, udp_frame
+from repro.simnet.sockets import RawConduit, UdpSocket
+
+
+def pair(sim):
+    a, b = Host(sim, "a"), Host(sim, "b")
+    ab = DelayLink(sim, "a->b", prop_delay=0.001)
+    ba = DelayLink(sim, "b->a", prop_delay=0.001)
+    ab.connect(b)
+    ba.connect(a)
+    a.set_default_route(ab)
+    b.set_default_route(ba)
+    return a, b
+
+
+class TestUdpSocket:
+    def test_send_and_poll(self, sim):
+        a, b = pair(sim)
+        tx = UdpSocket(a, 100)
+        rx = UdpSocket(b, 200)
+        tx.sendto("hello", 64, Address("b", 200))
+        sim.run()
+        frame = rx.poll()
+        assert frame.payload == "hello"
+        assert rx.poll() is None
+
+    def test_buffer_overflow_drops(self, sim):
+        a, b = pair(sim)
+        tx = UdpSocket(a, 100)
+        rx = UdpSocket(b, 200, recv_buffer_bytes=200)
+        for _ in range(5):
+            tx.sendto(None, 64, Address("b", 200))  # 92 B wire each
+        sim.run()
+        assert rx.datagrams_received == 2
+        assert rx.datagrams_dropped == 3
+
+    def test_poll_frees_buffer_space(self, sim):
+        a, b = pair(sim)
+        tx = UdpSocket(a, 100)
+        rx = UdpSocket(b, 200, recv_buffer_bytes=100)
+        tx.sendto(1, 64, Address("b", 200))
+        sim.run()
+        assert rx.poll() is not None
+        tx.sendto(2, 64, Address("b", 200))
+        sim.run()
+        assert rx.poll().payload == 2
+
+    def test_on_readable_fires_on_empty_to_nonempty(self, sim):
+        a, b = pair(sim)
+        tx = UdpSocket(a, 100)
+        rx = UdpSocket(b, 200)
+        wakes = []
+        rx.on_readable = lambda: wakes.append(sim.now)
+        tx.sendto(1, 64, Address("b", 200))
+        tx.sendto(2, 64, Address("b", 200))
+        sim.run()
+        # both arrive at the same instant; only the 0->1 edge wakes
+        assert len(wakes) == 1
+
+    def test_readable_count(self, sim):
+        a, b = pair(sim)
+        tx = UdpSocket(a, 100)
+        rx = UdpSocket(b, 200)
+        tx.sendto(1, 64, Address("b", 200))
+        tx.sendto(2, 64, Address("b", 200))
+        sim.run()
+        assert rx.readable == 2
+
+    def test_close_unbinds_and_clears(self, sim):
+        a, b = pair(sim)
+        tx = UdpSocket(a, 100)
+        rx = UdpSocket(b, 200)
+        tx.sendto(1, 64, Address("b", 200))
+        sim.run()
+        rx.close()
+        assert rx.poll() is None
+        tx.sendto(2, 64, Address("b", 200))
+        sim.run()
+        assert b.frames_unclaimed == 1
+
+    def test_counters(self, sim):
+        a, b = pair(sim)
+        tx = UdpSocket(a, 100)
+        rx = UdpSocket(b, 200)
+        tx.sendto(1, 64, Address("b", 200))
+        sim.run()
+        assert tx.datagrams_sent == 1
+        assert rx.datagrams_received == 1
+
+    def test_can_send_on_delay_link_always_true(self, sim):
+        a, _b = pair(sim)
+        tx = UdpSocket(a, 100)
+        assert tx.can_send(1000, Address("b", 200))
+        assert tx.send_wait_hint(1000, Address("b", 200)) == 0.0
+
+    def test_invalid_buffer_rejected(self, sim):
+        a, _ = pair(sim)
+        with pytest.raises(ValueError):
+            UdpSocket(a, 1, recv_buffer_bytes=0)
+
+
+class TestRawConduit:
+    def test_segments_delivered_to_callback(self, sim):
+        a, b = pair(sim)
+        got = []
+        RawConduit(b, 300, got.append)
+        conduit_a = RawConduit(a, 300, lambda f: None)
+        from repro.simnet.packet import tcp_frame
+        conduit_a.send(tcp_frame(Address("a", 300), Address("b", 300), "seg", 100))
+        sim.run()
+        assert len(got) == 1
+        assert got[0].payload == "seg"
+
+    def test_close_unbinds(self, sim):
+        a, b = pair(sim)
+        c = RawConduit(b, 300, lambda f: None)
+        c.close()
+        RawConduit(b, 300, lambda f: None)  # rebind works

@@ -1,0 +1,82 @@
+"""Bidirectional TCP: both endpoints transfer data on one connection."""
+
+from repro.simnet.packet import Address
+from repro.tcp.connection import TcpConnection, TcpListener
+
+from _support import tiny_path
+
+
+class TestBidirectional:
+    def test_simultaneous_two_way_bulk(self):
+        """Client pushes 200 KB while the server pushes 150 KB back on
+        the same connection; both directions must complete."""
+        net = tiny_path()
+        sim = net.sim
+        got_at_server = []
+        got_at_client = []
+        server_holder = {}
+
+        def on_conn(conn):
+            server_holder["conn"] = conn
+            conn.on_deliver = got_at_server.append
+            conn.app_write(150_000)  # server->client data
+
+        listener = TcpListener(sim, net.b, 5001, on_connection=on_conn)
+        client = TcpConnection(sim, net.a, net.a.allocate_port(),
+                               peer=Address(net.b.name, 5001))
+        client.on_deliver = got_at_client.append
+        client.on_established = lambda: client.app_write(200_000)
+        client.connect()
+        sim.run(until=30.0, stop_when=lambda: (
+            sum(got_at_server) >= 200_000 and sum(got_at_client) >= 150_000))
+        assert sum(got_at_server) == 200_000
+        assert sum(got_at_client) == 150_000
+        # let the final (possibly delayed) ACKs land
+        sim.run(until=sim.now + 1.0)
+        assert client.all_acked
+        assert server_holder["conn"].all_acked
+
+    def test_piggybacked_acks_reduce_pure_ack_count(self):
+        """With data flowing both ways, data segments carry the ACKs."""
+        one_way_acks, two_way_acks = [], []
+        for two_way, sink in ((False, one_way_acks), (True, two_way_acks)):
+            net = tiny_path()
+            sim = net.sim
+            delivered = []
+
+            def on_conn(conn, two_way=two_way):
+                conn.on_deliver = delivered.append
+                if two_way:
+                    conn.app_write(200_000)
+
+            listener = TcpListener(sim, net.b, 5001, on_connection=on_conn)
+            client = TcpConnection(sim, net.a, net.a.allocate_port(),
+                                   peer=Address(net.b.name, 5001))
+            client.on_established = lambda: client.app_write(200_000)
+            client.connect()
+            sim.run(until=30.0, stop_when=lambda: sum(delivered) >= 200_000)
+            server = next(iter(listener.connections.values()))
+            sink.append(server.stats.acks_sent)
+        # data segments piggyback the cumulative ACK field, so the
+        # reverse direction does not need *more* pure ACKs.
+        assert two_way_acks[0] <= one_way_acks[0] * 1.5
+
+    def test_two_way_loss_recovery(self):
+        net = tiny_path(loss_rate=0.02, seed=4)
+        sim = net.sim
+        got_a, got_b = [], []
+
+        def on_conn(conn):
+            conn.on_deliver = got_b.append
+            conn.app_write(100_000)
+
+        TcpListener(sim, net.b, 5001, on_connection=on_conn)
+        client = TcpConnection(sim, net.a, net.a.allocate_port(),
+                               peer=Address(net.b.name, 5001))
+        client.on_deliver = got_a.append
+        client.on_established = lambda: client.app_write(100_000)
+        client.connect()
+        sim.run(until=120.0, stop_when=lambda: (
+            sum(got_a) >= 100_000 and sum(got_b) >= 100_000))
+        assert sum(got_a) == 100_000
+        assert sum(got_b) == 100_000

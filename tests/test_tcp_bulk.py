@@ -1,0 +1,49 @@
+"""Tests for the bulk TCP transfer harness."""
+
+import pytest
+
+from repro.tcp import TcpOptions, run_bulk_transfer
+
+from _support import tiny_path
+
+
+class TestBulkTransfer:
+    def test_completes_and_reports(self):
+        net = tiny_path()
+        res = run_bulk_transfer(net, 500_000)
+        assert res.completed
+        assert res.nbytes == 500_000
+        assert 0 < res.percent_of_bottleneck <= 100
+        assert res.lwe_negotiated
+
+    def test_throughput_consistent_with_duration(self):
+        net = tiny_path()
+        res = run_bulk_transfer(net, 500_000)
+        assert res.throughput_bps == pytest.approx(500_000 * 8 / res.duration)
+
+    def test_no_lwe_flag_reported(self):
+        net = tiny_path()
+        opts = TcpOptions(window_scaling=False)
+        res = run_bulk_transfer(net, 200_000, sender_options=opts,
+                                receiver_options=opts)
+        assert not res.lwe_negotiated
+
+    def test_time_limit_reports_incomplete(self):
+        net = tiny_path(bandwidth_bps=1e5)
+        res = run_bulk_transfer(net, 1_000_000, time_limit=1.0)
+        assert not res.completed
+
+    def test_invalid_nbytes_rejected(self):
+        with pytest.raises(ValueError):
+            run_bulk_transfer(tiny_path(), 0)
+
+    def test_lossy_path_completes_with_retransmissions(self):
+        net = tiny_path(loss_rate=0.02, seed=1)
+        res = run_bulk_transfer(net, 500_000)
+        assert res.completed
+        assert res.sender_stats.retransmitted_segments > 0
+
+    def test_str_rendering(self):
+        res = run_bulk_transfer(tiny_path(), 100_000)
+        out = str(res)
+        assert "Mb/s" in out and "%" in out

@@ -1,0 +1,72 @@
+"""Tests for the framed message channel over TCP."""
+
+import pytest
+
+from repro.tcp.channel import MessageChannel
+
+from _support import tiny_path
+
+
+class TestMessageChannel:
+    def test_messages_delivered_in_order(self):
+        net = tiny_path()
+        got = []
+        ch = MessageChannel(net.sim, net.a, net.b, 5500, got.append)
+        ch.send({"id": 1}, 100)
+        ch.send({"id": 2}, 200)
+        net.sim.run(until=5.0)
+        assert got == [{"id": 1}, {"id": 2}]
+
+    def test_send_before_established_is_queued(self):
+        net = tiny_path()
+        got = []
+        ch = MessageChannel(net.sim, net.a, net.b, 5500, got.append)
+        # no sim.run yet: handshake incomplete
+        ch.send("early", 50)
+        net.sim.run(until=5.0)
+        assert got == ["early"]
+
+    def test_large_message_arrives_whole(self):
+        net = tiny_path()
+        got = []
+        ch = MessageChannel(net.sim, net.a, net.b, 5500, got.append)
+        ch.send("big", 50_000)  # spans many segments
+        net.sim.run(until=5.0)
+        assert got == ["big"]
+
+    def test_message_timing_scales_with_size(self):
+        net = tiny_path()
+        times = {}
+
+        def record(tag):
+            times[tag] = net.sim.now
+
+        ch = MessageChannel(net.sim, net.a, net.b, 5500, record)
+        ch.send("small", 10)
+        net.sim.run(until=5.0)
+        t_small = times["small"]
+        ch.send("large", 200_000)
+        net.sim.run(until=30.0)
+        assert times["large"] - t_small > 0.01  # many RTTs of slow start
+
+    def test_survives_lossy_path(self):
+        net = tiny_path(loss_rate=0.05, seed=2)
+        got = []
+        ch = MessageChannel(net.sim, net.a, net.b, 5500, got.append)
+        for i in range(5):
+            ch.send(i, 1000)
+        net.sim.run(until=60.0)
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_negative_size_rejected(self):
+        net = tiny_path()
+        ch = MessageChannel(net.sim, net.a, net.b, 5500, lambda m: None)
+        with pytest.raises(ValueError):
+            ch.send("x", -1)
+
+    def test_close_releases_ports(self):
+        net = tiny_path()
+        ch = MessageChannel(net.sim, net.a, net.b, 5500, lambda m: None)
+        net.sim.run(until=1.0)
+        ch.close()
+        MessageChannel(net.sim, net.a, net.b, 5500, lambda m: None)

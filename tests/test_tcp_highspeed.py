@@ -1,0 +1,113 @@
+"""Tests for HighSpeed TCP (RFC 3649)."""
+
+import pytest
+
+from repro.tcp.highspeed import (
+    HIGH_WINDOW,
+    LOW_WINDOW,
+    HighSpeedController,
+    hs_alpha,
+    hs_beta,
+    make_controller,
+)
+from repro.tcp.reno import RenoController
+
+MSS = 1460
+
+
+class TestResponseFunction:
+    def test_reno_regime_below_low_window(self):
+        assert hs_alpha(10) == 1.0
+        assert hs_beta(10) == 0.5
+        assert hs_alpha(LOW_WINDOW) == 1.0
+
+    def test_alpha_grows_with_window(self):
+        assert hs_alpha(100) > 1.0
+        assert hs_alpha(1000) > hs_alpha(100)
+        assert hs_alpha(10000) > hs_alpha(1000)
+
+    def test_beta_shrinks_with_window(self):
+        assert hs_beta(100) < 0.5
+        assert hs_beta(1000) < hs_beta(100)
+
+    def test_rfc_calibration_point(self):
+        """At W_H = 83000 the RFC specifies a ~ 72, b = 0.1."""
+        assert hs_beta(HIGH_WINDOW) == pytest.approx(0.1, abs=1e-9)
+        assert hs_alpha(HIGH_WINDOW) == pytest.approx(72, rel=0.05)
+
+    def test_clamped_above_high_window(self):
+        assert hs_alpha(HIGH_WINDOW * 10) == hs_alpha(HIGH_WINDOW)
+
+
+class TestController:
+    def test_slow_start_same_as_reno(self):
+        hs = HighSpeedController(MSS)
+        reno = RenoController(MSS)
+        hs.on_new_ack(MSS)
+        reno.on_new_ack(MSS)
+        assert hs.cwnd == reno.cwnd
+
+    def test_ca_growth_exceeds_reno_at_large_window(self):
+        hs = HighSpeedController(MSS, ssthresh=1)
+        reno = RenoController(MSS, ssthresh=1)
+        hs.cwnd = reno.cwnd = 1000 * MSS
+        hs.on_new_ack(MSS)
+        reno.on_new_ack(MSS)
+        # a(1000) ~ 7.8 per the RFC response function
+        assert hs.cwnd - 1000 * MSS > 5 * (reno.cwnd - 1000 * MSS)
+
+    def test_gentler_decrease_at_large_window(self):
+        hs = HighSpeedController(MSS)
+        hs.cwnd = 1000 * MSS
+        hs.enter_fast_recovery(flight_size=1000 * MSS, recover_point=0)
+        # b(1000) ~ 0.36: ssthresh ~ 64% of flight, vs Reno's 50%.
+        assert hs.ssthresh > 0.55 * 1000 * MSS
+
+    def test_small_window_recovery_is_reno(self):
+        hs = HighSpeedController(MSS)
+        hs.cwnd = 10 * MSS
+        hs.enter_fast_recovery(flight_size=10 * MSS, recover_point=0)
+        assert hs.ssthresh == pytest.approx(5 * MSS)
+
+    def test_timeout_keeps_reno_severity(self):
+        hs = HighSpeedController(MSS)
+        hs.cwnd = 1000 * MSS
+        hs.on_timeout(1000 * MSS)
+        assert hs.cwnd == MSS
+
+
+class TestFactory:
+    def test_names(self):
+        assert isinstance(make_controller("reno", MSS), RenoController)
+        assert isinstance(make_controller("highspeed", MSS), HighSpeedController)
+        assert not isinstance(make_controller("reno", MSS), HighSpeedController)
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_controller("cubic", MSS)
+
+    def test_options_validation(self):
+        from repro.tcp.options import TcpOptions
+        with pytest.raises(ValueError):
+            TcpOptions(congestion_control="cubic")
+
+
+class TestEndToEnd:
+    def test_highspeed_recovers_fat_pipe_faster(self):
+        """After a loss on a high-BDP path, HighSpeed TCP regains the
+        window much faster than Reno — the reason Section 7 would
+        switch to it rather than to standard TCP."""
+        from _support import tiny_path
+        from repro.tcp import TcpOptions, run_bulk_transfer
+
+        results = {}
+        for cc in ("reno", "highspeed"):
+            net = tiny_path(delay=20e-3, loss_rate=3e-4, seed=3,
+                            bandwidth_bps=622e6, queue_bytes=1 << 21)
+            opts = TcpOptions(congestion_control=cc, sack=True,
+                              recv_buffer=1 << 23, send_buffer=1 << 23)
+            res = run_bulk_transfer(net, 40_000_000, sender_options=opts,
+                                    receiver_options=opts, time_limit=300.0)
+            assert res.completed
+            results[cc] = res.throughput_bps
+        assert results["highspeed"] > 1.2 * results["reno"]

@@ -1,0 +1,150 @@
+"""Tests for receiver-side reassembly, including property tests."""
+
+from hypothesis import given, strategies as st
+
+from repro.tcp.reassembly import ReassemblyBuffer
+
+
+class TestInOrder:
+    def test_sequential_advance(self):
+        r = ReassemblyBuffer()
+        assert r.add(0, 100) == 100
+        assert r.add(100, 100) == 100
+        assert r.rcv_nxt == 200
+        assert r.ooo_bytes == 0
+
+    def test_duplicate_below_cum_point(self):
+        r = ReassemblyBuffer()
+        r.add(0, 100)
+        assert r.add(0, 100) == 0
+        assert r.duplicate_bytes == 100
+
+    def test_partial_overlap_with_cum_point(self):
+        r = ReassemblyBuffer()
+        r.add(0, 100)
+        assert r.add(50, 100) == 50
+        assert r.rcv_nxt == 150
+
+    def test_zero_length_ignored(self):
+        r = ReassemblyBuffer()
+        assert r.add(0, 0) == 0
+
+
+class TestOutOfOrder:
+    def test_gap_holds_cum_point(self):
+        r = ReassemblyBuffer()
+        r.add(100, 100)
+        assert r.rcv_nxt == 0
+        assert r.ooo_bytes == 100
+
+    def test_filling_gap_advances_through(self):
+        r = ReassemblyBuffer()
+        r.add(100, 100)
+        r.add(0, 100)
+        assert r.rcv_nxt == 200
+        assert r.ooo_bytes == 0
+
+    def test_merge_adjacent_intervals(self):
+        r = ReassemblyBuffer()
+        r.add(100, 100)
+        r.add(200, 100)
+        assert r.ooo_bytes == 200
+        assert len(r._ooo) == 1
+
+    def test_merge_overlapping_intervals(self):
+        r = ReassemblyBuffer()
+        r.add(100, 100)
+        r.add(150, 100)
+        assert r.ooo_bytes == 150
+        assert r.duplicate_bytes == 50
+
+    def test_interval_bridging(self):
+        r = ReassemblyBuffer()
+        r.add(100, 50)
+        r.add(200, 50)
+        r.add(150, 50)  # bridges the two
+        assert len(r._ooo) == 1
+        assert r.ooo_bytes == 150
+
+    def test_complete_through(self):
+        r = ReassemblyBuffer()
+        r.add(0, 500)
+        assert r.is_complete_through(500)
+        assert not r.is_complete_through(501)
+
+
+class TestSackBlocks:
+    def test_no_blocks_when_in_order(self):
+        r = ReassemblyBuffer()
+        r.add(0, 100)
+        assert r.sack_blocks() == ()
+
+    def test_most_recent_block_first(self):
+        r = ReassemblyBuffer()
+        r.add(100, 50)
+        r.add(300, 50)
+        blocks = r.sack_blocks()
+        assert blocks[0] == (300, 350)
+        assert (100, 150) in blocks
+
+    def test_max_blocks_limit(self):
+        r = ReassemblyBuffer()
+        for start in (100, 300, 500, 700, 900):
+            r.add(start, 50)
+        assert len(r.sack_blocks(max_blocks=3)) == 3
+
+
+@given(
+    segments=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=50),
+                  st.integers(min_value=1, max_value=10)),
+        min_size=1, max_size=100,
+    )
+)
+def test_property_accepted_bytes_equal_coverage(segments):
+    """Sum of newly-accepted bytes == size of the union of segments."""
+    r = ReassemblyBuffer()
+    accepted = sum(r.add(seq, length) for seq, length in segments)
+    covered = set()
+    for seq, length in segments:
+        covered.update(range(seq, seq + length))
+    assert accepted == len(covered)
+
+
+@given(
+    segments=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30),
+                  st.integers(min_value=1, max_value=8)),
+        min_size=1, max_size=60,
+    )
+)
+def test_property_rcv_nxt_is_first_uncovered_byte(segments):
+    """rcv_nxt always equals the length of the contiguous prefix."""
+    r = ReassemblyBuffer()
+    covered = set()
+    for seq, length in segments:
+        r.add(seq, length)
+        covered.update(range(seq, seq + length))
+        expected = 0
+        while expected in covered:
+            expected += 1
+        assert r.rcv_nxt == expected
+
+
+@given(
+    segments=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=30),
+                  st.integers(min_value=1, max_value=8)),
+        min_size=1, max_size=60,
+    )
+)
+def test_property_ooo_intervals_disjoint_sorted(segments):
+    """Internal interval list stays disjoint, sorted and above rcv_nxt."""
+    r = ReassemblyBuffer()
+    for seq, length in segments:
+        r.add(seq, length)
+        for (s1, e1), (s2, e2) in zip(r._ooo, r._ooo[1:]):
+            assert e1 < s2
+        for s, e in r._ooo:
+            assert s > r.rcv_nxt
+            assert e > s

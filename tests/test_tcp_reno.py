@@ -1,0 +1,130 @@
+"""Unit tests for the Reno congestion controller."""
+
+import pytest
+
+from repro.tcp.reno import RenoController
+
+MSS = 1000
+
+
+class TestSlowStart:
+    def test_initial_window(self):
+        c = RenoController(MSS, init_cwnd_segments=2)
+        assert c.cwnd == 2 * MSS
+        assert c.in_slow_start
+
+    def test_exponential_growth_per_ack(self):
+        c = RenoController(MSS)
+        c.on_new_ack(MSS)
+        assert c.cwnd == 3 * MSS
+
+    def test_abc_caps_growth_at_two_mss(self):
+        c = RenoController(MSS)
+        c.on_new_ack(10 * MSS)
+        assert c.cwnd == 4 * MSS  # 2*MSS cap, not 10
+
+    def test_transitions_to_congestion_avoidance(self):
+        c = RenoController(MSS, ssthresh=4 * MSS)
+        c.on_new_ack(MSS)
+        c.on_new_ack(MSS)
+        assert not c.in_slow_start
+        # CA growth is sublinear per ack now
+        before = c.cwnd
+        c.on_new_ack(MSS)
+        assert 0 < c.cwnd - before < MSS
+
+
+class TestCongestionAvoidance:
+    def test_one_mss_per_rtt(self):
+        c = RenoController(MSS, ssthresh=1)  # force CA immediately
+        c.cwnd = 10 * MSS
+        # one full window of acks ~ one RTT
+        for _ in range(10):
+            c.on_new_ack(MSS)
+        assert c.cwnd == pytest.approx(11 * MSS, rel=0.01)
+
+    def test_ignores_zero_ack(self):
+        c = RenoController(MSS)
+        before = c.cwnd
+        c.on_new_ack(0)
+        assert c.cwnd == before
+
+
+class TestFastRecovery:
+    def test_enter_halves_window(self):
+        c = RenoController(MSS)
+        c.cwnd = 20 * MSS
+        c.enter_fast_recovery(flight_size=20 * MSS, recover_point=12345)
+        assert c.ssthresh == 10 * MSS
+        assert c.cwnd == 13 * MSS  # ssthresh + 3 MSS
+        assert c.in_fast_recovery
+        assert c.recover_point == 12345
+
+    def test_ssthresh_floor_two_mss(self):
+        c = RenoController(MSS)
+        c.enter_fast_recovery(flight_size=MSS, recover_point=0)
+        assert c.ssthresh == 2 * MSS
+
+    def test_dup_ack_inflation(self):
+        c = RenoController(MSS)
+        c.enter_fast_recovery(10 * MSS, 0)
+        before = c.cwnd
+        c.on_dup_ack_in_recovery()
+        assert c.cwnd == before + MSS
+
+    def test_exit_deflates_to_ssthresh(self):
+        c = RenoController(MSS)
+        c.enter_fast_recovery(10 * MSS, 0)
+        c.on_dup_ack_in_recovery()
+        c.exit_fast_recovery()
+        assert c.cwnd == c.ssthresh
+        assert not c.in_fast_recovery
+
+    def test_partial_ack_deflates_and_reinflates(self):
+        c = RenoController(MSS)
+        c.enter_fast_recovery(10 * MSS, 0)
+        cwnd_before = c.cwnd
+        c.on_partial_ack(2 * MSS)
+        assert c.cwnd == max(c.ssthresh, cwnd_before - 2 * MSS + MSS)
+
+    def test_fast_recovery_counter(self):
+        c = RenoController(MSS)
+        c.enter_fast_recovery(10 * MSS, 0)
+        assert c.fast_recoveries == 1
+
+
+class TestTimeout:
+    def test_collapses_to_one_segment(self):
+        c = RenoController(MSS)
+        c.cwnd = 50 * MSS
+        c.on_timeout(flight_size=50 * MSS)
+        assert c.cwnd == MSS
+        assert c.ssthresh == 25 * MSS
+        assert c.timeouts == 1
+
+    def test_timeout_exits_fast_recovery(self):
+        c = RenoController(MSS)
+        c.enter_fast_recovery(10 * MSS, 0)
+        c.on_timeout(10 * MSS)
+        assert not c.in_fast_recovery
+
+
+class TestUsableWindow:
+    def test_limited_by_cwnd(self):
+        c = RenoController(MSS)
+        c.cwnd = 5 * MSS
+        assert c.usable_window(flight_size=3 * MSS, peer_rwnd=1 << 30) == 2 * MSS
+
+    def test_limited_by_rwnd(self):
+        c = RenoController(MSS)
+        c.cwnd = 100 * MSS
+        assert c.usable_window(flight_size=0, peer_rwnd=4 * MSS) == 4 * MSS
+
+    def test_never_negative(self):
+        c = RenoController(MSS)
+        c.cwnd = 2 * MSS
+        assert c.usable_window(flight_size=10 * MSS, peer_rwnd=1 << 30) == 0
+
+    def test_invalid_mss_rejected(self):
+        with pytest.raises(ValueError):
+            RenoController(0)

@@ -1,0 +1,60 @@
+"""Unit tests for the RTT estimator / RTO computation (RFC 6298)."""
+
+import pytest
+
+from repro.tcp.rtt import RttEstimator
+
+
+class TestRttEstimator:
+    def test_first_sample_initializes(self):
+        e = RttEstimator()
+        e.sample(0.1)
+        assert e.srtt == pytest.approx(0.1)
+        assert e.rttvar == pytest.approx(0.05)
+        assert e.rto == pytest.approx(0.3)
+
+    def test_smoothing_converges(self):
+        e = RttEstimator(min_rto=0.0 + 1e-9)
+        for _ in range(100):
+            e.sample(0.05)
+        assert e.srtt == pytest.approx(0.05, rel=0.01)
+        assert e.rto == pytest.approx(0.05, rel=0.2)
+
+    def test_variance_raises_rto(self):
+        stable = RttEstimator()
+        jittery = RttEstimator()
+        for i in range(50):
+            stable.sample(0.1)
+            jittery.sample(0.05 if i % 2 else 0.15)
+        assert jittery.rto > stable.rto
+
+    def test_min_rto_floor(self):
+        e = RttEstimator(min_rto=0.2)
+        for _ in range(20):
+            e.sample(0.001)
+        assert e.rto == 0.2
+
+    def test_max_rto_ceiling(self):
+        e = RttEstimator(max_rto=2.0)
+        e.sample(10.0)
+        assert e.rto == 2.0
+
+    def test_backoff_doubles(self):
+        e = RttEstimator(initial_rto=1.0)
+        assert e.backoff() == 2.0
+        assert e.backoff() == 4.0
+
+    def test_backoff_capped(self):
+        e = RttEstimator(initial_rto=1.0, max_rto=3.0)
+        e.backoff()
+        assert e.backoff() == 3.0
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            RttEstimator().sample(-0.1)
+
+    def test_sample_counter(self):
+        e = RttEstimator()
+        e.sample(0.1)
+        e.sample(0.1)
+        assert e.samples == 2

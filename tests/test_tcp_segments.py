@@ -1,0 +1,65 @@
+"""Tests for segment wire-size accounting and TcpOptions."""
+
+import pytest
+
+from repro.tcp.options import MAX_UNSCALED_WINDOW, TcpOptions
+from repro.tcp.segments import Segment, segment_option_bytes
+
+
+class TestSegment:
+    def test_end_property(self):
+        assert Segment(seq=100, length=50).end == 150
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(seq=-1)
+
+    def test_defaults(self):
+        s = Segment()
+        assert s.is_ack and not s.syn and not s.fin
+
+
+class TestOptionBytes:
+    def test_plain_segment_has_no_options(self):
+        assert segment_option_bytes(Segment(seq=0, length=100)) == 0
+
+    def test_sack_blocks_cost(self):
+        s = Segment(sack_blocks=((0, 10),))
+        assert segment_option_bytes(s) == 12  # 2 + 8, padded to 12
+
+    def test_three_sack_blocks(self):
+        s = Segment(sack_blocks=((0, 10), (20, 30), (40, 50)))
+        assert segment_option_bytes(s) == 28  # 2 + 24, padded
+
+    def test_syn_option_offers(self):
+        s = Segment(syn=True, is_ack=False, offer_window_scaling=True, offer_sack=True)
+        assert segment_option_bytes(s) == 8
+
+    def test_syn_without_offers(self):
+        s = Segment(syn=True, is_ack=False)
+        assert segment_option_bytes(s) == 0
+
+
+class TestTcpOptions:
+    def test_rwnd_cap_without_scaling(self):
+        o = TcpOptions(window_scaling=False, recv_buffer=1 << 20)
+        assert o.rwnd_cap(peer_window_scaling=True) == MAX_UNSCALED_WINDOW
+
+    def test_rwnd_cap_requires_both_sides(self):
+        o = TcpOptions(window_scaling=True, recv_buffer=1 << 20)
+        assert o.rwnd_cap(peer_window_scaling=False) == MAX_UNSCALED_WINDOW
+        assert o.rwnd_cap(peer_window_scaling=True) == 1 << 20
+
+    def test_small_buffer_caps_below_64k(self):
+        o = TcpOptions(window_scaling=True, recv_buffer=32 * 1024)
+        assert o.rwnd_cap(True) == 32 * 1024
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TcpOptions(mss=0)
+        with pytest.raises(ValueError):
+            TcpOptions(send_buffer=100)
+        with pytest.raises(ValueError):
+            TcpOptions(init_cwnd_segments=0)
+        with pytest.raises(ValueError):
+            TcpOptions(min_rto=2.0, max_rto=1.0)

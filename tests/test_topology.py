@@ -1,0 +1,117 @@
+"""Tests for topology construction and the paper's path presets."""
+
+import pytest
+
+from repro.simnet import topology
+from repro.simnet.packet import Address
+from repro.simnet.sockets import UdpSocket
+from repro.simnet.topology import HopSpec, MBPS, PathSpec, build_path
+
+
+def one_way_delay(net, payload=1024):
+    """Measure first-frame latency from a to b."""
+    tx = UdpSocket(net.a, net.a.allocate_port())
+    rx = UdpSocket(net.b, 555)
+    tx.sendto(None, payload, Address(net.b.name, 555))
+    net.sim.run()
+    assert rx.datagrams_received == 1
+    return net.sim.now
+
+
+class TestBuildPath:
+    def test_single_hop_path(self):
+        spec = PathSpec("p", "x", "y", hops=(HopSpec(1e6, 0.01, 10_000),))
+        net = build_path(spec)
+        assert net.a.name == "x"
+        assert net.b.name == "y"
+        assert not net.routers
+
+    def test_multi_hop_creates_routers(self):
+        spec = PathSpec("p", "x", "y", hops=(
+            HopSpec(1e6, 0.01, 10_000), HopSpec(None, 0.01), HopSpec(1e6, 0.01, 10_000),
+        ))
+        net = build_path(spec)
+        assert set(net.routers) == {"r1", "r2"}
+
+    def test_bidirectional_connectivity(self):
+        net = topology.short_haul()
+        # a -> b
+        tx = UdpSocket(net.a, net.a.allocate_port())
+        rx = UdpSocket(net.b, 700)
+        tx.sendto(None, 100, Address("lcse", 700))
+        # b -> a
+        tx2 = UdpSocket(net.b, net.b.allocate_port())
+        rx2 = UdpSocket(net.a, 701)
+        tx2.sendto(None, 100, Address("anl", 701))
+        net.sim.run()
+        assert rx.datagrams_received == 1
+        assert rx2.datagrams_received == 1
+
+    def test_empty_hops_rejected(self):
+        with pytest.raises(ValueError):
+            build_path(PathSpec("p", "x", "y", hops=()))
+
+    def test_rtt_helper(self):
+        spec = PathSpec("p", "x", "y", hops=(HopSpec(1e6, 0.01), HopSpec(None, 0.02)))
+        assert spec.rtt() == pytest.approx(0.06)
+
+
+class TestPresets:
+    def test_short_haul_rtt_near_26ms(self):
+        assert topology.short_haul().spec.rtt() == pytest.approx(26e-3, rel=0.05)
+
+    def test_long_haul_rtt_near_65ms(self):
+        assert topology.long_haul().spec.rtt() == pytest.approx(65e-3, rel=0.05)
+
+    def test_short_haul_one_way_delay(self):
+        delay = one_way_delay(topology.short_haul())
+        assert 0.012 < delay < 0.016
+
+    def test_bottlenecks(self):
+        assert topology.short_haul().spec.bottleneck_bps == 100 * MBPS
+        assert topology.gigabit_path().spec.bottleneck_bps == pytest.approx(622e6)
+
+    def test_gigabit_path_uses_gige_profile(self):
+        net = topology.gigabit_path()
+        assert net.a.profile.recv_packet_cost == pytest.approx(150e-6)
+
+    def test_contended_path_has_cross_traffic(self):
+        net = topology.contended_path()
+        assert len(net.cross_sources) == 1
+        assert "xsrc" in net.hosts
+
+    def test_contended_path_without_cross_traffic(self):
+        net = topology.contended_path(cross_rate_bps=0)
+        assert not net.cross_sources
+
+    def test_presets_are_seed_deterministic(self):
+        from repro.core import run_fobs_transfer
+        s1 = run_fobs_transfer(topology.long_haul(seed=3), 200_000)
+        s2 = run_fobs_transfer(topology.long_haul(seed=3), 200_000)
+        assert s1.duration == s2.duration
+        assert s1.packets_sent == s2.packets_sent
+
+
+class TestAttachHost:
+    def test_attached_host_reachable_both_ways(self):
+        net = topology.short_haul()
+        extra = net.attach_host("extra", router_index=1)
+        rx = UdpSocket(extra, 800)
+        tx = UdpSocket(net.a, net.a.allocate_port())
+        tx.sendto(None, 100, Address("extra", 800))
+        rx2 = UdpSocket(net.b, 801)
+        tx2 = UdpSocket(extra, extra.allocate_port())
+        tx2.sendto(None, 100, Address("lcse", 801))
+        net.sim.run()
+        assert rx.datagrams_received == 1
+        assert rx2.datagrams_received == 1
+
+    def test_attach_to_non_router_rejected(self):
+        net = topology.short_haul()
+        with pytest.raises(ValueError):
+            net.attach_host("bad", router_index=0)  # index 0 is endpoint a
+
+    def test_link_between_lookup(self):
+        net = topology.short_haul()
+        link = net.link_between("anl", "r1")
+        assert link.bandwidth_bps == 100 * MBPS

@@ -1,0 +1,39 @@
+"""Tests for the tracing facility."""
+
+from repro.simnet.trace import Tracer
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        t = Tracer()
+        t.emit(1.0, "tx", "frame 1")
+        assert t.records == []
+
+    def test_records_when_enabled(self):
+        t = Tracer(enabled=True)
+        t.emit(1.0, "tx", "frame 1")
+        t.emit(2.0, "rx", "frame 1")
+        assert len(t.records) == 2
+        assert t.records[0].kind == "tx"
+
+    def test_max_records_truncates(self):
+        t = Tracer(enabled=True, max_records=2)
+        for i in range(5):
+            t.emit(float(i), "tx", str(i))
+        assert len(t.records) == 2
+        assert t.truncated
+
+    def test_of_kind_filter(self):
+        t = Tracer(enabled=True)
+        t.emit(1.0, "tx", "a")
+        t.emit(2.0, "rx", "b")
+        t.emit(3.0, "tx", "c")
+        assert [r.detail for r in t.of_kind("tx")] == ["a", "c"]
+
+    def test_render(self):
+        t = Tracer(enabled=True)
+        for i in range(3):
+            t.emit(float(i), "tx", f"frame {i}")
+        out = t.render(limit=2)
+        assert "frame 0" in out
+        assert "1 more" in out
