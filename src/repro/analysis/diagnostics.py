@@ -10,6 +10,12 @@ into the three causes that matter for FOBS tuning:
   application was busy (the acknowledgement-frequency effect);
 * **queue_drops** — drop-tail/RED overflow at some hop (congestion);
 * **random_losses** — the Bernoulli wide-area residual.
+
+When fault injection (:mod:`repro.simnet.faults`) is installed, a
+fourth cause appears — **injected_drops**, frames deliberately killed
+by a fault schedule — plus informational duplication/corruption
+counters, so a diagnosed run under adversarial conditions attributes
+every missing frame.
 """
 
 from __future__ import annotations
@@ -26,10 +32,19 @@ class LossBreakdown:
     receiver_drops: int
     queue_drops: int
     random_losses: int
+    #: Frames killed by an installed fault schedule (blackhole, burst,
+    #: flap, Bernoulli) — zero when no faults are installed.
+    injected_drops: int = 0
+    #: Frames marked corrupted by fault injection (delivered, then
+    #: rejected by checksumming receivers).  Informational.
+    corrupted: int = 0
+    #: Extra copies created by fault injection.  Informational.
+    duplicated: int = 0
 
     @property
     def total(self) -> int:
-        return self.receiver_drops + self.queue_drops + self.random_losses
+        return (self.receiver_drops + self.queue_drops
+                + self.random_losses + self.injected_drops)
 
     def dominant_cause(self) -> str:
         """The largest contributor (or "none" for a loss-free run)."""
@@ -39,17 +54,25 @@ class LossBreakdown:
             "receiver_socket_overflow": self.receiver_drops,
             "queue_overflow": self.queue_drops,
             "random_loss": self.random_losses,
+            "injected_fault": self.injected_drops,
         }
         return max(causes, key=lambda k: causes[k])
 
     def render(self) -> str:
-        return (
+        out = (
             f"losses: {self.total} total — "
             f"receiver socket {self.receiver_drops}, "
             f"queue overflow {self.queue_drops}, "
-            f"random {self.random_losses} "
-            f"(dominant: {self.dominant_cause()})"
+            f"random {self.random_losses}"
         )
+        if self.injected_drops or self.corrupted or self.duplicated:
+            out += (
+                f", injected {self.injected_drops} "
+                f"(+{self.corrupted} corrupted, "
+                f"+{self.duplicated} duplicated)"
+            )
+        out += f" (dominant: {self.dominant_cause()})"
+        return out
 
 
 def loss_breakdown(net: Network, receiver_socket_drops: int = 0) -> LossBreakdown:
@@ -64,13 +87,23 @@ def loss_breakdown(net: Network, receiver_socket_drops: int = 0) -> LossBreakdow
     """
     queue_drops = 0
     random_losses = 0
+    injected_drops = 0
+    corrupted = 0
+    duplicated = 0
     for link in net.links.values():
         random_losses += link.stats.frames_lost_random
         queue = getattr(link, "queue", None)
         if queue is not None:
             queue_drops += queue.stats.dropped
+        for injector in getattr(link, "faults", ()):
+            injected_drops += injector.stats.dropped
+            corrupted += injector.stats.corrupted
+            duplicated += injector.stats.duplicated
     return LossBreakdown(
         receiver_drops=receiver_socket_drops,
         queue_drops=queue_drops,
         random_losses=random_losses,
+        injected_drops=injected_drops,
+        corrupted=corrupted,
+        duplicated=duplicated,
     )

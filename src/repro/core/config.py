@@ -49,6 +49,28 @@ class FobsConfig:
     #: (the paper's configuration) paces only on the NIC and the send
     #: CPU cost; a finite rate inserts inter-packet gaps, RBUDP-style.
     send_rate_bps: Optional[float] = None
+    #: Payload checksumming (CRC32 trailer on data packets, CRC32 of
+    #: the bitmap on acknowledgements).  True is the hardened default;
+    #: False is the negotiated fallback for trusted paths — corruption
+    #: then passes undetected, as in the paper's original wire format.
+    checksum: bool = True
+    #: Seconds without ACK progress before the sender declares a stall
+    #: and switches to backoff re-blast probing.
+    stall_timeout: float = 5.0
+    #: Multiplier applied to the probe interval after each fruitless
+    #: stall probe (exponential backoff).
+    stall_backoff: float = 2.0
+    #: Total stalled seconds after which the sender gives up and fails
+    #: the transfer instead of blasting into a dead path forever.
+    stall_abort_after: float = 60.0
+    #: Seconds without any arriving data packet before the receiver
+    #: declares the transfer dead (liveness timeout).
+    receiver_idle_timeout: float = 30.0
+    #: Seconds after the receiver's previous acknowledgement beyond
+    #: which *any* data arrival (even a duplicate) triggers a fresh
+    #: bitmap ACK — so stall probes and lost acknowledgements cannot
+    #: leave the sender blind.
+    ack_refresh_interval: float = 5.0
     #: Kernel UDP receive buffer at the data receiver, bytes.
     recv_buffer: int = 65536
     #: Kernel UDP receive buffer for acknowledgements at the sender.
@@ -77,6 +99,16 @@ class FobsConfig:
             raise ValueError("congestion_threshold must be in (0, 1)")
         if self.recv_buffer < self.packet_size:
             raise ValueError("recv_buffer must hold at least one packet")
+        if self.stall_timeout <= 0:
+            raise ValueError("stall_timeout must be positive")
+        if self.stall_backoff < 1.0:
+            raise ValueError("stall_backoff must be >= 1")
+        if self.stall_abort_after < self.stall_timeout:
+            raise ValueError("stall_abort_after must be >= stall_timeout")
+        if self.receiver_idle_timeout <= 0:
+            raise ValueError("receiver_idle_timeout must be positive")
+        if self.ack_refresh_interval <= 0:
+            raise ValueError("ack_refresh_interval must be positive")
         if self.send_rate_bps is not None and self.send_rate_bps <= 0:
             raise ValueError("send_rate_bps must be positive when set")
 

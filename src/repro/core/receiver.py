@@ -23,7 +23,12 @@ class ReceiverStats:
 
     packets_new: int = 0
     packets_duplicate: int = 0
+    #: Data packets rejected by the checksum (fault injection).
+    packets_corrupt: int = 0
     acks_built: int = 0
+    #: Acknowledgements produced by the time-based refresh rule rather
+    #: than the every-``ack_frequency``-new-packets rule.
+    acks_refreshed: int = 0
     completed_at: Optional[float] = None
 
 
@@ -38,10 +43,28 @@ class FobsReceiver:
         self.stats = ReceiverStats()
         self._new_since_ack = 0
         self._next_ack_id = 0
+        #: Time of the most recent data arrival (any, including
+        #: duplicates/corrupt) — the liveness signal.
+        self.last_data_time: Optional[float] = None
+        #: Time of the last acknowledgement build (refresh-rule clock).
+        self._last_ack_time: Optional[float] = None
 
     @property
     def complete(self) -> bool:
         return self.bitmap.is_complete
+
+    def on_corrupt_data(self, now: float) -> None:
+        """A checksummed data packet failed verification; dropped.
+
+        Still counts as liveness: bytes are arriving, merely damaged.
+        """
+        self.stats.packets_corrupt += 1
+        self.last_data_time = now
+
+    def idle_since(self, now: float, start: float) -> float:
+        """Seconds since data last arrived (or since ``start`` if never)."""
+        last = self.last_data_time if self.last_data_time is not None else start
+        return now - last
 
     # ------------------------------------------------------------------
     def on_data(self, seq: int, now: float) -> Optional[AckPacket]:
@@ -49,21 +72,41 @@ class FobsReceiver:
 
         An ACK is produced when ``ack_frequency`` new packets have
         arrived since the last one, or when this packet completes the
-        object (the final acknowledgement).
+        object (the final acknowledgement).  As stall hardening, any
+        arrival — new *or* duplicate — more than ``ack_refresh_interval``
+        after the previous acknowledgement also triggers one, so a
+        sender probing its way out of a loss episode (or whose previous
+        acknowledgement was lost) always gets a bitmap back.
         """
+        self.last_data_time = now
+        if self._last_ack_time is None:
+            self._last_ack_time = now
+        refresh_due = (
+            now - self._last_ack_time >= self.config.ack_refresh_interval
+        )
         if self.bitmap.mark(seq):
             self.stats.packets_new += 1
             self._new_since_ack += 1
         else:
             self.stats.packets_duplicate += 1
+            if refresh_due:
+                self.stats.acks_refreshed += 1
+                return self._stamped_ack(now)
             return None
         if self.complete:
             if self.stats.completed_at is None:
                 self.stats.completed_at = now
-            return self.build_ack()
+            return self._stamped_ack(now)
         if self._new_since_ack >= self.config.ack_frequency:
-            return self.build_ack()
+            return self._stamped_ack(now)
+        if refresh_due:
+            self.stats.acks_refreshed += 1
+            return self._stamped_ack(now)
         return None
+
+    def _stamped_ack(self, now: float) -> AckPacket:
+        self._last_ack_time = now
+        return self.build_ack()
 
     def build_ack(self) -> AckPacket:
         """Snapshot the bitmap into an acknowledgement packet."""

@@ -41,6 +41,17 @@ class SenderStats:
     batches: int = 0
     acks_processed: int = 0
     stale_acks: int = 0
+    #: Acknowledgements rejected by the checksum (fault injection).
+    acks_corrupt: int = 0
+    #: Times the stall detector fired (no ACK progress for the timeout).
+    stall_events: int = 0
+    #: Backoff re-blast probes issued while stalled.
+    stall_probes: int = 0
+    #: Stalls that ended with ACK progress resuming.
+    stall_recoveries: int = 0
+    #: Completions synthesized because every packet was acked but the
+    #: TCP completion signal never arrived.
+    completion_timeouts: int = 0
     completed_at: Optional[float] = None
 
     def wasted_fraction(self, packets_required: int) -> float:
@@ -72,11 +83,18 @@ class FobsSender:
             config.congestion_mode, config.congestion_threshold
         )
         self.complete = False
+        self.failed = False
+        self.failure_reason: Optional[str] = None
         self.stats = SenderStats()
         self._last_ack_id = -1
         self._last_ack_count = 0
         self._last_ack_time: Optional[float] = None
         self._sent_since_ack = 0
+        # Stall detection state (see poll_stall).
+        self._progress_time: Optional[float] = None
+        self._stalled = False
+        self._next_probe = 0.0
+        self._probe_interval = 0.0
 
     # ------------------------------------------------------------------
     def payload_bytes(self, seq: int) -> int:
@@ -86,16 +104,18 @@ class FobsSender:
             return tail if tail > 0 else self.config.packet_size
         return self.config.packet_size
 
-    def next_batch(self) -> list[DataPacket]:
+    def next_batch(self, size: Optional[int] = None) -> list[DataPacket]:
         """Packets for the next batch-send operation.
 
         Empty when the transfer is complete *or* when every packet is
         locally acknowledged and the sender is merely waiting for the
-        completion signal.
+        completion signal.  ``size`` overrides the batch policy (used
+        by stall probes, which must not inherit a collapsed batch size).
         """
         if self.complete:
             return []
-        size = self.batch_policy.next_batch_size()
+        if size is None:
+            size = self.batch_policy.next_batch_size()
         batch: list[DataPacket] = []
         for _ in range(size):
             seq = self.scheduler.next_seq(self.acked)
@@ -131,6 +151,11 @@ class FobsSender:
         """
         newly = self.acked.merge(np.asarray(ack.bitmap))
         self.stats.acks_processed += 1
+        if newly > 0:
+            self._progress_time = now
+            if self._stalled:
+                self._stalled = False
+                self.stats.stall_recoveries += 1
         if ack.ack_id <= self._last_ack_id:
             self.stats.stale_acks += 1
             return newly
@@ -153,6 +178,88 @@ class FobsSender:
         self.complete = True
         if self.stats.completed_at is None:
             self.stats.completed_at = now
+
+    def on_corrupt_ack(self) -> None:
+        """A checksummed acknowledgement failed verification; dropped."""
+        self.stats.acks_corrupt += 1
+
+    # ------------------------------------------------------------------
+    # Stall detection (timeout / backoff re-blast / clean failure)
+    # ------------------------------------------------------------------
+    @property
+    def stalled(self) -> bool:
+        """Is the sender currently in the stalled state?"""
+        return self._stalled
+
+    def poll_stall(self, now: float) -> Optional[str]:
+        """Advance the stall state machine; tell the driver what to do.
+
+        Call once per sender-loop iteration.  Returns:
+
+        * ``None`` — not stalled; run the normal greedy loop.
+        * ``"probe"`` — stalled and a backoff re-blast is due: let one
+          batch through, then expect ``"wait"`` until the next probe.
+        * ``"wait"`` — stalled, next probe not due; the driver should
+          sleep :meth:`stall_wait_hint` seconds (draining in-flight
+          state and polling ACKs is fine, assembling new batches is not).
+        * ``"abort"`` — stalled past ``stall_abort_after``; the sender
+          has marked itself :attr:`failed` and the driver must stop.
+
+        Progress is defined as an acknowledgement confirming at least
+        one new packet (:meth:`on_ack`).  When every packet is locally
+        acked and only the TCP completion signal is missing, a stall
+        *completes* the transfer instead of failing it — the data
+        demonstrably arrived.
+        """
+        if self.complete or self.failed:
+            return None
+        cfg = self.config
+        if self._progress_time is None:
+            # The clock starts at the first loop iteration, not at
+            # construction, so setup cost never counts as stall time.
+            self._progress_time = now
+            return None
+        stalled_for = now - self._progress_time
+        if stalled_for < cfg.stall_timeout:
+            return None
+        if self.all_acked:
+            self.stats.completion_timeouts += 1
+            self.on_completion(now)
+            return None
+        if not self._stalled:
+            self._stalled = True
+            self.stats.stall_events += 1
+            self._probe_interval = cfg.stall_timeout
+            self._next_probe = now
+        if stalled_for >= cfg.stall_abort_after:
+            self.failed = True
+            self._stalled = False
+            self.failure_reason = (
+                f"stalled: no ACK progress for {stalled_for:.3g}s "
+                f"({self.acked.count}/{self.npackets} packets acked, "
+                f"{self.stats.stall_probes} probes)"
+            )
+            return "abort"
+        if now >= self._next_probe:
+            self._next_probe = now + self._probe_interval
+            self._probe_interval *= cfg.stall_backoff
+            self.stats.stall_probes += 1
+            return "probe"
+        return "wait"
+
+    def stall_wait_hint(self, now: float) -> float:
+        """Seconds until the next stall probe is due."""
+        return max(self._next_probe - now, 1e-6)
+
+    def probe_batch(self) -> list[DataPacket]:
+        """The re-blast batch for one stall probe.
+
+        At least ``ack_frequency`` unacked packets: the adaptive batch
+        policy may have collapsed to a tiny batch during the stall, and
+        a probe smaller than the acknowledgement frequency could never
+        elicit a count-triggered ACK from the receiver.
+        """
+        return self.next_batch(size=self.config.ack_frequency)
 
     # ------------------------------------------------------------------
     @property

@@ -66,10 +66,34 @@ class TransferStats:
     switched_to_tcp: bool
     sender_stats: SenderStats
     receiver_stats: ReceiverStats
+    #: The transfer was aborted by the protocol itself (sender stall
+    #: abort or receiver liveness timeout); mutually exclusive with
+    #: ``completed``.
+    failed: bool = False
+    #: Human-readable diagnosis when ``failed`` is True.
+    failure_reason: Optional[str] = None
+    #: ``run(time_limit=...)`` expired before completion or failure —
+    #: previously this outcome was indistinguishable from a clean run.
+    timed_out: bool = False
+    #: Stall/recovery counters (see :class:`~repro.core.sender.SenderStats`).
+    stall_events: int = 0
+    stall_probes: int = 0
+    stall_recoveries: int = 0
+    #: Packets/ACKs rejected by checksum verification.
+    corrupt_data_dropped: int = 0
+    corrupt_acks_dropped: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Completed, did not fail, did not time out."""
+        return self.completed and not self.failed and not self.timed_out
 
     def __str__(self) -> str:
+        if self.failed:
+            return f"TransferStats(FAILED: {self.failure_reason})"
+        tag = " TIMED OUT," if self.timed_out else ""
         return (
-            f"TransferStats({self.nbytes / 1e6:.1f} MB in {self.duration:.2f}s = "
+            f"TransferStats({tag}{self.nbytes / 1e6:.1f} MB in {self.duration:.2f}s = "
             f"{self.throughput_bps / 1e6:.1f} Mb/s, "
             f"{self.percent_of_bottleneck:.1f}% of bottleneck, "
             f"waste={100 * self.wasted_fraction:.1f}%)"
@@ -128,6 +152,10 @@ class FobsTransfer:
         self._started = False
         self._start_time: Optional[float] = None
         self._receiver_closed = False
+        self.failed = False
+        self.failure_reason: Optional[str] = None
+        self.timed_out = False
+        self._stall_wait_handle = None
         # Section 7 tcp_switch mode state
         self.switched_to_tcp = False
         self._tcp_tail: Optional[TcpConnection] = None
@@ -136,6 +164,9 @@ class FobsTransfer:
         self._tcp_tail_delivered = 0
 
         self.data_in.on_readable = self._wake_receiver
+        # Wake a stalled (backed-off) sender the moment an ACK lands,
+        # instead of waiting out the current probe interval.
+        self.ack_in.on_readable = self._wake_stalled_sender
 
     # ------------------------------------------------------------------
     # Control channel
@@ -157,25 +188,79 @@ class FobsTransfer:
         self._start_time = self.sim.now
         self._ctrl_client.connect()
         self.sim.schedule(0.0, self._sender_step)
+        self.sim.schedule(self.config.receiver_idle_timeout, self._liveness_check)
 
     def run(self, time_limit: float = 600.0) -> TransferStats:
-        """Start (if needed) and simulate until the sender finishes."""
+        """Start (if needed) and simulate until the sender finishes.
+
+        A transfer that neither completes nor fails before the deadline
+        is explicitly marked ``timed_out`` in the returned stats.
+        """
         if not self._started:
             self.start()
         deadline = self._start_time + time_limit
         self.sim.run(until=deadline, stop_when=self._finished)
+        if not self._finished():
+            self.timed_out = True
         return self.collect_stats()
 
     def _finished(self) -> bool:
+        if self.failed:
+            return True
         if self.switched_to_tcp:
             return self._tcp_tail_delivered >= self._tcp_tail_bytes
         return self.sender.complete
 
+    def _fail(self, reason: str) -> None:
+        """Abort the transfer with a diagnosable reason (never hang)."""
+        if self.failed or self.sender.complete:
+            return
+        self.failed = True
+        self.failure_reason = reason
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, "failed", reason)
+
+    def _liveness_check(self) -> None:
+        """Receiver-side liveness: fail if data stops arriving entirely."""
+        if (self.failed or self._receiver_closed or self.switched_to_tcp
+                or self.sender.complete):
+            return
+        timeout = self.config.receiver_idle_timeout
+        idle = self.receiver.idle_since(self.sim.now, self._start_time)
+        if idle >= timeout:
+            self._fail(
+                f"receiver liveness timeout: no data for {idle:.3g}s "
+                f"({self.receiver.bitmap.count}/{self.receiver.npackets} "
+                f"packets received)"
+            )
+            return
+        self.sim.schedule(timeout - idle, self._liveness_check)
+
     # ------------------------------------------------------------------
     # Sender loop (Section 3.1's three phases, one event per action)
     # ------------------------------------------------------------------
+    def _wake_stalled_sender(self) -> None:
+        if self._stall_wait_handle is not None and self.sender.stalled:
+            self._stall_wait_handle.cancel()
+            self._stall_wait_handle = None
+            self.sim.schedule(0.0, self._sender_step)
+
     def _sender_step(self) -> None:
-        if self.sender.complete or self.switched_to_tcp:
+        self._stall_wait_handle = None
+        if self.sender.complete or self.switched_to_tcp or self.failed:
+            return
+
+        # Stall detection: no ACK progress for stall_timeout switches
+        # the loop to backoff re-blast probing; stalling past the abort
+        # threshold fails the transfer cleanly instead of hanging until
+        # the run() deadline.
+        stall = self.sender.poll_stall(self.sim.now)
+        if stall == "abort":
+            self._fail(self.sender.failure_reason)
+            return
+        if self.sender.complete:
+            # poll_stall synthesized completion (all packets acked but
+            # the TCP completion signal never arrived).
             return
 
         # Phase: emit the current batch one packet at a time, pacing on
@@ -201,8 +286,14 @@ class FobsTransfer:
         # Phase 2: look for (but do not block on) an acknowledgement.
         frame = self.ack_in.poll()
         if frame is not None:
-            ack: AckPacket = frame.payload
             cost = self._a_profile.recv_cost(frame.size_bytes)
+            if frame.corrupted and self.config.checksum:
+                self.sender.on_corrupt_ack()
+                if self.tracer.enabled:
+                    self.tracer.emit(self.sim.now, "ack_corrupt", "dropped")
+                self.sim.schedule(cost, self._sender_step)
+                return
+            ack: AckPacket = frame.payload
             self.sender.on_ack(ack, self.sim.now)
             if self.tracer.enabled:
                 self.tracer.emit(self.sim.now, "ack_rx",
@@ -213,8 +304,19 @@ class FobsTransfer:
             self.sim.schedule(cost, self._sender_step)
             return
 
+        # Stalled with no probe due: back off — no new batches until the
+        # probe timer (or an arriving ACK, via on_readable) wakes us.
+        if stall == "wait":
+            self._stall_wait_handle = self.sim.schedule(
+                self.sender.stall_wait_hint(self.sim.now), self._sender_step
+            )
+            return
+
         # Phases 1+3: assemble the next batch via the schedule policy.
-        batch = self.sender.next_batch()
+        # A stall probe overrides the (possibly collapsed) batch policy
+        # so the re-blast is large enough to elicit an acknowledgement.
+        batch = (self.sender.probe_batch() if stall == "probe"
+                 else self.sender.next_batch())
         if not batch:
             # Everything locally acked; poll for the completion signal.
             self.sim.schedule(1e-3, self._sender_step)
@@ -242,8 +344,17 @@ class FobsTransfer:
         frame = self.data_in.poll()
         if frame is None:
             return
-        pkt: DataPacket = frame.payload
         cost = self._b_profile.recv_cost(frame.size_bytes)
+        if frame.corrupted and self.config.checksum:
+            # Checksum rejects the damaged payload; the packet is lost
+            # as far as the bitmap is concerned and will be re-sent.
+            self.receiver.on_corrupt_data(self.sim.now)
+            if self.tracer.enabled:
+                self.tracer.emit(self.sim.now, "data_corrupt", "dropped")
+            self._recv_busy = True
+            self.sim.schedule(cost, self._recv_after, None)
+            return
+        pkt: DataPacket = frame.payload
         ack = self.receiver.on_data(pkt.seq, self.sim.now)
         if ack is not None:
             cost += self._b_profile.ack_cost(self._bitmap_bytes)
@@ -319,7 +430,9 @@ class FobsTransfer:
         start = self._start_time if self._start_time is not None else 0.0
         done_at = self.receiver.stats.completed_at
         completed = done_at is not None
-        end = done_at if completed else self.sim.now
+        # A failed transfer's duration runs to the failure, even if the
+        # receiver had quietly completed (e.g. a dead reverse path).
+        end = done_at if completed and not self.failed else self.sim.now
         duration = max(end - start, 1e-12)
         delivered = (
             self.nbytes
@@ -356,6 +469,14 @@ class FobsTransfer:
             switched_to_tcp=self.switched_to_tcp,
             sender_stats=self.sender.stats,
             receiver_stats=self.receiver.stats,
+            failed=self.failed,
+            failure_reason=self.failure_reason,
+            timed_out=self.timed_out,
+            stall_events=self.sender.stats.stall_events,
+            stall_probes=self.sender.stats.stall_probes,
+            stall_recoveries=self.sender.stats.stall_recoveries,
+            corrupt_data_dropped=self.receiver.stats.packets_corrupt,
+            corrupt_acks_dropped=self.sender.stats.acks_corrupt,
         )
 
 

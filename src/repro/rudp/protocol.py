@@ -49,6 +49,10 @@ class RudpStats:
     percent_of_bottleneck: float
     completed: bool
     wasted_fraction: float
+    #: The run() time limit expired before completion.
+    timed_out: bool = False
+    #: Corrupted data frames dropped by the receiver (fault injection).
+    packets_corrupt: int = 0
 
 
 @dataclass(frozen=True)
@@ -101,6 +105,7 @@ class RudpTransfer:
         )
         self._start: Optional[float] = None
         self.completed_at: Optional[float] = None
+        self.packets_corrupt = 0
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -172,7 +177,12 @@ class RudpTransfer:
         if frame is None:
             return
         pkt: DataPacket = frame.payload
-        self.bitmap.mark(pkt.seq)
+        if frame.corrupted:
+            # Damaged in flight: pay the receive cost but never mark
+            # the packet; a later round re-sends it.
+            self.packets_corrupt += 1
+        else:
+            self.bitmap.mark(pkt.seq)
         cost = self._b_profile.recv_cost(frame.size_bytes)
         self._recv_busy = True
         self.sim.schedule(cost, self._recv_continue)
@@ -216,6 +226,8 @@ class RudpTransfer:
             percent_of_bottleneck=100.0 * throughput / self.net.spec.bottleneck_bps,
             completed=completed,
             wasted_fraction=(self.packets_sent - self.npackets) / self.npackets,
+            timed_out=not completed,
+            packets_corrupt=self.packets_corrupt,
         )
 
 

@@ -34,8 +34,13 @@ from repro.runtime import wire
 
 OFFER_MAGIC = 0xF0B50FFE
 ACCEPT_MAGIC = 0xF0B5ACC0
-_OFFER = struct.Struct("!IQIII")   # magic, filesize, packet_size, ack_port, crc32
+# magic, filesize, packet_size, ack_port, flags, crc32
+_OFFER = struct.Struct("!IQIIII")
 _ACCEPT = struct.Struct("!III")    # magic, data_port, reserved
+#: Offer flag bit: per-packet CRC32 checksumming on the data plane.
+#: The receiver adopts whatever the sender offers — the negotiated
+#: fallback for the checksum field in the wire formats.
+FLAG_CHECKSUM = 1
 
 
 @dataclass
@@ -85,8 +90,9 @@ def send_file(
     data_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
     try:
         with socket.create_connection((host, port), timeout=timeout) as ctrl:
+            flags = FLAG_CHECKSUM if config.checksum else 0
             ctrl.sendall(_OFFER.pack(OFFER_MAGIC, len(data), config.packet_size,
-                                     ack_sock.getsockname()[1], crc))
+                                     ack_sock.getsockname()[1], flags, crc))
             magic, data_port, _ = _ACCEPT.unpack(_recv_exact(ctrl, _ACCEPT.size))
             if magic != ACCEPT_MAGIC:
                 raise ValueError("bad accept message from receiver")
@@ -97,17 +103,33 @@ def send_file(
             ctrl.setblocking(False)
             start = time.monotonic()
             while not sender.complete:
-                if time.monotonic() > deadline:
+                now = time.monotonic()
+                if now > deadline:
                     raise TimeoutError("file send timed out")
-                for pkt in sender.next_batch():
+                stall = sender.poll_stall(now)
+                if stall == "abort":
+                    raise TimeoutError(
+                        f"file send aborted: {sender.failure_reason}")
+                if stall == "probe":
+                    batch = sender.probe_batch()
+                elif stall == "wait":
+                    batch = []
+                else:
+                    batch = sender.next_batch()
+                for pkt in batch:
                     off = pkt.seq * config.packet_size
                     payload = data[off:off + pkt.payload_bytes]
-                    data_sock.sendto(wire.encode_data(pkt, payload), data_addr)
+                    data_sock.sendto(
+                        wire.encode_data(pkt, payload, checksum=config.checksum),
+                        data_addr)
                 try:
-                    ack = wire.decode_ack(ack_sock.recv(1 << 20))
+                    ack = wire.decode_ack(ack_sock.recv(1 << 20),
+                                          checksum=config.checksum)
                     sender.on_ack(ack, time.monotonic())
                 except BlockingIOError:
                     pass
+                except wire.ChecksumError:
+                    sender.on_corrupt_ack()
                 try:
                     msg = ctrl.recv(64)
                     if msg:
@@ -115,7 +137,7 @@ def send_file(
                         sender.on_completion(time.monotonic())
                 except BlockingIOError:
                     pass
-                if sender.all_acked and not sender.complete:
+                if not batch and not sender.complete:
                     time.sleep(0.001)
             duration = max(time.monotonic() - start, 1e-9)
     finally:
@@ -161,11 +183,12 @@ def receive_file(
         listener.close()
     with ctrl:
         ctrl.settimeout(timeout)
-        magic, filesize, packet_size, ack_port, crc_expected = _OFFER.unpack(
+        magic, filesize, packet_size, ack_port, flags, crc_expected = _OFFER.unpack(
             _recv_exact(ctrl, _OFFER.size))
         if magic != OFFER_MAGIC:
             raise ValueError("bad offer message from sender")
-        config = FobsConfig(packet_size=packet_size, ack_frequency=32)
+        config = FobsConfig(packet_size=packet_size, ack_frequency=32,
+                            checksum=bool(flags & FLAG_CHECKSUM))
 
         data_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         data_sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1 << 20)
@@ -185,12 +208,18 @@ def receive_file(
                     datagram = data_sock.recv(65535)
                 except socket.timeout:
                     continue
-                pkt, payload = wire.decode_data(datagram)
+                try:
+                    pkt, payload = wire.decode_data(datagram,
+                                                    checksum=config.checksum)
+                except wire.ChecksumError:
+                    receiver.on_corrupt_data(time.monotonic())
+                    continue  # damaged in flight; the sender re-sends it
                 off = pkt.seq * packet_size
                 buffer[off:off + len(payload)] = payload
                 ack = receiver.on_data(pkt.seq, time.monotonic())
                 if ack is not None:
-                    ack_sock.sendto(wire.encode_ack(ack), (peer[0], ack_port))
+                    ack_sock.sendto(wire.encode_ack(ack, checksum=config.checksum),
+                                    (peer[0], ack_port))
             duration = max(time.monotonic() - start, 1e-9)
             crc_ok = zlib.crc32(bytes(buffer)) == crc_expected
             if crc_ok:

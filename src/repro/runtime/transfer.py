@@ -8,7 +8,11 @@ sides.
 
 An optional ``drop_rate`` discards outgoing data datagrams at the
 sender (deterministic RNG) to exercise the retransmission machinery on
-an otherwise loss-free loopback path.
+an otherwise loss-free loopback path.  ``corrupt_rate`` flips one byte
+in that fraction of datagrams instead (the checksum must catch them),
+and ``blackhole_acks`` silences the receiver's acknowledgement and
+completion channels entirely — the adversarial case that must end in a
+clean stall abort rather than a hang.
 """
 
 from __future__ import annotations
@@ -41,6 +45,13 @@ class LoopbackResult:
     duplicates_received: int
     acks_sent: int
     wasted_fraction: float
+    #: Did both sides finish the protocol (vs. a clean stall failure)?
+    completed: bool = True
+    failure_reason: Optional[str] = None
+    stall_events: int = 0
+    stall_recoveries: int = 0
+    #: Datagrams rejected by CRC verification (data + acks).
+    corrupt_dropped: int = 0
 
 
 class _Receiver(threading.Thread):
@@ -52,6 +63,7 @@ class _Receiver(threading.Thread):
         ack_addr: tuple[str, int],
         ctrl_addr: tuple[str, int],
         deadline: float,
+        blackhole_acks: bool = False,
     ):
         super().__init__(name="fobs-receiver", daemon=True)
         self.config = config
@@ -59,6 +71,8 @@ class _Receiver(threading.Thread):
         self.receiver = FobsReceiver(config, nbytes)
         self.buffer = bytearray(nbytes)
         self.deadline = deadline
+        self.blackhole_acks = blackhole_acks
+        self.failure_reason: Optional[str] = None
         self.error: Optional[BaseException] = None
         self._ack_addr = ack_addr
         self._ctrl_addr = ctrl_addr
@@ -83,19 +97,40 @@ class _Receiver(threading.Thread):
 
     def _loop(self) -> None:
         packet_size = self.config.packet_size
+        start = time.monotonic()
         while not self.receiver.complete:
-            if time.monotonic() > self.deadline:
+            now = time.monotonic()
+            if now > self.deadline:
                 raise TimeoutError("receiver deadline exceeded")
+            idle = self.receiver.idle_since(now, start)
+            if idle > self.config.receiver_idle_timeout:
+                # Liveness timeout: the sender went away.  Exit cleanly
+                # with a diagnosis instead of burning the full deadline.
+                self.failure_reason = (
+                    f"receiver liveness timeout: no data for {idle:.3g}s "
+                    f"({self.receiver.bitmap.count}/{self.receiver.npackets} "
+                    f"packets received)"
+                )
+                return
             try:
                 datagram = self.data_sock.recv(65535)
             except socket.timeout:
                 continue
-            pkt, payload = wire.decode_data(datagram)
+            try:
+                pkt, payload = wire.decode_data(datagram,
+                                                checksum=self.config.checksum)
+            except wire.ChecksumError:
+                self.receiver.on_corrupt_data(time.monotonic())
+                continue  # damaged in flight; the sender re-sends it
             offset = pkt.seq * packet_size
             self.buffer[offset:offset + len(payload)] = payload
             ack = self.receiver.on_data(pkt.seq, time.monotonic())
-            if ack is not None:
-                self.ack_sock.sendto(wire.encode_ack(ack), self._ack_addr)
+            if ack is not None and not self.blackhole_acks:
+                self.ack_sock.sendto(
+                    wire.encode_ack(ack, checksum=self.config.checksum),
+                    self._ack_addr)
+        if self.blackhole_acks:
+            return  # adversarial mode: suppress the completion signal too
         # Completion signal over TCP (the paper's third connection).
         with socket.create_connection(self._ctrl_addr, timeout=5.0) as ctrl:
             ctrl.sendall(wire.encode_completion(self.receiver.npackets))
@@ -110,6 +145,7 @@ class _Sender(threading.Thread):
         ack_port: int,
         deadline: float,
         drop_rate: float = 0.0,
+        corrupt_rate: float = 0.0,
         seed: int = 0,
     ):
         super().__init__(name="fobs-sender", daemon=True)
@@ -119,7 +155,9 @@ class _Sender(threading.Thread):
         self.deadline = deadline
         self.error: Optional[BaseException] = None
         self.drop_rate = drop_rate
+        self.corrupt_rate = corrupt_rate
         self._drop_rng = np.random.default_rng(seed + 1)
+        self._corrupt_rng = np.random.default_rng(seed + 2)
         self._data_addr = data_addr
         self.data_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self.ack_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
@@ -163,26 +201,47 @@ class _Sender(threading.Thread):
     def _loop(self) -> None:
         packet_size = self.config.packet_size
         while not self.sender.complete:
-            if time.monotonic() > self.deadline:
+            now = time.monotonic()
+            if now > self.deadline:
                 raise TimeoutError("sender deadline exceeded")
-            # Phase 1/3: batch-send.
-            batch = self.sender.next_batch()
+            stall = self.sender.poll_stall(now)
+            if stall == "abort":
+                # sender.failed / failure_reason carry the diagnosis;
+                # terminate cleanly well before the deadline.
+                return
+            batch: list = []
+            if stall == "probe":
+                batch = self.sender.probe_batch()
+            elif stall != "wait":
+                # Phase 1/3: batch-send (suppressed between stall probes).
+                batch = self.sender.next_batch()
             for pkt in batch:
                 offset = pkt.seq * packet_size
                 payload = self.data[offset:offset + pkt.payload_bytes]
                 if self.drop_rate and self._drop_rng.random() < self.drop_rate:
                     continue  # simulated wide-area loss
-                self.data_sock.sendto(wire.encode_data(pkt, payload), self._data_addr)
+                datagram = wire.encode_data(pkt, payload,
+                                            checksum=self.config.checksum)
+                if self.corrupt_rate and self._corrupt_rng.random() < self.corrupt_rate:
+                    # Flip one byte in flight; the receiver's CRC must
+                    # reject it and the scheduler re-sends later.
+                    pos = int(self._corrupt_rng.integers(len(datagram)))
+                    damaged = bytearray(datagram)
+                    damaged[pos] ^= 0xFF
+                    datagram = bytes(damaged)
+                self.data_sock.sendto(datagram, self._data_addr)
             # Phase 2: poll (never block) for an acknowledgement.
             try:
                 datagram = self.ack_sock.recv(1 << 20)
-                ack = wire.decode_ack(datagram)
+                ack = wire.decode_ack(datagram, checksum=self.config.checksum)
                 self.sender.on_ack(ack, time.monotonic())
             except BlockingIOError:
                 pass
+            except wire.ChecksumError:
+                self.sender.on_corrupt_ack()
             self._check_completion()
             if not batch:
-                # All packets acked locally; wait for the TCP signal.
+                # Stalled, or all packets acked locally; don't spin.
                 time.sleep(0.001)
 
 
@@ -190,6 +249,8 @@ def run_loopback_transfer(
     nbytes: int = 1_000_000,
     config: Optional[FobsConfig] = None,
     drop_rate: float = 0.0,
+    corrupt_rate: float = 0.0,
+    blackhole_acks: bool = False,
     seed: int = 0,
     timeout: float = 60.0,
     data: Optional[bytes] = None,
@@ -198,7 +259,12 @@ def run_loopback_transfer(
 
     Returns throughput and protocol counters; ``checksum_ok`` confirms
     byte-exact delivery.  ``drop_rate`` discards that fraction of data
-    datagrams at the sender to exercise retransmission.
+    datagrams at the sender to exercise retransmission; ``corrupt_rate``
+    flips a byte in that fraction instead (requires ``config.checksum``
+    for detection); ``blackhole_acks`` silences the reverse path so the
+    sender must stall-abort.  Protocol-level failures (stall abort,
+    receiver liveness timeout) return a result with ``completed=False``
+    and a ``failure_reason`` rather than raising.
     """
     config = config if config is not None else FobsConfig(ack_frequency=32)
     if data is None:
@@ -211,10 +277,12 @@ def run_loopback_transfer(
     receiver = _Receiver(
         config, nbytes, data_port=0, ack_addr=("127.0.0.1", 0),
         ctrl_addr=("127.0.0.1", 0), deadline=deadline,
+        blackhole_acks=blackhole_acks,
     )
     sender = _Sender(
         config, data, data_addr=("127.0.0.1", receiver.data_port),
-        ack_port=0, deadline=deadline, drop_rate=drop_rate, seed=seed,
+        ack_port=0, deadline=deadline, drop_rate=drop_rate,
+        corrupt_rate=corrupt_rate, seed=seed,
     )
     # Late-bind the dynamic ports discovered after socket creation.
     receiver._ack_addr = ("127.0.0.1", sender.ack_port)
@@ -233,7 +301,12 @@ def run_loopback_transfer(
         if thread.is_alive():
             raise TimeoutError(f"{thread.name} did not finish within {timeout}s")
 
-    checksum_ok = hashlib.sha256(bytes(receiver.buffer)).digest() == hashlib.sha256(data).digest()
+    completed = sender.sender.complete and receiver.receiver.complete
+    failure_reason = sender.sender.failure_reason or receiver.failure_reason
+    checksum_ok = completed and (
+        hashlib.sha256(bytes(receiver.buffer)).digest()
+        == hashlib.sha256(data).digest()
+    )
     return LoopbackResult(
         nbytes=nbytes,
         duration=duration,
@@ -244,4 +317,10 @@ def run_loopback_transfer(
         duplicates_received=receiver.receiver.stats.packets_duplicate,
         acks_sent=receiver.receiver.stats.acks_built,
         wasted_fraction=sender.sender.wasted_fraction,
+        completed=completed,
+        failure_reason=failure_reason,
+        stall_events=sender.sender.stats.stall_events,
+        stall_recoveries=sender.sender.stats.stall_recoveries,
+        corrupt_dropped=(receiver.receiver.stats.packets_corrupt
+                         + sender.sender.stats.acks_corrupt),
     )

@@ -3,18 +3,30 @@
 All integers are big-endian (network order).  Layouts::
 
     DATA        !IIi  seq, total, transmission   + payload bytes
-    ACK         !IIII ack_id, received_count, npackets, reserved
+                [+ !I crc32(header + payload) trailer when checksumming]
+    ACK         !IIII ack_id, received_count, npackets, checksum
                 + packed bitmap (1 bit per packet, numpy packbits order)
     COMPLETION  !III  magic, total_packets, reserved
 
+Checksumming is negotiated out of band (both endpoints share a
+:class:`~repro.core.config.FobsConfig`; its ``checksum`` flag selects
+the format).  With checksumming on, data packets carry a 4-byte CRC32
+trailer over header+payload, and the ACK header's fourth word — spare
+("reserved") in the original format — carries the CRC32 of the packed
+bitmap.  With checksumming off the formats are byte-identical to the
+original protocol: the fallback costs nothing on trusted paths, at the
+price of silently accepting corrupted payloads.
+
 The simulator's :class:`~repro.core.packets.DataPacket` /
 :class:`~repro.core.packets.AckPacket` header-size constants are kept
-consistent with these layouts (12 and 16 bytes respectively).
+consistent with the un-checksummed layouts (12 and 16 bytes); the
+4-byte trailer is accounted only by the real-socket backend.
 """
 
 from __future__ import annotations
 
 import struct
+import zlib
 
 import numpy as np
 
@@ -23,22 +35,44 @@ from repro.core.packets import AckPacket, DataPacket
 _DATA_HDR = struct.Struct("!IIi")
 _ACK_HDR = struct.Struct("!IIII")
 _COMPLETION = struct.Struct("!III")
+_CRC = struct.Struct("!I")
 COMPLETION_MAGIC = 0xF0B5D011
+#: Bytes added to a data packet by the checksum trailer.
+CHECKSUM_TRAILER_BYTES = _CRC.size
 
 
-def encode_data(packet: DataPacket, payload: bytes) -> bytes:
+class ChecksumError(ValueError):
+    """A datagram failed CRC verification (corrupted in flight)."""
+
+
+def encode_data(packet: DataPacket, payload: bytes, checksum: bool = False) -> bytes:
     """Serialize a data packet header plus its payload slice."""
     if len(payload) != packet.payload_bytes:
         raise ValueError(
             f"payload length {len(payload)} != declared {packet.payload_bytes}"
         )
-    return _DATA_HDR.pack(packet.seq, packet.total, packet.transmission) + payload
+    datagram = _DATA_HDR.pack(packet.seq, packet.total, packet.transmission) + payload
+    if checksum:
+        datagram += _CRC.pack(zlib.crc32(datagram))
+    return datagram
 
 
-def decode_data(datagram: bytes) -> tuple[DataPacket, bytes]:
-    """Parse a data datagram; returns (header, payload bytes)."""
+def decode_data(datagram: bytes, checksum: bool = False) -> tuple[DataPacket, bytes]:
+    """Parse a data datagram; returns (header, payload bytes).
+
+    With ``checksum`` set, verifies and strips the CRC32 trailer,
+    raising :class:`ChecksumError` on mismatch.
+    """
     if len(datagram) < _DATA_HDR.size:
         raise ValueError("datagram shorter than data header")
+    if checksum:
+        if len(datagram) < _DATA_HDR.size + CHECKSUM_TRAILER_BYTES:
+            raise ValueError("checksummed datagram shorter than header + trailer")
+        body, trailer = datagram[:-CHECKSUM_TRAILER_BYTES], datagram[-CHECKSUM_TRAILER_BYTES:]
+        (crc,) = _CRC.unpack(trailer)
+        if zlib.crc32(body) != crc:
+            raise ChecksumError("data packet failed CRC32 verification")
+        datagram = body
     seq, total, transmission = _DATA_HDR.unpack_from(datagram)
     payload = datagram[_DATA_HDR.size:]
     if not payload:
@@ -49,21 +83,28 @@ def decode_data(datagram: bytes) -> tuple[DataPacket, bytes]:
     return pkt, payload
 
 
-def encode_ack(ack: AckPacket) -> bytes:
-    """Serialize an acknowledgement: header + packed bitmap."""
+def encode_ack(ack: AckPacket, checksum: bool = False) -> bytes:
+    """Serialize an acknowledgement: header + packed bitmap.
+
+    The header's fourth word carries the bitmap CRC32 when checksumming
+    (zero otherwise, matching the original reserved field).
+    """
     packed = np.packbits(np.asarray(ack.bitmap)).tobytes()
-    return _ACK_HDR.pack(ack.ack_id, ack.received_count, ack.npackets, 0) + packed
+    crc = zlib.crc32(packed) if checksum else 0
+    return _ACK_HDR.pack(ack.ack_id, ack.received_count, ack.npackets, crc) + packed
 
 
-def decode_ack(datagram: bytes) -> AckPacket:
-    """Parse an acknowledgement datagram."""
+def decode_ack(datagram: bytes, checksum: bool = False) -> AckPacket:
+    """Parse an acknowledgement datagram, verifying the bitmap CRC."""
     if len(datagram) < _ACK_HDR.size:
         raise ValueError("datagram shorter than ack header")
-    ack_id, received_count, npackets, _reserved = _ACK_HDR.unpack_from(datagram)
+    ack_id, received_count, npackets, crc = _ACK_HDR.unpack_from(datagram)
     packed = np.frombuffer(datagram, dtype=np.uint8, offset=_ACK_HDR.size)
     expected = -(-npackets // 8)
     if packed.shape[0] < expected:
         raise ValueError("ack bitmap truncated")
+    if checksum and zlib.crc32(packed[:expected].tobytes()) != crc:
+        raise ChecksumError("ack bitmap failed CRC32 verification")
     bits = np.unpackbits(packed[:expected], count=npackets).astype(np.bool_)
     return AckPacket(ack_id=ack_id, received_count=received_count, bitmap=bits)
 

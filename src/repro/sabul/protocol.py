@@ -65,6 +65,10 @@ class SabulStats:
     wasted_fraction: float
     final_rate_bps: float
     loss_reports: int
+    #: The run() time limit expired before completion.
+    timed_out: bool = False
+    #: Corrupted data frames dropped by the receiver (fault injection).
+    packets_corrupt: int = 0
 
 
 @dataclass(frozen=True)
@@ -112,6 +116,7 @@ class SabulTransfer:
         self._start: Optional[float] = None
         self.completed_at: Optional[float] = None
         self._sender_done = False
+        self.packets_corrupt = 0
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -203,7 +208,12 @@ class SabulTransfer:
         if frame is None:
             return
         pkt: DataPacket = frame.payload
-        self.bitmap.mark(pkt.seq)
+        if frame.corrupted:
+            # Damaged in flight: still advances the frontier, so the
+            # gap shows up as a loss in the next SYN report.
+            self.packets_corrupt += 1
+        else:
+            self.bitmap.mark(pkt.seq)
         if pkt.seq >= self._frontier:
             self._frontier = pkt.seq + 1
         cost = self._b_profile.recv_cost(frame.size_bytes)
@@ -248,6 +258,8 @@ class SabulTransfer:
             wasted_fraction=(self.packets_sent - self.npackets) / self.npackets,
             final_rate_bps=self.current_rate_bps,
             loss_reports=self.loss_reports,
+            timed_out=not completed,
+            packets_corrupt=self.packets_corrupt,
         )
 
 

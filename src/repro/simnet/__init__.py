@@ -34,6 +34,19 @@ from repro.simnet.topology import (
     satellite_path,
     short_haul,
 )
+from repro.simnet.faults import (
+    FaultInjector,
+    FaultSchedule,
+    FaultStats,
+    GilbertElliott,
+    LinkFlap,
+    ack_channel_blackhole,
+    blackhole_window,
+    burst_loss,
+    chain_link_names,
+    fault_stats_total,
+    install_faults,
+)
 from repro.simnet.trace import Tracer, TraceRecord
 from repro.simnet.monitor import Monitor, Series
 from repro.simnet.graph import MeshNetwork, PairView, abilene_like
@@ -77,6 +90,17 @@ __all__ = [
     "gigabit_path",
     "contended_path",
     "satellite_path",
+    "FaultSchedule",
+    "FaultInjector",
+    "FaultStats",
+    "GilbertElliott",
+    "LinkFlap",
+    "install_faults",
+    "chain_link_names",
+    "fault_stats_total",
+    "blackhole_window",
+    "ack_channel_blackhole",
+    "burst_loss",
     "Tracer",
     "TraceRecord",
     "Monitor",

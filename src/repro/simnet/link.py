@@ -26,7 +26,48 @@ from repro.simnet.packet import Frame
 from repro.simnet.queues import DropTailQueue
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.simnet.faults import FaultInjector
     from repro.simnet.node import Node
+
+
+class _FaultHookMixin:
+    """Ingress fault-injection hook shared by both link flavours.
+
+    ``faults`` is a list of :class:`~repro.simnet.faults.FaultInjector`
+    applied in order at :meth:`send` time — before the link serializes,
+    queues or randomly drops anything, so injected faults compose with
+    the link's own loss model.  Empty (the default, zero-cost) for every
+    link built by the topology presets; :func:`repro.simnet.faults.
+    install_faults` appends injectors after construction.
+    """
+
+    faults: "list[FaultInjector]"
+    sim: Simulator
+
+    def send(self, frame: Frame) -> bool:
+        if not self.faults:
+            return self._admit(frame)
+        emissions: list[tuple[Frame, float]] = [(frame, 0.0)]
+        for injector in self.faults:
+            nxt: list[tuple[Frame, float]] = []
+            for f, delay in emissions:
+                for f2, extra in injector.intercept(f, self.sim.now):
+                    nxt.append((f2, delay + extra))
+            emissions = nxt
+        ok = True
+        for f, delay in emissions:
+            if delay > 0.0:
+                self.sim.schedule(delay, self._admit_late, f)
+            else:
+                ok = self._admit(f) and ok
+        # A frame fully consumed by faults was "accepted by the network".
+        return ok
+
+    def _admit_late(self, frame: Frame) -> None:
+        self._admit(frame)
+
+    def _admit(self, frame: Frame) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
 
 
 @dataclass
@@ -45,7 +86,7 @@ class LinkStats:
         return self.busy_time / elapsed if elapsed > 0 else 0.0
 
 
-class DelayLink:
+class DelayLink(_FaultHookMixin):
     """Propagation-only hop: deliver every frame after ``prop_delay``.
 
     ``jitter`` adds a uniform random extra delay in ``[0, jitter]`` per
@@ -77,6 +118,7 @@ class DelayLink:
         self._rng = rng
         self.dst_node: Optional["Node"] = None
         self.stats = LinkStats()
+        self.faults = []
 
     def connect(self, dst_node: "Node") -> None:
         self.dst_node = dst_node
@@ -89,7 +131,7 @@ class DelayLink:
         del nbytes
         return 0.0
 
-    def send(self, frame: Frame) -> bool:
+    def _admit(self, frame: Frame) -> bool:
         if self.dst_node is None:
             raise RuntimeError(f"link {self.name} not connected")
         self.stats.frames_offered += 1
@@ -109,7 +151,7 @@ class DelayLink:
         self.dst_node.receive(frame)
 
 
-class Link:
+class Link(_FaultHookMixin):
     """Finite-bandwidth hop with an egress queue.
 
     ``send`` never blocks: if the transmitter is busy the frame goes to
@@ -147,6 +189,7 @@ class Link:
         self._busy_since = 0.0
         self._current_tx_end = 0.0
         self.stats = LinkStats()
+        self.faults = []
 
     # ------------------------------------------------------------------
     def connect(self, dst_node: "Node") -> None:
@@ -178,7 +221,7 @@ class Link:
         return residual + self.tx_time(max(0, overflow))
 
     # ------------------------------------------------------------------
-    def send(self, frame: Frame) -> bool:
+    def _admit(self, frame: Frame) -> bool:
         """Offer a frame; returns False only if the queue dropped it."""
         if self.dst_node is None:
             raise RuntimeError(f"link {self.name} not connected")

@@ -60,12 +60,34 @@ class Frame:
     created_at: float = 0.0
     frame_id: int = field(default_factory=lambda: next(_frame_ids))
     hops: int = 0
+    #: Set by fault injection: payload bits were flipped in flight.
+    #: Checksumming receivers detect and reject the frame; receivers
+    #: running without checksums accept it silently (corruption the
+    #: wire format cannot see).
+    corrupted: bool = False
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
             raise ValueError(f"frame size must be positive, got {self.size_bytes}")
         if self.proto not in ("udp", "tcp"):
             raise ValueError(f"unknown protocol {self.proto!r}")
+
+
+def clone_frame(frame: Frame) -> Frame:
+    """An independent copy of ``frame`` (fresh id, zero hops).
+
+    Used by fault injection to model duplication: the copy shares the
+    payload object but carries its own corruption flag and hop count.
+    """
+    return Frame(
+        src=frame.src,
+        dst=frame.dst,
+        proto=frame.proto,
+        size_bytes=frame.size_bytes,
+        payload=frame.payload,
+        created_at=frame.created_at,
+        corrupted=frame.corrupted,
+    )
 
 
 def udp_frame(

@@ -53,6 +53,10 @@ class TestBasicTransfer:
         stats = run_fobs_transfer(net, 1_000_000, quick_config(), time_limit=1.0)
         assert not stats.completed
         assert stats.percent_of_bottleneck < 100
+        # A deadline expiry is explicitly marked, not silently dropped.
+        assert stats.timed_out
+        assert not stats.failed
+        assert not stats.ok
 
 
 class TestLossRecovery:

@@ -1,0 +1,94 @@
+"""Regression: a dead reverse path must never hang a sender.
+
+Before stall hardening, a sender whose acknowledgement channel was
+permanently blackholed blasted until ``run(time_limit=...)`` (DES) or
+the harness deadline (loopback) expired, and the timeout was silently
+indistinguishable from success.  These tests pin the hardened
+behaviour in both backends: terminate via the stall state machine
+*well before* the time limit, with an explicit failure diagnosis.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.config import FobsConfig
+from repro.core.session import FobsTransfer
+from repro.runtime.transfer import run_loopback_transfer
+from repro.simnet import blackhole_window, install_faults, short_haul
+
+TIME_LIMIT = 600.0
+
+
+def dead_ack_config(**overrides) -> FobsConfig:
+    defaults = dict(ack_frequency=16, stall_timeout=0.3, stall_backoff=2.0,
+                    stall_abort_after=2.0, receiver_idle_timeout=30.0)
+    defaults.update(overrides)
+    return FobsConfig(**defaults)
+
+
+class TestDesBackend:
+    def test_blackholed_ack_channel_aborts_quickly(self):
+        """Reverse path (ACKs + completion) dead from t=0: the sender
+        must stall-abort long before the 600 s time limit."""
+        net = short_haul(seed=1)
+        install_faults(net, blackhole_window(0.0, 1e9), direction="reverse")
+        transfer = FobsTransfer(net, 500_000, dead_ack_config())
+        stats = transfer.run(time_limit=TIME_LIMIT)
+        assert stats.failed
+        assert not stats.timed_out
+        assert not stats.ok
+        assert "stall" in stats.failure_reason
+        assert stats.stall_events >= 1
+        assert stats.stall_probes >= 1
+        # "Well before": an order of magnitude under the time limit.
+        assert stats.duration < TIME_LIMIT / 10
+
+    def test_blackholed_data_path_fails_receiver_liveness(self):
+        """Forward path dead from t=0: the receiver's liveness timeout
+        fails the transfer (the sender may also stall-abort first —
+        either way the failure is diagnosed, not timed out)."""
+        net = short_haul(seed=1)
+        install_faults(net, blackhole_window(0.0, 1e9), direction="forward")
+        cfg = dead_ack_config(receiver_idle_timeout=1.0, stall_abort_after=30.0)
+        stats = FobsTransfer(net, 500_000, cfg).run(time_limit=TIME_LIMIT)
+        assert stats.failed
+        assert not stats.timed_out
+        assert "liveness" in stats.failure_reason
+        assert stats.duration < TIME_LIMIT / 10
+
+    def test_abort_time_tracks_config(self):
+        """The abort happens at ~stall_abort_after, not at some
+        hard-coded constant."""
+        def abort_duration(abort_after: float) -> float:
+            net = short_haul(seed=2)
+            install_faults(net, blackhole_window(0.0, 1e9),
+                           direction="reverse")
+            cfg = dead_ack_config(stall_abort_after=abort_after)
+            return FobsTransfer(net, 200_000, cfg).run(
+                time_limit=TIME_LIMIT).duration
+
+        fast, slow = abort_duration(1.0), abort_duration(4.0)
+        assert fast < slow
+        assert fast < 4.0
+        assert slow < 16.0
+
+
+@pytest.mark.loopback
+class TestLoopbackBackend:
+    def test_blackholed_ack_channel_terminates_quickly(self):
+        """Real sockets: receiver swallows every ACK and the completion
+        signal; both threads must exit far ahead of the deadline."""
+        cfg = FobsConfig(ack_frequency=32, stall_timeout=0.3,
+                         stall_abort_after=1.5, receiver_idle_timeout=1.0)
+        started = time.monotonic()
+        result = run_loopback_transfer(nbytes=200_000, config=cfg,
+                                       blackhole_acks=True, timeout=60.0)
+        elapsed = time.monotonic() - started
+        assert not result.completed
+        assert result.failure_reason is not None
+        assert "stall" in result.failure_reason
+        assert result.stall_events >= 1
+        assert elapsed < 15.0
