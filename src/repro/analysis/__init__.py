@@ -8,7 +8,12 @@ from repro.analysis.metrics import (
     wasted_resources,
 )
 from repro.analysis.report import render_series, render_table
-from repro.analysis.diagnostics import LossBreakdown, loss_breakdown
+from repro.analysis.diagnostics import (
+    LossBreakdown,
+    RecoveryReport,
+    loss_breakdown,
+    recovery_report,
+)
 from repro.analysis.experiments import (
     EXPERIMENTS,
     ExperimentResult,
@@ -35,6 +40,8 @@ __all__ = [
     "render_series",
     "LossBreakdown",
     "loss_breakdown",
+    "RecoveryReport",
+    "recovery_report",
     "EXPERIMENTS",
     "ExperimentResult",
     "ack_frequency_sweep",

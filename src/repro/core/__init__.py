@@ -10,6 +10,13 @@ over decoded packets, driven either by the simulated-network session in
 from repro.core.config import FobsConfig
 from repro.core.packets import AckPacket, CompletionSignal, DataPacket, ack_wire_bytes
 from repro.core.bitmap import PacketBitmap
+from repro.core.journal import (
+    JournalCorrupt,
+    JournalHeader,
+    ReceiverJournal,
+    ReplayResult,
+    replay_journal,
+)
 from repro.core.scheduling import (
     CircularScheduler,
     RandomScheduler,
@@ -34,6 +41,11 @@ __all__ = [
     "CompletionSignal",
     "ack_wire_bytes",
     "PacketBitmap",
+    "JournalCorrupt",
+    "JournalHeader",
+    "ReceiverJournal",
+    "ReplayResult",
+    "replay_journal",
     "CircularScheduler",
     "SequentialRestartScheduler",
     "RandomScheduler",

@@ -26,6 +26,9 @@ DATA_HEADER_BYTES = 12
 ACK_HEADER_BYTES = 16
 #: Bytes carried by the completion signal.
 COMPLETION_BYTES = 12
+#: Bytes of the negotiated session extension (transfer id + epoch)
+#: carried by resumable sessions on both DATA and ACK datagrams.
+SESSION_EXT_BYTES = 12
 
 
 @dataclass(frozen=True)
@@ -38,6 +41,11 @@ class DataPacket:
     #: How many times this seq had been sent when this copy left (for
     #: diagnostics; 0 = first transmission).
     transmission: int = 0
+    #: Attempt epoch of the session that produced this packet (0 for
+    #: non-resumable transfers).  A receiver in a resumed session drops
+    #: datagrams from any other epoch — a zombie sender from a previous
+    #: attempt can never land bytes in the resumed object.
+    epoch: int = 0
 
     def __post_init__(self) -> None:
         if not 0 <= self.seq < self.total:
@@ -74,6 +82,9 @@ class AckPacket:
     ack_id: int
     received_count: int
     bitmap: np.ndarray
+    #: Attempt epoch (see :attr:`DataPacket.epoch`); stale-epoch ACKs
+    #: are dropped by a resumed sender.
+    epoch: int = 0
 
     def __post_init__(self) -> None:
         if self.bitmap.dtype != np.bool_:

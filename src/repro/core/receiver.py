@@ -10,11 +10,16 @@ signal).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
 
 from repro.core.bitmap import PacketBitmap
 from repro.core.config import FobsConfig
 from repro.core.packets import AckPacket, CompletionSignal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.journal import ReceiverJournal
 
 
 @dataclass
@@ -29,18 +34,41 @@ class ReceiverStats:
     #: Acknowledgements produced by the time-based refresh rule rather
     #: than the every-``ack_frequency``-new-packets rule.
     acks_refreshed: int = 0
+    #: Packets recovered from a journal before this attempt started.
+    resumed_packets: int = 0
+    #: Datagrams dropped because they carried a stale attempt epoch.
+    stale_epoch_data: int = 0
     completed_at: Optional[float] = None
 
 
 class FobsReceiver:
-    """Sans-IO FOBS receiver for one object transfer."""
+    """Sans-IO FOBS receiver for one object transfer.
 
-    def __init__(self, config: FobsConfig, total_bytes: int):
+    ``resume_bitmap`` pre-marks packets recovered from a journal (a
+    resumed attempt); ``journal``, when given, gets a ``record(seq)``
+    call for every *newly* received packet after the IO driver has made
+    its bytes durable, and ``epoch`` stamps outgoing acknowledgements
+    with the attempt number.
+    """
+
+    def __init__(
+        self,
+        config: FobsConfig,
+        total_bytes: int,
+        resume_bitmap: Optional[np.ndarray] = None,
+        journal: Optional["ReceiverJournal"] = None,
+        epoch: int = 0,
+    ):
         self.config = config
         self.total_bytes = total_bytes
         self.npackets = config.npackets(total_bytes)
         self.bitmap = PacketBitmap(self.npackets)
         self.stats = ReceiverStats()
+        self.journal = journal
+        self.epoch = epoch
+        if resume_bitmap is not None:
+            self.stats.resumed_packets = self.bitmap.merge(
+                np.asarray(resume_bitmap, dtype=np.bool_))
         self._new_since_ack = 0
         self._next_ack_id = 0
         #: Time of the most recent data arrival (any, including
@@ -60,6 +88,16 @@ class FobsReceiver:
         """
         self.stats.packets_corrupt += 1
         self.last_data_time = now
+
+    def on_stale_data(self, seq: int) -> None:
+        """A datagram from a dead attempt epoch arrived; dropped.
+
+        Deliberately does *not* refresh liveness: a zombie sender from
+        a previous attempt must not make a dead current-epoch path look
+        alive.
+        """
+        del seq
+        self.stats.stale_epoch_data += 1
 
     def idle_since(self, now: float, start: float) -> float:
         """Seconds since data last arrived (or since ``start`` if never)."""
@@ -87,6 +125,8 @@ class FobsReceiver:
         if self.bitmap.mark(seq):
             self.stats.packets_new += 1
             self._new_since_ack += 1
+            if self.journal is not None:
+                self.journal.record(seq)
         else:
             self.stats.packets_duplicate += 1
             if refresh_due:
@@ -114,6 +154,7 @@ class FobsReceiver:
             ack_id=self._next_ack_id,
             received_count=self.bitmap.count,
             bitmap=self.bitmap.snapshot(),
+            epoch=self.epoch,
         )
         self._next_ack_id += 1
         self._new_since_ack = 0

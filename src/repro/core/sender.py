@@ -52,6 +52,11 @@ class SenderStats:
     #: Completions synthesized because every packet was acked but the
     #: TCP completion signal never arrived.
     completion_timeouts: int = 0
+    #: Packets pre-acknowledged by a RESUME exchange — already delivered
+    #: in a previous attempt, never retransmitted in this one.
+    resumed_packets: int = 0
+    #: Acknowledgements dropped for carrying a stale attempt epoch.
+    stale_epoch_acks: int = 0
     completed_at: Optional[float] = None
 
     def wasted_fraction(self, packets_required: int) -> float:
@@ -69,8 +74,12 @@ class FobsSender:
         config: FobsConfig,
         total_bytes: int,
         rng: Optional[np.random.Generator] = None,
+        epoch: int = 0,
     ):
         self.config = config
+        #: Attempt epoch stamped on every outgoing data packet; stale
+        #: epochs let a resumed receiver reject zombie datagrams.
+        self.epoch = epoch
         self.total_bytes = total_bytes
         self.npackets = config.npackets(total_bytes)
         #: packets the receiver has acknowledged
@@ -128,6 +137,7 @@ class FobsSender:
                     total=self.npackets,
                     payload_bytes=self.payload_bytes(seq),
                     transmission=transmission,
+                    epoch=self.epoch,
                 )
             )
             self.scheduler.record_sent(seq)
@@ -182,6 +192,29 @@ class FobsSender:
     def on_corrupt_ack(self) -> None:
         """A checksummed acknowledgement failed verification; dropped."""
         self.stats.acks_corrupt += 1
+
+    def on_stale_ack(self) -> None:
+        """An acknowledgement from a dead attempt epoch; dropped.
+
+        Never merged — a zombie receiver's bitmap could claim packets
+        this attempt has not delivered — and never counted as progress.
+        """
+        self.stats.stale_epoch_acks += 1
+
+    def resume_from(self, bitmap: np.ndarray) -> int:
+        """Pre-acknowledge packets recovered by the RESUME exchange.
+
+        Merges the receiver's journal-reconstructed bitmap into the
+        local acknowledged set before the first batch, so already
+        delivered packets are never retransmitted.  Returns how many
+        packets were salvaged.  Must be called before sending begins.
+        """
+        if self.stats.packets_sent:
+            raise RuntimeError("resume_from must precede the first batch")
+        salvaged = self.acked.merge(np.asarray(bitmap, dtype=np.bool_))
+        self.stats.resumed_packets = salvaged
+        self._last_ack_count = self.acked.count
+        return salvaged
 
     # ------------------------------------------------------------------
     # Stall detection (timeout / backoff re-blast / clean failure)

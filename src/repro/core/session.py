@@ -28,12 +28,18 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
 
 from repro.core.config import FobsConfig
 from repro.core.packets import COMPLETION_BYTES, AckPacket, DataPacket, bitmap_wire_bytes
 from repro.core.receiver import FobsReceiver, ReceiverStats
 from repro.core.sender import FobsSender, SenderStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.journal import ReceiverJournal
+    from repro.simnet.faults import KillSwitch
 from repro.simnet.packet import Address
 from repro.simnet.sockets import UdpSocket
 from repro.simnet.topology import Network
@@ -82,6 +88,14 @@ class TransferStats:
     #: Packets/ACKs rejected by checksum verification.
     corrupt_data_dropped: int = 0
     corrupt_acks_dropped: int = 0
+    #: Packets pre-acknowledged via a RESUME exchange (never re-sent).
+    resumed_packets: int = 0
+    #: Datagrams (data + acks) dropped for carrying a stale epoch.
+    stale_epoch_dropped: int = 0
+    #: Endpoint killed by crash injection ("sender"/"receiver"/None).
+    #: The *proximate* failure_reason is then the survivor's diagnosis
+    #: (stall abort or liveness timeout) — this records the true cause.
+    crashed: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -109,6 +123,10 @@ class FobsTransfer:
         nbytes: int,
         config: Optional[FobsConfig] = None,
         tracer: Optional["Tracer"] = None,
+        epoch: int = 0,
+        resume_bitmap: Optional[np.ndarray] = None,
+        journal: Optional["ReceiverJournal"] = None,
+        kill_switch: Optional["KillSwitch"] = None,
     ):
         if nbytes <= 0:
             raise ValueError("nbytes must be positive")
@@ -117,12 +135,31 @@ class FobsTransfer:
         self.nbytes = nbytes
         self.config = config if config is not None else FobsConfig()
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        #: Attempt epoch of this session.  Datagrams stamped with any
+        #: other epoch (a zombie endpoint from a previous attempt) are
+        #: dropped on arrival; see PROTOCOL.md §8.
+        self.epoch = epoch
+        self.kill_switch = kill_switch
 
         self.sender = FobsSender(
-            self.config, nbytes, rng=net.rng.stream("fobs:sender")
+            self.config, nbytes, rng=net.rng.stream("fobs:sender"),
+            epoch=epoch,
         )
-        self.receiver = FobsReceiver(self.config, nbytes)
+        self.receiver = FobsReceiver(self.config, nbytes, journal=journal,
+                                     epoch=epoch)
+        if resume_bitmap is not None:
+            # The RESUME exchange: the receiver's journal-reconstructed
+            # bitmap seeds both endpoints, so delivered packets are
+            # neither re-sent nor re-counted.  (The DES models the
+            # exchange as part of session setup; the real-socket
+            # backend carries it on the TCP control connection.)
+            self.receiver.stats.resumed_packets = self.receiver.bitmap.merge(
+                np.asarray(resume_bitmap, dtype=np.bool_))
+            self.sender.resume_from(resume_bitmap)
         self._bitmap_bytes = bitmap_wire_bytes(self.sender.npackets)
+        self._data_sent_count = 0
+        self._data_recv_count = 0
+        self.crashed: Optional[str] = None
 
         a, b = net.a, net.b
         self._a_profile = a.profile
@@ -245,9 +282,38 @@ class FobsTransfer:
             self._stall_wait_handle = None
             self.sim.schedule(0.0, self._sender_step)
 
+    def _crash(self, target: str) -> None:
+        """Crash injection: abrupt process death of one endpoint.
+
+        No goodbye message, no final flush — the survivor must diagnose
+        the silence (stall abort or liveness timeout) and a later
+        attempt recovers from whatever the journal had flushed.
+        """
+        if self.crashed is not None:
+            return
+        self.crashed = target
+        if self.kill_switch is not None:
+            self.kill_switch.fire(self.sim.now)
+        if self.tracer.enabled:
+            self.tracer.emit(self.sim.now, "crash", f"{target} killed")
+        if target == "receiver":
+            if self.receiver.journal is not None:
+                self.receiver.journal.simulate_crash()
+            self._close_receiver()
+        # A crashed sender simply stops stepping (checked in
+        # _sender_step); the receiver's liveness timeout then fails the
+        # transfer, exactly as with a real process death.
+
     def _sender_step(self) -> None:
         self._stall_wait_handle = None
+        if self.crashed == "sender":
+            return
         if self.sender.complete or self.switched_to_tcp or self.failed:
+            return
+        kill = self.kill_switch
+        if (kill is not None and kill.target == "sender"
+                and kill.should_fire(self._data_sent_count)):
+            self._crash("sender")
             return
 
         # Stall detection: no ACK progress for stall_timeout switches
@@ -274,6 +340,7 @@ class FobsTransfer:
                 return
             self._pending.popleft()
             self.data_out.sendto(pkt, wire, self._data_dst)
+            self._data_sent_count += 1
             if self.tracer.enabled:
                 self.tracer.emit(self.sim.now, "data_tx",
                                  f"seq={pkt.seq} txno={pkt.transmission}")
@@ -294,6 +361,15 @@ class FobsTransfer:
                 self.sim.schedule(cost, self._sender_step)
                 return
             ack: AckPacket = frame.payload
+            if ack.epoch != self.epoch:
+                # Zombie acknowledgement from a previous attempt: its
+                # bitmap may claim packets this epoch never delivered.
+                self.sender.on_stale_ack()
+                if self.tracer.enabled:
+                    self.tracer.emit(self.sim.now, "ack_stale",
+                                     f"epoch={ack.epoch}")
+                self.sim.schedule(cost, self._sender_step)
+                return
             self.sender.on_ack(ack, self.sim.now)
             if self.tracer.enabled:
                 self.tracer.emit(self.sim.now, "ack_rx",
@@ -341,9 +417,15 @@ class FobsTransfer:
         self._recv_scheduled = False
         if self._receiver_closed:
             return
+        kill = self.kill_switch
+        if (kill is not None and kill.target == "receiver"
+                and kill.should_fire(self._data_recv_count)):
+            self._crash("receiver")
+            return
         frame = self.data_in.poll()
         if frame is None:
             return
+        self._data_recv_count += 1
         cost = self._b_profile.recv_cost(frame.size_bytes)
         if frame.corrupted and self.config.checksum:
             # Checksum rejects the damaged payload; the packet is lost
@@ -355,6 +437,17 @@ class FobsTransfer:
             self.sim.schedule(cost, self._recv_after, None)
             return
         pkt: DataPacket = frame.payload
+        if pkt.epoch != self.epoch:
+            # Stale-epoch datagram (zombie sender from an earlier
+            # attempt): never lands in the object, never refreshes
+            # liveness.
+            self.receiver.on_stale_data(pkt.seq)
+            if self.tracer.enabled:
+                self.tracer.emit(self.sim.now, "data_stale",
+                                 f"seq={pkt.seq} epoch={pkt.epoch}")
+            self._recv_busy = True
+            self.sim.schedule(cost, self._recv_after, None)
+            return
         ack = self.receiver.on_data(pkt.seq, self.sim.now)
         if ack is not None:
             cost += self._b_profile.ack_cost(self._bitmap_bytes)
@@ -477,6 +570,10 @@ class FobsTransfer:
             stall_recoveries=self.sender.stats.stall_recoveries,
             corrupt_data_dropped=self.receiver.stats.packets_corrupt,
             corrupt_acks_dropped=self.sender.stats.acks_corrupt,
+            resumed_packets=self.sender.stats.resumed_packets,
+            stale_epoch_dropped=(self.receiver.stats.stale_epoch_data
+                                 + self.sender.stats.stale_epoch_acks),
+            crashed=self.crashed,
         )
 
 

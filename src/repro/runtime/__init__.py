@@ -11,14 +11,28 @@ lossy-capable datagram path) is what it verifies.
 """
 
 from repro.runtime.wire import (
+    ResumeInfo,
+    SessionContext,
+    SessionMismatchError,
+    StaleEpochError,
     decode_ack,
     decode_completion,
     decode_data,
+    decode_resume,
     encode_ack,
     encode_completion,
     encode_data,
+    encode_resume,
 )
 from repro.runtime.transfer import LoopbackResult, run_loopback_transfer
+from repro.runtime.supervisor import (
+    AttemptRecord,
+    RetryPolicy,
+    SupervisedResult,
+    TransferSupervisor,
+    run_resumable_fobs_transfer,
+    run_resumable_loopback,
+)
 from repro.runtime.files import FileTransferResult, receive_file, send_file
 
 __all__ = [
@@ -31,6 +45,18 @@ __all__ = [
     "decode_ack",
     "encode_completion",
     "decode_completion",
+    "encode_resume",
+    "decode_resume",
+    "ResumeInfo",
+    "SessionContext",
+    "SessionMismatchError",
+    "StaleEpochError",
     "LoopbackResult",
     "run_loopback_transfer",
+    "AttemptRecord",
+    "RetryPolicy",
+    "SupervisedResult",
+    "TransferSupervisor",
+    "run_resumable_fobs_transfer",
+    "run_resumable_loopback",
 ]

@@ -12,11 +12,25 @@ A minimal session protocol on top of the FOBS data plane, so two
 5. the receiver sends the completion signal back on the still-open
    TCP control connection and both sides verify a CRC32 of the object.
 
+Crash-resumable sessions (PROTOCOL.md §8) extend step 2/3: a sender
+offering ``FLAG_RESUME`` sends the v2 offer — the v1 fields plus a
+64-bit transfer id and a 32-bit attempt epoch — and the receiver
+answers with a RESUME message instead of the plain accept, carrying
+its journal-reconstructed bitmap.  The receiver writes arriving
+payloads through to a ``.part`` file and journals every newly
+received packet (:class:`~repro.core.journal.ReceiverJournal`), so a
+crash on either side loses only unflushed progress; the sender merges
+the RESUME bitmap and retransmits only the gap.  Every data/ACK
+datagram of a resumable session carries the
+:class:`~repro.runtime.wire.SessionContext` extension, so datagrams
+from a dead attempt are rejected on arrival.
+
 Used by the ``fobs-xfer`` CLI (:mod:`repro.runtime.cli`).
 """
 
 from __future__ import annotations
 
+import os
 import socket
 import struct
 import threading
@@ -28,19 +42,32 @@ from typing import Optional
 import numpy as np
 
 from repro.core.config import FobsConfig
+from repro.core.journal import ReceiverJournal
 from repro.core.receiver import FobsReceiver
 from repro.core.sender import FobsSender
 from repro.runtime import wire
+from repro.runtime.supervisor import (
+    RetryPolicy,
+    TransferSupervisor,
+    kill_for_attempt,
+)
 
 OFFER_MAGIC = 0xF0B50FFE
+OFFER2_MAGIC = 0xF0B50FF2
 ACCEPT_MAGIC = 0xF0B5ACC0
 # magic, filesize, packet_size, ack_port, flags, crc32
 _OFFER = struct.Struct("!IQIIII")
+# v2 appends: transfer_id (u64), attempt epoch (u32)
+_OFFER2 = struct.Struct("!IQIIIIQI")
 _ACCEPT = struct.Struct("!III")    # magic, data_port, reserved
+_MAGIC = struct.Struct("!I")
 #: Offer flag bit: per-packet CRC32 checksumming on the data plane.
 #: The receiver adopts whatever the sender offers — the negotiated
 #: fallback for the checksum field in the wire formats.
 FLAG_CHECKSUM = 1
+#: Offer flag bit (v2 offers only): resumable session.  The receiver
+#: journals progress and replies with RESUME instead of ACCEPT.
+FLAG_RESUME = 2
 
 
 @dataclass
@@ -54,6 +81,12 @@ class FileTransferResult:
     crc_ok: bool
     packets_sent: int = 0
     packets_retransmitted: int = 0
+    completed: bool = True
+    failure_reason: Optional[str] = None
+    attempts: int = 1
+    #: Packets recovered from the journal instead of retransmitted.
+    resumed_packets: int = 0
+    stale_epoch_dropped: int = 0
 
 
 def _recv_exact(sock: socket.socket, nbytes: int) -> bytes:
@@ -68,68 +101,127 @@ def _recv_exact(sock: socket.socket, nbytes: int) -> bytes:
     return b"".join(chunks)
 
 
-def send_file(
-    path: str,
+def derive_transfer_id(filesize: int, crc: int) -> int:
+    """Deterministic transfer id binding a resumable session to content.
+
+    Content-addressed — size in the low word, CRC32 in the high — so a
+    re-run of the same file resumes its journal, while a *changed* file
+    yields a new id and the receiver's stale journal is discarded by
+    the header check instead of corrupting the new object.
+    """
+    return ((crc & 0xFFFFFFFF) << 32) | (filesize & 0xFFFFFFFF)
+
+
+# ----------------------------------------------------------------------
+# Sender
+# ----------------------------------------------------------------------
+
+@dataclass
+class _SendOutcome:
+    """One sender attempt, in the supervisor's duck-typed vocabulary."""
+
+    completed: bool
+    duration: float = 0.0
+    failure_reason: Optional[str] = None
+    crashed: Optional[str] = None
+    packets_sent: int = 0
+    retransmissions: int = 0
+    resumed_packets: int = 0
+    stale_epoch_dropped: int = 0
+
+
+def _send_attempt(
+    data: bytes,
+    crc: int,
     host: str,
     port: int,
-    config: Optional[FobsConfig] = None,
-    timeout: float = 120.0,
-) -> FileTransferResult:
-    """Send ``path`` to a :func:`receive_file` peer at ``host:port``."""
-    config = config if config is not None else FobsConfig(ack_frequency=32)
-    with open(path, "rb") as fh:
-        data = fh.read()
-    if not data:
-        raise ValueError(f"{path} is empty")
-    crc = zlib.crc32(data)
+    config: FobsConfig,
+    timeout: float,
+    session: Optional[wire.SessionContext],
+    kill=None,
+) -> _SendOutcome:
+    """Run one connect→offer→blast attempt; never raises on failure."""
     deadline = time.monotonic() + timeout
-
+    resumable = session is not None
     ack_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
     ack_sock.bind(("0.0.0.0", 0))
     ack_sock.setblocking(False)
     data_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    sender = FobsSender(config, len(data), rng=np.random.default_rng(0),
+                        epoch=session.epoch if resumable else 0)
+    start = time.monotonic()
     try:
         with socket.create_connection((host, port), timeout=timeout) as ctrl:
             flags = FLAG_CHECKSUM if config.checksum else 0
-            ctrl.sendall(_OFFER.pack(OFFER_MAGIC, len(data), config.packet_size,
-                                     ack_sock.getsockname()[1], flags, crc))
-            magic, data_port, _ = _ACCEPT.unpack(_recv_exact(ctrl, _ACCEPT.size))
-            if magic != ACCEPT_MAGIC:
-                raise ValueError("bad accept message from receiver")
+            if resumable:
+                flags |= FLAG_RESUME
+                ctrl.sendall(_OFFER2.pack(
+                    OFFER2_MAGIC, len(data), config.packet_size,
+                    ack_sock.getsockname()[1], flags, crc,
+                    session.transfer_id, session.epoch))
+                resume = wire.decode_resume(_recv_exact(
+                    ctrl, wire.resume_wire_bytes(config.npackets(len(data)))))
+                if resume.transfer_id != session.transfer_id:
+                    raise ValueError("RESUME for a different transfer id")
+                if resume.epoch != session.epoch:
+                    raise ValueError("RESUME for a different attempt epoch")
+                data_port = resume.data_port
+                sender.resume_from(resume.bitmap)
+            else:
+                ctrl.sendall(_OFFER.pack(
+                    OFFER_MAGIC, len(data), config.packet_size,
+                    ack_sock.getsockname()[1], flags, crc))
+                magic, data_port, _ = _ACCEPT.unpack(
+                    _recv_exact(ctrl, _ACCEPT.size))
+                if magic != ACCEPT_MAGIC:
+                    raise ValueError("bad accept message from receiver")
             data_addr = (host, data_port)
 
-            sender = FobsSender(config, len(data),
-                                rng=np.random.default_rng(0))
             ctrl.setblocking(False)
             start = time.monotonic()
             while not sender.complete:
                 now = time.monotonic()
                 if now > deadline:
-                    raise TimeoutError("file send timed out")
+                    return _outcome(sender, start, "file send timed out")
                 stall = sender.poll_stall(now)
                 if stall == "abort":
-                    raise TimeoutError(
-                        f"file send aborted: {sender.failure_reason}")
+                    return _outcome(sender, start, sender.failure_reason)
                 if stall == "probe":
                     batch = sender.probe_batch()
                 elif stall == "wait":
                     batch = []
                 else:
                     batch = sender.next_batch()
+                if kill is not None and kill.should_fire(
+                        sender.stats.packets_sent):
+                    # Crash injection: the sender process dies silently
+                    # mid-blast; closing the sockets (finally below) is
+                    # exactly what the OS does to a SIGKILLed process.
+                    kill.fire(time.monotonic())
+                    return _outcome(
+                        sender, start,
+                        f"sender killed by crash injection after "
+                        f"{sender.stats.packets_sent} data packets",
+                        crashed="sender")
                 for pkt in batch:
                     off = pkt.seq * config.packet_size
                     payload = data[off:off + pkt.payload_bytes]
                     data_sock.sendto(
-                        wire.encode_data(pkt, payload, checksum=config.checksum),
+                        wire.encode_data(pkt, payload,
+                                         checksum=config.checksum,
+                                         session=session),
                         data_addr)
                 try:
                     ack = wire.decode_ack(ack_sock.recv(1 << 20),
-                                          checksum=config.checksum)
+                                          checksum=config.checksum,
+                                          session=session)
                     sender.on_ack(ack, time.monotonic())
                 except BlockingIOError:
                     pass
                 except wire.ChecksumError:
                     sender.on_corrupt_ack()
+                except (wire.StaleEpochError, wire.SessionMismatchError):
+                    sender.on_stale_ack()
                 try:
                     msg = ctrl.recv(64)
                     if msg:
@@ -137,22 +229,221 @@ def send_file(
                         sender.on_completion(time.monotonic())
                 except BlockingIOError:
                     pass
+                except OSError:
+                    return _outcome(sender, start,
+                                    "control connection lost mid-transfer")
                 if not batch and not sender.complete:
                     time.sleep(0.001)
-            duration = max(time.monotonic() - start, 1e-9)
+            return _outcome(sender, start, None)
+    except (OSError, ValueError, wire.ChecksumError) as exc:
+        return _outcome(sender, start, f"{type(exc).__name__}: {exc}")
     finally:
         ack_sock.close()
         data_sock.close()
 
+
+def _outcome(
+    sender: FobsSender,
+    start: float,
+    failure_reason: Optional[str],
+    crashed: Optional[str] = None,
+) -> _SendOutcome:
+    return _SendOutcome(
+        completed=failure_reason is None,
+        duration=max(time.monotonic() - start, 1e-9),
+        failure_reason=failure_reason,
+        crashed=crashed,
+        packets_sent=sender.stats.packets_sent,
+        retransmissions=sender.stats.retransmissions,
+        resumed_packets=sender.stats.resumed_packets,
+        stale_epoch_dropped=sender.stats.stale_epoch_acks,
+    )
+
+
+def send_file(
+    path: str,
+    host: str,
+    port: int,
+    config: Optional[FobsConfig] = None,
+    timeout: float = 120.0,
+    resume: bool = False,
+    max_attempts: int = 1,
+    transfer_id: Optional[int] = None,
+    policy: Optional[RetryPolicy] = None,
+    kill_plan=None,
+) -> FileTransferResult:
+    """Send ``path`` to a :func:`receive_file` peer at ``host:port``.
+
+    With ``resume`` (or ``max_attempts > 1``) the session is resumable:
+    each attempt offers the v2 handshake, merges the receiver's RESUME
+    bitmap, and frames every datagram with the session extension.  The
+    supervisor retries failed attempts with exponential backoff up to
+    ``max_attempts``; an exhausted budget *returns* a result with
+    ``completed=False`` (it does not raise), so callers can report the
+    failure.  The legacy single-shot path (default) is byte-identical
+    on the wire to the original protocol and raises on timeout.
+    """
+    config = config if config is not None else FobsConfig(ack_frequency=32)
+    with open(path, "rb") as fh:
+        data = fh.read()
+    if not data:
+        raise ValueError(f"{path} is empty")
+    crc = zlib.crc32(data)
+    resumable = resume or max_attempts > 1
+
+    if not resumable:
+        outcome = _send_attempt(data, crc, host, port, config, timeout,
+                                session=None)
+        if not outcome.completed:
+            raise TimeoutError(f"file send failed: {outcome.failure_reason}")
+        return FileTransferResult(
+            path=path,
+            nbytes=len(data),
+            duration=outcome.duration,
+            throughput_bps=len(data) * 8.0 / outcome.duration,
+            crc_ok=True,  # the receiver verifies; completion implies success
+            packets_sent=outcome.packets_sent,
+            packets_retransmitted=outcome.retransmissions,
+        )
+
+    tid = transfer_id if transfer_id is not None else derive_transfer_id(
+        len(data), crc)
+    if policy is None:
+        policy = RetryPolicy(max_attempts=max(max_attempts, 1),
+                             backoff_base=0.2, seed=tid & 0xFFFF)
+
+    def attempt_fn(attempt: int, epoch: int) -> _SendOutcome:
+        return _send_attempt(data, crc, host, port, config, timeout,
+                             session=wire.SessionContext(tid, epoch),
+                             kill=kill_for_attempt(kill_plan, attempt))
+
+    supervised = TransferSupervisor(policy=policy).run(
+        attempt_fn, npackets=config.npackets(len(data)))
+    final: _SendOutcome = supervised.final
     return FileTransferResult(
         path=path,
         nbytes=len(data),
-        duration=duration,
-        throughput_bps=len(data) * 8.0 / duration,
-        crc_ok=True,  # the receiver verifies; completion implies success
-        packets_sent=sender.stats.packets_sent,
-        packets_retransmitted=sender.stats.retransmissions,
+        duration=final.duration,
+        throughput_bps=len(data) * 8.0 / final.duration,
+        crc_ok=supervised.completed,
+        packets_sent=supervised.total_packets_sent,
+        packets_retransmitted=sum(
+            r.retransmissions for r in supervised.attempt_records),
+        completed=supervised.completed,
+        failure_reason=supervised.failure_reason,
+        attempts=supervised.attempts,
+        resumed_packets=supervised.packets_salvaged,
+        stale_epoch_dropped=supervised.stale_epoch_dropped,
     )
+
+
+# ----------------------------------------------------------------------
+# Receiver
+# ----------------------------------------------------------------------
+
+@dataclass
+class _Offer:
+    """A decoded v1 or v2 offer."""
+
+    filesize: int
+    packet_size: int
+    ack_port: int
+    flags: int
+    crc: int
+    transfer_id: int = 0
+    epoch: int = 0
+
+    @property
+    def resumable(self) -> bool:
+        return bool(self.flags & FLAG_RESUME)
+
+
+def _read_offer(ctrl: socket.socket) -> _Offer:
+    """Read a v1 or v2 offer, dispatching on the leading magic."""
+    (magic,) = _MAGIC.unpack(_recv_exact(ctrl, _MAGIC.size))
+    if magic == OFFER_MAGIC:
+        rest = _recv_exact(ctrl, _OFFER.size - _MAGIC.size)
+        filesize, packet_size, ack_port, flags, crc = struct.unpack(
+            "!QIIII", rest)
+        return _Offer(filesize, packet_size, ack_port, flags, crc)
+    if magic == OFFER2_MAGIC:
+        rest = _recv_exact(ctrl, _OFFER2.size - _MAGIC.size)
+        filesize, packet_size, ack_port, flags, crc, tid, epoch = struct.unpack(
+            "!QIIIIQI", rest)
+        return _Offer(filesize, packet_size, ack_port, flags, crc, tid, epoch)
+    raise ValueError(f"bad offer magic {magic:#x}")
+
+
+def _receive_attempt(
+    ctrl: socket.socket,
+    peer: tuple[str, int],
+    offer: _Offer,
+    config: FobsConfig,
+    part_fh,
+    journal: Optional[ReceiverJournal],
+    resume_bitmap: Optional[np.ndarray],
+    bind: str,
+    deadline: float,
+) -> tuple[bool, Optional[str], FobsReceiver]:
+    """Serve one accepted control connection; returns (ok, reason, rx)."""
+    session = (wire.SessionContext(offer.transfer_id, offer.epoch)
+               if offer.resumable else None)
+    receiver = FobsReceiver(config, offer.filesize,
+                            resume_bitmap=resume_bitmap, journal=journal,
+                            epoch=offer.epoch)
+    data_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    data_sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1 << 20)
+    data_sock.bind((bind, 0))
+    data_sock.settimeout(0.05)
+    ack_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    try:
+        if offer.resumable:
+            ctrl.sendall(wire.encode_resume(
+                offer.transfer_id, offer.epoch,
+                data_sock.getsockname()[1], receiver.bitmap.snapshot()))
+        else:
+            ctrl.sendall(_ACCEPT.pack(ACCEPT_MAGIC,
+                                      data_sock.getsockname()[1], 0))
+        start = time.monotonic()
+        while not receiver.complete:
+            now = time.monotonic()
+            if now > deadline:
+                return False, "file receive timed out", receiver
+            if receiver.idle_since(now, start) > config.receiver_idle_timeout:
+                return False, (
+                    f"receiver gave up: no data for "
+                    f"{config.receiver_idle_timeout:.1f}s "
+                    f"({receiver.bitmap.count}/{receiver.npackets} packets)"
+                ), receiver
+            try:
+                datagram = data_sock.recv(65535)
+            except socket.timeout:
+                continue
+            try:
+                pkt, payload = wire.decode_data(datagram,
+                                                checksum=config.checksum,
+                                                session=session)
+            except wire.ChecksumError:
+                receiver.on_corrupt_data(time.monotonic())
+                continue  # damaged in flight; the sender re-sends it
+            except (wire.StaleEpochError, wire.SessionMismatchError):
+                receiver.on_stale_data(0)
+                continue  # zombie datagram from a dead attempt
+            # Data before log: the payload must be on "disk" before the
+            # journal claims it (on_data journals newly marked packets).
+            part_fh.seek(pkt.seq * config.packet_size)
+            part_fh.write(payload)
+            ack = receiver.on_data(pkt.seq, time.monotonic())
+            if ack is not None:
+                ack_sock.sendto(
+                    wire.encode_ack(ack, checksum=config.checksum,
+                                    session=session),
+                    (peer[0], offer.ack_port))
+        part_fh.flush()
+        return True, None, receiver
+    finally:
+        data_sock.close()
+        ack_sock.close()
 
 
 def receive_file(
@@ -161,13 +452,28 @@ def receive_file(
     bind: str = "0.0.0.0",
     timeout: float = 120.0,
     ready: Optional[threading.Event] = None,
+    max_attempts: int = 1,
+    journal_path: Optional[str] = None,
+    config: Optional[FobsConfig] = None,
 ) -> FileTransferResult:
     """Accept one file from a :func:`send_file` peer; returns on completion.
 
     ``ready`` (a :class:`threading.Event`), when given, is set once the
     control port is listening — lets tests start the sender without
     racing the bind.
+
+    ``max_attempts`` keeps the control port listening across failed
+    attempts: when a resumable sender crashes (or the connection is
+    lost), the receiver's journal and ``.part`` file survive and the
+    next connection resumes from them.  ``journal_path`` defaults to
+    ``output_path + ".journal"``.  ``config``, when given, supplies
+    stall/liveness tuning (``receiver_idle_timeout``, timeouts); the
+    data-plane parameters (packet size, checksumming) always come from
+    the sender's offer.
     """
+    if journal_path is None:
+        journal_path = output_path + ".journal"
+    part_path = output_path + ".part"
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     listener.bind((bind, port))
@@ -177,65 +483,108 @@ def receive_file(
         ready.set()
     deadline = time.monotonic() + timeout
 
+    attempts = 0
+    failure: Optional[str] = None
+    receiver: Optional[FobsReceiver] = None
+    offer: Optional[_Offer] = None
+    duration = 1e-9
     try:
-        ctrl, peer = listener.accept()
+        while attempts < max(max_attempts, 1):
+            attempts += 1
+            try:
+                ctrl, peer = listener.accept()
+            except socket.timeout:
+                failure = "timed out waiting for a sender connection"
+                break
+            with ctrl:
+                ctrl.settimeout(timeout)
+                try:
+                    offer = _read_offer(ctrl)
+                except (ConnectionError, ValueError) as exc:
+                    failure = f"bad offer: {exc}"
+                    continue
+                base = config if config is not None else FobsConfig(
+                    ack_frequency=32)
+                attempt_config = FobsConfig(
+                    packet_size=offer.packet_size,
+                    ack_frequency=base.ack_frequency,
+                    checksum=bool(offer.flags & FLAG_CHECKSUM),
+                    stall_timeout=base.stall_timeout,
+                    stall_abort_after=base.stall_abort_after,
+                    receiver_idle_timeout=base.receiver_idle_timeout,
+                    ack_refresh_interval=base.ack_refresh_interval,
+                )
+                journal: Optional[ReceiverJournal] = None
+                resume_bitmap: Optional[np.ndarray] = None
+                if offer.resumable:
+                    journal, replay = ReceiverJournal.open(
+                        journal_path, offer.transfer_id, offer.filesize,
+                        offer.packet_size)
+                    if replay is not None:
+                        resume_bitmap = replay.bitmap.array
+                # The .part file is the crash-persistent reassembly
+                # buffer; pre-size it so writes at any offset land.
+                mode = "r+b" if (os.path.exists(part_path)
+                                 and os.path.getsize(part_path)
+                                 == offer.filesize
+                                 and offer.resumable) else "w+b"
+                start = time.monotonic()
+                try:
+                    with open(part_path, mode) as part_fh:
+                        if mode == "w+b":
+                            part_fh.truncate(offer.filesize)
+                        ok, failure, receiver = _receive_attempt(
+                            ctrl, peer, offer, attempt_config, part_fh,
+                            journal, resume_bitmap, bind, deadline)
+                except ConnectionError as exc:
+                    ok, failure = False, f"control connection lost: {exc}"
+                finally:
+                    duration = max(time.monotonic() - start, 1e-9)
+                    if journal is not None:
+                        journal.close()
+                if ok:
+                    with open(part_path, "rb") as fh:
+                        blob = fh.read()
+                    crc_ok = zlib.crc32(blob) == offer.crc
+                    if not crc_ok:
+                        raise ValueError("CRC mismatch after reassembly")
+                    try:
+                        ctrl.sendall(wire.encode_completion(receiver.npackets))
+                    except OSError:
+                        pass  # sender may already have concluded
+                    os.replace(part_path, output_path)
+                    if offer.resumable:
+                        try:
+                            os.remove(journal_path)
+                        except OSError:
+                            pass
+                    return FileTransferResult(
+                        path=output_path,
+                        nbytes=offer.filesize,
+                        duration=duration,
+                        throughput_bps=offer.filesize * 8.0 / duration,
+                        crc_ok=True,
+                        attempts=attempts,
+                        resumed_packets=receiver.stats.resumed_packets,
+                        stale_epoch_dropped=receiver.stats.stale_epoch_data,
+                    )
+                if time.monotonic() > deadline:
+                    break
     finally:
         listener.close()
-    with ctrl:
-        ctrl.settimeout(timeout)
-        magic, filesize, packet_size, ack_port, flags, crc_expected = _OFFER.unpack(
-            _recv_exact(ctrl, _OFFER.size))
-        if magic != OFFER_MAGIC:
-            raise ValueError("bad offer message from sender")
-        config = FobsConfig(packet_size=packet_size, ack_frequency=32,
-                            checksum=bool(flags & FLAG_CHECKSUM))
-
-        data_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
-        data_sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1 << 20)
-        data_sock.bind((bind, 0))
-        data_sock.settimeout(0.05)
-        ack_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
-        try:
-            ctrl.sendall(_ACCEPT.pack(ACCEPT_MAGIC, data_sock.getsockname()[1], 0))
-
-            receiver = FobsReceiver(config, filesize)
-            buffer = bytearray(filesize)
-            start = time.monotonic()
-            while not receiver.complete:
-                if time.monotonic() > deadline:
-                    raise TimeoutError("file receive timed out")
-                try:
-                    datagram = data_sock.recv(65535)
-                except socket.timeout:
-                    continue
-                try:
-                    pkt, payload = wire.decode_data(datagram,
-                                                    checksum=config.checksum)
-                except wire.ChecksumError:
-                    receiver.on_corrupt_data(time.monotonic())
-                    continue  # damaged in flight; the sender re-sends it
-                off = pkt.seq * packet_size
-                buffer[off:off + len(payload)] = payload
-                ack = receiver.on_data(pkt.seq, time.monotonic())
-                if ack is not None:
-                    ack_sock.sendto(wire.encode_ack(ack, checksum=config.checksum),
-                                    (peer[0], ack_port))
-            duration = max(time.monotonic() - start, 1e-9)
-            crc_ok = zlib.crc32(bytes(buffer)) == crc_expected
-            if crc_ok:
-                ctrl.sendall(wire.encode_completion(receiver.npackets))
-            else:
-                raise ValueError("CRC mismatch after reassembly")
-        finally:
-            data_sock.close()
-            ack_sock.close()
-
-    with open(output_path, "wb") as fh:
-        fh.write(bytes(buffer))
+    if max_attempts <= 1:
+        raise TimeoutError(f"file receive failed: {failure}")
     return FileTransferResult(
         path=output_path,
-        nbytes=filesize,
+        nbytes=offer.filesize if offer is not None else 0,
         duration=duration,
-        throughput_bps=filesize * 8.0 / duration,
-        crc_ok=crc_ok,
+        throughput_bps=0.0,
+        crc_ok=False,
+        completed=False,
+        failure_reason=failure,
+        attempts=attempts,
+        resumed_packets=(receiver.stats.resumed_packets
+                         if receiver is not None else 0),
+        stale_epoch_dropped=(receiver.stats.stale_epoch_data
+                             if receiver is not None else 0),
     )

@@ -13,6 +13,15 @@ in that fraction of datagrams instead (the checksum must catch them),
 and ``blackhole_acks`` silences the receiver's acknowledgement and
 completion channels entirely — the adversarial case that must end in a
 clean stall abort rather than a hang.
+
+Crash-resume support: ``kill`` (a
+:class:`~repro.simnet.faults.KillSwitch`) makes one endpoint thread die
+abruptly at a packet count; ``journal`` persists the receiver's bitmap
+so a later attempt can be seeded with ``resume_bitmap``; ``session`` (a
+:class:`~repro.runtime.wire.SessionContext`) stamps every datagram with
+the transfer id and attempt epoch so zombies from a killed attempt are
+rejected.  :func:`repro.runtime.supervisor.run_resumable_loopback`
+drives the retry loop over these hooks.
 """
 
 from __future__ import annotations
@@ -22,7 +31,7 @@ import socket
 import threading
 import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
@@ -30,6 +39,10 @@ from repro.core.config import FobsConfig
 from repro.core.receiver import FobsReceiver
 from repro.core.sender import FobsSender
 from repro.runtime import wire
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.journal import ReceiverJournal
+    from repro.simnet.faults import KillSwitch
 
 
 @dataclass
@@ -52,6 +65,12 @@ class LoopbackResult:
     stall_recoveries: int = 0
     #: Datagrams rejected by CRC verification (data + acks).
     corrupt_dropped: int = 0
+    #: Datagrams rejected for carrying a stale attempt epoch.
+    stale_epoch_dropped: int = 0
+    #: Packets pre-acknowledged via the resume bitmap (never re-sent).
+    resumed_packets: int = 0
+    #: Endpoint killed by crash injection ("sender"/"receiver"/None).
+    crashed: Optional[str] = None
 
 
 class _Receiver(threading.Thread):
@@ -64,14 +83,29 @@ class _Receiver(threading.Thread):
         ctrl_addr: tuple[str, int],
         deadline: float,
         blackhole_acks: bool = False,
+        journal: Optional["ReceiverJournal"] = None,
+        resume_bitmap: Optional[np.ndarray] = None,
+        session: Optional[wire.SessionContext] = None,
+        kill: Optional["KillSwitch"] = None,
+        buffer: Optional[bytearray] = None,
     ):
         super().__init__(name="fobs-receiver", daemon=True)
         self.config = config
         self.nbytes = nbytes
-        self.receiver = FobsReceiver(config, nbytes)
-        self.buffer = bytearray(nbytes)
+        self.session = session
+        self.kill = kill
+        self.receiver = FobsReceiver(
+            config, nbytes, resume_bitmap=resume_bitmap, journal=journal,
+            epoch=session.epoch if session is not None else 0,
+        )
+        #: The "disk file": shared across attempts by the supervisor.
+        self.buffer = buffer if buffer is not None else bytearray(nbytes)
+        if len(self.buffer) != nbytes:
+            raise ValueError("resume buffer length != nbytes")
         self.deadline = deadline
         self.blackhole_acks = blackhole_acks
+        self.crashed = False
+        self._data_count = 0
         self.failure_reason: Optional[str] = None
         self.error: Optional[BaseException] = None
         self._ack_addr = ack_addr
@@ -116,19 +150,43 @@ class _Receiver(threading.Thread):
                 datagram = self.data_sock.recv(65535)
             except socket.timeout:
                 continue
+            if (self.kill is not None and self.kill.target == "receiver"
+                    and self.kill.should_fire(self._data_count)):
+                # Crash injection: abrupt process death.  The pending
+                # (unflushed) journal run is lost, no goodbye is sent;
+                # the sender sees silence and must stall-abort.
+                self.kill.fire(time.monotonic())
+                if self.receiver.journal is not None:
+                    self.receiver.journal.simulate_crash()
+                self.crashed = True
+                self.failure_reason = (
+                    f"receiver killed by crash injection after "
+                    f"{self._data_count} data packets")
+                return
             try:
                 pkt, payload = wire.decode_data(datagram,
-                                                checksum=self.config.checksum)
+                                                checksum=self.config.checksum,
+                                                session=self.session)
             except wire.ChecksumError:
                 self.receiver.on_corrupt_data(time.monotonic())
                 continue  # damaged in flight; the sender re-sends it
+            except wire.StaleEpochError:
+                self.receiver.on_stale_data(0)
+                continue  # zombie datagram from a dead attempt
+            except wire.SessionMismatchError:
+                self.receiver.on_stale_data(0)
+                continue  # foreign transfer entirely
+            self._data_count += 1
             offset = pkt.seq * packet_size
             self.buffer[offset:offset + len(payload)] = payload
             ack = self.receiver.on_data(pkt.seq, time.monotonic())
             if ack is not None and not self.blackhole_acks:
                 self.ack_sock.sendto(
-                    wire.encode_ack(ack, checksum=self.config.checksum),
+                    wire.encode_ack(ack, checksum=self.config.checksum,
+                                    session=self.session),
                     self._ack_addr)
+        if self.receiver.journal is not None:
+            self.receiver.journal.close()
         if self.blackhole_acks:
             return  # adversarial mode: suppress the completion signal too
         # Completion signal over TCP (the paper's third connection).
@@ -147,11 +205,24 @@ class _Sender(threading.Thread):
         drop_rate: float = 0.0,
         corrupt_rate: float = 0.0,
         seed: int = 0,
+        resume_bitmap: Optional[np.ndarray] = None,
+        session: Optional[wire.SessionContext] = None,
+        kill: Optional["KillSwitch"] = None,
     ):
         super().__init__(name="fobs-sender", daemon=True)
         self.config = config
         self.data = data
-        self.sender = FobsSender(config, len(data), rng=np.random.default_rng(seed))
+        self.session = session
+        self.kill = kill
+        self.crashed = False
+        self.failure_reason: Optional[str] = None
+        self._sent_count = 0
+        self.sender = FobsSender(
+            config, len(data), rng=np.random.default_rng(seed),
+            epoch=session.epoch if session is not None else 0,
+        )
+        if resume_bitmap is not None:
+            self.sender.resume_from(resume_bitmap)
         self.deadline = deadline
         self.error: Optional[BaseException] = None
         self.drop_rate = drop_rate
@@ -216,12 +287,23 @@ class _Sender(threading.Thread):
                 # Phase 1/3: batch-send (suppressed between stall probes).
                 batch = self.sender.next_batch()
             for pkt in batch:
+                if (self.kill is not None and self.kill.target == "sender"
+                        and self.kill.should_fire(self._sent_count)):
+                    # Crash injection: the sender process dies mid-batch.
+                    self.kill.fire(time.monotonic())
+                    self.crashed = True
+                    self.failure_reason = (
+                        f"sender killed by crash injection after "
+                        f"{self._sent_count} data packets")
+                    return
                 offset = pkt.seq * packet_size
                 payload = self.data[offset:offset + pkt.payload_bytes]
                 if self.drop_rate and self._drop_rng.random() < self.drop_rate:
                     continue  # simulated wide-area loss
                 datagram = wire.encode_data(pkt, payload,
-                                            checksum=self.config.checksum)
+                                            checksum=self.config.checksum,
+                                            session=self.session)
+                self._sent_count += 1
                 if self.corrupt_rate and self._corrupt_rng.random() < self.corrupt_rate:
                     # Flip one byte in flight; the receiver's CRC must
                     # reject it and the scheduler re-sends later.
@@ -233,12 +315,15 @@ class _Sender(threading.Thread):
             # Phase 2: poll (never block) for an acknowledgement.
             try:
                 datagram = self.ack_sock.recv(1 << 20)
-                ack = wire.decode_ack(datagram, checksum=self.config.checksum)
+                ack = wire.decode_ack(datagram, checksum=self.config.checksum,
+                                      session=self.session)
                 self.sender.on_ack(ack, time.monotonic())
             except BlockingIOError:
                 pass
             except wire.ChecksumError:
                 self.sender.on_corrupt_ack()
+            except (wire.StaleEpochError, wire.SessionMismatchError):
+                self.sender.on_stale_ack()
             self._check_completion()
             if not batch:
                 # Stalled, or all packets acked locally; don't spin.
@@ -254,6 +339,11 @@ def run_loopback_transfer(
     seed: int = 0,
     timeout: float = 60.0,
     data: Optional[bytes] = None,
+    journal: Optional["ReceiverJournal"] = None,
+    resume_bitmap: Optional[np.ndarray] = None,
+    session: Optional[wire.SessionContext] = None,
+    kill: Optional["KillSwitch"] = None,
+    buffer: Optional[bytearray] = None,
 ) -> LoopbackResult:
     """Transfer a checksummed object over real sockets on localhost.
 
@@ -265,6 +355,11 @@ def run_loopback_transfer(
     sender must stall-abort.  Protocol-level failures (stall abort,
     receiver liveness timeout) return a result with ``completed=False``
     and a ``failure_reason`` rather than raising.
+
+    The crash-resume hooks (``journal``, ``resume_bitmap``, ``session``,
+    ``kill``, ``buffer``) are documented in the module docstring; use
+    :func:`repro.runtime.supervisor.run_resumable_loopback` for the
+    full retry loop.
     """
     config = config if config is not None else FobsConfig(ack_frequency=32)
     if data is None:
@@ -277,12 +372,15 @@ def run_loopback_transfer(
     receiver = _Receiver(
         config, nbytes, data_port=0, ack_addr=("127.0.0.1", 0),
         ctrl_addr=("127.0.0.1", 0), deadline=deadline,
-        blackhole_acks=blackhole_acks,
+        blackhole_acks=blackhole_acks, journal=journal,
+        resume_bitmap=resume_bitmap, session=session, kill=kill,
+        buffer=buffer,
     )
     sender = _Sender(
         config, data, data_addr=("127.0.0.1", receiver.data_port),
         ack_port=0, deadline=deadline, drop_rate=drop_rate,
         corrupt_rate=corrupt_rate, seed=seed,
+        resume_bitmap=resume_bitmap, session=session, kill=kill,
     )
     # Late-bind the dynamic ports discovered after socket creation.
     receiver._ack_addr = ("127.0.0.1", sender.ack_port)
@@ -301,8 +399,16 @@ def run_loopback_transfer(
         if thread.is_alive():
             raise TimeoutError(f"{thread.name} did not finish within {timeout}s")
 
-    completed = sender.sender.complete and receiver.receiver.complete
-    failure_reason = sender.sender.failure_reason or receiver.failure_reason
+    crashed = ("sender" if sender.crashed
+               else "receiver" if receiver.crashed else None)
+    completed = (sender.sender.complete and receiver.receiver.complete
+                 and crashed is None)
+    if crashed == "sender":
+        failure_reason = sender.failure_reason
+    elif crashed == "receiver":
+        failure_reason = receiver.failure_reason
+    else:
+        failure_reason = sender.sender.failure_reason or receiver.failure_reason
     checksum_ok = completed and (
         hashlib.sha256(bytes(receiver.buffer)).digest()
         == hashlib.sha256(data).digest()
@@ -323,4 +429,8 @@ def run_loopback_transfer(
         stall_recoveries=sender.sender.stats.stall_recoveries,
         corrupt_dropped=(receiver.receiver.stats.packets_corrupt
                          + sender.sender.stats.acks_corrupt),
+        stale_epoch_dropped=(receiver.receiver.stats.stale_epoch_data
+                             + sender.sender.stats.stale_epoch_acks),
+        resumed_packets=sender.sender.stats.resumed_packets,
+        crashed=crashed,
     )

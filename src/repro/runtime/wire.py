@@ -2,11 +2,16 @@
 
 All integers are big-endian (network order).  Layouts::
 
-    DATA        !IIi  seq, total, transmission   + payload bytes
+    DATA        !IIi  seq, total, transmission
+                [+ !QI transfer_id, epoch when a session is negotiated]
+                + payload bytes
                 [+ !I crc32(header + payload) trailer when checksumming]
     ACK         !IIII ack_id, received_count, npackets, checksum
+                [+ !QI transfer_id, epoch when a session is negotiated]
                 + packed bitmap (1 bit per packet, numpy packbits order)
     COMPLETION  !III  magic, total_packets, reserved
+    RESUME      !IQIIII magic, transfer_id, epoch, data_port, npackets,
+                crc32(bitmap) + packed bitmap   (TCP control channel)
 
 Checksumming is negotiated out of band (both endpoints share a
 :class:`~repro.core.config.FobsConfig`; its ``checksum`` flag selects
@@ -17,16 +22,29 @@ bitmap.  With checksumming off the formats are byte-identical to the
 original protocol: the fallback costs nothing on trusted paths, at the
 price of silently accepting corrupted payloads.
 
+Resumable sessions (PROTOCOL.md §8) negotiate a second extension the
+same way: a :class:`SessionContext` — a 64-bit transfer id plus a
+32-bit attempt *epoch* — inserted between the base header and the
+payload of every DATA and ACK datagram.  Decoding with a session
+verifies both: a foreign transfer id raises
+:class:`SessionMismatchError`, a non-current epoch raises
+:class:`StaleEpochError`, so a zombie endpoint from a crashed attempt
+can never land bytes (or acknowledgement bits) in a resumed session.
+When checksumming is also on, the CRC trailer covers the extension.
+
 The simulator's :class:`~repro.core.packets.DataPacket` /
 :class:`~repro.core.packets.AckPacket` header-size constants are kept
-consistent with the un-checksummed layouts (12 and 16 bytes); the
-4-byte trailer is accounted only by the real-socket backend.
+consistent with the plain layouts (12 and 16 bytes); the 4-byte
+trailer and the 12-byte session extension are accounted only by the
+real-socket backend.
 """
 
 from __future__ import annotations
 
 import struct
 import zlib
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -36,32 +54,109 @@ _DATA_HDR = struct.Struct("!IIi")
 _ACK_HDR = struct.Struct("!IIII")
 _COMPLETION = struct.Struct("!III")
 _CRC = struct.Struct("!I")
+_SESSION_EXT = struct.Struct("!QI")
+_RESUME_HDR = struct.Struct("!IQIIII")
 COMPLETION_MAGIC = 0xF0B5D011
+RESUME_MAGIC = 0xF0B5BE5A
 #: Bytes added to a data packet by the checksum trailer.
 CHECKSUM_TRAILER_BYTES = _CRC.size
+#: Bytes added to DATA/ACK datagrams by the session extension.
+SESSION_EXT_BYTES = _SESSION_EXT.size
 
 
 class ChecksumError(ValueError):
     """A datagram failed CRC verification (corrupted in flight)."""
 
 
-def encode_data(packet: DataPacket, payload: bytes, checksum: bool = False) -> bytes:
-    """Serialize a data packet header plus its payload slice."""
+class SessionMismatchError(ValueError):
+    """A datagram belongs to a different transfer id entirely."""
+
+
+class StaleEpochError(ValueError):
+    """A datagram carries a dead attempt epoch (zombie endpoint)."""
+
+    def __init__(self, got: int, expected: int, kind: str):
+        super().__init__(
+            f"stale {kind} epoch {got} (current attempt epoch {expected})")
+        self.got = got
+        self.expected = expected
+
+
+@dataclass(frozen=True)
+class SessionContext:
+    """Identity of one resumable-session attempt on the wire.
+
+    ``transfer_id`` names the object transfer across all its attempts;
+    ``epoch`` is the attempt number, bumped by the supervisor on every
+    retry.  Both endpoints of an attempt share one context; datagrams
+    from any other context are rejected at decode time.
+    """
+
+    transfer_id: int
+    epoch: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.transfer_id < 1 << 64:
+            raise ValueError("transfer_id must fit in 64 bits")
+        if not 0 <= self.epoch < 1 << 32:
+            raise ValueError("epoch must fit in 32 bits")
+
+    def next_epoch(self) -> "SessionContext":
+        return SessionContext(self.transfer_id, self.epoch + 1)
+
+
+def _check_session(
+    data: bytes, offset: int, session: SessionContext, kind: str
+) -> int:
+    """Verify the session extension at ``offset``; returns its epoch."""
+    if len(data) < offset + SESSION_EXT_BYTES:
+        raise ValueError(f"{kind} datagram shorter than session extension")
+    tid, epoch = _SESSION_EXT.unpack_from(data, offset)
+    if tid != session.transfer_id:
+        raise SessionMismatchError(
+            f"{kind} for transfer {tid:#x}, expected {session.transfer_id:#x}")
+    if epoch != session.epoch:
+        raise StaleEpochError(epoch, session.epoch, kind)
+    return epoch
+
+
+def encode_data(
+    packet: DataPacket,
+    payload: bytes,
+    checksum: bool = False,
+    session: Optional[SessionContext] = None,
+) -> bytes:
+    """Serialize a data packet header plus its payload slice.
+
+    With ``session``, the transfer id and attempt epoch are inserted
+    between header and payload (the resumable-session extension).
+    """
     if len(payload) != packet.payload_bytes:
         raise ValueError(
             f"payload length {len(payload)} != declared {packet.payload_bytes}"
         )
-    datagram = _DATA_HDR.pack(packet.seq, packet.total, packet.transmission) + payload
+    datagram = _DATA_HDR.pack(packet.seq, packet.total, packet.transmission)
+    if session is not None:
+        datagram += _SESSION_EXT.pack(session.transfer_id, session.epoch)
+    datagram += payload
     if checksum:
         datagram += _CRC.pack(zlib.crc32(datagram))
     return datagram
 
 
-def decode_data(datagram: bytes, checksum: bool = False) -> tuple[DataPacket, bytes]:
+def decode_data(
+    datagram: bytes,
+    checksum: bool = False,
+    session: Optional[SessionContext] = None,
+) -> tuple[DataPacket, bytes]:
     """Parse a data datagram; returns (header, payload bytes).
 
     With ``checksum`` set, verifies and strips the CRC32 trailer,
-    raising :class:`ChecksumError` on mismatch.
+    raising :class:`ChecksumError` on mismatch.  With ``session`` set,
+    verifies the transfer id and attempt epoch — raising
+    :class:`SessionMismatchError` / :class:`StaleEpochError` — *after*
+    the CRC check, so a corrupted extension reads as corruption, not as
+    a stale datagram.
     """
     if len(datagram) < _DATA_HDR.size:
         raise ValueError("datagram shorter than data header")
@@ -74,39 +169,62 @@ def decode_data(datagram: bytes, checksum: bool = False) -> tuple[DataPacket, by
             raise ChecksumError("data packet failed CRC32 verification")
         datagram = body
     seq, total, transmission = _DATA_HDR.unpack_from(datagram)
-    payload = datagram[_DATA_HDR.size:]
+    offset = _DATA_HDR.size
+    epoch = 0
+    if session is not None:
+        epoch = _check_session(datagram, offset, session, "data")
+        offset += SESSION_EXT_BYTES
+    payload = datagram[offset:]
     if not payload:
         raise ValueError("data packet with empty payload")
     pkt = DataPacket(
-        seq=seq, total=total, payload_bytes=len(payload), transmission=transmission
+        seq=seq, total=total, payload_bytes=len(payload),
+        transmission=transmission, epoch=epoch,
     )
     return pkt, payload
 
 
-def encode_ack(ack: AckPacket, checksum: bool = False) -> bytes:
-    """Serialize an acknowledgement: header + packed bitmap.
+def encode_ack(
+    ack: AckPacket,
+    checksum: bool = False,
+    session: Optional[SessionContext] = None,
+) -> bytes:
+    """Serialize an acknowledgement: header [+ session ext] + bitmap.
 
     The header's fourth word carries the bitmap CRC32 when checksumming
     (zero otherwise, matching the original reserved field).
     """
     packed = np.packbits(np.asarray(ack.bitmap)).tobytes()
     crc = zlib.crc32(packed) if checksum else 0
-    return _ACK_HDR.pack(ack.ack_id, ack.received_count, ack.npackets, crc) + packed
+    out = _ACK_HDR.pack(ack.ack_id, ack.received_count, ack.npackets, crc)
+    if session is not None:
+        out += _SESSION_EXT.pack(session.transfer_id, session.epoch)
+    return out + packed
 
 
-def decode_ack(datagram: bytes, checksum: bool = False) -> AckPacket:
+def decode_ack(
+    datagram: bytes,
+    checksum: bool = False,
+    session: Optional[SessionContext] = None,
+) -> AckPacket:
     """Parse an acknowledgement datagram, verifying the bitmap CRC."""
     if len(datagram) < _ACK_HDR.size:
         raise ValueError("datagram shorter than ack header")
     ack_id, received_count, npackets, crc = _ACK_HDR.unpack_from(datagram)
-    packed = np.frombuffer(datagram, dtype=np.uint8, offset=_ACK_HDR.size)
+    offset = _ACK_HDR.size
+    epoch = 0
+    if session is not None:
+        epoch = _check_session(datagram, offset, session, "ack")
+        offset += SESSION_EXT_BYTES
+    packed = np.frombuffer(datagram, dtype=np.uint8, offset=offset)
     expected = -(-npackets // 8)
     if packed.shape[0] < expected:
         raise ValueError("ack bitmap truncated")
     if checksum and zlib.crc32(packed[:expected].tobytes()) != crc:
         raise ChecksumError("ack bitmap failed CRC32 verification")
     bits = np.unpackbits(packed[:expected], count=npackets).astype(np.bool_)
-    return AckPacket(ack_id=ack_id, received_count=received_count, bitmap=bits)
+    return AckPacket(ack_id=ack_id, received_count=received_count,
+                     bitmap=bits, epoch=epoch)
 
 
 def encode_completion(total_packets: int) -> bytes:
@@ -122,3 +240,66 @@ def decode_completion(data: bytes) -> int:
     if magic != COMPLETION_MAGIC:
         raise ValueError(f"bad completion magic {magic:#x}")
     return total_packets
+
+
+# ----------------------------------------------------------------------
+# RESUME exchange (TCP control channel; PROTOCOL.md §8)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ResumeInfo:
+    """The receiver's RESUME reply to a session offer.
+
+    Carries the attempt identity, the UDP data port for this attempt,
+    and the receiver's journal-reconstructed bitmap (all-zero on a
+    fresh transfer) whose packed encoding is CRC32-protected — the
+    sender merges it to skip every already-delivered packet.
+    """
+
+    transfer_id: int
+    epoch: int
+    data_port: int
+    bitmap: np.ndarray
+
+    @property
+    def npackets(self) -> int:
+        return int(self.bitmap.shape[0])
+
+    @property
+    def packets_recovered(self) -> int:
+        return int(np.count_nonzero(self.bitmap))
+
+
+def encode_resume(
+    transfer_id: int, epoch: int, data_port: int, bitmap: np.ndarray
+) -> bytes:
+    """Serialize the RESUME reply (receiver → sender, TCP)."""
+    bits = np.asarray(bitmap, dtype=np.bool_)
+    packed = np.packbits(bits).tobytes()
+    return _RESUME_HDR.pack(
+        RESUME_MAGIC, transfer_id, epoch, data_port,
+        int(bits.shape[0]), zlib.crc32(packed),
+    ) + packed
+
+
+def resume_wire_bytes(npackets: int) -> int:
+    """Total bytes of a RESUME message for an ``npackets`` object."""
+    return _RESUME_HDR.size + -(-npackets // 8)
+
+
+def decode_resume(data: bytes) -> ResumeInfo:
+    """Parse a RESUME message, verifying the bitmap digest."""
+    if len(data) < _RESUME_HDR.size:
+        raise ValueError("resume message truncated")
+    magic, tid, epoch, data_port, npackets, crc = _RESUME_HDR.unpack_from(data)
+    if magic != RESUME_MAGIC:
+        raise ValueError(f"bad resume magic {magic:#x}")
+    packed = np.frombuffer(data, dtype=np.uint8, offset=_RESUME_HDR.size)
+    expected = -(-npackets // 8)
+    if packed.shape[0] < expected:
+        raise ValueError("resume bitmap truncated")
+    if zlib.crc32(packed[:expected].tobytes()) != crc:
+        raise ChecksumError("resume bitmap failed CRC32 verification")
+    bits = np.unpackbits(packed[:expected], count=npackets).astype(np.bool_)
+    return ResumeInfo(transfer_id=tid, epoch=epoch, data_port=data_port,
+                      bitmap=bits)

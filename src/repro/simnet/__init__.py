@@ -39,6 +39,7 @@ from repro.simnet.faults import (
     FaultSchedule,
     FaultStats,
     GilbertElliott,
+    KillSwitch,
     LinkFlap,
     ack_channel_blackhole,
     blackhole_window,
@@ -92,6 +93,7 @@ __all__ = [
     "satellite_path",
     "FaultSchedule",
     "FaultInjector",
+    "KillSwitch",
     "FaultStats",
     "GilbertElliott",
     "LinkFlap",

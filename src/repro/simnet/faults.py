@@ -193,6 +193,71 @@ class FaultSchedule:
 
 
 @dataclass
+class KillSwitch:
+    """Crash injection: kill one endpoint at a packet count mid-flight.
+
+    A process-death fault, not a link fault: the transfer driver (DES
+    session layer or the loopback runtime) consumes it, counting data
+    packets processed by the targeted endpoint — packets *sent* for the
+    sender, data packets *processed* for the receiver — and simulates
+    an abrupt process death when the count reaches ``after_packets``:
+    sockets close, unflushed journal state is lost, no goodbye is sent.
+    The surviving endpoint sees only silence and must diagnose it via
+    the stall/liveness machinery; the retry supervisor then resumes
+    from the journal.
+
+    A switch fires at most once, so a retried transfer's later attempts
+    run to completion unless given a fresh switch.  :meth:`seeded`
+    derives the kill point deterministically from a seed, for
+    reproducible "kill somewhere mid-flight" scenarios.
+    """
+
+    #: Which endpoint dies: "sender" or "receiver".
+    target: str
+    #: Packet count at which the crash fires.
+    after_packets: int
+    #: When the switch fired (None = not yet).
+    fired_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.target not in ("sender", "receiver"):
+            raise ValueError("target must be 'sender' or 'receiver'")
+        if self.after_packets < 1:
+            raise ValueError("after_packets must be >= 1")
+
+    @classmethod
+    def seeded(
+        cls,
+        target: str,
+        npackets: int,
+        seed: int,
+        lo: float = 0.25,
+        hi: float = 0.75,
+    ) -> "KillSwitch":
+        """Kill point drawn deterministically in ``[lo, hi]`` of the object."""
+        if not 0.0 <= lo <= hi <= 1.0:
+            raise ValueError("need 0 <= lo <= hi <= 1")
+        if npackets < 1:
+            raise ValueError("npackets must be >= 1")
+        rng = np.random.default_rng(seed)
+        low = max(1, int(lo * npackets))
+        high = max(low, int(hi * npackets))
+        return cls(target=target,
+                   after_packets=int(rng.integers(low, high + 1)))
+
+    @property
+    def fired(self) -> bool:
+        return self.fired_at is not None
+
+    def should_fire(self, packets_processed: int) -> bool:
+        """Has the targeted endpoint processed enough packets to die?"""
+        return not self.fired and packets_processed >= self.after_packets
+
+    def fire(self, now: float) -> None:
+        self.fired_at = now
+
+
+@dataclass
 class FaultStats:
     """What one injector did to the frames it saw."""
 
@@ -383,6 +448,7 @@ __all__ = [
     "FaultInjector",
     "FaultStats",
     "GilbertElliott",
+    "KillSwitch",
     "LinkFlap",
     "install_faults",
     "chain_link_names",

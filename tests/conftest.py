@@ -13,6 +13,17 @@ from repro.simnet import topology
 from repro.simnet.engine import Simulator
 from repro.simnet.topology import Network
 
+try:
+    from hypothesis import settings as _hypothesis_settings
+
+    # print_blob=True makes a failing property print its
+    # @reproduce_failure blob in the CI log, so a stall/recovery
+    # regression found by a random seed can be replayed exactly.
+    _hypothesis_settings.register_profile("repro", print_blob=True)
+    _hypothesis_settings.load_profile("repro")
+except ImportError:  # hypothesis is an optional test dependency
+    pass
+
 
 @pytest.fixture
 def sim() -> Simulator:

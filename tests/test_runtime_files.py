@@ -70,6 +70,97 @@ class TestFileTransfer:
         assert result["recv"].duration > 0
 
 
+class TestResumableFileTransfer:
+    def run_resumable(self, tmp_path, port, kill_plan=None, nbytes=300_000):
+        from repro.runtime.supervisor import RetryPolicy
+
+        src, data = make_file(tmp_path, nbytes, seed=7)
+        out = tmp_path / "out.bin"
+        config = FobsConfig(ack_frequency=32, stall_timeout=0.1,
+                            stall_abort_after=0.5, receiver_idle_timeout=1.5)
+        ready = threading.Event()
+        result = {}
+
+        def recv():
+            result["recv"] = receive_file(str(out), port, bind="127.0.0.1",
+                                          ready=ready, timeout=60.0,
+                                          max_attempts=3, config=config)
+
+        thread = threading.Thread(target=recv, daemon=True)
+        thread.start()
+        assert ready.wait(10)
+        result["send"] = send_file(
+            str(src), "127.0.0.1", port, config=config, timeout=60.0,
+            max_attempts=3, kill_plan=kill_plan,
+            policy=RetryPolicy(max_attempts=3, backoff_base=0.05,
+                               jitter=0.0))
+        thread.join(30)
+        assert not thread.is_alive()
+        return data, out, result
+
+    def test_clean_resumable_session(self, tmp_path):
+        data, out, result = self.run_resumable(tmp_path, port=39217)
+        assert out.read_bytes() == data
+        assert result["send"].completed and result["send"].attempts == 1
+        assert result["recv"].crc_ok and result["recv"].attempts == 1
+        assert not (tmp_path / "out.bin.journal").exists()
+        assert not (tmp_path / "out.bin.part").exists()
+
+    def test_sender_crash_resumes_via_real_resume_handshake(self, tmp_path):
+        """Kill the sender mid-blast; retry resumes from the journal."""
+        from repro.simnet.faults import KillSwitch
+
+        kill_plan = {0: KillSwitch(target="sender", after_packets=100)}
+        data, out, result = self.run_resumable(tmp_path, port=39218,
+                                               kill_plan=kill_plan)
+        send, recv = result["send"], result["recv"]
+        assert out.read_bytes() == data
+        assert send.completed and send.attempts == 2
+        assert recv.crc_ok and recv.attempts == 2
+        # The RESUME bitmap crossed the TCP control channel: both ends
+        # agree on how much the journal salvaged.
+        assert send.resumed_packets > 0
+        assert send.resumed_packets == recv.resumed_packets
+        # Cleaned up after success.
+        assert not (tmp_path / "out.bin.journal").exists()
+        assert not (tmp_path / "out.bin.part").exists()
+
+    def test_exhausted_attempts_reports_failure(self, tmp_path):
+        """Every attempt killed: both sides return completed=False."""
+        from repro.simnet.faults import KillSwitch
+
+        kill_plan = {a: KillSwitch(target="sender", after_packets=50)
+                     for a in range(3)}
+        src, data = make_file(tmp_path, 200_000, seed=8)
+        out = tmp_path / "dead.bin"
+        config = FobsConfig(ack_frequency=32, stall_timeout=0.1,
+                            stall_abort_after=0.5, receiver_idle_timeout=1.0)
+        ready = threading.Event()
+        result = {}
+
+        def recv():
+            result["recv"] = receive_file(str(out), 39219, bind="127.0.0.1",
+                                          ready=ready, timeout=15.0,
+                                          max_attempts=3, config=config)
+
+        thread = threading.Thread(target=recv, daemon=True)
+        thread.start()
+        assert ready.wait(10)
+        from repro.runtime.supervisor import RetryPolicy
+
+        send = send_file(str(src), "127.0.0.1", 39219, config=config,
+                         timeout=15.0, max_attempts=3, kill_plan=kill_plan,
+                         policy=RetryPolicy(max_attempts=3, backoff_base=0.05,
+                                            jitter=0.0))
+        thread.join(30)
+        assert not send.completed
+        assert send.attempts == 3
+        assert "killed by crash injection" in send.failure_reason
+        assert not out.exists()
+        # The journal survives a failed session for a later resume.
+        assert (tmp_path / "dead.bin.journal").exists()
+
+
 class TestCliProcesses:
     def test_two_process_transfer(self, tmp_path):
         """End-to-end: receiver and sender as separate OS processes."""
