@@ -1,11 +1,19 @@
-"""Extension bench: greedy FOBS vs a competing TCP flow.
+"""Extension bench: fairness — between protocols, and between transfers.
 
-Quantifies Section 7's motivation for adding congestion control: a TCP
-transfer sharing the short-haul bottleneck with greedy FOBS is starved
-to a small fraction of its solo throughput.
+Two angles on the same question:
+
+* greedy FOBS vs a competing TCP flow (Section 7's motivation for
+  adding congestion control): TCP is starved to a small fraction of
+  its solo throughput;
+* the multi-transfer server's max-min allocator: four concurrent
+  transfers through one admission-controlled host on the shared DES
+  bottleneck must split the budget near-evenly (Jain's index >= 0.95).
 """
 
 from repro.analysis.experiments import fairness_scenario
+from repro.core.config import FobsConfig
+from repro.server import SimTransferSpec, run_sim_server
+from repro.simnet import short_haul
 
 from _bench_support import emit
 
@@ -25,3 +33,34 @@ def test_fairness_scenario(benchmark, capsys):
     # Greedy FOBS takes the lion's share and starves TCP.
     assert fobs_share > 80
     assert vs_greedy < 0.4 * alone
+
+
+def test_server_max_min_fairness(benchmark, capsys):
+    """Four concurrent transfers through the server's allocator."""
+    specs = [SimTransferSpec(nbytes=2_000_000, arrival=0.001 * i,
+                             client=f"client-{i}")
+             for i in range(4)]
+
+    def run():
+        return run_sim_server(
+            short_haul(seed=17), specs,
+            config=FobsConfig(ack_frequency=16),
+            max_active=4, rate_budget_bps=60e6)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert result.all_ok
+    jain = result.jain_fairness()
+
+    lines = [
+        "server max-min fairness: 4 concurrent transfers, one host,",
+        "60 Mb/s budget on the short-haul bottleneck (DES)",
+        "",
+        "transfer  throughput (Mb/s)",
+    ]
+    for i, stats in enumerate(result.stats):
+        lines.append(f"   #{i}        {stats.throughput_bps / 1e6:8.2f}")
+    lines.append("")
+    lines.append(f"Jain's fairness index: {jain:.4f}  (>= 0.95 required)")
+    emit("server_fairness", "\n".join(lines), capsys)
+
+    assert jain >= 0.95

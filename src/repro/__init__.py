@@ -10,6 +10,8 @@ Top-level convenience exports; the full API lives in the subpackages:
   the compared/related protocols;
 * :mod:`repro.runtime` — real-socket (loopback) backend for the
   sans-IO FOBS core;
+* :mod:`repro.server` — the concurrent multi-transfer daemon
+  (admission control, shared-socket demux, max-min sharing);
 * :mod:`repro.analysis` — per-figure/table experiment harness and CLI.
 
 Quickstart::
@@ -19,6 +21,11 @@ Quickstart::
     net = repro.short_haul()
     stats = repro.run_fobs_transfer(net, 40_000_000)
     print(stats)
+
+Observation instruments (:class:`Tracer` per-event protocol traces,
+:class:`Monitor` sampled link/queue/probe series) are first-class:
+pass ``tracer=`` to :class:`FobsTransfer` or attach a Monitor to any
+``Network`` before running.
 """
 
 from repro.core import (
@@ -31,8 +38,10 @@ from repro.core import (
     run_fobs_transfer,
 )
 from repro.simnet import (
+    Monitor,
     Network,
     Simulator,
+    Tracer,
     contended_path,
     gigabit_path,
     long_haul,
@@ -42,6 +51,13 @@ from repro.tcp import TcpOptions, run_bulk_transfer
 from repro.psockets import probe_optimal_sockets, run_striped_transfer
 from repro.rudp import run_rudp_transfer
 from repro.sabul import run_sabul_transfer
+from repro.server import (
+    ObjectServer,
+    SimTransferSpec,
+    fetch_file,
+    run_sim_server,
+    serve_root,
+)
 
 __version__ = "1.0.0"
 
@@ -55,10 +71,17 @@ __all__ = [
     "run_fobs_transfer",
     "Network",
     "Simulator",
+    "Tracer",
+    "Monitor",
     "short_haul",
     "long_haul",
     "gigabit_path",
     "contended_path",
+    "ObjectServer",
+    "SimTransferSpec",
+    "fetch_file",
+    "run_sim_server",
+    "serve_root",
     "TcpOptions",
     "run_bulk_transfer",
     "run_striped_transfer",

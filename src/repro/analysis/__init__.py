@@ -2,6 +2,7 @@
 plain-text report rendering and the ``fobs-repro`` CLI."""
 
 from repro.analysis.metrics import (
+    jain_index,
     mean,
     percent_of_bandwidth,
     stddev,
@@ -32,6 +33,7 @@ from repro.analysis.experiments import (
 )
 
 __all__ = [
+    "jain_index",
     "mean",
     "stddev",
     "percent_of_bandwidth",

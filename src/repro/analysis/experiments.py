@@ -13,7 +13,7 @@ Default workload: the paper's 40 MB object.  Every runner accepts
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Sequence
 
 from repro.analysis.metrics import mean
 from repro.analysis.report import render_series, render_table

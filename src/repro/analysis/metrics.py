@@ -31,6 +31,25 @@ def wasted_resources(packets_sent: int, packets_required: int) -> float:
     return (packets_sent - packets_required) / packets_required
 
 
+def jain_index(values: Sequence[float] | Iterable[float]) -> float:
+    """Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1].
+
+    1.0 means every flow got an identical share; 1/n means one flow got
+    everything.  Used to score the server's max-min allocator on
+    concurrent transfers sharing a bottleneck.
+    """
+    vals = list(values)
+    if not vals:
+        raise ValueError("jain_index of empty sequence")
+    if any(v < 0 for v in vals):
+        raise ValueError("jain_index values must be non-negative")
+    square_of_sum = sum(vals) ** 2
+    sum_of_squares = sum(v * v for v in vals)
+    if sum_of_squares == 0:
+        return 1.0
+    return square_of_sum / (len(vals) * sum_of_squares)
+
+
 def mean(values: Sequence[float] | Iterable[float]) -> float:
     vals = list(values)
     if not vals:

@@ -23,7 +23,13 @@ from repro.core.scheduling import (
     SequentialRestartScheduler,
     make_scheduler,
 )
-from repro.core.rate import AdaptiveBatchPolicy, FixedBatchPolicy, make_batch_policy
+from repro.core.rate import (
+    AdaptiveBatchPolicy,
+    FixedBatchPolicy,
+    TokenBucket,
+    make_batch_policy,
+    max_min_allocation,
+)
 from repro.core.sender import FobsSender, SenderStats
 from repro.core.receiver import FobsReceiver, ReceiverStats
 from repro.core.congestion import (
@@ -52,7 +58,9 @@ __all__ = [
     "make_scheduler",
     "FixedBatchPolicy",
     "AdaptiveBatchPolicy",
+    "TokenBucket",
     "make_batch_policy",
+    "max_min_allocation",
     "FobsSender",
     "SenderStats",
     "FobsReceiver",

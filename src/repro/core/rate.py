@@ -1,16 +1,23 @@
-"""Batch-size policies (the paper's phase 1/phase 2 feedback loop).
+"""Batch-size policies and rate-sharing primitives.
 
-The sender decides how many packets to place on the network before
-checking (without blocking) for an acknowledgement.  The paper's
-experiments found a fixed batch of 2 best; the adaptive policy
+The batch policies implement the paper's phase 1/phase 2 feedback
+loop: the sender decides how many packets to place on the network
+before checking (without blocking) for an acknowledgement.  The
+paper's experiments found a fixed batch of 2 best; the adaptive policy
 implements the feedback rule the paper describes — use the number of
-packets the receiver absorbed between consecutive ACKs to size the next
-batch — for the ablation bench.
+packets the receiver absorbed between consecutive ACKs to size the
+next batch — for the ablation bench.
+
+The multi-transfer server (:mod:`repro.server`) adds two primitives on
+top: :func:`max_min_allocation`, the classic water-filling division of
+one host's send-rate budget across concurrent transfers, and
+:class:`TokenBucket`, the per-transfer pacer whose rate the server's
+allocator re-feeds on every admission or completion.
 """
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Optional, Protocol, Sequence
 
 
 class BatchPolicy(Protocol):
@@ -74,3 +81,115 @@ def make_batch_policy(name: str, batch_size: int, max_batch_size: int) -> BatchP
     if name == "adaptive":
         return AdaptiveBatchPolicy(min_batch=1, max_batch=max_batch_size)
     raise ValueError(f"unknown batch policy {name!r}")
+
+
+# ----------------------------------------------------------------------
+# Rate sharing (the multi-transfer server's bandwidth budget)
+# ----------------------------------------------------------------------
+
+def max_min_allocation(
+    demands: Sequence[Optional[float]],
+    capacity: float,
+) -> list[float]:
+    """Divide ``capacity`` across flows by max-min fairness.
+
+    ``demands[i]`` is flow *i*'s demand ceiling in the same unit as
+    ``capacity`` (bits/second for the server); ``None`` means
+    unbounded.  Classic water-filling: repeatedly give every unsated
+    flow an equal share of the remaining capacity; a flow whose demand
+    is below its share keeps only its demand and releases the surplus
+    to the others.  The result satisfies the max-min property — no
+    flow's allocation can be raised without lowering that of a flow
+    with an equal or smaller allocation.
+
+    Total allocated is ``min(capacity, sum(demands))``; unbounded
+    demands always exhaust the capacity.
+    """
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    n = len(demands)
+    allocation = [0.0] * n
+    unsated = [i for i in range(n)
+               if demands[i] is None or demands[i] > 0]
+    remaining = float(capacity)
+    while unsated and remaining > 1e-12:
+        share = remaining / len(unsated)
+        sated = [i for i in unsated
+                 if demands[i] is not None and demands[i] <= share]
+        if not sated:
+            for i in unsated:
+                allocation[i] += share
+            break
+        for i in sated:
+            allocation[i] = float(demands[i])
+            remaining -= float(demands[i])
+            unsated.remove(i)
+    return allocation
+
+
+class TokenBucket:
+    """Byte-granular pacer with a runtime-adjustable rate.
+
+    The server's bandwidth allocator owns one bucket per active
+    transfer and calls :meth:`set_rate` on every admission or
+    completion; the transfer's IO driver asks :meth:`take` before each
+    datagram.  ``rate_bps`` of ``None`` disables pacing (every ``take``
+    succeeds), matching :attr:`FobsConfig.send_rate_bps` semantics.
+
+    The burst allowance caps how far the bucket can fill while idle, so
+    a transfer that stalls on ACKs cannot bank seconds of budget and
+    then blast it as one line-rate burst into the shared bottleneck.
+    """
+
+    def __init__(
+        self,
+        rate_bps: Optional[float] = None,
+        burst_bytes: int = 65536,
+    ):
+        if rate_bps is not None and rate_bps <= 0:
+            raise ValueError("rate_bps must be positive when set")
+        if burst_bytes <= 0:
+            raise ValueError("burst_bytes must be positive")
+        self.rate_bps = rate_bps
+        self.burst_bytes = burst_bytes
+        self._tokens = float(burst_bytes)
+        self._last: Optional[float] = None
+
+    def set_rate(self, rate_bps: Optional[float], now: float) -> None:
+        """Re-feed the pacer with a new allocation (None = unpaced)."""
+        if rate_bps is not None and rate_bps <= 0:
+            raise ValueError("rate_bps must be positive when set")
+        self._refill(now)
+        self.rate_bps = rate_bps
+
+    def _refill(self, now: float) -> None:
+        if self._last is None:
+            self._last = now
+            return
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        if self.rate_bps is not None:
+            self._tokens = min(
+                float(self.burst_bytes),
+                self._tokens + elapsed * self.rate_bps / 8.0,
+            )
+
+    def take(self, nbytes: int, now: float) -> bool:
+        """Consume ``nbytes`` if the budget allows; False = wait."""
+        if self.rate_bps is None:
+            return True
+        self._refill(now)
+        if self._tokens >= nbytes:
+            self._tokens -= nbytes
+            return True
+        return False
+
+    def wait_hint(self, nbytes: int, now: float) -> float:
+        """Seconds until ``take(nbytes)`` could succeed (0 if now)."""
+        if self.rate_bps is None:
+            return 0.0
+        self._refill(now)
+        deficit = nbytes - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit * 8.0 / self.rate_bps

@@ -18,7 +18,7 @@ clocks; this class never blocks and never sleeps.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -80,6 +80,12 @@ class FobsSender:
         #: Attempt epoch stamped on every outgoing data packet; stale
         #: epochs let a resumed receiver reject zombie datagrams.
         self.epoch = epoch
+        #: Live pacing rate, bits/second of wire traffic (None = only
+        #: NIC/CPU paced).  Seeded from the config; the multi-transfer
+        #: server's allocator re-feeds it on every admission or
+        #: completion, so a shared host's budget is divided max-min
+        #: across active transfers without rebuilding the sender.
+        self.pacing_rate_bps: Optional[float] = config.send_rate_bps
         self.total_bytes = total_bytes
         self.npackets = config.npackets(total_bytes)
         #: packets the receiver has acknowledged
@@ -200,6 +206,16 @@ class FobsSender:
         this attempt has not delivered — and never counted as progress.
         """
         self.stats.stale_epoch_acks += 1
+
+    def set_pacing_rate(self, rate_bps: Optional[float]) -> None:
+        """Adopt a new pacing allocation (None disables pacing).
+
+        Called by the server's bandwidth allocator whenever the set of
+        active transfers changes; takes effect from the next packet.
+        """
+        if rate_bps is not None and rate_bps <= 0:
+            raise ValueError("rate_bps must be positive when set")
+        self.pacing_rate_bps = rate_bps
 
     def resume_from(self, bitmap: np.ndarray) -> int:
         """Pre-acknowledge packets recovered by the RESUME exchange.

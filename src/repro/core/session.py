@@ -345,8 +345,12 @@ class FobsTransfer:
                 self.tracer.emit(self.sim.now, "data_tx",
                                  f"seq={pkt.seq} txno={pkt.transmission}")
             delay = self._a_profile.send_cost(wire)
-            if self.config.send_rate_bps is not None:
-                delay = max(delay, wire * 8.0 / self.config.send_rate_bps)
+            # Pacing reads the sender's live rate (not the frozen
+            # config): the multi-transfer server re-feeds it as its
+            # max-min allocation changes mid-transfer.
+            rate = self.sender.pacing_rate_bps
+            if rate is not None:
+                delay = max(delay, wire * 8.0 / rate)
             self.sim.schedule(delay, self._sender_step)
             return
 

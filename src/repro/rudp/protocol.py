@@ -5,8 +5,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-import numpy as np
-
 from repro.core.bitmap import PacketBitmap
 from repro.core.packets import DataPacket
 from repro.simnet.packet import Address

@@ -21,6 +21,13 @@ receiver's RESUME bitmap instead of restarting at byte zero.
 endpoints as threads, real sockets) for smoke-testing a host's UDP
 path; it exits nonzero with the failure diagnosis when the transfer
 does not complete.
+
+Output discipline (shared with the ``repro`` CLI): exactly one
+machine-readable ``key=value`` result line goes to **stdout** on
+success; all human-facing progress and every failure diagnosis go to
+**stderr**.  ``--quiet`` suppresses the progress chatter but never the
+stdout result line or a failure message, and a failed transfer always
+exits nonzero — scripts can pipe stdout and trust the exit code.
 """
 
 from __future__ import annotations
@@ -31,6 +38,12 @@ from typing import Optional, Sequence
 
 from repro.core.config import FobsConfig
 from repro.runtime.files import receive_file, send_file
+
+
+def info(args: argparse.Namespace, message: str) -> None:
+    """Human-facing progress line: stderr, silenced by ``--quiet``."""
+    if not getattr(args, "quiet", False):
+        print(message, file=sys.stderr)
 
 
 def _add_hardening_flags(sub: argparse.ArgumentParser) -> None:
@@ -59,6 +72,10 @@ def _add_hardening_flags(sub: argparse.ArgumentParser) -> None:
         help="receiver write-ahead journal location (default: "
              "OUTPUT.journal; accepted on every subcommand so both "
              "ends can share one flag set)")
+    sub.add_argument(
+        "--quiet", action="store_true",
+        help="suppress progress output on stderr (the stdout result "
+             "line and failure diagnoses still print)")
 
 
 def _config_from(args: argparse.Namespace, **extra) -> FobsConfig:
@@ -124,12 +141,13 @@ def _cmd_send(args: argparse.Namespace) -> int:
         print(f"send FAILED after {result.attempts} attempt(s): "
               f"{result.failure_reason}", file=sys.stderr)
         return 1
-    resumed = (f", {result.resumed_packets} packets resumed from journal"
-               if result.resumed_packets else "")
-    print(f"sent {result.nbytes} bytes in {result.duration:.3f}s "
-          f"({result.throughput_bps / 1e6:.1f} Mb/s), "
-          f"{result.packets_retransmitted} retransmissions, "
-          f"{result.attempts} attempt(s){resumed}")
+    info(args, f"sent {result.nbytes} bytes in {result.duration:.3f}s "
+               f"({result.throughput_bps / 1e6:.1f} Mb/s)")
+    print(f"send ok nbytes={result.nbytes} duration_s={result.duration:.3f} "
+          f"throughput_mbps={result.throughput_bps / 1e6:.2f} "
+          f"retransmissions={result.packets_retransmitted} "
+          f"attempts={result.attempts} "
+          f"resumed_packets={result.resumed_packets}")
     return 0
 
 
@@ -149,10 +167,10 @@ def _cmd_recv(args: argparse.Namespace) -> int:
         print(f"receive FAILED after {result.attempts} attempt(s): "
               f"{result.failure_reason or 'CRC mismatch'}", file=sys.stderr)
         return 1
-    resumed = (f", {result.resumed_packets} packets resumed from journal"
-               if result.resumed_packets else "")
-    print(f"received {result.nbytes} bytes -> {result.path} "
-          f"(crc ok, {result.attempts} attempt(s){resumed})")
+    info(args, f"received {result.nbytes} bytes -> {result.path}")
+    print(f"recv ok nbytes={result.nbytes} path={result.path} crc=ok "
+          f"attempts={result.attempts} "
+          f"resumed_packets={result.resumed_packets}")
     return 0
 
 
@@ -176,10 +194,13 @@ def _cmd_loopback(args: argparse.Namespace) -> int:
         print(f"loopback FAILED: timed_out=False failure_reason={reason!r}",
               file=sys.stderr)
         return 1
-    print(f"loopback ok: {result.nbytes} bytes in {result.duration:.3f}s "
-          f"({result.throughput_bps / 1e6:.1f} Mb/s), "
-          f"{result.packets_retransmitted} retransmissions, "
-          f"{result.stall_recoveries} stall recoveries")
+    info(args, f"loopback transfer of {result.nbytes} bytes completed in "
+               f"{result.duration:.3f}s")
+    print(f"loopback ok nbytes={result.nbytes} "
+          f"duration_s={result.duration:.3f} "
+          f"throughput_mbps={result.throughput_bps / 1e6:.2f} "
+          f"retransmissions={result.packets_retransmitted} "
+          f"stall_recoveries={result.stall_recoveries}")
     return 0
 
 

@@ -89,7 +89,8 @@ class FileTransferResult:
     stale_epoch_dropped: int = 0
 
 
-def _recv_exact(sock: socket.socket, nbytes: int) -> bytes:
+def recv_exact(sock: socket.socket, nbytes: int) -> bytes:
+    """Read exactly ``nbytes`` from a (blocking) control connection."""
     chunks = []
     remaining = nbytes
     while remaining:
@@ -159,7 +160,7 @@ def _send_attempt(
                     OFFER2_MAGIC, len(data), config.packet_size,
                     ack_sock.getsockname()[1], flags, crc,
                     session.transfer_id, session.epoch))
-                resume = wire.decode_resume(_recv_exact(
+                resume = wire.decode_resume(recv_exact(
                     ctrl, wire.resume_wire_bytes(config.npackets(len(data)))))
                 if resume.transfer_id != session.transfer_id:
                     raise ValueError("RESUME for a different transfer id")
@@ -172,7 +173,7 @@ def _send_attempt(
                     OFFER_MAGIC, len(data), config.packet_size,
                     ack_sock.getsockname()[1], flags, crc))
                 magic, data_port, _ = _ACCEPT.unpack(
-                    _recv_exact(ctrl, _ACCEPT.size))
+                    recv_exact(ctrl, _ACCEPT.size))
                 if magic != ACCEPT_MAGIC:
                     raise ValueError("bad accept message from receiver")
             data_addr = (host, data_port)
@@ -342,8 +343,8 @@ def send_file(
 # ----------------------------------------------------------------------
 
 @dataclass
-class _Offer:
-    """A decoded v1 or v2 offer."""
+class Offer:
+    """A decoded v1 or v2 offer (push direction: the peer sends)."""
 
     filesize: int
     packet_size: int
@@ -358,26 +359,55 @@ class _Offer:
         return bool(self.flags & FLAG_RESUME)
 
 
-def _read_offer(ctrl: socket.socket) -> _Offer:
-    """Read a v1 or v2 offer, dispatching on the leading magic."""
-    (magic,) = _MAGIC.unpack(_recv_exact(ctrl, _MAGIC.size))
+#: Wire sizes of the two offer formats (for non-blocking framed reads).
+OFFER_V1_BYTES = _OFFER.size
+OFFER_V2_BYTES = _OFFER2.size
+
+
+def decode_offer(data: bytes) -> Offer:
+    """Parse a complete v1 or v2 offer from bytes."""
+    (magic,) = _MAGIC.unpack_from(data)
     if magic == OFFER_MAGIC:
-        rest = _recv_exact(ctrl, _OFFER.size - _MAGIC.size)
-        filesize, packet_size, ack_port, flags, crc = struct.unpack(
-            "!QIIII", rest)
-        return _Offer(filesize, packet_size, ack_port, flags, crc)
+        if len(data) < _OFFER.size:
+            raise ValueError("v1 offer truncated")
+        _, filesize, packet_size, ack_port, flags, crc = _OFFER.unpack_from(
+            data)
+        return Offer(filesize, packet_size, ack_port, flags, crc)
     if magic == OFFER2_MAGIC:
-        rest = _recv_exact(ctrl, _OFFER2.size - _MAGIC.size)
-        filesize, packet_size, ack_port, flags, crc, tid, epoch = struct.unpack(
-            "!QIIIIQI", rest)
-        return _Offer(filesize, packet_size, ack_port, flags, crc, tid, epoch)
+        if len(data) < _OFFER2.size:
+            raise ValueError("v2 offer truncated")
+        (_, filesize, packet_size, ack_port, flags, crc,
+         tid, epoch) = _OFFER2.unpack_from(data)
+        return Offer(filesize, packet_size, ack_port, flags, crc, tid, epoch)
+    raise ValueError(f"bad offer magic {magic:#x}")
+
+
+def encode_offer(offer: Offer) -> bytes:
+    """Serialize an offer (v2 iff it carries the resume flag)."""
+    if offer.resumable:
+        return _OFFER2.pack(OFFER2_MAGIC, offer.filesize, offer.packet_size,
+                            offer.ack_port, offer.flags, offer.crc,
+                            offer.transfer_id, offer.epoch)
+    return _OFFER.pack(OFFER_MAGIC, offer.filesize, offer.packet_size,
+                       offer.ack_port, offer.flags, offer.crc)
+
+
+def read_offer(ctrl: socket.socket) -> Offer:
+    """Read a v1 or v2 offer, dispatching on the leading magic."""
+    (magic,) = _MAGIC.unpack(recv_exact(ctrl, _MAGIC.size))
+    if magic == OFFER_MAGIC:
+        rest = recv_exact(ctrl, _OFFER.size - _MAGIC.size)
+        return decode_offer(_MAGIC.pack(magic) + rest)
+    if magic == OFFER2_MAGIC:
+        rest = recv_exact(ctrl, _OFFER2.size - _MAGIC.size)
+        return decode_offer(_MAGIC.pack(magic) + rest)
     raise ValueError(f"bad offer magic {magic:#x}")
 
 
 def _receive_attempt(
     ctrl: socket.socket,
     peer: tuple[str, int],
-    offer: _Offer,
+    offer: Offer,
     config: FobsConfig,
     part_fh,
     journal: Optional[ReceiverJournal],
@@ -446,6 +476,97 @@ def _receive_attempt(
         ack_sock.close()
 
 
+def attempt_config_for(offer: Offer, base: Optional[FobsConfig]) -> FobsConfig:
+    """Receiver-side config for one offered transfer.
+
+    Data-plane parameters (packet size, checksumming) come from the
+    sender's offer; stall/liveness tuning comes from the local ``base``
+    config (or the defaults).
+    """
+    base = base if base is not None else FobsConfig(ack_frequency=32)
+    return FobsConfig(
+        packet_size=offer.packet_size,
+        ack_frequency=base.ack_frequency,
+        checksum=bool(offer.flags & FLAG_CHECKSUM),
+        stall_timeout=base.stall_timeout,
+        stall_abort_after=base.stall_abort_after,
+        receiver_idle_timeout=base.receiver_idle_timeout,
+        ack_refresh_interval=base.ack_refresh_interval,
+    )
+
+
+def receive_offer(
+    ctrl: socket.socket,
+    peer: tuple[str, int],
+    offer: Offer,
+    output_path: str,
+    deadline: float,
+    config: Optional[FobsConfig] = None,
+    journal_path: Optional[str] = None,
+    bind: str = "0.0.0.0",
+) -> tuple[bool, Optional[str], Optional[FobsReceiver], float]:
+    """Serve one already-negotiated offer as the receiving endpoint.
+
+    The shared receive path of :func:`receive_file` (push: a sender
+    connected to us) and :func:`repro.server.fetch_file` (pull: we
+    connected and the server offered) — journal management, the
+    crash-persistent ``.part`` reassembly buffer, the transfer loop,
+    CRC verification, the completion signal and the atomic rename all
+    live here.  Returns ``(ok, failure_reason, receiver, duration)``;
+    raises :class:`ValueError` if the reassembled object fails the
+    offer's CRC.
+    """
+    if journal_path is None:
+        journal_path = output_path + ".journal"
+    part_path = output_path + ".part"
+    attempt_config = attempt_config_for(offer, config)
+    journal: Optional[ReceiverJournal] = None
+    resume_bitmap: Optional[np.ndarray] = None
+    if offer.resumable:
+        journal, replay = ReceiverJournal.open(
+            journal_path, offer.transfer_id, offer.filesize,
+            offer.packet_size)
+        if replay is not None:
+            resume_bitmap = replay.bitmap.array
+    # The .part file is the crash-persistent reassembly buffer;
+    # pre-size it so writes at any offset land.
+    mode = "r+b" if (os.path.exists(part_path)
+                     and os.path.getsize(part_path) == offer.filesize
+                     and offer.resumable) else "w+b"
+    start = time.monotonic()
+    receiver: Optional[FobsReceiver] = None
+    try:
+        with open(part_path, mode) as part_fh:
+            if mode == "w+b":
+                part_fh.truncate(offer.filesize)
+            ok, failure, receiver = _receive_attempt(
+                ctrl, peer, offer, attempt_config, part_fh,
+                journal, resume_bitmap, bind, deadline)
+    except ConnectionError as exc:
+        ok, failure = False, f"control connection lost: {exc}"
+    finally:
+        duration = max(time.monotonic() - start, 1e-9)
+        if journal is not None:
+            journal.close()
+    if not ok:
+        return False, failure, receiver, duration
+    with open(part_path, "rb") as fh:
+        blob = fh.read()
+    if zlib.crc32(blob) != offer.crc:
+        raise ValueError("CRC mismatch after reassembly")
+    try:
+        ctrl.sendall(wire.encode_completion(receiver.npackets))
+    except OSError:
+        pass  # sender may already have concluded
+    os.replace(part_path, output_path)
+    if offer.resumable:
+        try:
+            os.remove(journal_path)
+        except OSError:
+            pass
+    return True, None, receiver, duration
+
+
 def receive_file(
     output_path: str,
     port: int,
@@ -471,9 +592,6 @@ def receive_file(
     data-plane parameters (packet size, checksumming) always come from
     the sender's offer.
     """
-    if journal_path is None:
-        journal_path = output_path + ".journal"
-    part_path = output_path + ".part"
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
     listener.bind((bind, port))
@@ -486,7 +604,7 @@ def receive_file(
     attempts = 0
     failure: Optional[str] = None
     receiver: Optional[FobsReceiver] = None
-    offer: Optional[_Offer] = None
+    offer: Optional[Offer] = None
     duration = 1e-9
     try:
         while attempts < max(max_attempts, 1):
@@ -499,65 +617,14 @@ def receive_file(
             with ctrl:
                 ctrl.settimeout(timeout)
                 try:
-                    offer = _read_offer(ctrl)
+                    offer = read_offer(ctrl)
                 except (ConnectionError, ValueError) as exc:
                     failure = f"bad offer: {exc}"
                     continue
-                base = config if config is not None else FobsConfig(
-                    ack_frequency=32)
-                attempt_config = FobsConfig(
-                    packet_size=offer.packet_size,
-                    ack_frequency=base.ack_frequency,
-                    checksum=bool(offer.flags & FLAG_CHECKSUM),
-                    stall_timeout=base.stall_timeout,
-                    stall_abort_after=base.stall_abort_after,
-                    receiver_idle_timeout=base.receiver_idle_timeout,
-                    ack_refresh_interval=base.ack_refresh_interval,
-                )
-                journal: Optional[ReceiverJournal] = None
-                resume_bitmap: Optional[np.ndarray] = None
-                if offer.resumable:
-                    journal, replay = ReceiverJournal.open(
-                        journal_path, offer.transfer_id, offer.filesize,
-                        offer.packet_size)
-                    if replay is not None:
-                        resume_bitmap = replay.bitmap.array
-                # The .part file is the crash-persistent reassembly
-                # buffer; pre-size it so writes at any offset land.
-                mode = "r+b" if (os.path.exists(part_path)
-                                 and os.path.getsize(part_path)
-                                 == offer.filesize
-                                 and offer.resumable) else "w+b"
-                start = time.monotonic()
-                try:
-                    with open(part_path, mode) as part_fh:
-                        if mode == "w+b":
-                            part_fh.truncate(offer.filesize)
-                        ok, failure, receiver = _receive_attempt(
-                            ctrl, peer, offer, attempt_config, part_fh,
-                            journal, resume_bitmap, bind, deadline)
-                except ConnectionError as exc:
-                    ok, failure = False, f"control connection lost: {exc}"
-                finally:
-                    duration = max(time.monotonic() - start, 1e-9)
-                    if journal is not None:
-                        journal.close()
+                ok, failure, receiver, duration = receive_offer(
+                    ctrl, peer, offer, output_path, deadline,
+                    config=config, journal_path=journal_path, bind=bind)
                 if ok:
-                    with open(part_path, "rb") as fh:
-                        blob = fh.read()
-                    crc_ok = zlib.crc32(blob) == offer.crc
-                    if not crc_ok:
-                        raise ValueError("CRC mismatch after reassembly")
-                    try:
-                        ctrl.sendall(wire.encode_completion(receiver.npackets))
-                    except OSError:
-                        pass  # sender may already have concluded
-                    os.replace(part_path, output_path)
-                    if offer.resumable:
-                        try:
-                            os.remove(journal_path)
-                        except OSError:
-                            pass
                     return FileTransferResult(
                         path=output_path,
                         nbytes=offer.filesize,

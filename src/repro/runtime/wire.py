@@ -56,8 +56,16 @@ _COMPLETION = struct.Struct("!III")
 _CRC = struct.Struct("!I")
 _SESSION_EXT = struct.Struct("!QI")
 _RESUME_HDR = struct.Struct("!IQIIII")
+# magic, flags, attempt epoch, client nonce, rate cap (kbit/s, 0=none),
+# object-name length; the UTF-8 name follows.
+_FETCH_HDR = struct.Struct("!IIIQIH")
+# magic, code/position, reserved
+_SERVER_REPLY = struct.Struct("!III")
 COMPLETION_MAGIC = 0xF0B5D011
 RESUME_MAGIC = 0xF0B5BE5A
+FETCH_MAGIC = 0xF0B5FE7C
+QUEUED_MAGIC = 0xF0B5C0ED
+REJECT_MAGIC = 0xF0B57E77
 #: Bytes added to a data packet by the checksum trailer.
 CHECKSUM_TRAILER_BYTES = _CRC.size
 #: Bytes added to DATA/ACK datagrams by the session extension.
@@ -303,3 +311,146 @@ def decode_resume(data: bytes) -> ResumeInfo:
     bits = np.unpackbits(packed[:expected], count=npackets).astype(np.bool_)
     return ResumeInfo(transfer_id=tid, epoch=epoch, data_port=data_port,
                       bitmap=bits)
+
+
+# ----------------------------------------------------------------------
+# Server control plane (TCP; PROTOCOL.md §9)
+# ----------------------------------------------------------------------
+
+#: FETCH flag bit: per-packet CRC32 checksumming requested.
+FETCH_FLAG_CHECKSUM = 1
+#: FETCH flag bit: crash-resumable session (journal + RESUME reply).
+FETCH_FLAG_RESUME = 2
+
+#: REJECT codes (the second word of a REJECT reply).
+REJECT_FULL = 1          # max-active reached and the wait queue is full
+REJECT_DRAINING = 2      # server is draining; not admitting new work
+REJECT_NOT_FOUND = 3     # no such object under the served root
+REJECT_CLIENT_CAP = 4    # this client already holds its per-client cap
+
+
+@dataclass(frozen=True)
+class FetchRequest:
+    """A client's request to download one served object.
+
+    ``epoch`` is the client's attempt number (its retry supervisor
+    bumps it, exactly like a resumable sender's).  ``client_nonce`` is
+    a client-chosen 64-bit value, stable across that client's restarts
+    but distinct between clients; the server folds it into the
+    content-addressed transfer id so two clients fetching the *same*
+    object get disjoint sessions (no shared journal, no cross-transfer
+    bitmap bleed).  ``rate_cap_bps`` (0 = uncapped) bounds this
+    transfer's demand in the server's max-min allocation.
+    """
+
+    name: str
+    flags: int = FETCH_FLAG_CHECKSUM | FETCH_FLAG_RESUME
+    epoch: int = 0
+    client_nonce: int = 0
+    rate_cap_bps: int = 0
+
+    @property
+    def resumable(self) -> bool:
+        return bool(self.flags & FETCH_FLAG_RESUME)
+
+    @property
+    def checksum(self) -> bool:
+        return bool(self.flags & FETCH_FLAG_CHECKSUM)
+
+
+def encode_fetch(req: FetchRequest) -> bytes:
+    """Serialize a FETCH request (client → server, TCP)."""
+    name = req.name.encode("utf-8")
+    if not name or len(name) > 0xFFFF:
+        raise ValueError("object name must be 1..65535 UTF-8 bytes")
+    cap_kbps = min(req.rate_cap_bps // 1000, 0xFFFFFFFF)
+    return _FETCH_HDR.pack(FETCH_MAGIC, req.flags, req.epoch,
+                           req.client_nonce, cap_kbps, len(name)) + name
+
+
+def fetch_name_bytes(header: bytes) -> int:
+    """Name length declared by a FETCH header (for framed reads)."""
+    *_rest, name_len = _FETCH_HDR.unpack(header)
+    return name_len
+
+
+def decode_fetch(data: bytes) -> FetchRequest:
+    """Parse a FETCH request (header + name)."""
+    if len(data) < _FETCH_HDR.size:
+        raise ValueError("fetch request truncated")
+    magic, flags, epoch, nonce, cap_kbps, name_len = _FETCH_HDR.unpack_from(data)
+    if magic != FETCH_MAGIC:
+        raise ValueError(f"bad fetch magic {magic:#x}")
+    name = data[_FETCH_HDR.size:_FETCH_HDR.size + name_len]
+    if len(name) != name_len:
+        raise ValueError("fetch name truncated")
+    return FetchRequest(name=name.decode("utf-8"), flags=flags, epoch=epoch,
+                        client_nonce=nonce, rate_cap_bps=cap_kbps * 1000)
+
+
+def encode_queued(position: int) -> bytes:
+    """Serialize the QUEUED reply (server → client, TCP).
+
+    ``position`` is 1-based: the client's place in the wait queue at
+    admission-control time.  The OFFER (or a REJECT, if the server
+    drains first) follows later on the same connection.
+    """
+    return _SERVER_REPLY.pack(QUEUED_MAGIC, position, 0)
+
+
+def encode_reject(code: int) -> bytes:
+    """Serialize the REJECT reply (server → client, TCP)."""
+    return _SERVER_REPLY.pack(REJECT_MAGIC, code, 0)
+
+
+def reject_reason(code: int) -> str:
+    """Human-readable description of a REJECT code."""
+    return {
+        REJECT_FULL: "server full (wait queue at capacity)",
+        REJECT_DRAINING: "server draining (not admitting transfers)",
+        REJECT_NOT_FOUND: "no such object",
+        REJECT_CLIENT_CAP: "per-client transfer cap reached",
+    }.get(code, f"rejected (code {code})")
+
+
+def decode_server_reply(data: bytes) -> tuple[str, int]:
+    """Parse a QUEUED/REJECT reply; returns (kind, detail).
+
+    ``kind`` is ``"queued"`` (detail = queue position) or ``"reject"``
+    (detail = reject code).  Raises on any other magic — the caller
+    dispatches OFFER messages separately by their own magic.
+    """
+    if len(data) < _SERVER_REPLY.size:
+        raise ValueError("server reply truncated")
+    magic, detail, _reserved = _SERVER_REPLY.unpack_from(data)
+    if magic == QUEUED_MAGIC:
+        return "queued", detail
+    if magic == REJECT_MAGIC:
+        return "reject", detail
+    raise ValueError(f"bad server reply magic {magic:#x}")
+
+
+SERVER_REPLY_BYTES = _SERVER_REPLY.size
+FETCH_HDR_BYTES = _FETCH_HDR.size
+
+
+def peek_session(datagram: bytes, kind: str) -> Optional[tuple[int, int]]:
+    """Read the session extension without full (or any) verification.
+
+    The multi-transfer server receives every datagram of every session
+    on one shared UDP socket; before it can *decode* (which needs the
+    per-transfer :class:`SessionContext`), it must learn which transfer
+    the datagram belongs to.  This peeks the ``(transfer_id, epoch)``
+    pair at the extension offset for ``kind`` (``"ack"`` or ``"data"``)
+    and returns None when the datagram is too short to carry one.
+
+    The peek is a routing hint only: the registry's subsequent full
+    decode re-verifies id, epoch and (when negotiated) the CRC, so a
+    garbage datagram that happens to resolve to an active transfer is
+    still rejected before it can touch protocol state.
+    """
+    base = _ACK_HDR.size if kind == "ack" else _DATA_HDR.size
+    if len(datagram) < base + SESSION_EXT_BYTES:
+        return None
+    tid, epoch = _SESSION_EXT.unpack_from(datagram, base)
+    return tid, epoch

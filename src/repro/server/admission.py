@@ -1,0 +1,178 @@
+"""Admission control for the multi-transfer daemon.
+
+The server bounds its concurrency explicitly instead of letting load
+degrade every transfer at once: at most ``max_active`` transfers run,
+at most ``queue_depth`` wait in a FIFO queue, and (optionally) each
+client may hold at most ``per_client_max`` slots across both.  A
+request past those bounds is *rejected immediately* with a reason —
+per Arslan & Kosar, a client told "full" can back off and retry with
+its supervisor, which beats silently starving everyone.
+
+The controller is transport-neutral: keys and client identities are
+opaque.  The daemon maps decisions onto control-plane replies
+(ADMIT → OFFER, QUEUE → QUEUED, REJECT → REJECT) and the DES harness
+records them as events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Hashable, Optional
+
+#: Decision actions.
+ADMIT = "admit"
+QUEUE = "queue"
+REJECT = "reject"
+
+#: Rejection reasons (mapped to wire REJECT codes by the daemon).
+FULL = "full"
+DRAINING = "draining"
+CLIENT_CAP = "client_cap"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """Outcome of one admission request."""
+
+    action: str
+    #: Rejection reason (``FULL``/``DRAINING``/``CLIENT_CAP``).
+    reason: Optional[str] = None
+    #: 1-based wait-queue position when ``action == QUEUE``.
+    position: int = 0
+
+    @property
+    def admitted(self) -> bool:
+        return self.action == ADMIT
+
+
+@dataclass
+class AdmissionCounters:
+    """Cumulative admission-control bookkeeping."""
+
+    admitted: int = 0
+    queued: int = 0
+    rejected_full: int = 0
+    rejected_draining: int = 0
+    rejected_client_cap: int = 0
+
+    @property
+    def rejected(self) -> int:
+        return (self.rejected_full + self.rejected_draining
+                + self.rejected_client_cap)
+
+
+@dataclass
+class _Waiter:
+    key: Hashable
+    client: Optional[Hashable]
+
+
+class AdmissionController:
+    """Max-active limit + bounded FIFO wait queue + per-client caps."""
+
+    def __init__(
+        self,
+        max_active: int = 4,
+        queue_depth: int = 8,
+        per_client_max: Optional[int] = None,
+    ):
+        if max_active < 1:
+            raise ValueError("max_active must be >= 1")
+        if queue_depth < 0:
+            raise ValueError("queue_depth must be >= 0")
+        if per_client_max is not None and per_client_max < 1:
+            raise ValueError("per_client_max must be >= 1 when set")
+        self.max_active = max_active
+        self.queue_depth = queue_depth
+        self.per_client_max = per_client_max
+        self.draining = False
+        self.counters = AdmissionCounters()
+        self._active: dict[Hashable, Optional[Hashable]] = {}
+        self._waiting: deque[_Waiter] = deque()
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> tuple[Hashable, ...]:
+        return tuple(self._active)
+
+    @property
+    def waiting(self) -> tuple[Hashable, ...]:
+        return tuple(w.key for w in self._waiting)
+
+    def holds(self, key: Hashable) -> bool:
+        return key in self._active or any(
+            w.key == key for w in self._waiting)
+
+    def _client_load(self, client: Optional[Hashable]) -> int:
+        if client is None:
+            return 0
+        return (sum(1 for c in self._active.values() if c == client)
+                + sum(1 for w in self._waiting if w.client == client))
+
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        key: Hashable,
+        client: Optional[Hashable] = None,
+    ) -> AdmissionDecision:
+        """Decide one transfer request; admitted keys occupy a slot."""
+        if self.holds(key):
+            raise ValueError(f"key {key!r} already admitted or queued")
+        if self.draining:
+            self.counters.rejected_draining += 1
+            return AdmissionDecision(REJECT, reason=DRAINING)
+        if (self.per_client_max is not None
+                and self._client_load(client) >= self.per_client_max):
+            self.counters.rejected_client_cap += 1
+            return AdmissionDecision(REJECT, reason=CLIENT_CAP)
+        if len(self._active) < self.max_active:
+            self._active[key] = client
+            self.counters.admitted += 1
+            return AdmissionDecision(ADMIT)
+        if len(self._waiting) < self.queue_depth:
+            self._waiting.append(_Waiter(key, client))
+            self.counters.queued += 1
+            return AdmissionDecision(QUEUE, position=len(self._waiting))
+        self.counters.rejected_full += 1
+        return AdmissionDecision(REJECT, reason=FULL)
+
+    def release(self, key: Hashable) -> list[Hashable]:
+        """Free an active slot; returns keys promoted from the queue.
+
+        Promoted keys are admitted in FIFO order (and counted as
+        admissions); the caller starts their transfers and re-feeds the
+        bandwidth allocator.
+        """
+        self._active.pop(key, None)
+        promoted: list[Hashable] = []
+        while (not self.draining and self._waiting
+               and len(self._active) < self.max_active):
+            waiter = self._waiting.popleft()
+            self._active[waiter.key] = waiter.client
+            self.counters.admitted += 1
+            promoted.append(waiter.key)
+        return promoted
+
+    def cancel(self, key: Hashable) -> None:
+        """Withdraw a queued (or active) key without promotion.
+
+        Used when a queued client disconnects before its slot opens;
+        call :meth:`release` instead for an *active* transfer that
+        finished, so waiters get promoted.
+        """
+        self._active.pop(key, None)
+        self._waiting = deque(w for w in self._waiting if w.key != key)
+
+    def drain(self) -> list[Hashable]:
+        """Stop admissions; returns the queued keys that must be told.
+
+        Active transfers are untouched (they finish or fail on their
+        own); every queued key is dropped and returned so the daemon
+        can send each waiting client an explicit REJECT before closing
+        its connection.
+        """
+        self.draining = True
+        dropped = [w.key for w in self._waiting]
+        self._waiting.clear()
+        return dropped

@@ -1,0 +1,174 @@
+"""``repro`` — the multi-transfer daemon and its fetch client.
+
+Serve a directory of objects::
+
+    repro serve ./objects --port 9900 --max-active 4 --queue-depth 8 \
+        --rate-budget 200 --stats-interval 5
+
+Fetch one object (from another process/machine)::
+
+    repro fetch big.dat --host 10.0.0.1 --port 9900 --output big.dat \
+        --max-attempts 3
+
+The daemon admits at most ``--max-active`` concurrent transfers,
+queues up to ``--queue-depth`` more (clients see an explicit QUEUED
+reply), rejects the rest with a reason, and splits ``--rate-budget``
+across active transfers by max-min fairness.  SIGTERM (or Ctrl-C)
+drains gracefully: admissions stop, the wait queue is rejected, active
+transfers finish, then the process exits; a second signal stops
+immediately.  Vanilla ``fobs-xfer send`` clients can push files to the
+same port.
+
+Output discipline: one machine-readable ``key=value`` line on stdout,
+progress and stats on stderr (``--quiet`` silences the latter),
+nonzero exit on failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import sys
+import threading
+from typing import Optional, Sequence
+
+from repro.core.config import FobsConfig
+from repro.runtime.cli import info
+from repro.server.client import fetch_file
+from repro.server.daemon import ObjectServer
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Concurrent FOBS object server and fetch client.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser(
+        "serve", help="serve a directory of objects to many clients")
+    serve.add_argument("root", help="directory of objects to serve")
+    serve.add_argument("--port", type=int, required=True)
+    serve.add_argument("--bind", default="0.0.0.0")
+    serve.add_argument("--max-active", type=int, default=4, metavar="N",
+                       help="concurrent transfer limit (default 4)")
+    serve.add_argument("--queue-depth", type=int, default=8, metavar="N",
+                       help="FIFO wait-queue bound; past it requests are "
+                            "rejected (default 8)")
+    serve.add_argument("--per-client-max", type=int, default=None,
+                       metavar="N",
+                       help="max transfers (active+queued) per client host")
+    serve.add_argument("--rate-budget", type=float, default=None,
+                       metavar="MBPS",
+                       help="host send budget in Mb/s, divided max-min "
+                            "across active transfers (default: unpaced)")
+    serve.add_argument("--drain-timeout", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="max seconds to wait for active transfers "
+                            "after a drain signal (default 30)")
+    serve.add_argument("--stats-interval", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="print a one-line stats report to stderr "
+                            "every N seconds (default: off)")
+    serve.add_argument("--packet-size", type=int, default=1024)
+    serve.add_argument("--ack-frequency", type=int, default=32)
+    serve.add_argument("--no-checksum", action="store_true",
+                       help="disable per-packet CRC32 on fetches")
+    serve.add_argument("--quiet", action="store_true",
+                       help="suppress progress output on stderr")
+
+    fetch = sub.add_parser("fetch", help="fetch one object from a server")
+    fetch.add_argument("name", help="object name under the served root")
+    fetch.add_argument("--host", default="127.0.0.1")
+    fetch.add_argument("--port", type=int, required=True)
+    fetch.add_argument("--output", required=True)
+    fetch.add_argument("--timeout", type=float, default=120.0)
+    fetch.add_argument("--max-attempts", type=int, default=1, metavar="N",
+                       help="retry budget; retries resume from the "
+                            "receiver journal")
+    fetch.add_argument("--rate-cap", type=float, default=0.0, metavar="MBPS",
+                       help="ask the server to cap this transfer's share "
+                            "of its budget")
+    fetch.add_argument("--no-checksum", action="store_true")
+    fetch.add_argument("--quiet", action="store_true",
+                       help="suppress progress output on stderr")
+    return parser
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    config = FobsConfig(packet_size=args.packet_size,
+                        ack_frequency=args.ack_frequency,
+                        checksum=not args.no_checksum)
+    budget = args.rate_budget * 1e6 if args.rate_budget else None
+    try:
+        server = ObjectServer(
+            args.root, port=args.port, bind=args.bind, config=config,
+            max_active=args.max_active, queue_depth=args.queue_depth,
+            per_client_max=args.per_client_max, rate_budget_bps=budget,
+            drain_timeout=args.drain_timeout,
+            stats_interval=args.stats_interval)
+    except (ValueError, OSError) as exc:
+        print(f"serve FAILED: {exc}", file=sys.stderr)
+        return 1
+
+    def on_signal(signum, frame):
+        del frame
+        if server._draining or server._drain_requested:
+            server.stop()
+        else:
+            info(args, f"signal {signum}: draining (active transfers "
+                       f"finish, queue rejected; repeat to force stop)")
+            server.request_drain()
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+    try:
+        ready = threading.Event()
+
+        def announce():
+            ready.wait(5)
+            info(args, f"serving {server.root} on tcp {server.port} "
+                       f"(udp {server.udp_port}), max-active "
+                       f"{args.max_active}, queue {args.queue_depth}")
+
+        threading.Thread(target=announce, daemon=True).start()
+        snapshot = server.serve_forever(ready)
+    except OSError as exc:
+        print(f"serve FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(f"serve done completed={snapshot.completed} "
+          f"failed={snapshot.failed} rejected={snapshot.rejected} "
+          f"bytes_sent={snapshot.bytes_sent} "
+          f"bytes_received={snapshot.bytes_received}")
+    return 0
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    config = FobsConfig(ack_frequency=32, checksum=not args.no_checksum)
+    result = fetch_file(
+        args.name, args.host, args.port, args.output, config=config,
+        timeout=args.timeout, max_attempts=args.max_attempts,
+        rate_cap_bps=int(args.rate_cap * 1e6),
+        checksum=not args.no_checksum)
+    if not result.completed:
+        print(f"fetch FAILED after {result.attempts} attempt(s): "
+              f"{result.failure_reason}", file=sys.stderr)
+        return 1
+    info(args, f"fetched {args.name}: {result.nbytes} bytes -> "
+               f"{result.path}")
+    print(f"fetch ok name={args.name} nbytes={result.nbytes} "
+          f"path={result.path} duration_s={result.duration:.3f} "
+          f"throughput_mbps={result.throughput_bps / 1e6:.2f} "
+          f"attempts={result.attempts} "
+          f"resumed_packets={result.resumed_packets}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    return _cmd_fetch(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,189 @@
+"""Fetch client for the multi-transfer daemon (``repro fetch``).
+
+Sends a FETCH request, rides out QUEUED replies, and — once the server
+answers with a v2 offer — becomes an ordinary resumable receiver: the
+whole data plane (RESUME reply, journal, ``.part`` reassembly, CRC
+verification, completion signal) is
+:func:`repro.runtime.files.receive_offer`, exactly the code path a push
+receiver runs.  Retries ride the existing
+:class:`~repro.runtime.supervisor.TransferSupervisor`: each attempt
+re-sends FETCH with a bumped epoch, and the server's offer carries the
+same transfer id (content XOR our stable nonce), so the journal from a
+killed attempt seeds the next one.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import struct
+import time
+import zlib
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import FobsConfig
+from repro.runtime import files, wire
+from repro.runtime.supervisor import RetryPolicy, TransferSupervisor
+
+_MAGIC = struct.Struct("!I")
+
+
+def default_client_nonce(output_path: str) -> int:
+    """A 64-bit nonce stable across this client's restarts.
+
+    Derived from hostname + absolute output path: two *different*
+    clients (or two destinations on one host) fetching the same object
+    get different nonces — hence disjoint server-side sessions — while
+    a crashed-and-restarted client reproduces its nonce and resumes its
+    own journal.
+    """
+    ident = f"{socket.gethostname()}:{os.path.abspath(output_path)}"
+    raw = ident.encode("utf-8")
+    return (zlib.crc32(raw) << 32) | zlib.crc32(raw[::-1])
+
+
+@dataclass
+class _FetchOutcome:
+    """One fetch attempt, in the supervisor's duck-typed vocabulary."""
+
+    completed: bool
+    duration: float = 0.0
+    failure_reason: Optional[str] = None
+    queued_position: int = 0
+    resumed_packets: int = 0
+    stale_epoch_dropped: int = 0
+    npackets: int = 0
+    rejected: bool = False
+    reject_code: int = 0
+
+
+def _read_server_message(ctrl: socket.socket) -> tuple[str, object]:
+    """Read one framed server reply: queued, reject, or offer."""
+    head = files.recv_exact(ctrl, _MAGIC.size)
+    (magic,) = _MAGIC.unpack(head)
+    if magic in (wire.QUEUED_MAGIC, wire.REJECT_MAGIC):
+        body = head + files.recv_exact(
+            ctrl, wire.SERVER_REPLY_BYTES - _MAGIC.size)
+        return wire.decode_server_reply(body)
+    if magic == files.OFFER2_MAGIC:
+        body = head + files.recv_exact(
+            ctrl, files.OFFER_V2_BYTES - _MAGIC.size)
+        return "offer", files.decode_offer(body)
+    raise ValueError(f"unexpected server reply magic {magic:#x}")
+
+
+def _fetch_attempt(
+    name: str,
+    host: str,
+    port: int,
+    output_path: str,
+    config: Optional[FobsConfig],
+    timeout: float,
+    epoch: int,
+    nonce: int,
+    rate_cap_bps: int,
+    journal_path: Optional[str],
+    checksum: bool,
+) -> _FetchOutcome:
+    """One connect → FETCH → (queue?) → receive attempt; never raises."""
+    deadline = time.monotonic() + timeout
+    start = time.monotonic()
+    flags = wire.FETCH_FLAG_RESUME | (wire.FETCH_FLAG_CHECKSUM if checksum
+                                      else 0)
+    queued_position = 0
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as ctrl:
+            ctrl.settimeout(timeout)
+            ctrl.sendall(wire.encode_fetch(wire.FetchRequest(
+                name=name, flags=flags, epoch=epoch, client_nonce=nonce,
+                rate_cap_bps=rate_cap_bps)))
+            while True:
+                kind, detail = _read_server_message(ctrl)
+                if kind == "queued":
+                    queued_position = int(detail)
+                    continue  # our OFFER (or a REJECT) follows
+                if kind == "reject":
+                    code = int(detail)
+                    return _FetchOutcome(
+                        completed=False,
+                        duration=max(time.monotonic() - start, 1e-9),
+                        failure_reason=wire.reject_reason(code),
+                        queued_position=queued_position,
+                        rejected=True, reject_code=code)
+                offer: files.Offer = detail
+                break
+            ok, failure, receiver, duration = files.receive_offer(
+                ctrl, (host, port), offer, output_path, deadline,
+                config=config, journal_path=journal_path)
+            return _FetchOutcome(
+                completed=ok,
+                duration=duration,
+                failure_reason=failure,
+                queued_position=queued_position,
+                resumed_packets=(receiver.stats.resumed_packets
+                                 if receiver is not None else 0),
+                stale_epoch_dropped=(receiver.stats.stale_epoch_data
+                                     if receiver is not None else 0),
+                npackets=receiver.npackets if receiver is not None else 0)
+    except (OSError, ValueError, wire.ChecksumError) as exc:
+        return _FetchOutcome(
+            completed=False,
+            duration=max(time.monotonic() - start, 1e-9),
+            failure_reason=f"{type(exc).__name__}: {exc}",
+            queued_position=queued_position)
+
+
+def fetch_file(
+    name: str,
+    host: str,
+    port: int,
+    output_path: str,
+    config: Optional[FobsConfig] = None,
+    timeout: float = 120.0,
+    max_attempts: int = 1,
+    rate_cap_bps: int = 0,
+    client_nonce: Optional[int] = None,
+    journal_path: Optional[str] = None,
+    checksum: bool = True,
+    policy: Optional[RetryPolicy] = None,
+) -> files.FileTransferResult:
+    """Fetch object ``name`` from a ``repro serve`` daemon.
+
+    Returns a :class:`~repro.runtime.files.FileTransferResult`; a
+    failure (rejected, timed out, retries exhausted) is *returned* with
+    ``completed=False``, not raised.  ``rate_cap_bps`` asks the server
+    to cap this transfer's share of its bandwidth budget.
+    ``max_attempts > 1`` retries with exponential backoff — because the
+    transfer id is stable, a retry after a server (or client) crash
+    resumes from the receiver journal instead of refetching from byte
+    zero.
+    """
+    nonce = (client_nonce if client_nonce is not None
+             else default_client_nonce(output_path))
+    if policy is None:
+        policy = RetryPolicy(max_attempts=max(max_attempts, 1),
+                             backoff_base=0.2, seed=nonce & 0xFFFF)
+
+    def attempt_fn(attempt: int, epoch: int) -> _FetchOutcome:
+        del attempt
+        return _fetch_attempt(name, host, port, output_path, config,
+                              timeout, epoch, nonce, rate_cap_bps,
+                              journal_path, checksum)
+
+    supervised = TransferSupervisor(policy=policy).run(attempt_fn)
+    final: _FetchOutcome = supervised.final
+    nbytes = os.path.getsize(output_path) if supervised.completed else 0
+    return files.FileTransferResult(
+        path=output_path,
+        nbytes=nbytes,
+        duration=final.duration,
+        throughput_bps=(nbytes * 8.0 / final.duration
+                        if supervised.completed else 0.0),
+        crc_ok=supervised.completed,
+        completed=supervised.completed,
+        failure_reason=supervised.failure_reason,
+        attempts=supervised.attempts,
+        resumed_packets=supervised.packets_salvaged,
+        stale_epoch_dropped=supervised.stale_epoch_dropped,
+    )

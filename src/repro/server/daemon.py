@@ -1,0 +1,1006 @@
+"""The real-socket multi-transfer daemon (``repro serve``).
+
+One process serves many concurrent FOBS transfers:
+
+* a ``selectors`` event loop multiplexes the TCP control listener, every
+  per-client control connection, and **one shared UDP data socket** that
+  carries all fetch DATA out, all fetch ACKs in, and all v2 push DATA
+  in — datagrams are routed to their transfer by the session extension
+  (:func:`repro.runtime.wire.peek_session` +
+  :class:`repro.server.registry.TransferRegistry`);
+* admission control (:class:`repro.server.admission.AdmissionController`)
+  bounds concurrency: past ``max_active`` a fetch gets an explicit
+  QUEUED reply and waits its FIFO turn; past ``queue_depth`` (or a
+  per-client cap, or during drain) it gets a REJECT with a reason;
+* a bandwidth budget (:class:`repro.server.allocator.BandwidthAllocator`)
+  divides the host send rate across active transfers by max-min
+  fairness, re-feeding each transfer's token bucket on every admission
+  and completion;
+* graceful drain: :meth:`ObjectServer.request_drain` (the CLI wires it
+  to SIGTERM) stops admissions, rejects the queue, lets active
+  transfers finish, then returns.
+
+Fetch protocol (client pulls; PROTOCOL.md §9): the client sends FETCH
+(name, flags, attempt epoch, client nonce, rate cap); the server
+replies QUEUED/REJECT or a v2 OFFER whose transfer id is the
+content-addressed id XOR the client's nonce — so two clients fetching
+the same object get disjoint sessions, while one client's retries (and
+its receiver journal) see a stable id.  From the OFFER on, the exchange
+*is* the existing resumable session: the client answers RESUME with its
+data port and journal bitmap, DATA flows out of the shared socket,
+bitmap ACKs flow back into it, and the TCP completion signal finishes.
+
+Push compatibility: a vanilla :func:`repro.runtime.files.send_file`
+client can connect and offer a file.  v2 (resumable) pushes share the
+UDP socket via their session extension; v1 pushes get a dedicated
+per-transfer socket (their datagrams carry nothing to demux on).  A
+queued push simply waits — the delayed ACCEPT/RESUME is transparent to
+the vanilla client; a rejected push sees its connection closed and its
+supervisor retries with backoff.
+"""
+
+from __future__ import annotations
+
+import os
+import selectors
+import socket
+import struct
+import time
+import zlib
+from collections import deque
+from dataclasses import replace
+from typing import Optional, TextIO
+
+import numpy as np
+
+from repro.core.config import FobsConfig
+from repro.core.journal import ReceiverJournal
+from repro.core.rate import TokenBucket
+from repro.core.receiver import FobsReceiver
+from repro.core.sender import FobsSender
+from repro.runtime import files, wire
+from repro.server.admission import (
+    ADMIT,
+    DRAINING,
+    FULL,
+    QUEUE,
+    AdmissionController,
+)
+from repro.server.allocator import BandwidthAllocator
+from repro.server.registry import (
+    RECEIVING,
+    SENDING,
+    RegisteredTransfer,
+    TransferRegistry,
+)
+from repro.server.stats import ServerSnapshot, TransferSnapshot
+
+_MAGIC = struct.Struct("!I")
+#: Datagrams sent per transfer per pump pass (keeps one big transfer
+#: from starving the event loop).
+_PUMP_QUANTUM = 256
+_REJECT_CODES = {
+    FULL: wire.REJECT_FULL,
+    DRAINING: wire.REJECT_DRAINING,
+    "client_cap": wire.REJECT_CLIENT_CAP,
+}
+
+
+class _ServerKilled(Exception):
+    """Crash injection fired: die abruptly, mid-whatever."""
+
+
+class _Conn:
+    """One TCP control connection and its framing state."""
+
+    __slots__ = ("sock", "addr", "buf", "state", "deadline", "entry",
+                 "key", "fetch", "offer")
+
+    # States: "request" → ("queued" →) "await_resume" → "sending"
+    #                   |             "receiving"
+    def __init__(self, sock: socket.socket, addr, deadline: float):
+        self.sock = sock
+        self.addr = addr
+        self.buf = bytearray()
+        self.state = "request"
+        self.deadline: Optional[float] = deadline
+        self.entry = None
+        self.key = None
+        self.fetch: Optional[wire.FetchRequest] = None
+        self.offer: Optional[files.Offer] = None
+
+
+class _SendEntry:
+    """Server → client transfer (a fetch) on the shared socket."""
+
+    kind = SENDING
+    __slots__ = ("key", "session", "sender", "data", "config", "conn",
+                 "name", "client", "data_addr", "pacer", "pending",
+                 "started_at")
+
+    def __init__(self, key, session, sender, data, config, conn, name):
+        self.key = key
+        self.session: wire.SessionContext = session
+        self.sender: FobsSender = sender
+        self.data: bytes = data
+        self.config: FobsConfig = config
+        self.conn: _Conn = conn
+        self.name = name
+        self.client = conn.addr[0]
+        self.data_addr: Optional[tuple[str, int]] = None
+        self.pacer = TokenBucket()
+        self.pending: deque[bytes] = deque()
+        self.started_at = 0.0
+
+
+class _RecvEntry:
+    """Client → server transfer (a push)."""
+
+    kind = RECEIVING
+    __slots__ = ("key", "session", "receiver", "config", "conn", "offer",
+                 "name", "client", "sock", "part_fh", "part_path",
+                 "output_path", "journal", "journal_path", "started_at")
+
+    def __init__(self, key, session, receiver, config, conn, offer, name):
+        self.key = key
+        self.session: Optional[wire.SessionContext] = session
+        self.receiver: FobsReceiver = receiver
+        self.config: FobsConfig = config
+        self.conn: _Conn = conn
+        self.offer: files.Offer = offer
+        self.name = name
+        self.client = conn.addr[0]
+        self.sock: Optional[socket.socket] = None  # dedicated (v1) only
+        self.part_fh = None
+        self.part_path = ""
+        self.output_path = ""
+        self.journal: Optional[ReceiverJournal] = None
+        self.journal_path = ""
+        self.started_at = 0.0
+
+
+class ObjectServer:
+    """A concurrent object-transfer daemon over real sockets."""
+
+    def __init__(
+        self,
+        root: str,
+        port: int = 0,
+        bind: str = "0.0.0.0",
+        config: Optional[FobsConfig] = None,
+        max_active: int = 4,
+        queue_depth: int = 8,
+        per_client_max: Optional[int] = None,
+        rate_budget_bps: Optional[float] = None,
+        drain_timeout: float = 30.0,
+        stats_interval: float = 0.0,
+        stats_out: Optional[TextIO] = None,
+        handshake_timeout: float = 15.0,
+        kill=None,
+    ):
+        self.root = os.path.abspath(root)
+        if not os.path.isdir(self.root):
+            raise ValueError(f"served root {root!r} is not a directory")
+        self.bind = bind
+        self.config = config if config is not None else FobsConfig(
+            ack_frequency=32)
+        self.admission = AdmissionController(
+            max_active=max_active, queue_depth=queue_depth,
+            per_client_max=per_client_max)
+        self.allocator = BandwidthAllocator(rate_budget_bps)
+        self.registry = TransferRegistry()
+        self.drain_timeout = drain_timeout
+        self.stats_interval = stats_interval
+        self.stats_out = stats_out
+        self.handshake_timeout = handshake_timeout
+        self.kill = kill
+
+        self.port = port           # re-resolved after bind when 0
+        self.udp_port = 0
+        self.crashed = False
+        #: Finished-transfer log: (name, direction, client, ok, reason).
+        self.history: list[tuple[str, str, str, bool, Optional[str]]] = []
+
+        self._sel: Optional[selectors.BaseSelector] = None
+        self._listener: Optional[socket.socket] = None
+        self._udp: Optional[socket.socket] = None
+        self._conns: set[_Conn] = set()
+        self._send_entries: dict[object, _SendEntry] = {}
+        self._recv_entries: dict[object, _RecvEntry] = {}
+        self._waiting_conns: dict[object, _Conn] = {}
+        self._anon_pushes = 0
+        self._data_packets_sent = 0
+        self._completed = 0
+        self._failed = 0
+        self._rejected_other = 0   # NOT_FOUND + queue drained
+        self._bytes_sent = 0
+        self._bytes_received = 0
+        self._started_at = 0.0
+        self._stop = False
+        self._drain_requested = False
+        self._draining = False
+        self._drain_deadline = 0.0
+
+    # ------------------------------------------------------------------
+    # Lifecycle / external control (thread- and signal-safe: flags only)
+    # ------------------------------------------------------------------
+    def request_drain(self) -> None:
+        """Stop admissions; finish active transfers; then exit."""
+        self._drain_requested = True
+
+    def stop(self) -> None:
+        """Exit the serve loop at the next tick (abrupt)."""
+        self._stop = True
+
+    def stats(self) -> ServerSnapshot:
+        """Point-in-time snapshot of the whole daemon."""
+        now = time.monotonic()
+        transfers = []
+        for entry in list(self._send_entries.values()):
+            transfers.append(TransferSnapshot(
+                transfer_id=entry.session.transfer_id,
+                name=entry.name, client=entry.client, direction="send",
+                epoch=entry.session.epoch,
+                nbytes=len(entry.data),
+                npackets=entry.sender.npackets,
+                packets_done=int(entry.sender.acked.count),
+                share_bps=entry.pacer.rate_bps,
+                elapsed=max(now - entry.started_at, 0.0)))
+        for entry in list(self._recv_entries.values()):
+            transfers.append(TransferSnapshot(
+                transfer_id=entry.offer.transfer_id,
+                name=entry.name, client=entry.client, direction="recv",
+                epoch=entry.offer.epoch,
+                nbytes=entry.offer.filesize,
+                npackets=entry.receiver.npackets,
+                packets_done=int(entry.receiver.bitmap.count),
+                elapsed=max(now - entry.started_at, 0.0)))
+        return ServerSnapshot(
+            uptime=max(now - self._started_at, 0.0),
+            active=len(self._send_entries) + len(self._recv_entries),
+            queued=len(self._waiting_conns),
+            completed=self._completed,
+            failed=self._failed,
+            rejected=self.admission.counters.rejected + self._rejected_other,
+            budget_bps=self.allocator.budget_bps,
+            draining=self._draining,
+            bytes_sent=self._bytes_sent,
+            bytes_received=self._bytes_received,
+            unknown_transfer_dropped=self.registry.counters.unknown_transfer,
+            stale_epoch_dropped=self.registry.counters.stale_epoch,
+            transfers=tuple(transfers))
+
+    # ------------------------------------------------------------------
+    # Socket plumbing
+    # ------------------------------------------------------------------
+    def _open_sockets(self) -> None:
+        self._sel = selectors.DefaultSelector()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((self.bind, self.port))
+        self._listener.listen(64)
+        self._listener.setblocking(False)
+        self.port = self._listener.getsockname()[1]
+        self._udp = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._udp.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1 << 21)
+        self._udp.bind((self.bind, 0))
+        self._udp.setblocking(False)
+        self.udp_port = self._udp.getsockname()[1]
+        self._sel.register(self._listener, selectors.EVENT_READ,
+                           ("listener",))
+        self._sel.register(self._udp, selectors.EVENT_READ, ("udp",))
+
+    def _close_conn(self, conn: _Conn) -> None:
+        if conn.state == "closed":
+            return
+        conn.state = "closed"
+        self._conns.discard(conn)
+        try:
+            self._sel.unregister(conn.sock)
+        except (KeyError, ValueError):
+            pass
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+
+    def _send_ctrl(self, conn: _Conn, payload: bytes) -> bool:
+        try:
+            conn.sock.sendall(payload)
+            return True
+        except OSError:
+            return False
+
+    # ------------------------------------------------------------------
+    # The event loop
+    # ------------------------------------------------------------------
+    def serve_forever(self, ready=None) -> ServerSnapshot:
+        """Run until drained (or stopped/killed); returns final stats."""
+        self._open_sockets()
+        self._started_at = time.monotonic()
+        next_stats = (self._started_at + self.stats_interval
+                      if self.stats_interval > 0 else float("inf"))
+        next_sweep = self._started_at
+        if ready is not None:
+            ready.set()
+        try:
+            while True:
+                now = time.monotonic()
+                if self._stop:
+                    break
+                if self._drain_requested and not self._draining:
+                    self._begin_drain(now)
+                if self._draining:
+                    if not self._send_entries and not self._recv_entries:
+                        break
+                    if now > self._drain_deadline:
+                        self._fail_all("drain timeout expired")
+                        break
+                hint = self._pump(now)
+                events = self._sel.select(min(hint, 0.05))
+                now = time.monotonic()
+                for key, _mask in events:
+                    tag = key.data[0]
+                    if tag == "listener":
+                        self._accept(now)
+                    elif tag == "udp":
+                        self._drain_shared_udp(now)
+                    elif tag == "conn":
+                        self._on_conn_readable(key.data[1], now)
+                    elif tag == "recv_sock":
+                        self._drain_dedicated(key.data[1], now)
+                if now >= next_sweep:
+                    next_sweep = now + 0.5
+                    self._sweep(now)
+                if now >= next_stats:
+                    next_stats = now + self.stats_interval
+                    self._emit_stats()
+        except _ServerKilled:
+            self._crash_teardown()
+            return self.stats()
+        finally:
+            if not self.crashed:
+                self._graceful_teardown()
+        return self.stats()
+
+    def _begin_drain(self, now: float) -> None:
+        self._draining = True
+        self._drain_deadline = now + self.drain_timeout
+        for key in self.admission.drain():
+            conn = self._waiting_conns.pop(key, None)
+            if conn is None:
+                continue
+            self._rejected_other += 1
+            if conn.fetch is not None:
+                self._send_ctrl(conn, wire.encode_reject(
+                    wire.REJECT_DRAINING))
+            self._close_conn(conn)
+
+    def _fail_all(self, reason: str) -> None:
+        for entry in list(self._send_entries.values()):
+            self._finish_send(entry, ok=False, reason=reason)
+        for entry in list(self._recv_entries.values()):
+            self._finish_recv(entry, ok=False, reason=reason)
+
+    def _graceful_teardown(self) -> None:
+        self._fail_all("server shut down")
+        for conn in list(self._conns):
+            self._close_conn(conn)
+        for sock in (self._listener, self._udp):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        if self._sel is not None:
+            self._sel.close()
+
+    def _crash_teardown(self) -> None:
+        """Abrupt death: close fds, lose unflushed journal writes."""
+        self.crashed = True
+        if self.kill is not None and not self.kill.fired:
+            self.kill.fire(time.monotonic())
+        for entry in self._recv_entries.values():
+            if entry.journal is not None:
+                entry.journal.simulate_crash()
+            if entry.part_fh is not None:
+                try:
+                    entry.part_fh.close()
+                except OSError:
+                    pass
+        for conn in list(self._conns):
+            self._close_conn(conn)
+        for sock in (self._listener, self._udp):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        if self._sel is not None:
+            self._sel.close()
+
+    def _emit_stats(self) -> None:
+        out = self.stats_out
+        if out is None:
+            import sys
+            out = sys.stderr
+        print(self.stats().render(), file=out, flush=True)
+
+    def _sweep(self, now: float) -> None:
+        """Periodic housekeeping: handshake deadlines, receiver liveness."""
+        for conn in list(self._conns):
+            if (conn.state in ("request", "await_resume")
+                    and conn.deadline is not None and now > conn.deadline):
+                if conn.entry is not None:
+                    self._finish_send(conn.entry, ok=False,
+                                      reason="handshake timed out")
+                else:
+                    self._close_conn(conn)
+        idle_limit = self.config.receiver_idle_timeout
+        for entry in list(self._recv_entries.values()):
+            idle = entry.receiver.idle_since(now, entry.started_at)
+            if idle > idle_limit:
+                self._finish_recv(
+                    entry, ok=False,
+                    reason=f"receiver gave up: no data for {idle:.1f}s")
+
+    # ------------------------------------------------------------------
+    # TCP control plane
+    # ------------------------------------------------------------------
+    def _accept(self, now: float) -> None:
+        while True:
+            try:
+                sock, addr = self._listener.accept()
+            except (BlockingIOError, OSError):
+                return
+            sock.setblocking(False)
+            conn = _Conn(sock, addr, now + self.handshake_timeout)
+            self._conns.add(conn)
+            self._sel.register(sock, selectors.EVENT_READ, ("conn", conn))
+
+    def _on_conn_readable(self, conn: _Conn, now: float) -> None:
+        if conn.state == "closed":
+            return
+        closed = False
+        while True:
+            try:
+                chunk = conn.sock.recv(65536)
+            except BlockingIOError:
+                break
+            except OSError:
+                closed = True
+                break
+            if not chunk:
+                closed = True
+                break
+            conn.buf.extend(chunk)
+        self._service_conn(conn, now)
+        if closed and conn.state != "closed":
+            self._on_conn_lost(conn)
+
+    def _on_conn_lost(self, conn: _Conn) -> None:
+        if conn.state == "queued":
+            self.admission.cancel(conn.key)
+            self._waiting_conns.pop(conn.key, None)
+        elif conn.entry is not None:
+            if conn.entry.kind == SENDING:
+                # The client may close immediately after its completion
+                # signal; an EOF behind a processed completion is a
+                # clean finish, not a lost connection.
+                if conn.entry.sender.complete:
+                    self._finish_send(conn.entry, ok=True)
+                else:
+                    self._finish_send(conn.entry, ok=False,
+                                      reason="control connection lost")
+            else:
+                self._finish_recv(conn.entry, ok=False,
+                                  reason="control connection lost")
+            return
+        self._close_conn(conn)
+
+    def _service_conn(self, conn: _Conn, now: float) -> None:
+        while conn.state != "closed":
+            buf = conn.buf
+            if conn.state == "request":
+                if len(buf) < _MAGIC.size:
+                    return
+                (magic,) = _MAGIC.unpack_from(buf)
+                if magic == wire.FETCH_MAGIC:
+                    if len(buf) < wire.FETCH_HDR_BYTES:
+                        return
+                    total = wire.FETCH_HDR_BYTES + wire.fetch_name_bytes(
+                        bytes(buf[:wire.FETCH_HDR_BYTES]))
+                    if len(buf) < total:
+                        return
+                    try:
+                        req = wire.decode_fetch(bytes(buf[:total]))
+                    except (ValueError, UnicodeDecodeError):
+                        self._close_conn(conn)
+                        return
+                    del buf[:total]
+                    self._handle_fetch(conn, req, now)
+                elif magic in (files.OFFER_MAGIC, files.OFFER2_MAGIC):
+                    need = (files.OFFER_V1_BYTES if magic == files.OFFER_MAGIC
+                            else files.OFFER_V2_BYTES)
+                    if len(buf) < need:
+                        return
+                    try:
+                        offer = files.decode_offer(bytes(buf[:need]))
+                    except ValueError:
+                        self._close_conn(conn)
+                        return
+                    del buf[:need]
+                    self._handle_push(conn, offer, now)
+                else:
+                    self._close_conn(conn)
+                    return
+            elif conn.state == "await_resume":
+                entry: _SendEntry = conn.entry
+                need = wire.resume_wire_bytes(entry.sender.npackets)
+                if len(buf) < need:
+                    return
+                try:
+                    resume = wire.decode_resume(bytes(buf[:need]))
+                except (ValueError, wire.ChecksumError):
+                    self._finish_send(entry, ok=False,
+                                      reason="bad RESUME from client")
+                    return
+                del buf[:need]
+                if (resume.transfer_id != entry.session.transfer_id
+                        or resume.epoch != entry.session.epoch):
+                    self._finish_send(entry, ok=False,
+                                      reason="RESUME for a different session")
+                    return
+                entry.sender.resume_from(resume.bitmap)
+                entry.data_addr = (conn.addr[0], resume.data_port)
+                entry.started_at = now
+                conn.state = "sending"
+                conn.deadline = None
+            elif conn.state == "sending":
+                if len(buf) < 12:
+                    return
+                try:
+                    wire.decode_completion(bytes(buf[:12]))
+                except ValueError:
+                    self._finish_send(conn.entry, ok=False,
+                                      reason="garbage on control connection")
+                    return
+                del buf[:12]
+                conn.entry.sender.on_completion(now)
+            else:
+                # queued / receiving: no client bytes expected; a push
+                # client never speaks until the transfer ends.
+                return
+
+    # ------------------------------------------------------------------
+    # Fetch (server sends)
+    # ------------------------------------------------------------------
+    def _resolve(self, name: str) -> Optional[str]:
+        """Resolve an object name inside the served root, or None."""
+        path = os.path.normpath(os.path.join(self.root, name))
+        if not (path == self.root or path.startswith(self.root + os.sep)):
+            return None
+        if not os.path.isfile(path):
+            return None
+        return path
+
+    def _handle_fetch(self, conn: _Conn, req: wire.FetchRequest,
+                      now: float) -> None:
+        path = self._resolve(req.name)
+        if path is None or os.path.getsize(path) == 0:
+            self._rejected_other += 1
+            self._send_ctrl(conn, wire.encode_reject(wire.REJECT_NOT_FOUND))
+            self._close_conn(conn)
+            return
+        with open(path, "rb") as fh:
+            data = fh.read()
+        tid = files.derive_transfer_id(len(data), zlib.crc32(data))
+        tid ^= req.client_nonce
+        conn.fetch = req
+        conn.key = tid
+        # A retry of a crashed attempt re-uses the transfer id; the old
+        # attempt's entry (if its death went unnoticed) is superseded.
+        prior = self.registry.get(tid)
+        if prior is not None:
+            self._finish_send(prior.entry, ok=False,
+                              reason="superseded by a newer attempt")
+        stale_conn = self._waiting_conns.pop(tid, None)
+        if stale_conn is not None:
+            self.admission.cancel(tid)
+            self._close_conn(stale_conn)
+        decision = self.admission.request(tid, client=conn.addr[0])
+        if decision.action == ADMIT:
+            self._begin_fetch_send(conn, data, now)
+        elif decision.action == QUEUE:
+            conn.state = "queued"
+            conn.deadline = None
+            self._waiting_conns[tid] = conn
+            self._send_ctrl(conn, wire.encode_queued(decision.position))
+        else:
+            code = _REJECT_CODES.get(decision.reason, wire.REJECT_FULL)
+            self._send_ctrl(conn, wire.encode_reject(code))
+            self._close_conn(conn)
+
+    def _begin_fetch_send(self, conn: _Conn, data: Optional[bytes],
+                          now: float) -> None:
+        req = conn.fetch
+        if data is None:
+            path = self._resolve(req.name)
+            if path is None:
+                self._admitted_but_gone(conn)
+                return
+            with open(path, "rb") as fh:
+                data = fh.read()
+        tid = conn.key
+        config = replace(self.config, checksum=req.checksum)
+        session = wire.SessionContext(tid, req.epoch)
+        sender = FobsSender(config, len(data),
+                            rng=np.random.default_rng(tid & 0xFFFFFFFF),
+                            epoch=req.epoch)
+        entry = _SendEntry(tid, session, sender, data, config, conn,
+                           req.name)
+        entry.started_at = now
+        conn.entry = entry
+        conn.state = "await_resume"
+        conn.deadline = now + self.handshake_timeout
+        self._send_entries[tid] = entry
+        self.registry.add(RegisteredTransfer(tid, req.epoch, SENDING, entry))
+        self.allocator.register(
+            tid, lambda r, p=entry.pacer: p.set_rate(r, time.monotonic()),
+            demand_bps=req.rate_cap_bps or None)
+        self.allocator.reallocate()
+        flags = files.FLAG_RESUME | (files.FLAG_CHECKSUM if req.checksum
+                                     else 0)
+        offer = files.Offer(
+            filesize=len(data), packet_size=config.packet_size,
+            ack_port=self.udp_port, flags=flags, crc=zlib.crc32(data),
+            transfer_id=tid, epoch=req.epoch)
+        if not self._send_ctrl(conn, files.encode_offer(offer)):
+            self._finish_send(entry, ok=False,
+                              reason="client vanished before offer")
+
+    def _admitted_but_gone(self, conn: _Conn) -> None:
+        """Admitted from the queue, but the object has since vanished."""
+        self._rejected_other += 1
+        self._send_ctrl(conn, wire.encode_reject(wire.REJECT_NOT_FOUND))
+        key = conn.key
+        self._close_conn(conn)
+        for promoted in self.admission.release(key):
+            self._start_promoted(promoted)
+        self.allocator.reallocate()
+
+    # ------------------------------------------------------------------
+    # Push (server receives)
+    # ------------------------------------------------------------------
+    def _handle_push(self, conn: _Conn, offer: files.Offer,
+                     now: float) -> None:
+        conn.offer = offer
+        if offer.resumable:
+            key = offer.transfer_id
+            prior = self.registry.get(key)
+            if prior is not None and prior.kind == RECEIVING:
+                self._finish_recv(prior.entry, ok=False,
+                                  reason="superseded by a newer attempt")
+            stale_conn = self._waiting_conns.pop(key, None)
+            if stale_conn is not None:
+                self.admission.cancel(key)
+                self._close_conn(stale_conn)
+        else:
+            self._anon_pushes += 1
+            key = ("push-v1", self._anon_pushes)
+        conn.key = key
+        decision = self.admission.request(key, client=conn.addr[0])
+        if decision.action == ADMIT:
+            self._begin_push_recv(conn, now)
+        elif decision.action == QUEUE:
+            # No reply: the vanilla sender blocks awaiting its
+            # ACCEPT/RESUME, which arrives when a slot opens.
+            conn.state = "queued"
+            conn.deadline = None
+            self._waiting_conns[key] = conn
+        else:
+            # Vanilla senders don't speak REJECT; a closed connection
+            # makes their supervisor back off and retry.
+            self._rejected_other += 1
+            self._close_conn(conn)
+
+    def _begin_push_recv(self, conn: _Conn, now: float) -> None:
+        offer = conn.offer
+        config = files.attempt_config_for(offer, self.config)
+        if offer.resumable:
+            name = f"push-{offer.transfer_id:016x}.bin"
+            session = wire.SessionContext(offer.transfer_id, offer.epoch)
+        else:
+            name = f"push-anon-{conn.key[1]}.bin"
+            session = None
+        output_path = os.path.join(self.root, name)
+        entry = _RecvEntry(conn.key, session, None, config, conn, offer,
+                           name)
+        entry.output_path = output_path
+        entry.part_path = output_path + ".part"
+        entry.journal_path = output_path + ".journal"
+        resume_bitmap = None
+        if offer.resumable:
+            entry.journal, replay = ReceiverJournal.open(
+                entry.journal_path, offer.transfer_id, offer.filesize,
+                offer.packet_size)
+            if replay is not None:
+                resume_bitmap = replay.bitmap.array
+        entry.receiver = FobsReceiver(config, offer.filesize,
+                                      resume_bitmap=resume_bitmap,
+                                      journal=entry.journal,
+                                      epoch=offer.epoch)
+        mode = "r+b" if (os.path.exists(entry.part_path)
+                         and os.path.getsize(entry.part_path) == offer.filesize
+                         and offer.resumable) else "w+b"
+        entry.part_fh = open(entry.part_path, mode)
+        if mode == "w+b":
+            entry.part_fh.truncate(offer.filesize)
+        data_port = self.udp_port
+        if session is None:
+            # v1 datagrams carry no session extension to demux on: give
+            # the transfer its own socket.
+            entry.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            entry.sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF,
+                                  1 << 20)
+            entry.sock.bind((self.bind, 0))
+            entry.sock.setblocking(False)
+            data_port = entry.sock.getsockname()[1]
+            self._sel.register(entry.sock, selectors.EVENT_READ,
+                               ("recv_sock", entry))
+        entry.started_at = now
+        conn.entry = entry
+        conn.state = "receiving"
+        conn.deadline = None
+        self._recv_entries[conn.key] = entry
+        if session is not None:
+            self.registry.add(RegisteredTransfer(
+                offer.transfer_id, offer.epoch, RECEIVING, entry))
+            reply = wire.encode_resume(offer.transfer_id, offer.epoch,
+                                       data_port,
+                                       entry.receiver.bitmap.snapshot())
+        else:
+            reply = struct.pack("!III", files.ACCEPT_MAGIC, data_port, 0)
+        if not self._send_ctrl(conn, reply):
+            self._finish_recv(entry, ok=False,
+                              reason="client vanished before accept")
+
+    # ------------------------------------------------------------------
+    # Shared-socket demux
+    # ------------------------------------------------------------------
+    def _drain_shared_udp(self, now: float) -> None:
+        while True:
+            try:
+                datagram, _addr = self._udp.recvfrom(1 << 20)
+            except (BlockingIOError, OSError):
+                return
+            self._route_datagram(datagram, now)
+
+    def _route_datagram(self, datagram: bytes, now: float) -> None:
+        # ACK or DATA?  No magic distinguishes them — probe the session
+        # extension at the ACK offset for a sending transfer first,
+        # then the DATA offset for a receiving one.  The decode below
+        # re-verifies everything the peek guessed.
+        peek = wire.peek_session(datagram, "ack")
+        if peek is not None:
+            reg = self.registry.route(peek[0], peek[1], kind=SENDING)
+            if reg is not None:
+                self._on_fetch_ack(reg.entry, datagram, now)
+                return
+        peek = wire.peek_session(datagram, "data")
+        if peek is not None:
+            reg = self.registry.route(peek[0], peek[1], kind=RECEIVING)
+            if reg is not None:
+                self._on_push_data(reg.entry, datagram, now)
+                return
+        self.registry.count_unknown()
+
+    def _on_fetch_ack(self, entry: _SendEntry, datagram: bytes,
+                      now: float) -> None:
+        try:
+            ack = wire.decode_ack(datagram, checksum=entry.config.checksum,
+                                  session=entry.session)
+        except wire.ChecksumError:
+            entry.sender.on_corrupt_ack()
+            return
+        except (wire.StaleEpochError, wire.SessionMismatchError):
+            entry.sender.on_stale_ack()
+            return
+        except ValueError:
+            self.registry.count_undecodable()
+            return
+        entry.sender.on_ack(ack, now)
+
+    def _on_push_data(self, entry: _RecvEntry, datagram: bytes,
+                      now: float) -> None:
+        try:
+            pkt, payload = wire.decode_data(
+                datagram, checksum=entry.config.checksum,
+                session=entry.session)
+        except wire.ChecksumError:
+            entry.receiver.on_corrupt_data(now)
+            return
+        except (wire.StaleEpochError, wire.SessionMismatchError):
+            entry.receiver.on_stale_data(0)
+            return
+        except ValueError:
+            self.registry.count_undecodable()
+            return
+        self._bytes_received += len(datagram)
+        # Data before log: the payload lands in the .part file before
+        # on_data journals the packet.
+        entry.part_fh.seek(pkt.seq * entry.config.packet_size)
+        entry.part_fh.write(payload)
+        ack = entry.receiver.on_data(pkt.seq, now)
+        if ack is not None:
+            out = wire.encode_ack(ack, checksum=entry.config.checksum,
+                                  session=entry.session)
+            sock = entry.sock if entry.sock is not None else self._udp
+            try:
+                sock.sendto(out, (entry.conn.addr[0], entry.offer.ack_port))
+            except OSError:
+                pass
+        if entry.receiver.complete:
+            self._finish_recv(entry, ok=True)
+
+    def _drain_dedicated(self, entry: _RecvEntry, now: float) -> None:
+        while entry.sock is not None:
+            try:
+                datagram, _addr = entry.sock.recvfrom(1 << 20)
+            except (BlockingIOError, OSError):
+                return
+            self._on_push_data(entry, datagram, now)
+
+    # ------------------------------------------------------------------
+    # Sender pump (the paper's batch blast, paced by the allocator)
+    # ------------------------------------------------------------------
+    def _pump(self, now: float) -> float:
+        hint = 0.05
+        for entry in list(self._send_entries.values()):
+            hint = min(hint, self._pump_entry(entry, now))
+        return max(hint, 0.0)
+
+    def _pump_entry(self, entry: _SendEntry, now: float) -> float:
+        if entry.data_addr is None:  # still awaiting RESUME
+            return 0.05
+        sender = entry.sender
+        sent_this_pass = 0
+        while True:
+            if sender.complete:
+                self._finish_send(entry, ok=True)
+                return 0.05
+            if entry.pending:
+                datagram = entry.pending[0]
+                if not entry.pacer.take(len(datagram), now):
+                    return entry.pacer.wait_hint(len(datagram), now)
+                entry.pending.popleft()
+                try:
+                    self._udp.sendto(datagram, entry.data_addr)
+                except (BlockingIOError, OSError):
+                    entry.pending.appendleft(datagram)
+                    return 0.002
+                self._bytes_sent += len(datagram)
+                self._data_packets_sent += 1
+                if (self.kill is not None
+                        and self.kill.should_fire(self._data_packets_sent)):
+                    raise _ServerKilled()
+                sent_this_pass += 1
+                if sent_this_pass >= _PUMP_QUANTUM:
+                    return 0.0
+                continue
+            stall = sender.poll_stall(now)
+            if stall == "abort":
+                self._finish_send(entry, ok=False,
+                                  reason=sender.failure_reason)
+                return 0.05
+            if sender.complete:
+                continue
+            if stall == "wait":
+                return sender.stall_wait_hint(now)
+            batch = (sender.probe_batch() if stall == "probe"
+                     else sender.next_batch())
+            if not batch:
+                return 0.002  # all packets out; waiting on ACK/completion
+            for pkt in batch:
+                off = pkt.seq * entry.config.packet_size
+                payload = entry.data[off:off + pkt.payload_bytes]
+                entry.pending.append(wire.encode_data(
+                    pkt, payload, checksum=entry.config.checksum,
+                    session=entry.session))
+
+    # ------------------------------------------------------------------
+    # Completion / failure
+    # ------------------------------------------------------------------
+    def _start_promoted(self, key) -> None:
+        conn = self._waiting_conns.pop(key, None)
+        if conn is None:
+            self._release_and_promote(key)
+            return
+        now = time.monotonic()
+        if conn.fetch is not None:
+            self._begin_fetch_send(conn, None, now)
+        else:
+            self._begin_push_recv(conn, now)
+
+    def _release_and_promote(self, key) -> None:
+        for promoted in self.admission.release(key):
+            self._start_promoted(promoted)
+        self.allocator.reallocate()
+
+    def _finish_send(self, entry: _SendEntry, ok: bool,
+                     reason: Optional[str] = None) -> None:
+        if entry.key not in self._send_entries:
+            return
+        del self._send_entries[entry.key]
+        reg = self.registry.get(entry.session.transfer_id)
+        if reg is not None and reg.entry is entry:
+            self.registry.remove(entry.session.transfer_id)
+        self.allocator.unregister(entry.key)
+        if ok:
+            self._completed += 1
+        else:
+            self._failed += 1
+        self.history.append((entry.name, "send", entry.client, ok, reason))
+        self._close_conn(entry.conn)
+        self._release_and_promote(entry.key)
+
+    def _finish_recv(self, entry: _RecvEntry, ok: bool,
+                     reason: Optional[str] = None) -> None:
+        if entry.key not in self._recv_entries:
+            return
+        del self._recv_entries[entry.key]
+        if entry.session is not None:
+            reg = self.registry.get(entry.session.transfer_id)
+            if reg is not None and reg.entry is entry:
+                self.registry.remove(entry.session.transfer_id)
+        if entry.sock is not None:
+            try:
+                self._sel.unregister(entry.sock)
+            except (KeyError, ValueError):
+                pass
+            entry.sock.close()
+        if ok:
+            try:
+                entry.part_fh.flush()
+                entry.part_fh.close()
+                entry.part_fh = None
+                with open(entry.part_path, "rb") as fh:
+                    blob = fh.read()
+                if zlib.crc32(blob) != entry.offer.crc:
+                    ok = False
+                    reason = "CRC mismatch after reassembly"
+                else:
+                    self._send_ctrl(entry.conn, wire.encode_completion(
+                        entry.receiver.npackets))
+                    os.replace(entry.part_path, entry.output_path)
+            except OSError as exc:
+                ok = False
+                reason = f"finalize failed: {exc}"
+        if entry.part_fh is not None:
+            try:
+                entry.part_fh.close()
+            except OSError:
+                pass
+        if entry.journal is not None:
+            entry.journal.close()
+            if ok:
+                try:
+                    os.remove(entry.journal_path)
+                except OSError:
+                    pass
+        if ok:
+            self._completed += 1
+        else:
+            self._failed += 1
+        self.history.append((entry.name, "recv", entry.client, ok, reason))
+        self._close_conn(entry.conn)
+        self._release_and_promote(entry.key)
+
+
+Serve = ObjectServer  # convenience alias
+
+
+def serve_root(root: str, port: int, **kwargs) -> ServerSnapshot:
+    """Build and run an :class:`ObjectServer`; returns the final stats."""
+    server = ObjectServer(root, port=port, **kwargs)
+    return server.serve_forever()

@@ -1,0 +1,93 @@
+"""Server statistics: per-transfer and whole-daemon snapshots.
+
+``repro serve --stats-interval N`` prints ``ServerSnapshot.render()``
+every N seconds to stderr — one line, grep-friendly, in the spirit of
+the per-transfer recovery report in :mod:`repro.analysis.diagnostics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+def _rate(bps: Optional[float]) -> str:
+    if bps is None:
+        return "unpaced"
+    return f"{bps / 1e6:.1f}Mb/s"
+
+
+@dataclass(frozen=True)
+class TransferSnapshot:
+    """Point-in-time view of one admitted transfer."""
+
+    transfer_id: int
+    name: str
+    client: str
+    direction: str  # "send" | "recv"
+    epoch: int
+    nbytes: int
+    npackets: int
+    packets_done: int
+    share_bps: Optional[float] = None
+    elapsed: float = 0.0
+
+    @property
+    def fraction_done(self) -> float:
+        if self.npackets <= 0:
+            return 1.0
+        return self.packets_done / self.npackets
+
+    def render(self) -> str:
+        return (f"{self.transfer_id:#018x} {self.direction} {self.name!r} "
+                f"{self.fraction_done * 100.0:.0f}% "
+                f"({self.packets_done}/{self.npackets} pkts) "
+                f"@{_rate(self.share_bps)} "
+                f"client={self.client} epoch={self.epoch} "
+                f"t={self.elapsed:.1f}s")
+
+
+@dataclass(frozen=True)
+class ServerSnapshot:
+    """Point-in-time view of the whole daemon."""
+
+    uptime: float
+    active: int
+    queued: int
+    completed: int
+    failed: int
+    rejected: int
+    budget_bps: Optional[float] = None
+    draining: bool = False
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    unknown_transfer_dropped: int = 0
+    stale_epoch_dropped: int = 0
+    transfers: tuple[TransferSnapshot, ...] = field(default_factory=tuple)
+
+    def render(self) -> str:
+        """One-line operational summary (the --stats-interval report)."""
+        parts = [
+            f"up={self.uptime:.0f}s",
+            f"active={self.active}",
+            f"queued={self.queued}",
+            f"done={self.completed}",
+            f"failed={self.failed}",
+            f"rejected={self.rejected}",
+            f"budget={_rate(self.budget_bps)}",
+            f"tx={self.bytes_sent}B",
+            f"rx={self.bytes_received}B",
+        ]
+        if self.unknown_transfer_dropped or self.stale_epoch_dropped:
+            parts.append(
+                f"dropped={self.unknown_transfer_dropped}"
+                f"+{self.stale_epoch_dropped}stale")
+        if self.draining:
+            parts.append("DRAINING")
+        return "server: " + " ".join(parts)
+
+    def render_transfers(self) -> str:
+        """Multi-line detail: the summary plus one line per transfer."""
+        lines = [self.render()]
+        lines.extend("  " + t.render() for t in self.transfers)
+        return "\n".join(lines)

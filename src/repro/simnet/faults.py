@@ -30,7 +30,7 @@ fault pattern — and therefore the identical packet trace — on every run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, fields, replace
+from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING, Iterable, Optional
 
 import numpy as np
@@ -38,7 +38,6 @@ import numpy as np
 from repro.simnet.packet import Frame, clone_frame
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.simnet.link import DelayLink, Link
     from repro.simnet.topology import Network
 
 

@@ -30,7 +30,7 @@ import networkx as nx
 
 from repro.simnet.engine import Simulator
 from repro.simnet.link import DelayLink, Link
-from repro.simnet.node import EndpointProfile, Host, Node, Router
+from repro.simnet.node import Host, Node, Router
 from repro.simnet.queues import DropTailQueue
 from repro.simnet.rng import RngStreams
 

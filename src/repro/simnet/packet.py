@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Any
 
 #: IPv4 (20 B) + UDP (8 B) header overhead applied to simulated datagrams.
 UDP_HEADER_BYTES = 28

@@ -8,7 +8,7 @@ classic drop-tail queue plus RED for ablations.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np

@@ -18,7 +18,7 @@ place; EXPERIMENTS.md records the resulting paper-vs-measured numbers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.simnet.cross_traffic import OnOffTraffic, PoissonTraffic, TrafficSink

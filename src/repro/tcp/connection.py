@@ -35,7 +35,6 @@ from repro.simnet.node import Host
 from repro.simnet.packet import Address, tcp_frame
 from repro.tcp.options import TcpOptions
 from repro.tcp.reassembly import ReassemblyBuffer
-from repro.tcp.reno import RenoController
 from repro.tcp.rtt import RttEstimator
 from repro.tcp.segments import Segment, segment_option_bytes
 

@@ -16,7 +16,6 @@ from repro.core.session import FobsTransfer, run_fobs_transfer
 from repro.rudp.protocol import run_rudp_transfer
 from repro.sabul.protocol import run_sabul_transfer
 from repro.simnet import (
-    FaultInjector,
     FaultSchedule,
     GilbertElliott,
     LinkFlap,

@@ -17,9 +17,6 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-hypothesis = pytest.importorskip("hypothesis")
-from hypothesis import given, settings, strategies as st
-
 from repro.core.config import FobsConfig
 from repro.core.packets import AckPacket, DataPacket
 from repro.core.session import FobsTransfer
@@ -27,6 +24,9 @@ from repro.runtime import wire
 from repro.simnet import FaultSchedule, Tracer, install_faults
 
 from _support import tiny_path
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
 
 NBYTES = 64_000
 

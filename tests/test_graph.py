@@ -1,7 +1,6 @@
 """Tests for mesh topologies built from networkx graphs."""
 
 import networkx as nx
-import pytest
 
 from repro.core import run_fobs_transfer
 from repro.simnet.graph import MeshNetwork, PairView, abilene_like

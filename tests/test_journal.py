@@ -15,9 +15,6 @@ import os
 import numpy as np
 import pytest
 
-hypothesis = pytest.importorskip("hypothesis")
-from hypothesis import given, settings, strategies as st
-
 from repro.core.journal import (
     HEADER_BYTES,
     RECORD_BYTES,
@@ -28,6 +25,9 @@ from repro.core.journal import (
     encode_record,
     replay_journal,
 )
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
 
 NPACKETS = 64
 TID = 0xDEADBEEF

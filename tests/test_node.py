@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.simnet.engine import Simulator
 from repro.simnet.link import DelayLink
 from repro.simnet.node import EndpointProfile, Host, HostCPU, Router
 from repro.simnet.packet import Address, udp_frame

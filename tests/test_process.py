@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.simnet.engine import Simulator
 from repro.simnet.process import Event, Process
 
 

@@ -22,6 +22,22 @@ class TestTopLevelExports:
                      "run_rudp_transfer", "run_sabul_transfer"):
             assert name in repro.__all__
 
+    def test_observation_surface(self):
+        """Tracer/Monitor are promoted to the top level (PR 3)."""
+        import repro
+
+        assert "Tracer" in repro.__all__
+        assert "Monitor" in repro.__all__
+        assert repro.Tracer is not None and repro.Monitor is not None
+
+    def test_server_surface(self):
+        import repro
+
+        for name in ("ObjectServer", "serve_root", "fetch_file",
+                     "run_sim_server", "SimTransferSpec"):
+            assert name in repro.__all__
+            assert getattr(repro, name, None) is not None, name
+
     def test_version_string(self):
         import repro
 
@@ -33,6 +49,7 @@ class TestTopLevelExports:
 @pytest.mark.parametrize("module", [
     "repro.core", "repro.simnet", "repro.tcp", "repro.psockets",
     "repro.rudp", "repro.sabul", "repro.runtime", "repro.analysis",
+    "repro.server",
 ])
 class TestSubpackages:
     def test_all_exports_resolve(self, module):
@@ -55,9 +72,12 @@ class TestConsoleScripts:
         scripts = meta["project"]["scripts"]
         assert scripts["fobs-repro"] == "repro.analysis.cli:main"
         assert scripts["fobs-xfer"] == "repro.runtime.cli:main"
+        assert scripts["repro"] == "repro.server.cli:main"
 
     def test_cli_mains_importable(self):
         from repro.analysis.cli import main as repro_main
         from repro.runtime.cli import main as xfer_main
+        from repro.server.cli import main as server_main
 
         assert callable(repro_main) and callable(xfer_main)
+        assert callable(server_main)

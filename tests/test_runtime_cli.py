@@ -42,6 +42,15 @@ class TestParser:
         assert not args.no_checksum and not args.resume
         assert args.max_attempts == 1
 
+    @pytest.mark.parametrize("base", [
+        ["send", "f.bin", "--port", "9"],
+        ["recv", "--port", "9", "--output", "o.bin"],
+        ["loopback"],
+    ])
+    def test_quiet_flag_everywhere(self, base):
+        assert build_parser().parse_args(base + ["--quiet"]).quiet
+        assert not build_parser().parse_args(base).quiet
+
     def test_loopback_flags(self):
         args = build_parser().parse_args(
             ["loopback", "--nbytes", "5000", "--drop-rate", "0.1",
@@ -72,6 +81,38 @@ class TestLoopbackExitCodes:
         rc = main(["loopback", "--nbytes", "100000", "--drop-rate", "0.05",
                    "--timeout", "30"])
         assert rc == 0
+
+
+class TestOutputDiscipline:
+    """stdout carries exactly one machine-readable line; progress is
+    stderr-only and silenced by --quiet."""
+
+    def test_quiet_keeps_stdout_result_line_only(self, capsys):
+        rc = main(["loopback", "--nbytes", "50000", "--timeout", "30",
+                   "--quiet"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        lines = [line for line in captured.out.splitlines() if line]
+        assert len(lines) == 1
+        assert lines[0].startswith("loopback ok ")
+        assert "nbytes=50000" in lines[0]
+        assert captured.err == ""
+
+    def test_progress_goes_to_stderr_not_stdout(self, capsys):
+        rc = main(["loopback", "--nbytes", "50000", "--timeout", "30"])
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "completed in" in captured.err
+        assert "completed in" not in captured.out
+
+    def test_quiet_never_silences_failures(self, capsys):
+        rc = main(["loopback", "--nbytes", "100000", "--blackhole-acks",
+                   "--stall-timeout", "0.1", "--stall-abort-after", "0.5",
+                   "--timeout", "30", "--quiet"])
+        assert rc == 1
+        captured = capsys.readouterr()
+        assert "FAILED" in captured.err
+        assert captured.out == ""
 
 
 class TestSendRecvExitCodes:
@@ -113,4 +154,6 @@ class TestSendRecvExitCodes:
         assert rc == 0
         assert out.read_bytes() == blob
         assert recv_result["r"].crc_ok
-        assert "attempt(s)" in capsys.readouterr().out
+        captured = capsys.readouterr()
+        assert "send ok" in captured.out
+        assert "attempts=" in captured.out

@@ -190,10 +190,11 @@ class TestCliProcesses:
                     break
                 time.sleep(0.2)
             assert send is not None and send.returncode == 0, send.stderr
-            assert "Mb/s" in send.stdout
+            assert "send ok" in send.stdout
+            assert "throughput_mbps=" in send.stdout
             stdout, stderr = recv_proc.communicate(timeout=30)
             assert recv_proc.returncode == 0, stderr
-            assert "crc ok" in stdout
+            assert "crc=ok" in stdout
             assert out.read_bytes() == data
         finally:
             if recv_proc.poll() is None:

@@ -1,0 +1,128 @@
+"""Admission control: max-active limit, FIFO queue, caps, drain."""
+
+import pytest
+
+from repro.server import AdmissionController
+from repro.server.admission import (
+    ADMIT,
+    CLIENT_CAP,
+    DRAINING,
+    FULL,
+    QUEUE,
+    REJECT,
+)
+
+
+class TestBasicAdmission:
+    def test_admits_up_to_max_active(self):
+        ctl = AdmissionController(max_active=3, queue_depth=0)
+        for key in range(3):
+            assert ctl.request(key).admitted
+        assert ctl.active == (0, 1, 2)
+
+    def test_overflow_queues_fifo_with_positions(self):
+        ctl = AdmissionController(max_active=1, queue_depth=3)
+        assert ctl.request("a").admitted
+        for expect, key in enumerate(("b", "c", "d"), start=1):
+            decision = ctl.request(key)
+            assert decision.action == QUEUE
+            assert decision.position == expect
+        assert ctl.waiting == ("b", "c", "d")
+
+    def test_past_queue_depth_rejects_full(self):
+        ctl = AdmissionController(max_active=1, queue_depth=1)
+        ctl.request("a")
+        ctl.request("b")
+        decision = ctl.request("c")
+        assert decision.action == REJECT and decision.reason == FULL
+        assert ctl.counters.rejected_full == 1
+
+    def test_duplicate_key_is_an_error(self):
+        ctl = AdmissionController()
+        ctl.request("a")
+        with pytest.raises(ValueError):
+            ctl.request("a")
+
+    def test_zero_queue_depth_means_reject_immediately(self):
+        ctl = AdmissionController(max_active=1, queue_depth=0)
+        ctl.request("a")
+        assert ctl.request("b").action == REJECT
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_active": 0},
+        {"queue_depth": -1},
+        {"per_client_max": 0},
+    ])
+    def test_invalid_limits_rejected_at_construction(self, kwargs):
+        with pytest.raises(ValueError):
+            AdmissionController(**kwargs)
+
+
+class TestPromotion:
+    def test_release_promotes_in_fifo_order(self):
+        ctl = AdmissionController(max_active=2, queue_depth=4)
+        for key in ("a", "b", "c", "d"):
+            ctl.request(key)
+        assert ctl.release("a") == ["c"]
+        assert ctl.release("b") == ["d"]
+        assert ctl.active == ("c", "d") and ctl.waiting == ()
+
+    def test_promotion_counts_as_admission(self):
+        ctl = AdmissionController(max_active=1, queue_depth=2)
+        ctl.request("a")
+        ctl.request("b")
+        ctl.release("a")
+        assert ctl.counters.admitted == 2
+        assert ctl.counters.queued == 1
+
+    def test_cancel_removes_waiter_without_promotion(self):
+        ctl = AdmissionController(max_active=1, queue_depth=2)
+        ctl.request("a")
+        ctl.request("b")
+        ctl.request("c")
+        ctl.cancel("b")
+        assert ctl.waiting == ("c",)
+        assert ctl.release("a") == ["c"]
+
+
+class TestPerClientCap:
+    def test_cap_counts_active_plus_waiting(self):
+        ctl = AdmissionController(max_active=1, queue_depth=4,
+                                  per_client_max=2)
+        assert ctl.request("a", client="alice").admitted
+        assert ctl.request("b", client="alice").action == QUEUE
+        decision = ctl.request("c", client="alice")
+        assert decision.action == REJECT and decision.reason == CLIENT_CAP
+        # A different client is unaffected.
+        assert ctl.request("d", client="bob").action == QUEUE
+
+    def test_cap_frees_up_after_release(self):
+        ctl = AdmissionController(max_active=4, per_client_max=1)
+        ctl.request("a", client="alice")
+        assert ctl.request("b", client="alice").action == REJECT
+        ctl.release("a")
+        assert ctl.request("b", client="alice").admitted
+
+
+class TestDrain:
+    def test_drain_drops_queue_and_rejects_new_requests(self):
+        ctl = AdmissionController(max_active=1, queue_depth=4)
+        ctl.request("a")
+        ctl.request("b")
+        ctl.request("c")
+        assert ctl.drain() == ["b", "c"]
+        assert ctl.waiting == ()
+        assert ctl.active == ("a",)  # actives finish on their own
+        decision = ctl.request("d")
+        assert decision.action == REJECT and decision.reason == DRAINING
+
+    def test_release_during_drain_promotes_nothing(self):
+        ctl = AdmissionController(max_active=1, queue_depth=4)
+        ctl.request("a")
+        ctl.request("b")
+        ctl.drain()
+        assert ctl.release("a") == []
+
+    def test_first_request_is_admit(self):
+        decision = AdmissionController().request("x")
+        assert decision.action == ADMIT and decision.admitted

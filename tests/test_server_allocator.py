@@ -1,0 +1,118 @@
+"""Max-min bandwidth division and the Jain fairness metric."""
+
+import pytest
+
+from repro.analysis.metrics import jain_index
+from repro.server import BandwidthAllocator
+
+
+def record_into(shares, key):
+    def apply(share):
+        shares[key] = share
+    return apply
+
+
+class TestBandwidthAllocator:
+    def test_equal_split_without_demands(self):
+        allocator = BandwidthAllocator(90e6)
+        shares = {}
+        for key in ("a", "b", "c"):
+            allocator.register(key, record_into(shares, key))
+        allocated = allocator.reallocate()
+        assert allocated == {"a": 30e6, "b": 30e6, "c": 30e6}
+        assert shares == allocated
+
+    def test_small_demand_satisfied_surplus_split(self):
+        allocator = BandwidthAllocator(100e6)
+        shares = {}
+        allocator.register("capped", record_into(shares, "capped"),
+                           demand_bps=10e6)
+        allocator.register("x", record_into(shares, "x"))
+        allocator.register("y", record_into(shares, "y"))
+        allocator.reallocate()
+        assert shares["capped"] == pytest.approx(10e6)
+        assert shares["x"] == pytest.approx(45e6)
+        assert shares["y"] == pytest.approx(45e6)
+
+    def test_completion_speeds_up_survivors(self):
+        allocator = BandwidthAllocator(80e6)
+        shares = {}
+        for key in ("a", "b"):
+            allocator.register(key, record_into(shares, key))
+        allocator.reallocate()
+        assert shares["a"] == pytest.approx(40e6)
+        allocator.unregister("b")
+        allocator.reallocate()
+        assert shares["a"] == pytest.approx(80e6)
+
+    def test_no_budget_passes_demands_through(self):
+        allocator = BandwidthAllocator(None)
+        shares = {}
+        allocator.register("free", record_into(shares, "free"))
+        allocator.register("capped", record_into(shares, "capped"),
+                           demand_bps=5e6)
+        allocated = allocator.reallocate()
+        assert allocated == {"free": None, "capped": 5e6}
+        # "free" stayed unpaced (None -> None), so no push happened.
+        assert shares == {"capped": 5e6}
+        assert allocator.share("free") is None
+
+    def test_apply_called_only_on_change(self):
+        calls = []
+        allocator = BandwidthAllocator(60e6)
+        allocator.register("a", calls.append)
+        allocator.reallocate()
+        allocator.reallocate()  # same share, no second push
+        assert calls == [60e6]
+
+    def test_set_demand_takes_effect_next_pass(self):
+        allocator = BandwidthAllocator(60e6)
+        shares = {}
+        allocator.register("a", record_into(shares, "a"))
+        allocator.register("b", record_into(shares, "b"))
+        allocator.reallocate()
+        allocator.set_demand("a", 10e6)
+        allocator.reallocate()
+        assert shares["a"] == pytest.approx(10e6)
+        assert shares["b"] == pytest.approx(50e6)
+
+    def test_share_never_zero_under_tiny_budget(self):
+        allocator = BandwidthAllocator(1e-6)
+        shares = {}
+        allocator.register("a", record_into(shares, "a"))
+        allocator.register("b", record_into(shares, "b"))
+        allocator.reallocate()
+        assert shares["a"] >= 1.0 and shares["b"] >= 1.0
+
+    def test_duplicate_registration_rejected(self):
+        allocator = BandwidthAllocator(10e6)
+        allocator.register("a", lambda share: None)
+        with pytest.raises(ValueError):
+            allocator.register("a", lambda share: None)
+
+    @pytest.mark.parametrize("budget", [0, -1.0])
+    def test_invalid_budget_rejected(self, budget):
+        with pytest.raises(ValueError):
+            BandwidthAllocator(budget)
+
+
+class TestJainIndex:
+    def test_perfect_fairness_is_one(self):
+        assert jain_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_hog_approaches_one_over_n(self):
+        assert jain_index([100.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_scale_invariant(self):
+        values = [1.0, 2.0, 3.0]
+        assert jain_index(values) == pytest.approx(
+            jain_index([v * 1e9 for v in values]))
+
+    def test_empty_and_negative_rejected(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([1.0, -2.0])
+
+    def test_all_zero_defined_as_fair(self):
+        assert jain_index([0.0, 0.0]) == 1.0

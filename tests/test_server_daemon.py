@@ -1,0 +1,208 @@
+"""Real-socket daemon tests: concurrent fetches, queueing, push, drain."""
+
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.config import FobsConfig
+from repro.runtime.files import send_file
+from repro.server import ObjectServer, fetch_file
+
+pytestmark = pytest.mark.loopback
+
+CONFIG = FobsConfig(ack_frequency=16)
+
+
+class RunningServer:
+    """Start an ObjectServer on a thread; drain and join on exit."""
+
+    def __init__(self, root, **kwargs):
+        kwargs.setdefault("config", CONFIG)
+        kwargs.setdefault("bind", "127.0.0.1")
+        self.server = ObjectServer(str(root), port=0, **kwargs)
+        self.snapshot = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        self.snapshot = self.server.serve_forever(self._ready)
+
+    def __enter__(self):
+        self._ready = threading.Event()
+        self._thread.start()
+        assert self._ready.wait(5), "server failed to start"
+        return self
+
+    def __exit__(self, *exc):
+        self.server.request_drain()
+        self._thread.join(timeout=30)
+        if self._thread.is_alive():
+            self.server.stop()
+            self._thread.join(timeout=5)
+
+    @property
+    def port(self):
+        return self.server.port
+
+
+@pytest.fixture
+def objects(tmp_path):
+    root = tmp_path / "objects"
+    root.mkdir()
+    rng = np.random.default_rng(4)
+    for name, size in (("a.bin", 300_000), ("b.bin", 200_000),
+                       ("c.bin", 150_000)):
+        blob = rng.integers(0, 256, size=size, dtype=np.uint8).tobytes()
+        (root / name).write_bytes(blob)
+    return root
+
+
+def fetch_many(names, port, outdir):
+    results = {}
+
+    def one(name):
+        results[name] = fetch_file(
+            name, "127.0.0.1", port, str(outdir / name), config=CONFIG,
+            timeout=30)
+
+    threads = [threading.Thread(target=one, args=(n,)) for n in names]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=40)
+    return results
+
+
+class TestConcurrentFetch:
+    def test_two_simultaneous_fetches_byte_correct(self, objects, tmp_path):
+        out = tmp_path / "out"
+        out.mkdir()
+        with RunningServer(objects) as running:
+            results = fetch_many(["a.bin", "b.bin"], running.port, out)
+        for name, result in results.items():
+            assert result.completed and result.crc_ok, result.failure_reason
+            assert (out / name).read_bytes() == (objects / name).read_bytes()
+        assert running.snapshot.completed == 2
+        assert running.snapshot.failed == 0
+
+    def test_queue_then_run_under_max_active_one(self, objects, tmp_path):
+        out = tmp_path / "out"
+        out.mkdir()
+        with RunningServer(objects, max_active=1, queue_depth=4) as running:
+            results = fetch_many(["a.bin", "b.bin", "c.bin"],
+                                 running.port, out)
+        assert all(r.completed for r in results.values())
+        assert running.snapshot.completed == 3
+        counters = running.server.admission.counters
+        assert counters.queued >= 2  # two of three had to wait
+
+    def test_not_found_rejected_cleanly(self, objects, tmp_path):
+        with RunningServer(objects) as running:
+            result = fetch_file("missing.bin", "127.0.0.1", running.port,
+                                str(tmp_path / "m.bin"), config=CONFIG,
+                                timeout=10)
+        assert not result.completed
+        assert "no such object" in result.failure_reason
+        assert not os.path.exists(tmp_path / "m.bin")
+
+    def test_queue_overflow_rejected_with_reason(self, objects, tmp_path):
+        out = tmp_path / "out"
+        out.mkdir()
+        with RunningServer(objects, max_active=1,
+                           queue_depth=0) as running:
+            # Occupy the only slot with a paced (slow) fetch...
+            slow = {}
+
+            def fetch_slow():
+                slow["r"] = fetch_file(
+                    "a.bin", "127.0.0.1", running.port, str(out / "a.bin"),
+                    config=CONFIG, timeout=30, rate_cap_bps=int(2e6))
+
+            thread = threading.Thread(target=fetch_slow)
+            thread.start()
+            deadline = 50
+            while running.server.admission.active == () and deadline:
+                threading.Event().wait(0.05)
+                deadline -= 1
+            # ...then a second request must be rejected "full".
+            rejected = fetch_file(
+                "b.bin", "127.0.0.1", running.port, str(out / "b.bin"),
+                config=CONFIG, timeout=10)
+            thread.join(timeout=40)
+        assert slow["r"].completed
+        assert not rejected.completed
+        assert "full" in rejected.failure_reason
+
+
+class TestPushCompat:
+    def test_vanilla_v1_push_lands_in_root(self, objects, tmp_path):
+        src = tmp_path / "push_src.bin"
+        blob = os.urandom(120_000)
+        src.write_bytes(blob)
+        with RunningServer(objects) as running:
+            result = send_file(str(src), "127.0.0.1", running.port,
+                               config=CONFIG, timeout=30)
+        assert result.completed
+        pushed = [p for p in os.listdir(objects)
+                  if p.startswith("push-") and p.endswith(".bin")]
+        assert len(pushed) == 1
+        assert (objects / pushed[0]).read_bytes() == blob
+
+    def test_resumable_v2_push_shares_udp_socket(self, objects, tmp_path):
+        src = tmp_path / "push_src.bin"
+        blob = os.urandom(150_000)
+        src.write_bytes(blob)
+        with RunningServer(objects) as running:
+            result = send_file(str(src), "127.0.0.1", running.port,
+                               config=CONFIG, timeout=30, resume=True,
+                               max_attempts=2)
+        assert result.completed and result.attempts == 1
+        pushed = [p for p in os.listdir(objects)
+                  if p.startswith("push-") and p.endswith(".bin")]
+        assert (objects / pushed[0]).read_bytes() == blob
+        # Wire bytes (headers included), so at least the payload size.
+        assert running.snapshot.bytes_received >= len(blob)
+
+
+class TestDrainAndStats:
+    def test_drain_finishes_actives_rejects_newcomers(self, objects,
+                                                      tmp_path):
+        out = tmp_path / "out"
+        out.mkdir()
+        with RunningServer(objects) as running:
+            active = {}
+
+            def fetch_active():
+                active["r"] = fetch_file(
+                    "a.bin", "127.0.0.1", running.port, str(out / "a.bin"),
+                    config=CONFIG, timeout=30, rate_cap_bps=int(4e6))
+
+            thread = threading.Thread(target=fetch_active)
+            thread.start()
+            deadline = 50
+            while not running.server.admission.active and deadline:
+                threading.Event().wait(0.05)
+                deadline -= 1
+            running.server.request_drain()
+            threading.Event().wait(0.2)
+            late = fetch_file("b.bin", "127.0.0.1", running.port,
+                              str(out / "b.bin"), config=CONFIG, timeout=10)
+            thread.join(timeout=40)
+        assert active["r"].completed  # the active transfer finished
+        assert not late.completed     # the late request was turned away
+        assert running.snapshot.completed == 1
+
+    def test_stats_snapshot_renders(self, objects, tmp_path):
+        out = tmp_path / "out"
+        out.mkdir()
+        with RunningServer(objects, rate_budget_bps=200e6) as running:
+            fetch_many(["a.bin"], running.port, out)
+            snap = running.server.stats()
+        assert snap.completed == 1
+        line = snap.render()
+        assert "done=1" in line and "budget=" in line
+        assert "up=" in line
+        final = running.snapshot
+        assert final.bytes_sent >= 300_000  # wire bytes, headers included
+        assert final.draining

@@ -1,0 +1,110 @@
+"""Shared-socket demux: transfer-id routing and stale-epoch rejection."""
+
+import numpy as np
+import pytest
+
+from repro.core.packets import AckPacket, DataPacket
+from repro.runtime import wire
+from repro.server import (
+    RECEIVING,
+    SENDING,
+    RegisteredTransfer,
+    TransferRegistry,
+)
+
+
+class TestRouting:
+    def test_routes_to_registered_entry(self):
+        registry = TransferRegistry()
+        reg = RegisteredTransfer(0xAB, epoch=1, kind=SENDING, entry="S")
+        registry.add(reg)
+        assert registry.route(0xAB, 1) is reg
+        assert registry.route(0xAB, 1, kind=SENDING) is reg
+
+    def test_unknown_id_misses_without_counting(self):
+        registry = TransferRegistry()
+        assert registry.route(0xDEAD, 0) is None
+        assert registry.counters.unknown_transfer == 0
+        registry.count_unknown()  # the daemon counts the *final* miss
+        assert registry.counters.unknown_transfer == 1
+
+    def test_stale_epoch_dropped_and_counted(self):
+        registry = TransferRegistry()
+        registry.add(RegisteredTransfer(7, epoch=2, kind=RECEIVING))
+        assert registry.route(7, 1) is None
+        assert registry.route(7, 3) is None
+        assert registry.counters.stale_epoch == 2
+        assert registry.route(7, 2) is not None
+
+    def test_kind_mismatch_is_silent(self):
+        """Demux probes both interpretations; a kind miss is not a drop."""
+        registry = TransferRegistry()
+        registry.add(RegisteredTransfer(9, epoch=0, kind=SENDING))
+        assert registry.route(9, 0, kind=RECEIVING) is None
+        assert registry.counters.stale_epoch == 0
+        assert registry.counters.unknown_transfer == 0
+
+
+class TestLifecycle:
+    def test_add_supersedes_prior_attempt(self):
+        registry = TransferRegistry()
+        old = RegisteredTransfer(5, epoch=0, kind=SENDING, entry="old")
+        new = RegisteredTransfer(5, epoch=1, kind=SENDING, entry="new")
+        assert registry.add(old) is None
+        assert registry.add(new) is old
+        assert registry.counters.superseded == 1
+        assert registry.route(5, 1).entry == "new"
+        assert len(registry) == 1
+
+    def test_remove_and_contains(self):
+        registry = TransferRegistry()
+        registry.add(RegisteredTransfer(3, epoch=0, kind=RECEIVING))
+        assert 3 in registry
+        assert registry.remove(3).transfer_id == 3
+        assert 3 not in registry and registry.remove(3) is None
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(ValueError):
+            RegisteredTransfer(1, epoch=0, kind="bogus")
+
+
+class TestPeekIntegration:
+    """peek_session + registry is the real demux path end to end."""
+
+    def test_ack_datagram_routes_to_sending_entry(self):
+        session = wire.SessionContext(transfer_id=0x1234, epoch=3)
+        ack = wire.encode_ack(
+            AckPacket(ack_id=0, received_count=10,
+                      bitmap=np.ones(10, dtype=np.bool_)),
+            session=session)
+        peeked = wire.peek_session(ack, "ack")
+        assert peeked == (0x1234, 3)
+        registry = TransferRegistry()
+        reg = RegisteredTransfer(0x1234, epoch=3, kind=SENDING)
+        registry.add(reg)
+        assert registry.route(*peeked, kind=SENDING) is reg
+
+    def test_data_datagram_routes_to_receiving_entry(self):
+        session = wire.SessionContext(transfer_id=0x77, epoch=0)
+        datagram = wire.encode_data(
+            DataPacket(seq=4, total=32, payload_bytes=64), b"x" * 64,
+            session=session)
+        peeked = wire.peek_session(datagram, "data")
+        assert peeked == (0x77, 0)
+        registry = TransferRegistry()
+        reg = RegisteredTransfer(0x77, epoch=0, kind=RECEIVING)
+        registry.add(reg)
+        assert registry.route(*peeked, kind=RECEIVING) is reg
+
+    def test_datagram_too_short_for_extension_peeks_none(self):
+        datagram = wire.encode_data(
+            DataPacket(seq=0, total=1, payload_bytes=4), b"y" * 4)
+        assert wire.peek_session(datagram, "data") is None
+
+    def test_sessionless_garbage_peek_misses_in_registry(self):
+        """peek_session doesn't validate; the registry miss is the guard."""
+        datagram = wire.encode_data(
+            DataPacket(seq=0, total=1, payload_bytes=32), b"y" * 32)
+        peeked = wire.peek_session(datagram, "data")
+        assert peeked is not None  # garbage tid from payload bytes
+        assert TransferRegistry().route(*peeked) is None

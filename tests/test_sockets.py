@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.simnet.engine import Simulator
 from repro.simnet.link import DelayLink
 from repro.simnet.node import Host
-from repro.simnet.packet import Address, udp_frame
+from repro.simnet.packet import Address
 from repro.simnet.sockets import RawConduit, UdpSocket
 
 
