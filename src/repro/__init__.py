@@ -26,6 +26,14 @@ Observation instruments (:class:`Tracer` per-event protocol traces,
 :class:`Monitor` sampled link/queue/probe series) are first-class:
 pass ``tracer=`` to :class:`FobsTransfer` or attach a Monitor to any
 ``Network`` before running.
+
+The telemetry subsystem (:mod:`repro.telemetry`) is shared by all
+three backends: attach an :class:`EventBus` (``telemetry=`` on
+:class:`FobsTransfer`, :func:`repro.runtime.files.send_file`,
+:class:`ObjectServer`, :func:`fetch_file`) with a :class:`JsonlSink`
+to record typed protocol events (the ``EV_*`` kind constants), then
+replay the log with ``repro timeline`` /
+:func:`repro.analysis.timeline.reconstruct`.
 """
 
 from repro.core import (
@@ -58,8 +66,33 @@ from repro.server import (
     run_sim_server,
     serve_root,
 )
+from repro.telemetry import (
+    EV_ACK_PROCESSED,
+    EV_ADMISSION,
+    EV_BATCH_SENT,
+    EV_BITMAP_DELTA,
+    EV_META,
+    EV_RESUME_EPOCH,
+    EV_RETRANSMIT_ROUND,
+    EV_SAMPLE,
+    EV_SNAPSHOT,
+    EV_STALL,
+    EV_TRACE,
+    EV_TRANSFER_END,
+    EV_TRANSFER_START,
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    Event,
+    EventBus,
+    JsonlSink,
+    MetricsRegistry,
+    RingBufferSink,
+    SnapshotSink,
+    TelemetryChannel,
+    read_events,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FobsConfig",
@@ -88,5 +121,28 @@ __all__ = [
     "probe_optimal_sockets",
     "run_rudp_transfer",
     "run_sabul_transfer",
+    "Event",
+    "EventBus",
+    "TelemetryChannel",
+    "RingBufferSink",
+    "JsonlSink",
+    "SnapshotSink",
+    "MetricsRegistry",
+    "read_events",
+    "EVENT_KINDS",
+    "EVENT_SCHEMA_VERSION",
+    "EV_META",
+    "EV_TRANSFER_START",
+    "EV_TRANSFER_END",
+    "EV_BATCH_SENT",
+    "EV_ACK_PROCESSED",
+    "EV_BITMAP_DELTA",
+    "EV_RETRANSMIT_ROUND",
+    "EV_STALL",
+    "EV_RESUME_EPOCH",
+    "EV_ADMISSION",
+    "EV_SNAPSHOT",
+    "EV_SAMPLE",
+    "EV_TRACE",
     "__version__",
 ]

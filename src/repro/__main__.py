@@ -1,0 +1,8 @@
+"""``python -m repro`` — the ``repro`` server/fetch/telemetry CLI."""
+
+import sys
+
+from repro.server.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -151,6 +151,53 @@ class RecoveryReport:
         )
 
 
+# ---------------------------------------------------------------------------
+# Trace accounting
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """What a :class:`~repro.simnet.trace.Tracer` actually captured.
+
+    A capped tracer silently stops recording once ``max_records`` is
+    hit; diagnosing from such a trace as if it were complete misreads
+    the run.  This summary makes the cap explicit.
+    """
+
+    records: int
+    truncated: bool
+    max_records: int | None
+    #: Record counts per kind, sorted by kind.
+    by_kind: dict
+
+    def render(self) -> str:
+        kinds = ", ".join(f"{k}={v}" for k, v in self.by_kind.items())
+        out = f"trace: {self.records} record(s)"
+        if kinds:
+            out += f" ({kinds})"
+        if self.truncated:
+            out += (f" — TRUNCATED at max_records={self.max_records}; "
+                    f"counts are lower bounds")
+        return out
+
+
+def trace_summary(tracer) -> TraceSummary:
+    """Summarise a tracer's capture, surfacing truncation.
+
+    ``tracer`` is duck-typed (``records``, ``truncated``,
+    ``max_records``) so recorded traces reloaded from disk work too.
+    """
+    by_kind: dict = {}
+    for record in tracer.records:
+        by_kind[record.kind] = by_kind.get(record.kind, 0) + 1
+    return TraceSummary(
+        records=len(tracer.records),
+        truncated=bool(tracer.truncated),
+        max_records=tracer.max_records,
+        by_kind=dict(sorted(by_kind.items())),
+    )
+
+
 def recovery_report(result, packet_size: int) -> "RecoveryReport":
     """Account for a supervised transfer's crash-recovery economics.
 

@@ -1,0 +1,313 @@
+"""Timeline reconstruction from a recorded telemetry event log.
+
+The paper's evaluation is observational — throughput over time,
+wasted-packet ratios, loss attribution — so a recorded JSONL run
+(:class:`~repro.telemetry.JsonlSink`) must be enough to regenerate the
+figures without re-running the transfer.  :func:`reconstruct` replays
+a log into per-attempt :class:`TransferTimeline` objects:
+
+* the **goodput curve** from the receiver's ``bitmap_delta`` events
+  (cumulative received packets over time);
+* the **wasted-bandwidth ratio** from the sender's ``batch_sent``
+  events (cumulative packets sent vs. packets required — Figure 2's
+  metric);
+* **phase spans** (blasting / stalled / probing) from the stall state
+  machine's events;
+* **loss-cause attribution** by rebuilding a
+  :class:`~repro.analysis.diagnostics.LossBreakdown` from the
+  ``transfer_end`` summary.
+
+Stream-derived figures are computed from the event stream alone; the
+``transfer_end`` summary (when the log has one) is kept alongside so
+consumers can cross-check the two — ``repro timeline`` prints both and
+the round-trip test in ``tests/test_timeline.py`` holds them within
+1 % of the live :class:`~repro.core.session.TransferStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Union
+
+from repro.analysis.diagnostics import LossBreakdown
+from repro.telemetry.events import (
+    EV_ADMISSION,
+    EV_BATCH_SENT,
+    EV_BITMAP_DELTA,
+    EV_META,
+    EV_RESUME_EPOCH,
+    EV_RETRANSMIT_ROUND,
+    EV_STALL,
+    EV_TRANSFER_END,
+    EV_TRANSFER_START,
+    Event,
+    read_events,
+)
+
+_SPARK_MARKS = "▁▂▃▄▅▆▇█"
+
+
+@dataclass(frozen=True)
+class PhaseSpan:
+    """One contiguous protocol phase inside a transfer attempt."""
+
+    name: str  # "blast" | "stalled"
+    start: float  # seconds since the attempt's first event
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class TransferTimeline:
+    """Everything one (transfer id, epoch) attempt did, reconstructed."""
+
+    transfer_id: int
+    epoch: int
+    nbytes: int = 0
+    npackets: int = 0
+    packet_size: int = 0
+    backend: str = ""
+    start_time: float = 0.0
+    end_time: float = 0.0
+    completed: bool = False
+    failed: bool = False
+    timed_out: bool = False
+    #: Packets salvaged by a RESUME exchange at attempt start.
+    resumed_packets: int = 0
+    #: Goodput curve: times (relative to start) and cumulative bytes
+    #: delivered, from the receiver's bitmap_delta events.
+    goodput_times: list[float] = field(default_factory=list)
+    goodput_bytes: list[int] = field(default_factory=list)
+    #: Cumulative packets sent over time, from batch_sent events.
+    sent_times: list[float] = field(default_factory=list)
+    sent_packets: list[int] = field(default_factory=list)
+    phases: list[PhaseSpan] = field(default_factory=list)
+    retransmit_rounds: int = 0
+    stall_probes: int = 0
+    #: The transfer_end summary fields verbatim (empty if the log was
+    #: cut short).
+    summary: dict = field(default_factory=dict)
+    losses: Optional[LossBreakdown] = None
+    event_counts: dict = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Stream-derived figures (no dependence on the transfer_end summary)
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Seconds from the first event to the last *progress* event.
+
+        Matches the live accounting: a completed transfer's clock stops
+        at the final acknowledgement (the receiver's completion).
+        """
+        if self.completed and self.goodput_times:
+            return max(self.goodput_times[-1], 1e-12)
+        return max(self.end_time - self.start_time, 1e-12)
+
+    @property
+    def delivered_bytes(self) -> int:
+        """Bytes delivered, per the last bitmap_delta observation.
+
+        A sender-side recording carries no ``bitmap_delta`` events;
+        when the transfer completed, the whole object was delivered by
+        definition, so fall back to ``nbytes`` rather than reading an
+        empty curve as zero goodput.
+        """
+        if not self.goodput_bytes:
+            return self.nbytes if self.completed else 0
+        return min(self.goodput_bytes[-1], self.nbytes or self.goodput_bytes[-1])
+
+    @property
+    def throughput_bps(self) -> float:
+        """Stream-derived goodput over the attempt (Figure 1's metric)."""
+        return self.delivered_bytes * 8.0 / self.duration
+
+    @property
+    def packets_sent(self) -> int:
+        return self.sent_packets[-1] if self.sent_packets else 0
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Stream-derived waste: (sent - required) / required (Figure 2).
+
+        A receiver-side recording carries no ``batch_sent`` events, so
+        waste is unknowable from the stream — reported as 0.0 (the
+        ``transfer_end`` summary, when present, still has the sender's
+        figure).
+        """
+        if self.npackets <= 0 or not self.sent_packets:
+            return 0.0
+        return (self.packets_sent - self.npackets) / self.npackets
+
+    # ------------------------------------------------------------------
+    def goodput_curve(self, buckets: int = 50) -> tuple[list[float], list[float]]:
+        """Interval goodput (bits/s) over ``buckets`` equal time slices."""
+        if len(self.goodput_times) < 2:
+            return [], []
+        total = self.goodput_times[-1]
+        if total <= 0:
+            return [], []
+        width = total / buckets
+        times, rates = [], []
+        last_b = 0
+        idx = 0
+        for b in range(1, buckets + 1):
+            edge = b * width
+            bytes_at_edge = last_b
+            while (idx < len(self.goodput_times)
+                   and self.goodput_times[idx] <= edge):
+                bytes_at_edge = self.goodput_bytes[idx]
+                idx += 1
+            times.append(edge)
+            rates.append(max(bytes_at_edge - last_b, 0) * 8.0 / width)
+            last_b = bytes_at_edge
+        return times, rates
+
+    def render(self, width: int = 50) -> str:
+        """Multi-line human summary: outcome, phases, curve, losses."""
+        state = ("completed" if self.completed
+                 else "FAILED" if self.failed
+                 else "timed out" if self.timed_out else "incomplete")
+        lines = [
+            (f"transfer {self.transfer_id:#x} epoch {self.epoch}: "
+             f"{self.nbytes / 1e6:.1f} MB / {self.npackets} pkts "
+             f"[{self.backend or 'unknown'}] {state} in {self.duration:.3f}s "
+             f"= {self.throughput_bps / 1e6:.1f} Mb/s, "
+             f"waste={100 * self.wasted_fraction:.1f}%")
+        ]
+        if self.resumed_packets:
+            lines.append(f"  resumed: {self.resumed_packets}/{self.npackets} "
+                         f"packets salvaged from the journal")
+        if self.phases:
+            spans = "; ".join(f"{p.name} {p.start:.3f}-{p.end:.3f}s"
+                              for p in self.phases)
+            lines.append(f"  phases: {spans}")
+        if self.retransmit_rounds or self.stall_probes:
+            lines.append(f"  recovery: {self.retransmit_rounds} retransmit "
+                         f"round(s), {self.stall_probes} stall probe(s)")
+        _times, rates = self.goodput_curve(buckets=width)
+        if rates:
+            hi = max(rates)
+            if hi > 0:
+                line = "".join(
+                    _SPARK_MARKS[min(len(_SPARK_MARKS) - 1,
+                                     int(r / hi * (len(_SPARK_MARKS) - 1)))]
+                    for r in rates)
+                lines.append(f"  goodput [0..{hi / 1e6:.1f} Mb/s]: {line}")
+        if self.losses is not None:
+            lines.append("  " + self.losses.render())
+        return "\n".join(lines)
+
+
+def _losses_from_summary(summary: dict) -> Optional[LossBreakdown]:
+    if not any(k.startswith("loss_") for k in summary):
+        return None
+    return LossBreakdown(
+        receiver_drops=int(summary.get("loss_receiver", 0)),
+        queue_drops=int(summary.get("loss_queue", 0)),
+        random_losses=int(summary.get("loss_random", 0)),
+        injected_drops=int(summary.get("loss_injected", 0)),
+    )
+
+
+def reconstruct(
+    events: Union[str, Iterable[Event]],
+) -> list[TransferTimeline]:
+    """Replay an event log into per-attempt timelines.
+
+    ``events`` is a JSONL path or any iterable of
+    :class:`~repro.telemetry.Event`.  Attempts are keyed by
+    ``(transfer_id, epoch)`` — a resumed transfer yields one timeline
+    per attempt epoch — and returned in order of first appearance.
+    Server-side events with no transfer label (admissions, snapshots)
+    are ignored here; ``repro stats`` aggregates those.
+    """
+    if isinstance(events, str):
+        events = read_events(events)
+    timelines: dict[tuple[int, int], TransferTimeline] = {}
+    stall_open: dict[tuple[int, int], float] = {}
+
+    for event in events:
+        if event.kind in (EV_META, EV_ADMISSION):
+            continue
+        key = (event.transfer_id, event.epoch)
+        tl = timelines.get(key)
+        if tl is None:
+            tl = TransferTimeline(transfer_id=event.transfer_id,
+                                  epoch=event.epoch,
+                                  start_time=event.time,
+                                  end_time=event.time)
+            timelines[key] = tl
+        tl.event_counts[event.kind] = tl.event_counts.get(event.kind, 0) + 1
+        tl.end_time = max(tl.end_time, event.time)
+        rel = event.time - tl.start_time
+        f = event.fields
+        if event.kind == EV_TRANSFER_START:
+            tl.nbytes = int(f.get("nbytes", tl.nbytes))
+            tl.npackets = int(f.get("npackets", tl.npackets))
+            tl.packet_size = int(f.get("packet_size", tl.packet_size))
+            tl.backend = str(f.get("backend", tl.backend))
+        elif event.kind == EV_BITMAP_DELTA:
+            received = int(f.get("received", 0))
+            size = tl.packet_size or 1
+            tl.goodput_times.append(rel)
+            tl.goodput_bytes.append(received * size)
+        elif event.kind == EV_BATCH_SENT:
+            tl.sent_times.append(rel)
+            tl.sent_packets.append(int(f.get("sent", 0)))
+        elif event.kind == EV_RETRANSMIT_ROUND:
+            tl.retransmit_rounds = max(tl.retransmit_rounds,
+                                       int(f.get("round", 0)))
+        elif event.kind == EV_RESUME_EPOCH:
+            tl.resumed_packets = int(f.get("salvaged", 0))
+            if not tl.npackets:
+                tl.npackets = int(f.get("npackets", 0))
+        elif event.kind == EV_STALL:
+            action = f.get("action")
+            if action == "enter":
+                if key not in stall_open:
+                    if rel > 0:
+                        tl.phases.append(PhaseSpan("blast", _phase_start(tl),
+                                                   rel))
+                    stall_open[key] = rel
+            elif action == "probe":
+                tl.stall_probes += 1
+            elif action in ("recovered", "abort"):
+                start = stall_open.pop(key, None)
+                if start is not None:
+                    tl.phases.append(PhaseSpan("stalled", start, rel))
+        elif event.kind == EV_TRANSFER_END:
+            tl.summary = dict(f)
+            tl.completed = bool(f.get("completed", False))
+            tl.failed = bool(f.get("failed", False))
+            tl.timed_out = bool(f.get("timed_out", False))
+            tl.losses = _losses_from_summary(tl.summary)
+
+    for key, tl in timelines.items():
+        total = tl.end_time - tl.start_time
+        open_stall = stall_open.get(key)
+        if open_stall is not None:
+            tl.phases.append(PhaseSpan("stalled", open_stall, total))
+        elif total > 0:
+            last = tl.phases[-1].end if tl.phases else 0.0
+            if total > last:
+                tl.phases.append(PhaseSpan("blast", last, total))
+        # Infer the packet size when the log never recorded a start
+        # event (a truncated recording).
+        if not tl.packet_size and tl.nbytes and tl.npackets:
+            tl.packet_size = -(-tl.nbytes // tl.npackets)
+    return list(timelines.values())
+
+
+def _phase_start(tl: TransferTimeline) -> float:
+    return tl.phases[-1].end if tl.phases else 0.0
+
+
+def render_timelines(timelines: Iterable[TransferTimeline],
+                     width: int = 50) -> str:
+    """Render every attempt, blank-line separated."""
+    blocks = [tl.render(width=width) for tl in timelines]
+    return "\n\n".join(blocks) if blocks else "(no transfers in log)"

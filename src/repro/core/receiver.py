@@ -17,6 +17,7 @@ import numpy as np
 from repro.core.bitmap import PacketBitmap
 from repro.core.config import FobsConfig
 from repro.core.packets import AckPacket, CompletionSignal
+from repro.telemetry import EV_BITMAP_DELTA, NULL_CHANNEL, TelemetryChannel
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.journal import ReceiverJournal
@@ -58,8 +59,11 @@ class FobsReceiver:
         resume_bitmap: Optional[np.ndarray] = None,
         journal: Optional["ReceiverJournal"] = None,
         epoch: int = 0,
+        telemetry: TelemetryChannel = NULL_CHANNEL,
     ):
         self.config = config
+        #: Telemetry channel (disabled by default; IO drivers rebind it).
+        self.telemetry = telemetry
         self.total_bytes = total_bytes
         self.npackets = config.npackets(total_bytes)
         self.bitmap = PacketBitmap(self.npackets)
@@ -156,6 +160,11 @@ class FobsReceiver:
             bitmap=self.bitmap.snapshot(),
             epoch=self.epoch,
         )
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                EV_BITMAP_DELTA, ack_id=self._next_ack_id,
+                new=self._new_since_ack, received=int(self.bitmap.count),
+                dup=self.stats.packets_duplicate)
         self._next_ack_id += 1
         self._new_since_ack = 0
         self.stats.acks_built += 1

@@ -29,6 +29,15 @@ from repro.core.congestion import CongestionSignal, make_congestion_policy
 from repro.core.packets import AckPacket, DataPacket
 from repro.core.rate import make_batch_policy
 from repro.core.scheduling import make_scheduler
+from repro.telemetry import (
+    EV_ACK_PROCESSED,
+    EV_BATCH_SENT,
+    EV_RESUME_EPOCH,
+    EV_RETRANSMIT_ROUND,
+    EV_STALL,
+    NULL_CHANNEL,
+    TelemetryChannel,
+)
 
 
 @dataclass
@@ -75,8 +84,12 @@ class FobsSender:
         total_bytes: int,
         rng: Optional[np.random.Generator] = None,
         epoch: int = 0,
+        telemetry: TelemetryChannel = NULL_CHANNEL,
     ):
         self.config = config
+        #: Telemetry channel (disabled by default; IO drivers rebind it
+        #: to their bus/clock before the first batch).
+        self.telemetry = telemetry
         #: Attempt epoch stamped on every outgoing data packet; stale
         #: epochs let a resumed receiver reject zombie datagrams.
         self.epoch = epoch
@@ -110,6 +123,10 @@ class FobsSender:
         self._stalled = False
         self._next_probe = 0.0
         self._probe_interval = 0.0
+        # Retransmit-round telemetry: a "round" is a contiguous episode
+        # of batches containing at least one retransmission.
+        self._retransmit_rounds = 0
+        self._in_retransmit_round = False
 
     # ------------------------------------------------------------------
     def payload_bytes(self, seq: int) -> int:
@@ -131,6 +148,7 @@ class FobsSender:
             return []
         if size is None:
             size = self.batch_policy.next_batch_size()
+        retrans_before = self.stats.retransmissions
         batch: list[DataPacket] = []
         for _ in range(size):
             seq = self.scheduler.next_seq(self.acked)
@@ -155,6 +173,25 @@ class FobsSender:
         if batch:
             self.stats.batches += 1
             self._sent_since_ack += len(batch)
+            retrans_in_batch = self.stats.retransmissions - retrans_before
+            if retrans_in_batch:
+                if not self._in_retransmit_round:
+                    self._in_retransmit_round = True
+                    self._retransmit_rounds += 1
+                    if self.telemetry.enabled:
+                        self.telemetry.emit(
+                            EV_RETRANSMIT_ROUND,
+                            round=self._retransmit_rounds,
+                            retrans_in_batch=retrans_in_batch,
+                            total_retrans=self.stats.retransmissions)
+            else:
+                self._in_retransmit_round = False
+            if self.telemetry.enabled:
+                self.telemetry.emit(
+                    EV_BATCH_SENT, size=len(batch),
+                    sent=self.stats.packets_sent,
+                    first=self.stats.first_transmissions,
+                    retrans=self.stats.retransmissions)
         return batch
 
     # ------------------------------------------------------------------
@@ -172,6 +209,13 @@ class FobsSender:
             if self._stalled:
                 self._stalled = False
                 self.stats.stall_recoveries += 1
+                if self.telemetry.enabled:
+                    self.telemetry.emit(EV_STALL, action="recovered",
+                                        acked=int(self.acked.count))
+        if self.telemetry.enabled:
+            self.telemetry.emit(EV_ACK_PROCESSED, ack_id=ack.ack_id,
+                                received=ack.received_count, newly=newly,
+                                acked=int(self.acked.count))
         if ack.ack_id <= self._last_ack_id:
             self.stats.stale_acks += 1
             return newly
@@ -230,6 +274,9 @@ class FobsSender:
         salvaged = self.acked.merge(np.asarray(bitmap, dtype=np.bool_))
         self.stats.resumed_packets = salvaged
         self._last_ack_count = self.acked.count
+        if self.telemetry.enabled:
+            self.telemetry.emit(EV_RESUME_EPOCH, salvaged=int(salvaged),
+                                npackets=self.npackets)
         return salvaged
 
     # ------------------------------------------------------------------
@@ -280,6 +327,10 @@ class FobsSender:
             self.stats.stall_events += 1
             self._probe_interval = cfg.stall_timeout
             self._next_probe = now
+            if self.telemetry.enabled:
+                self.telemetry.emit(EV_STALL, action="enter",
+                                    stalled_for=stalled_for,
+                                    acked=int(self.acked.count))
         if stalled_for >= cfg.stall_abort_after:
             self.failed = True
             self._stalled = False
@@ -288,11 +339,19 @@ class FobsSender:
                 f"({self.acked.count}/{self.npackets} packets acked, "
                 f"{self.stats.stall_probes} probes)"
             )
+            if self.telemetry.enabled:
+                self.telemetry.emit(EV_STALL, action="abort",
+                                    stalled_for=stalled_for,
+                                    acked=int(self.acked.count))
             return "abort"
         if now >= self._next_probe:
             self._next_probe = now + self._probe_interval
             self._probe_interval *= cfg.stall_backoff
             self.stats.stall_probes += 1
+            if self.telemetry.enabled:
+                self.telemetry.emit(EV_STALL, action="probe",
+                                    probe=self.stats.stall_probes,
+                                    stalled_for=stalled_for)
             return "probe"
         return "wait"
 

@@ -46,6 +46,12 @@ from repro.simnet.topology import Network
 from repro.simnet.trace import Tracer
 from repro.tcp.connection import TcpConnection, TcpListener
 from repro.tcp.options import TcpOptions
+from repro.telemetry import (
+    EV_TRANSFER_END,
+    EV_TRANSFER_START,
+    NULL_CHANNEL,
+    EventBus,
+)
 
 
 @dataclass
@@ -127,6 +133,8 @@ class FobsTransfer:
         resume_bitmap: Optional[np.ndarray] = None,
         journal: Optional["ReceiverJournal"] = None,
         kill_switch: Optional["KillSwitch"] = None,
+        telemetry: Optional[EventBus] = None,
+        transfer_id: int = 0,
     ):
         if nbytes <= 0:
             raise ValueError("nbytes must be positive")
@@ -135,6 +143,19 @@ class FobsTransfer:
         self.nbytes = nbytes
         self.config = config if config is not None else FobsConfig()
         self.tracer = tracer if tracer is not None else Tracer(enabled=False)
+        #: Telemetry channels, bound to the simulated clock.  The DES
+        #: has no wire-level transfer id; ``transfer_id`` labels the
+        #: events (0 is fine for a single transfer per log).
+        clock = lambda: self.sim.now
+        if telemetry is not None and telemetry.enabled:
+            self.telemetry = telemetry.channel(
+                transfer_id, epoch=epoch, src="session", clock=clock)
+            sender_tel = telemetry.channel(
+                transfer_id, epoch=epoch, src="sender", clock=clock)
+            receiver_tel = telemetry.channel(
+                transfer_id, epoch=epoch, src="receiver", clock=clock)
+        else:
+            self.telemetry = sender_tel = receiver_tel = NULL_CHANNEL
         #: Attempt epoch of this session.  Datagrams stamped with any
         #: other epoch (a zombie endpoint from a previous attempt) are
         #: dropped on arrival; see PROTOCOL.md §8.
@@ -143,10 +164,10 @@ class FobsTransfer:
 
         self.sender = FobsSender(
             self.config, nbytes, rng=net.rng.stream("fobs:sender"),
-            epoch=epoch,
+            epoch=epoch, telemetry=sender_tel,
         )
         self.receiver = FobsReceiver(self.config, nbytes, journal=journal,
-                                     epoch=epoch)
+                                     epoch=epoch, telemetry=receiver_tel)
         if resume_bitmap is not None:
             # The RESUME exchange: the receiver's journal-reconstructed
             # bitmap seeds both endpoints, so delivered packets are
@@ -223,6 +244,12 @@ class FobsTransfer:
             raise RuntimeError("transfer already started")
         self._started = True
         self._start_time = self.sim.now
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                EV_TRANSFER_START, nbytes=self.nbytes,
+                npackets=self.sender.npackets,
+                packet_size=self.config.packet_size,
+                ack_frequency=self.config.ack_frequency, backend="des")
         self._ctrl_client.connect()
         self.sim.schedule(0.0, self._sender_step)
         self.sim.schedule(self.config.receiver_idle_timeout, self._liveness_check)
@@ -239,7 +266,32 @@ class FobsTransfer:
         self.sim.run(until=deadline, stop_when=self._finished)
         if not self._finished():
             self.timed_out = True
-        return self.collect_stats()
+        stats = self.collect_stats()
+        if self.telemetry.enabled:
+            self._emit_transfer_end(stats)
+        return stats
+
+    def _emit_transfer_end(self, stats: TransferStats) -> None:
+        """The summary event: outcome, metrics and loss attribution."""
+        # Imported here: repro.analysis imports this module at package
+        # init, so a module-level import would be circular.
+        from repro.analysis.diagnostics import loss_breakdown
+
+        losses = loss_breakdown(self.net, stats.receiver_socket_drops)
+        self.telemetry.emit(
+            EV_TRANSFER_END,
+            completed=stats.completed, failed=stats.failed,
+            timed_out=stats.timed_out, duration=stats.duration,
+            throughput_bps=stats.throughput_bps,
+            wasted_fraction=stats.wasted_fraction,
+            packets_sent=stats.packets_sent,
+            retransmissions=stats.retransmissions,
+            acks_sent=stats.acks_sent,
+            resumed_packets=stats.resumed_packets,
+            loss_receiver=losses.receiver_drops,
+            loss_queue=losses.queue_drops,
+            loss_random=losses.random_losses,
+            loss_injected=losses.injected_drops)
 
     def _finished(self) -> bool:
         if self.failed:
@@ -586,6 +638,8 @@ def run_fobs_transfer(
     nbytes: int,
     config: Optional[FobsConfig] = None,
     time_limit: float = 600.0,
+    telemetry: Optional[EventBus] = None,
 ) -> TransferStats:
     """Convenience wrapper: build, run and summarize one transfer."""
-    return FobsTransfer(net, nbytes, config).run(time_limit=time_limit)
+    return FobsTransfer(net, nbytes, config,
+                        telemetry=telemetry).run(time_limit=time_limit)

@@ -11,6 +11,14 @@ from repro.simnet.packet import Address
 from repro.simnet.sockets import UdpSocket
 from repro.simnet.topology import Network
 from repro.tcp.channel import MessageChannel
+from repro.telemetry import (
+    EV_RETRANSMIT_ROUND,
+    EV_TRANSFER_END,
+    EV_TRANSFER_START,
+    NULL_CHANNEL,
+    EventBus,
+    TelemetryChannel,
+)
 
 
 @dataclass(frozen=True)
@@ -67,13 +75,22 @@ class _MissingReport:
 class RudpTransfer:
     """One RBUDP object transfer from ``net.a`` to ``net.b``."""
 
-    def __init__(self, net: Network, nbytes: int, config: Optional[RudpConfig] = None):
+    def __init__(self, net: Network, nbytes: int,
+                 config: Optional[RudpConfig] = None,
+                 telemetry: Optional[EventBus] = None,
+                 transfer_id: int = 0):
         self.net = net
         self.sim = net.sim
         self.nbytes = nbytes
         self.config = config if config is not None else RudpConfig()
         self.npackets = self.config.npackets(nbytes)
         self.bitmap = PacketBitmap(self.npackets)
+        if telemetry is not None and telemetry.enabled:
+            self.telemetry: TelemetryChannel = telemetry.channel(
+                transfer_id=transfer_id, src="rudp",
+                clock=lambda: self.sim.now)
+        else:
+            self.telemetry = NULL_CHANNEL
 
         a, b = net.a, net.b
         self._a_profile, self._b_profile = a.profile, b.profile
@@ -111,6 +128,11 @@ class RudpTransfer:
         self._queue = list(range(self.npackets))
         self._queue_pos = 0
         self.rounds = 1
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                EV_TRANSFER_START, nbytes=self.nbytes,
+                npackets=self.npackets,
+                packet_size=self.config.packet_size, backend="rudp")
         self.sim.schedule(0.0, self._blast_step)
 
     def run(self, time_limit: float = 600.0) -> RudpStats:
@@ -118,7 +140,15 @@ class RudpTransfer:
             self.start()
         self.sim.run(until=self._start + time_limit,
                      stop_when=lambda: self.completed_at is not None)
-        return self.collect_stats()
+        stats = self.collect_stats()
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                EV_TRANSFER_END, completed=stats.completed,
+                timed_out=stats.timed_out, duration=stats.duration,
+                throughput_bps=stats.throughput_bps,
+                wasted_fraction=stats.wasted_fraction,
+                packets_sent=stats.packets_sent, rounds=stats.rounds)
+        return stats
 
     # ------------------------------------------------------------------
     # Sender
@@ -158,6 +188,9 @@ class RudpTransfer:
         self._queue_pos = 0
         self._round_id += 1
         self.rounds += 1
+        if self.telemetry.enabled:
+            self.telemetry.emit(EV_RETRANSMIT_ROUND, round=self._round_id,
+                                missing=len(msg.missing))
         self.sim.schedule(0.0, self._blast_step)
 
     # ------------------------------------------------------------------
@@ -234,6 +267,8 @@ def run_rudp_transfer(
     nbytes: int,
     config: Optional[RudpConfig] = None,
     time_limit: float = 600.0,
+    telemetry: Optional[EventBus] = None,
 ) -> RudpStats:
     """Convenience wrapper: build, run and summarize one RBUDP transfer."""
-    return RudpTransfer(net, nbytes, config).run(time_limit=time_limit)
+    return RudpTransfer(net, nbytes, config,
+                        telemetry=telemetry).run(time_limit=time_limit)

@@ -101,6 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
     send.add_argument("--packet-size", type=int, default=1024)
     send.add_argument("--ack-frequency", type=int, default=32)
     send.add_argument("--timeout", type=float, default=120.0)
+    send.add_argument(
+        "--telemetry-out", default=None, metavar="PATH",
+        help="record protocol events to a JSONL file (replay with "
+             "'repro timeline PATH')")
     _add_hardening_flags(send)
 
     recv = sub.add_parser("recv", help="receive one file")
@@ -130,13 +134,24 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_send(args: argparse.Namespace) -> int:
     config = _config_from(args, packet_size=args.packet_size,
                           ack_frequency=args.ack_frequency)
+    bus = None
+    if args.telemetry_out:
+        from repro.telemetry import EventBus, JsonlSink
+
+        bus = EventBus(sinks=[JsonlSink(args.telemetry_out,
+                                        producer="fobs-xfer")])
     try:
         result = send_file(args.path, args.host, args.port,
                            config=config, timeout=args.timeout,
-                           resume=args.resume, max_attempts=args.max_attempts)
+                           resume=args.resume, max_attempts=args.max_attempts,
+                           telemetry=bus)
     except (TimeoutError, ConnectionError, OSError) as exc:
         print(f"send FAILED: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if bus is not None:
+            bus.close()
+            info(args, f"telemetry recorded to {args.telemetry_out}")
     if not result.completed:
         print(f"send FAILED after {result.attempts} attempt(s): "
               f"{result.failure_reason}", file=sys.stderr)

@@ -51,6 +51,13 @@ from repro.runtime.supervisor import (
     TransferSupervisor,
     kill_for_attempt,
 )
+from repro.telemetry import (
+    EV_TRANSFER_END,
+    EV_TRANSFER_START,
+    NULL_CHANNEL,
+    EventBus,
+    TelemetryChannel,
+)
 
 OFFER_MAGIC = 0xF0B50FFE
 OFFER2_MAGIC = 0xF0B50FF2
@@ -140,16 +147,32 @@ def _send_attempt(
     timeout: float,
     session: Optional[wire.SessionContext],
     kill=None,
+    telemetry: Optional[EventBus] = None,
 ) -> _SendOutcome:
     """Run one connect→offer→blast attempt; never raises on failure."""
     deadline = time.monotonic() + timeout
     resumable = session is not None
+    tid = session.transfer_id if resumable else 0
+    epoch = session.epoch if resumable else 0
+    if telemetry is not None and telemetry.enabled:
+        channel = telemetry.channel(transfer_id=tid, epoch=epoch,
+                                    src="runtime")
+        sender_tel = telemetry.channel(transfer_id=tid, epoch=epoch,
+                                       src="sender")
+    else:
+        channel = sender_tel = NULL_CHANNEL
     ack_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
     ack_sock.bind(("0.0.0.0", 0))
     ack_sock.setblocking(False)
     data_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
     sender = FobsSender(config, len(data), rng=np.random.default_rng(0),
-                        epoch=session.epoch if resumable else 0)
+                        epoch=epoch, telemetry=sender_tel)
+    if channel.enabled:
+        channel.emit(EV_TRANSFER_START, nbytes=len(data),
+                     npackets=sender.npackets,
+                     packet_size=config.packet_size,
+                     ack_frequency=config.ack_frequency, backend="runtime",
+                     role="sender")
     start = time.monotonic()
     try:
         with socket.create_connection((host, port), timeout=timeout) as ctrl:
@@ -183,10 +206,12 @@ def _send_attempt(
             while not sender.complete:
                 now = time.monotonic()
                 if now > deadline:
-                    return _outcome(sender, start, "file send timed out")
+                    return _outcome(sender, start, "file send timed out",
+                                    telemetry=channel)
                 stall = sender.poll_stall(now)
                 if stall == "abort":
-                    return _outcome(sender, start, sender.failure_reason)
+                    return _outcome(sender, start, sender.failure_reason,
+                                    telemetry=channel)
                 if stall == "probe":
                     batch = sender.probe_batch()
                 elif stall == "wait":
@@ -203,7 +228,7 @@ def _send_attempt(
                         sender, start,
                         f"sender killed by crash injection after "
                         f"{sender.stats.packets_sent} data packets",
-                        crashed="sender")
+                        crashed="sender", telemetry=channel)
                 for pkt in batch:
                     off = pkt.seq * config.packet_size
                     payload = data[off:off + pkt.payload_bytes]
@@ -232,12 +257,14 @@ def _send_attempt(
                     pass
                 except OSError:
                     return _outcome(sender, start,
-                                    "control connection lost mid-transfer")
+                                    "control connection lost mid-transfer",
+                                    telemetry=channel)
                 if not batch and not sender.complete:
                     time.sleep(0.001)
-            return _outcome(sender, start, None)
+            return _outcome(sender, start, None, telemetry=channel)
     except (OSError, ValueError, wire.ChecksumError) as exc:
-        return _outcome(sender, start, f"{type(exc).__name__}: {exc}")
+        return _outcome(sender, start, f"{type(exc).__name__}: {exc}",
+                        telemetry=channel)
     finally:
         ack_sock.close()
         data_sock.close()
@@ -248,8 +275,9 @@ def _outcome(
     start: float,
     failure_reason: Optional[str],
     crashed: Optional[str] = None,
+    telemetry: TelemetryChannel = NULL_CHANNEL,
 ) -> _SendOutcome:
-    return _SendOutcome(
+    outcome = _SendOutcome(
         completed=failure_reason is None,
         duration=max(time.monotonic() - start, 1e-9),
         failure_reason=failure_reason,
@@ -259,6 +287,18 @@ def _outcome(
         resumed_packets=sender.stats.resumed_packets,
         stale_epoch_dropped=sender.stats.stale_epoch_acks,
     )
+    if telemetry.enabled:
+        telemetry.emit(
+            EV_TRANSFER_END, completed=outcome.completed,
+            failed=not outcome.completed, duration=outcome.duration,
+            throughput_bps=(sender.total_bytes * 8.0 / outcome.duration
+                            if outcome.completed else 0.0),
+            wasted_fraction=sender.stats.wasted_fraction(sender.npackets),
+            packets_sent=outcome.packets_sent,
+            retransmissions=outcome.retransmissions,
+            resumed_packets=outcome.resumed_packets,
+            failure_reason=failure_reason or "")
+    return outcome
 
 
 def send_file(
@@ -272,6 +312,7 @@ def send_file(
     transfer_id: Optional[int] = None,
     policy: Optional[RetryPolicy] = None,
     kill_plan=None,
+    telemetry: Optional[EventBus] = None,
 ) -> FileTransferResult:
     """Send ``path`` to a :func:`receive_file` peer at ``host:port``.
 
@@ -294,7 +335,7 @@ def send_file(
 
     if not resumable:
         outcome = _send_attempt(data, crc, host, port, config, timeout,
-                                session=None)
+                                session=None, telemetry=telemetry)
         if not outcome.completed:
             raise TimeoutError(f"file send failed: {outcome.failure_reason}")
         return FileTransferResult(
@@ -316,7 +357,8 @@ def send_file(
     def attempt_fn(attempt: int, epoch: int) -> _SendOutcome:
         return _send_attempt(data, crc, host, port, config, timeout,
                              session=wire.SessionContext(tid, epoch),
-                             kill=kill_for_attempt(kill_plan, attempt))
+                             kill=kill_for_attempt(kill_plan, attempt),
+                             telemetry=telemetry)
 
     supervised = TransferSupervisor(policy=policy).run(
         attempt_fn, npackets=config.npackets(len(data)))
@@ -414,13 +456,19 @@ def _receive_attempt(
     resume_bitmap: Optional[np.ndarray],
     bind: str,
     deadline: float,
+    telemetry: Optional[EventBus] = None,
 ) -> tuple[bool, Optional[str], FobsReceiver]:
     """Serve one accepted control connection; returns (ok, reason, rx)."""
     session = (wire.SessionContext(offer.transfer_id, offer.epoch)
                if offer.resumable else None)
+    if telemetry is not None and telemetry.enabled:
+        receiver_tel = telemetry.channel(
+            transfer_id=offer.transfer_id, epoch=offer.epoch, src="receiver")
+    else:
+        receiver_tel = NULL_CHANNEL
     receiver = FobsReceiver(config, offer.filesize,
                             resume_bitmap=resume_bitmap, journal=journal,
-                            epoch=offer.epoch)
+                            epoch=offer.epoch, telemetry=receiver_tel)
     data_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
     data_sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1 << 20)
     data_sock.bind((bind, 0))
@@ -504,6 +552,7 @@ def receive_offer(
     config: Optional[FobsConfig] = None,
     journal_path: Optional[str] = None,
     bind: str = "0.0.0.0",
+    telemetry: Optional[EventBus] = None,
 ) -> tuple[bool, Optional[str], Optional[FobsReceiver], float]:
     """Serve one already-negotiated offer as the receiving endpoint.
 
@@ -533,6 +582,16 @@ def receive_offer(
     mode = "r+b" if (os.path.exists(part_path)
                      and os.path.getsize(part_path) == offer.filesize
                      and offer.resumable) else "w+b"
+    if telemetry is not None and telemetry.enabled:
+        channel = telemetry.channel(transfer_id=offer.transfer_id,
+                                    epoch=offer.epoch, src="runtime")
+        channel.emit(EV_TRANSFER_START, nbytes=offer.filesize,
+                     npackets=attempt_config.npackets(offer.filesize),
+                     packet_size=offer.packet_size,
+                     ack_frequency=attempt_config.ack_frequency,
+                     backend="runtime", role="receiver")
+    else:
+        channel = NULL_CHANNEL
     start = time.monotonic()
     receiver: Optional[FobsReceiver] = None
     try:
@@ -541,13 +600,20 @@ def receive_offer(
                 part_fh.truncate(offer.filesize)
             ok, failure, receiver = _receive_attempt(
                 ctrl, peer, offer, attempt_config, part_fh,
-                journal, resume_bitmap, bind, deadline)
+                journal, resume_bitmap, bind, deadline, telemetry=telemetry)
     except ConnectionError as exc:
         ok, failure = False, f"control connection lost: {exc}"
     finally:
         duration = max(time.monotonic() - start, 1e-9)
         if journal is not None:
             journal.close()
+    if channel.enabled:
+        channel.emit(
+            EV_TRANSFER_END, completed=ok, failed=not ok, duration=duration,
+            throughput_bps=offer.filesize * 8.0 / duration if ok else 0.0,
+            resumed_packets=(receiver.stats.resumed_packets
+                             if receiver is not None else 0),
+            failure_reason=failure or "")
     if not ok:
         return False, failure, receiver, duration
     with open(part_path, "rb") as fh:

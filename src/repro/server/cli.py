@@ -10,6 +10,11 @@ Fetch one object (from another process/machine)::
     repro fetch big.dat --host 10.0.0.1 --port 9900 --output big.dat \
         --max-attempts 3
 
+Both accept ``--telemetry-out LOG.jsonl`` to record protocol events;
+``repro stats LOG.jsonl`` aggregates a recording and
+``repro timeline LOG.jsonl`` reconstructs per-transfer timelines
+(goodput curve, phases, waste, loss attribution) from it.
+
 The daemon admits at most ``--max-active`` concurrent transfers,
 queues up to ``--queue-depth`` more (clients see an explicit QUEUED
 reply), rejects the rest with a reason, and splits ``--rate-budget``
@@ -69,6 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="print a one-line stats report to stderr "
                             "every N seconds (default: off)")
+    serve.add_argument("--telemetry-out", default=None, metavar="PATH",
+                       help="record protocol/admission events to a JSONL "
+                            "file (replay with 'repro timeline PATH')")
     serve.add_argument("--packet-size", type=int, default=1024)
     serve.add_argument("--ack-frequency", type=int, default=32)
     serve.add_argument("--no-checksum", action="store_true",
@@ -89,9 +97,33 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ask the server to cap this transfer's share "
                             "of its budget")
     fetch.add_argument("--no-checksum", action="store_true")
+    fetch.add_argument("--telemetry-out", default=None, metavar="PATH",
+                       help="record protocol events to a JSONL file "
+                            "(replay with 'repro timeline PATH')")
     fetch.add_argument("--quiet", action="store_true",
                        help="suppress progress output on stderr")
+
+    stats = sub.add_parser(
+        "stats", help="aggregate a recorded telemetry JSONL log")
+    stats.add_argument("log", help="JSONL file written by --telemetry-out")
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="reconstruct per-transfer timelines from a recorded "
+             "telemetry JSONL log")
+    timeline.add_argument("log", help="JSONL file written by --telemetry-out")
+    timeline.add_argument("--width", type=int, default=50,
+                          help="goodput sparkline width (default 50)")
     return parser
+
+
+def _telemetry_bus(args: argparse.Namespace):
+    """Build a JSONL-recording bus from ``--telemetry-out`` (or None)."""
+    if not getattr(args, "telemetry_out", None):
+        return None
+    from repro.telemetry import EventBus, JsonlSink
+
+    return EventBus(sinks=[JsonlSink(args.telemetry_out, producer="repro")])
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -99,14 +131,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                         ack_frequency=args.ack_frequency,
                         checksum=not args.no_checksum)
     budget = args.rate_budget * 1e6 if args.rate_budget else None
+    bus = _telemetry_bus(args)
     try:
         server = ObjectServer(
             args.root, port=args.port, bind=args.bind, config=config,
             max_active=args.max_active, queue_depth=args.queue_depth,
             per_client_max=args.per_client_max, rate_budget_bps=budget,
             drain_timeout=args.drain_timeout,
-            stats_interval=args.stats_interval)
+            stats_interval=args.stats_interval,
+            telemetry=bus)
     except (ValueError, OSError) as exc:
+        if bus is not None:
+            bus.close()
         print(f"serve FAILED: {exc}", file=sys.stderr)
         return 1
 
@@ -135,6 +171,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     except OSError as exc:
         print(f"serve FAILED: {exc}", file=sys.stderr)
         return 1
+    finally:
+        if bus is not None:
+            bus.close()
+            info(args, f"telemetry recorded to {args.telemetry_out}")
     print(f"serve done completed={snapshot.completed} "
           f"failed={snapshot.failed} rejected={snapshot.rejected} "
           f"bytes_sent={snapshot.bytes_sent} "
@@ -144,11 +184,17 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 def _cmd_fetch(args: argparse.Namespace) -> int:
     config = FobsConfig(ack_frequency=32, checksum=not args.no_checksum)
-    result = fetch_file(
-        args.name, args.host, args.port, args.output, config=config,
-        timeout=args.timeout, max_attempts=args.max_attempts,
-        rate_cap_bps=int(args.rate_cap * 1e6),
-        checksum=not args.no_checksum)
+    bus = _telemetry_bus(args)
+    try:
+        result = fetch_file(
+            args.name, args.host, args.port, args.output, config=config,
+            timeout=args.timeout, max_attempts=args.max_attempts,
+            rate_cap_bps=int(args.rate_cap * 1e6),
+            checksum=not args.no_checksum, telemetry=bus)
+    finally:
+        if bus is not None:
+            bus.close()
+            info(args, f"telemetry recorded to {args.telemetry_out}")
     if not result.completed:
         print(f"fetch FAILED after {result.attempts} attempt(s): "
               f"{result.failure_reason}", file=sys.stderr)
@@ -163,10 +209,70 @@ def _cmd_fetch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.telemetry import (
+        EV_ADMISSION,
+        EV_TRANSFER_END,
+        EV_TRANSFER_START,
+        read_events,
+    )
+
+    kinds: dict[str, int] = {}
+    starts = ends = completed = failed = 0
+    admissions: dict[str, int] = {}
+    transfers: set[tuple[int, int]] = set()
+    try:
+        for event in read_events(args.log):
+            kinds[event.kind] = kinds.get(event.kind, 0) + 1
+            if event.transfer_id or event.epoch:
+                transfers.add((event.transfer_id, event.epoch))
+            if event.kind == EV_TRANSFER_START:
+                starts += 1
+            elif event.kind == EV_TRANSFER_END:
+                ends += 1
+                if event.fields.get("completed"):
+                    completed += 1
+                else:
+                    failed += 1
+            elif event.kind == EV_ADMISSION:
+                action = str(event.fields.get("action", "?"))
+                admissions[action] = admissions.get(action, 0) + 1
+    except (OSError, ValueError) as exc:
+        print(f"stats FAILED: {exc}", file=sys.stderr)
+        return 1
+    total = sum(kinds.values())
+    for kind in sorted(kinds):
+        print(f"  {kind}: {kinds[kind]}", file=sys.stderr)
+    admitted = " ".join(f"admission_{k}={v}"
+                        for k, v in sorted(admissions.items()))
+    print(f"stats ok events={total} attempts={max(starts, ends)} "
+          f"completed={completed} failed={failed}"
+          + (f" {admitted}" if admitted else ""))
+    return 0
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.analysis.timeline import reconstruct, render_timelines
+
+    try:
+        timelines = reconstruct(args.log)
+    except (OSError, ValueError) as exc:
+        print(f"timeline FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(render_timelines(timelines, width=args.width), file=sys.stderr)
+    done = sum(1 for tl in timelines if tl.completed)
+    print(f"timeline ok attempts={len(timelines)} completed={done}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "stats":
+        return _cmd_stats(args)
+    if args.command == "timeline":
+        return _cmd_timeline(args)
     return _cmd_fetch(args)
 
 

@@ -25,6 +25,7 @@ from typing import Optional
 from repro.core.config import FobsConfig
 from repro.runtime import files, wire
 from repro.runtime.supervisor import RetryPolicy, TransferSupervisor
+from repro.telemetry import EventBus
 
 _MAGIC = struct.Struct("!I")
 
@@ -85,6 +86,7 @@ def _fetch_attempt(
     rate_cap_bps: int,
     journal_path: Optional[str],
     checksum: bool,
+    telemetry: Optional[EventBus] = None,
 ) -> _FetchOutcome:
     """One connect → FETCH → (queue?) → receive attempt; never raises."""
     deadline = time.monotonic() + timeout
@@ -115,7 +117,8 @@ def _fetch_attempt(
                 break
             ok, failure, receiver, duration = files.receive_offer(
                 ctrl, (host, port), offer, output_path, deadline,
-                config=config, journal_path=journal_path)
+                config=config, journal_path=journal_path,
+                telemetry=telemetry)
             return _FetchOutcome(
                 completed=ok,
                 duration=duration,
@@ -147,6 +150,7 @@ def fetch_file(
     journal_path: Optional[str] = None,
     checksum: bool = True,
     policy: Optional[RetryPolicy] = None,
+    telemetry: Optional[EventBus] = None,
 ) -> files.FileTransferResult:
     """Fetch object ``name`` from a ``repro serve`` daemon.
 
@@ -169,7 +173,7 @@ def fetch_file(
         del attempt
         return _fetch_attempt(name, host, port, output_path, config,
                               timeout, epoch, nonce, rate_cap_bps,
-                              journal_path, checksum)
+                              journal_path, checksum, telemetry=telemetry)
 
     supervised = TransferSupervisor(policy=policy).run(attempt_fn)
     final: _FetchOutcome = supervised.final

@@ -74,6 +74,15 @@ from repro.server.registry import (
     TransferRegistry,
 )
 from repro.server.stats import ServerSnapshot, TransferSnapshot
+from repro.telemetry import (
+    EV_ADMISSION,
+    EV_TRANSFER_END,
+    EV_TRANSFER_START,
+    NULL_CHANNEL,
+    EventBus,
+    SnapshotSink,
+    TelemetryChannel,
+)
 
 _MAGIC = struct.Struct("!I")
 #: Datagrams sent per transfer per pump pass (keeps one big transfer
@@ -177,6 +186,7 @@ class ObjectServer:
         stats_out: Optional[TextIO] = None,
         handshake_timeout: float = 15.0,
         kill=None,
+        telemetry: Optional[EventBus] = None,
     ):
         self.root = os.path.abspath(root)
         if not os.path.isdir(self.root):
@@ -194,6 +204,17 @@ class ObjectServer:
         self.stats_out = stats_out
         self.handshake_timeout = handshake_timeout
         self.kill = kill
+        #: Enabled event bus, or None — one check site for every emit.
+        self.telemetry = (telemetry if telemetry is not None
+                          and telemetry.enabled else None)
+        self._server_tel = (self.telemetry.channel(src="server")
+                            if self.telemetry is not None else NULL_CHANNEL)
+        #: Periodic --stats-interval reporting (stderr unless stats_out
+        #: overrides; stdout stays machine-readable).
+        self._snapshot_sink: Optional[SnapshotSink] = (
+            SnapshotSink(self.stats, stats_interval, out=stats_out,
+                         bus=self.telemetry)
+            if stats_interval > 0 else None)
 
         self.port = port           # re-resolved after bind when 0
         self.udp_port = 0
@@ -318,8 +339,6 @@ class ObjectServer:
         """Run until drained (or stopped/killed); returns final stats."""
         self._open_sockets()
         self._started_at = time.monotonic()
-        next_stats = (self._started_at + self.stats_interval
-                      if self.stats_interval > 0 else float("inf"))
         next_sweep = self._started_at
         if ready is not None:
             ready.set()
@@ -352,9 +371,8 @@ class ObjectServer:
                 if now >= next_sweep:
                     next_sweep = now + 0.5
                     self._sweep(now)
-                if now >= next_stats:
-                    next_stats = now + self.stats_interval
-                    self._emit_stats()
+                if self._snapshot_sink is not None:
+                    self._snapshot_sink.maybe_emit(now)
         except _ServerKilled:
             self._crash_teardown()
             return self.stats()
@@ -418,13 +436,6 @@ class ObjectServer:
                     pass
         if self._sel is not None:
             self._sel.close()
-
-    def _emit_stats(self) -> None:
-        out = self.stats_out
-        if out is None:
-            import sys
-            out = sys.stderr
-        print(self.stats().render(), file=out, flush=True)
 
     def _sweep(self, now: float) -> None:
         """Periodic housekeeping: handshake deadlines, receiver liveness."""
@@ -573,6 +584,27 @@ class ObjectServer:
                 return
 
     # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _emit_admission(self, key, name: str, client: str, action: str,
+                        reason: str = "", position: int = 0) -> None:
+        """Publish one admission decision (admit/queue/reject)."""
+        if self.telemetry is None:
+            return
+        tid = key if isinstance(key, int) else 0
+        self._server_tel.emit(
+            EV_ADMISSION, tid_hint=tid, name=name, client=client,
+            action=action, reason=reason, position=position,
+            active=len(self.admission.active),
+            queued=len(self.admission.waiting))
+
+    def _transfer_channel(self, tid: int, epoch: int,
+                          src: str = "server") -> TelemetryChannel:
+        if self.telemetry is None:
+            return NULL_CHANNEL
+        return self.telemetry.channel(transfer_id=tid, epoch=epoch, src=src)
+
+    # ------------------------------------------------------------------
     # Fetch (server sends)
     # ------------------------------------------------------------------
     def _resolve(self, name: str) -> Optional[str]:
@@ -589,6 +621,8 @@ class ObjectServer:
         path = self._resolve(req.name)
         if path is None or os.path.getsize(path) == 0:
             self._rejected_other += 1
+            self._emit_admission(0, req.name, conn.addr[0], "reject",
+                                 reason="not_found")
             self._send_ctrl(conn, wire.encode_reject(wire.REJECT_NOT_FOUND))
             self._close_conn(conn)
             return
@@ -609,6 +643,9 @@ class ObjectServer:
             self.admission.cancel(tid)
             self._close_conn(stale_conn)
         decision = self.admission.request(tid, client=conn.addr[0])
+        self._emit_admission(tid, req.name, conn.addr[0], decision.action,
+                             reason=decision.reason or "",
+                             position=decision.position)
         if decision.action == ADMIT:
             self._begin_fetch_send(conn, data, now)
         elif decision.action == QUEUE:
@@ -636,10 +673,17 @@ class ObjectServer:
         session = wire.SessionContext(tid, req.epoch)
         sender = FobsSender(config, len(data),
                             rng=np.random.default_rng(tid & 0xFFFFFFFF),
-                            epoch=req.epoch)
+                            epoch=req.epoch,
+                            telemetry=self._transfer_channel(
+                                tid, req.epoch, src="sender"))
         entry = _SendEntry(tid, session, sender, data, config, conn,
                            req.name)
         entry.started_at = now
+        self._transfer_channel(tid, req.epoch).emit(
+            EV_TRANSFER_START, nbytes=len(data), npackets=sender.npackets,
+            packet_size=config.packet_size,
+            ack_frequency=config.ack_frequency, backend="server",
+            role="sender", name=req.name, client=conn.addr[0])
         conn.entry = entry
         conn.state = "await_resume"
         conn.deadline = now + self.handshake_timeout
@@ -690,6 +734,9 @@ class ObjectServer:
             key = ("push-v1", self._anon_pushes)
         conn.key = key
         decision = self.admission.request(key, client=conn.addr[0])
+        self._emit_admission(key, "push", conn.addr[0], decision.action,
+                             reason=decision.reason or "",
+                             position=decision.position)
         if decision.action == ADMIT:
             self._begin_push_recv(conn, now)
         elif decision.action == QUEUE:
@@ -726,10 +773,17 @@ class ObjectServer:
                 offer.packet_size)
             if replay is not None:
                 resume_bitmap = replay.bitmap.array
-        entry.receiver = FobsReceiver(config, offer.filesize,
-                                      resume_bitmap=resume_bitmap,
-                                      journal=entry.journal,
-                                      epoch=offer.epoch)
+        entry.receiver = FobsReceiver(
+            config, offer.filesize, resume_bitmap=resume_bitmap,
+            journal=entry.journal, epoch=offer.epoch,
+            telemetry=self._transfer_channel(offer.transfer_id, offer.epoch,
+                                             src="receiver"))
+        self._transfer_channel(offer.transfer_id, offer.epoch).emit(
+            EV_TRANSFER_START, nbytes=offer.filesize,
+            npackets=entry.receiver.npackets,
+            packet_size=offer.packet_size,
+            ack_frequency=config.ack_frequency, backend="server",
+            role="receiver", name=name, client=conn.addr[0])
         mode = "r+b" if (os.path.exists(entry.part_path)
                          and os.path.getsize(entry.part_path) == offer.filesize
                          and offer.resumable) else "w+b"
@@ -940,6 +994,16 @@ class ObjectServer:
             self._completed += 1
         else:
             self._failed += 1
+        sender = entry.sender
+        self._transfer_channel(entry.session.transfer_id,
+                               entry.session.epoch).emit(
+            EV_TRANSFER_END, completed=ok, failed=not ok,
+            duration=max(time.monotonic() - entry.started_at, 0.0),
+            packets_sent=sender.stats.packets_sent,
+            retransmissions=sender.stats.retransmissions,
+            wasted_fraction=sender.stats.wasted_fraction(sender.npackets),
+            resumed_packets=sender.stats.resumed_packets,
+            name=entry.name, role="sender", failure_reason=reason or "")
         self.history.append((entry.name, "send", entry.client, ok, reason))
         self._close_conn(entry.conn)
         self._release_and_promote(entry.key)
@@ -992,6 +1056,16 @@ class ObjectServer:
             self._completed += 1
         else:
             self._failed += 1
+        receiver = entry.receiver
+        self._transfer_channel(entry.offer.transfer_id,
+                               entry.offer.epoch).emit(
+            EV_TRANSFER_END, completed=ok, failed=not ok,
+            duration=max(time.monotonic() - entry.started_at, 0.0),
+            packets_received=(receiver.stats.packets_new
+                              if receiver is not None else 0),
+            resumed_packets=(receiver.stats.resumed_packets
+                             if receiver is not None else 0),
+            name=entry.name, role="receiver", failure_reason=reason or "")
         self.history.append((entry.name, "recv", entry.client, ok, reason))
         self._close_conn(entry.conn)
         self._release_and_promote(entry.key)

@@ -3,6 +3,10 @@
 ``repro serve --stats-interval N`` prints ``ServerSnapshot.render()``
 every N seconds to stderr — one line, grep-friendly, in the spirit of
 the per-transfer recovery report in :mod:`repro.analysis.diagnostics`.
+The periodic machinery is :class:`repro.telemetry.SnapshotSink` (the
+daemon owns one), which also publishes each snapshot's
+:meth:`ServerSnapshot.counters` as an ``snapshot`` telemetry event
+when a bus is attached; stdout stays machine-readable throughout.
 """
 
 from __future__ import annotations
@@ -64,6 +68,22 @@ class ServerSnapshot:
     unknown_transfer_dropped: int = 0
     stale_epoch_dropped: int = 0
     transfers: tuple[TransferSnapshot, ...] = field(default_factory=tuple)
+
+    def counters(self) -> dict:
+        """Scalar counters for telemetry snapshot events."""
+        return {
+            "uptime": round(self.uptime, 3),
+            "active": self.active,
+            "queued": self.queued,
+            "completed": self.completed,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "unknown_transfer_dropped": self.unknown_transfer_dropped,
+            "stale_epoch_dropped": self.stale_epoch_dropped,
+            "draining": self.draining,
+        }
 
     def render(self) -> str:
         """One-line operational summary (the --stats-interval report)."""

@@ -10,10 +10,13 @@ simulation can be observed without coupling.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.simnet.engine import Simulator
 from repro.simnet.link import Link
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import EventBus
 
 
 @dataclass
@@ -44,13 +47,21 @@ class Series:
 
 
 class Monitor:
-    """Samples named probes every ``interval`` simulated seconds."""
+    """Samples named probes every ``interval`` simulated seconds.
 
-    def __init__(self, sim: Simulator, interval: float = 0.05):
+    ``bus``, when given an enabled :class:`~repro.telemetry.EventBus`,
+    mirrors every tick as one ``sample`` event carrying all probe
+    values, so monitor series land in the same JSONL recording as the
+    protocol events.
+    """
+
+    def __init__(self, sim: Simulator, interval: float = 0.05,
+                 bus: Optional["EventBus"] = None):
         if interval <= 0:
             raise ValueError("interval must be positive")
         self.sim = sim
         self.interval = interval
+        self.bus = bus if bus is not None and bus.enabled else None
         self._probes: dict[str, Callable[[], float]] = {}
         self.series: dict[str, Series] = {}
         self._running = False
@@ -102,8 +113,18 @@ class Monitor:
         if self._stopped:
             return
         now = self.sim.now
+        sample: dict[str, float] = {}
         for name, fn in self._probes.items():
-            self.series[name].append(now, float(fn()))
+            value = float(fn())
+            self.series[name].append(now, value)
+            sample[name] = value
+        if self.bus is not None and sample:
+            from repro.telemetry.events import EV_SAMPLE, RESERVED_KEYS, Event
+
+            fields = {(f"probe_{k}" if k in RESERVED_KEYS else k): v
+                      for k, v in sample.items()}
+            self.bus.publish(Event(time=now, kind=EV_SAMPLE, src="monitor",
+                                   fields=fields))
         self.sim.schedule(self.interval, self._tick)
 
     # ------------------------------------------------------------------

@@ -2,13 +2,19 @@
 
 Disabled by default (tracing every packet of a 40 MB transfer would
 dominate runtime); experiments enable it selectively for debugging and
-for the diagnostics examples.
+for the diagnostics examples.  A tracer can additionally forward each
+record to a telemetry :class:`~repro.telemetry.EventBus` as ``trace``
+events, so DES-internal traces land in the same JSONL recording as the
+protocol events.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.telemetry import EventBus
 
 
 @dataclass(frozen=True)
@@ -21,17 +27,37 @@ class TraceRecord:
 
 
 class Tracer:
-    """Collects :class:`TraceRecord` entries when enabled."""
+    """Collects :class:`TraceRecord` entries when enabled.
 
-    def __init__(self, enabled: bool = False, max_records: Optional[int] = None):
+    ``max_records`` caps memory; once hit, further records are dropped
+    and :attr:`truncated` is set (surfaced by
+    :func:`repro.analysis.diagnostics.trace_summary` and the render
+    footer, so a capped trace never reads as a complete run).  ``bus``
+    mirrors every record — including ones dropped by the cap — to an
+    :class:`~repro.telemetry.EventBus` as ``trace`` events.
+    """
+
+    def __init__(
+        self,
+        enabled: bool = False,
+        max_records: Optional[int] = None,
+        bus: Optional["EventBus"] = None,
+    ):
         self.enabled = enabled
         self.max_records = max_records
+        self.bus = bus if bus is not None and bus.enabled else None
         self.records: list[TraceRecord] = []
         self.truncated = False
 
     def emit(self, time: float, kind: str, detail: str) -> None:
         if not self.enabled:
             return
+        if self.bus is not None:
+            from repro.telemetry.events import EV_TRACE, Event
+
+            self.bus.publish(Event(time=time, kind=EV_TRACE, src="simnet",
+                                   fields={"trace_kind": kind,
+                                           "detail": detail}))
         if self.max_records is not None and len(self.records) >= self.max_records:
             self.truncated = True
             return
@@ -45,4 +71,8 @@ class Tracer:
         lines = [f"{r.time:12.6f}  {r.kind:<12} {r.detail}" for r in self.records[:limit]]
         if len(self.records) > limit:
             lines.append(f"... {len(self.records) - limit} more")
+        if self.truncated:
+            lines.append(
+                f"[trace truncated at max_records={self.max_records}; "
+                f"later records were dropped]")
         return "\n".join(lines)

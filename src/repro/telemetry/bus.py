@@ -1,0 +1,240 @@
+"""The structured event bus and its sinks.
+
+Producers never hold the bus directly — they hold a
+:class:`TelemetryChannel`, which binds the bus to one transfer's
+labels and a clock.  The module-level :data:`NULL_CHANNEL` is the
+disabled default: instrumented hot paths guard on ``channel.enabled``
+(one attribute load and a branch) and pay nothing else when telemetry
+is off.
+
+Sinks are pluggable consumers:
+
+* :class:`RingBufferSink` — last-N events in memory, for tests and
+  post-mortem inspection;
+* :class:`JsonlSink` — one JSON object per line to a file, the
+  recording format the timeline reconstructor
+  (:mod:`repro.analysis.timeline`) replays;
+* :class:`SnapshotSink` — a periodic renderer: every ``interval``
+  seconds it writes ``snapshot_fn()``'s rendering to a text stream
+  (stderr by default, keeping stdout machine-readable) and, when a bus
+  is attached, publishes the snapshot's counters as an
+  :data:`~repro.telemetry.events.EV_SNAPSHOT` event.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from collections import deque
+from typing import Callable, Iterable, Optional, TextIO, Union
+
+from repro.telemetry.events import (
+    EV_SNAPSHOT,
+    SAMPLED_KINDS,
+    Event,
+    meta_event,
+)
+
+
+class TelemetryChannel:
+    """A bus bound to one transfer's identity and one clock.
+
+    ``clock`` is whatever notion of time the producer lives in — pass
+    ``lambda: sim.now`` for the DES backend, ``time.monotonic`` (the
+    default) for real sockets.
+    """
+
+    __slots__ = ("bus", "transfer_id", "epoch", "src", "clock", "enabled")
+
+    def __init__(
+        self,
+        bus: Optional["EventBus"],
+        transfer_id: int = 0,
+        epoch: int = 0,
+        src: str = "",
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.bus = bus
+        self.transfer_id = transfer_id
+        self.epoch = epoch
+        self.src = src
+        self.clock = clock
+        self.enabled = bus is not None and bus.enabled
+
+    def emit(self, kind: str, **fields) -> None:
+        """Publish one event (no-op when the channel is disabled)."""
+        if not self.enabled:
+            return
+        self.bus.publish(Event(
+            time=self.clock(), kind=kind, transfer_id=self.transfer_id,
+            epoch=self.epoch, src=self.src, fields=fields))
+
+
+#: The disabled channel every instrumented object defaults to.
+NULL_CHANNEL = TelemetryChannel(None)
+
+
+class EventBus:
+    """Fans events out to every attached sink.
+
+    ``sample_every`` thins the high-rate kinds
+    (:data:`~repro.telemetry.events.SAMPLED_KINDS`): only every Nth
+    event of each such kind passes through, per ``(kind, transfer_id)``
+    so one chatty transfer cannot silence another's samples.  Milestone
+    kinds (start/end, stalls, admissions, ...) always pass.
+    """
+
+    def __init__(self, sinks: Iterable = (), sample_every: int = 1):
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sinks = list(sinks)
+        self.sample_every = sample_every
+        self._sample_counts: dict[tuple, int] = {}
+        self.events_published = 0
+        self.events_sampled_out = 0
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.sinks)
+
+    def add_sink(self, sink) -> None:
+        self.sinks.append(sink)
+
+    def channel(
+        self,
+        transfer_id: int = 0,
+        epoch: int = 0,
+        src: str = "",
+        clock: Callable[[], float] = time.monotonic,
+    ) -> TelemetryChannel:
+        """Bind this bus to one transfer's labels and clock."""
+        return TelemetryChannel(self, transfer_id=transfer_id, epoch=epoch,
+                                src=src, clock=clock)
+
+    def publish(self, event: Event) -> None:
+        if self.sample_every > 1 and event.kind in SAMPLED_KINDS:
+            key = (event.kind, event.transfer_id)
+            count = self._sample_counts.get(key, 0)
+            self._sample_counts[key] = count + 1
+            if count % self.sample_every:
+                self.events_sampled_out += 1
+                return
+        self.events_published += 1
+        for sink in self.sinks:
+            sink.accept(event)
+
+    def close(self) -> None:
+        """Flush and close every sink that supports it."""
+        for sink in self.sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+
+class RingBufferSink:
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self._events: deque[Event] = deque(maxlen=capacity)
+        self.accepted = 0
+
+    def accept(self, event: Event) -> None:
+        self._events.append(event)
+        self.accepted += 1
+
+    @property
+    def events(self) -> list[Event]:
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        """Events pushed out of the ring by newer ones."""
+        return self.accepted - len(self._events)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        return [e for e in self._events if e.kind == kind]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+
+class JsonlSink:
+    """Appends one JSON line per event to a file (the recording format)."""
+
+    def __init__(self, target: Union[str, TextIO], producer: str = "repro"):
+        if isinstance(target, str):
+            self._fh: TextIO = open(target, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = target
+            self._owns = False
+        self.lines_written = 0
+        self.accept(meta_event(producer))
+
+    def accept(self, event: Event) -> None:
+        self._fh.write(event.to_json())
+        self._fh.write("\n")
+        self.lines_written += 1
+
+    def close(self) -> None:
+        try:
+            self._fh.flush()
+        except ValueError:  # already closed
+            return
+        if self._owns:
+            self._fh.close()
+
+
+class SnapshotSink:
+    """Periodic snapshot reporting (the ``--stats-interval`` engine).
+
+    Not an event consumer: the owner calls :meth:`maybe_emit` from its
+    loop; every ``interval`` seconds the sink renders ``snapshot_fn()``
+    to ``out`` (stderr by default — stdout stays machine-readable) and
+    publishes an ``EV_SNAPSHOT`` event when a bus is attached.  The
+    snapshot object must expose ``render() -> str``; when it also
+    exposes ``counters() -> dict`` those become the event's fields.
+    """
+
+    def __init__(
+        self,
+        snapshot_fn: Callable[[], object],
+        interval: float,
+        out: Optional[TextIO] = None,
+        bus: Optional[EventBus] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        self.snapshot_fn = snapshot_fn
+        self.interval = interval
+        self.out = out
+        self.bus = bus
+        self.clock = clock
+        self._next_due = clock() + interval
+        self.emitted = 0
+
+    def maybe_emit(self, now: Optional[float] = None) -> bool:
+        """Emit if the interval has elapsed; returns whether it did."""
+        now = self.clock() if now is None else now
+        if now < self._next_due:
+            return False
+        self._next_due = now + self.interval
+        self.emit(now)
+        return True
+
+    def emit(self, now: Optional[float] = None) -> None:
+        """Render one snapshot immediately."""
+        now = self.clock() if now is None else now
+        snapshot = self.snapshot_fn()
+        out = self.out if self.out is not None else sys.stderr
+        print(snapshot.render(), file=out, flush=True)
+        self.emitted += 1
+        if self.bus is not None and self.bus.enabled:
+            counters = getattr(snapshot, "counters", None)
+            fields = counters() if callable(counters) else {}
+            self.bus.publish(Event(time=now, kind=EV_SNAPSHOT, src="server",
+                                   fields=fields))

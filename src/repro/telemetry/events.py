@@ -1,0 +1,167 @@
+"""The telemetry event schema.
+
+Every observable protocol action is one :class:`Event` — a timestamped,
+typed record labeled with the transfer it belongs to.  The kinds are a
+closed vocabulary (:data:`EVENT_KINDS`): producers emit only these, so
+consumers (the JSONL log, the timeline reconstructor in
+:mod:`repro.analysis.timeline`, ``repro stats``) can evolve
+independently of the protocol internals.
+
+Wire format (the JSONL sink, ``docs/OBSERVABILITY.md``): one JSON
+object per line, the reserved keys ``t`` (time, seconds), ``kind``,
+``tid`` (transfer id), ``epoch`` and ``src`` (emitting role) plus the
+kind-specific fields flattened alongside them.  The first line of a log
+is a ``meta`` event carrying :data:`EVENT_SCHEMA_VERSION`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, TextIO, Union
+
+#: Bumped whenever the reserved keys or an existing kind's fields
+#: change incompatibly.  Consumers refuse logs from a newer major.
+EVENT_SCHEMA_VERSION = 1
+
+# ---------------------------------------------------------------------------
+# Event kinds (the closed vocabulary)
+# ---------------------------------------------------------------------------
+
+#: Log header: schema version, producer identity.
+EV_META = "meta"
+#: A transfer began: nbytes, npackets, packet_size, ack_frequency, backend.
+EV_TRANSFER_START = "transfer_start"
+#: A transfer ended: completed, failed, duration, throughput_bps,
+#: wasted_fraction, packets_sent, retransmissions, loss attribution.
+EV_TRANSFER_END = "transfer_end"
+#: One batch-send assembled: size, cumulative sent/first/retrans.
+EV_BATCH_SENT = "batch_sent"
+#: An acknowledgement merged by the sender: ack_id, received, newly, acked.
+EV_ACK_PROCESSED = "ack_processed"
+#: The receiver snapshotted its bitmap into an ACK: ack_id, new, dup,
+#: received (all cumulative but ``new``, which is the delta since the
+#: previous acknowledgement — the bitmap's edge).
+EV_BITMAP_DELTA = "bitmap_delta"
+#: The sender entered a contiguous episode of retransmissions: round,
+#: retrans_in_batch, total_retrans.
+EV_RETRANSMIT_ROUND = "retransmit_round"
+#: Stall state machine transition: action (enter/probe/recovered/abort),
+#: plus stalled_for where known.
+EV_STALL = "stall"
+#: A resumed attempt pre-acknowledged journaled packets: epoch, salvaged.
+EV_RESUME_EPOCH = "resume_epoch"
+#: The server's admission controller decided: action (admit/queue/reject),
+#: reason, client, position, name.
+EV_ADMISSION = "admission"
+#: A periodic whole-daemon snapshot (the --stats-interval report).
+EV_SNAPSHOT = "snapshot"
+#: A Monitor sampling tick: one field per probe series.
+EV_SAMPLE = "sample"
+#: A forwarded :class:`~repro.simnet.trace.Tracer` record:
+#: trace_kind, detail.
+EV_TRACE = "trace"
+
+#: Every kind a conforming producer may emit.
+EVENT_KINDS = (
+    EV_META,
+    EV_TRANSFER_START,
+    EV_TRANSFER_END,
+    EV_BATCH_SENT,
+    EV_ACK_PROCESSED,
+    EV_BITMAP_DELTA,
+    EV_RETRANSMIT_ROUND,
+    EV_STALL,
+    EV_RESUME_EPOCH,
+    EV_ADMISSION,
+    EV_SNAPSHOT,
+    EV_SAMPLE,
+    EV_TRACE,
+)
+
+#: High-rate kinds the bus may sample (drop all but every Nth); the
+#: rest are milestones and always pass through.
+SAMPLED_KINDS = frozenset((
+    EV_BATCH_SENT, EV_ACK_PROCESSED, EV_BITMAP_DELTA, EV_SAMPLE, EV_TRACE,
+))
+
+#: Keys reserved by the envelope; kind-specific fields may not use them.
+RESERVED_KEYS = frozenset(("t", "kind", "tid", "epoch", "src"))
+
+
+@dataclass(frozen=True)
+class Event:
+    """One telemetry event.
+
+    ``time`` is whatever clock the producer runs on — simulated seconds
+    for the DES backend, ``time.monotonic()`` for the real-socket
+    backends; consumers only ever difference times within one log.
+    """
+
+    time: float
+    kind: str
+    transfer_id: int = 0
+    epoch: int = 0
+    src: str = ""
+    fields: Mapping[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        """One compact JSON line (no trailing newline)."""
+        record: dict = {"t": round(self.time, 9), "kind": self.kind}
+        if self.transfer_id:
+            record["tid"] = self.transfer_id
+        if self.epoch:
+            record["epoch"] = self.epoch
+        if self.src:
+            record["src"] = self.src
+        for key, value in self.fields.items():
+            if key in RESERVED_KEYS:
+                raise ValueError(f"field {key!r} collides with a reserved key")
+            record[key] = value
+        return json.dumps(record, separators=(",", ":"), sort_keys=False)
+
+    @classmethod
+    def from_json(cls, line: str) -> "Event":
+        """Parse one JSONL line back into an event."""
+        record = json.loads(line)
+        if not isinstance(record, dict) or "kind" not in record:
+            raise ValueError(f"not a telemetry event: {line!r}")
+        return cls(
+            time=float(record.pop("t", 0.0)),
+            kind=str(record.pop("kind")),
+            transfer_id=int(record.pop("tid", 0)),
+            epoch=int(record.pop("epoch", 0)),
+            src=str(record.pop("src", "")),
+            fields=record,
+        )
+
+
+def meta_event(producer: str, clock_time: float = 0.0) -> Event:
+    """The log-header event every JSONL log starts with."""
+    return Event(time=clock_time, kind=EV_META,
+                 fields={"schema": EVENT_SCHEMA_VERSION,
+                         "producer": producer})
+
+
+def read_events(source: Union[str, TextIO]) -> Iterator[Event]:
+    """Stream events from a JSONL log (path or open text file).
+
+    Blank lines are skipped; a ``meta`` event from a newer schema major
+    raises, so mis-matched logs fail loudly instead of misparsing.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as fh:
+            yield from read_events(fh)
+        return
+    for line in source:
+        line = line.strip()
+        if not line:
+            continue
+        event = Event.from_json(line)
+        if event.kind == EV_META:
+            schema = int(event.fields.get("schema", 0))
+            if schema > EVENT_SCHEMA_VERSION:
+                raise ValueError(
+                    f"telemetry log schema {schema} is newer than this "
+                    f"reader (supports <= {EVENT_SCHEMA_VERSION})")
+        yield event

@@ -1,0 +1,225 @@
+"""Metrics: counters, gauges and log-scale histograms, per-label.
+
+A :class:`MetricsRegistry` hands out named instruments, cached by
+``(name, labels)`` so hot paths can hold a direct reference and pay
+one attribute call per update.  A registry built with
+``enabled=False`` hands out shared no-op instruments instead — the
+disabled cost is a cached-dict lookup at registration time and nothing
+at update time.
+
+Histograms use geometric (log-scale) buckets — base ``2**(1/4)``, so
+any quantile estimate is within ~9 % of the true value over the whole
+positive range — which is what throughput and duration distributions
+need: p50/p95/p99 without storing samples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Optional
+
+_LOG_BASE = 2.0 ** 0.25
+_LN_BASE = math.log(_LOG_BASE)
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, active transfers)."""
+
+    __slots__ = ("name", "labels", "value")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Log-scale bucketed distribution with quantile estimates."""
+
+    __slots__ = ("name", "labels", "count", "sum", "min", "max", "_buckets",
+                 "_zeros")
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self.count = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._buckets: dict[int, int] = {}
+        self._zeros = 0  # observations <= 0 (their own bucket)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self._zeros += 1
+            return
+        idx = math.floor(math.log(value) / _LN_BASE)
+        self._buckets[idx] = self._buckets.get(idx, 0) + 1
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1); 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = self._zeros
+        if rank <= seen:
+            return 0.0
+        for idx in sorted(self._buckets):
+            seen += self._buckets[idx]
+            if seen >= rank:
+                # geometric midpoint of the bucket [base^idx, base^(idx+1))
+                return _LOG_BASE ** (idx + 0.5)
+        return self.max if self.max is not None else 0.0
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument type when disabled."""
+
+    __slots__ = ()
+    name = ""
+    labels: dict = {}
+    value = 0.0
+    count = 0
+    sum = 0.0
+    min = None
+    max = None
+    p50 = p95 = p99 = mean = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+
+_NULL = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Hands out (and renders) named, labeled instruments."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._instruments: dict[tuple, object] = {}
+
+    # ------------------------------------------------------------------
+    def _get(self, factory, name: str, labels: dict):
+        if not self.enabled:
+            return _NULL
+        key = (factory, name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory(name, labels)
+            self._instruments[key] = instrument
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get(Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get(Histogram, name, labels)
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._instruments.values())
+
+    def collect(self) -> list[dict]:
+        """Snapshot every instrument as a plain dict (stable order)."""
+        out = []
+        for (factory, name, labels) in sorted(
+                self._instruments, key=lambda k: (k[1], k[2])):
+            inst = self._instruments[(factory, name, labels)]
+            entry: dict = {"name": name, "labels": dict(labels),
+                           "type": factory.__name__.lower()}
+            if isinstance(inst, Histogram):
+                entry.update(count=inst.count, sum=inst.sum,
+                             min=inst.min, max=inst.max, mean=inst.mean,
+                             p50=inst.p50, p95=inst.p95, p99=inst.p99)
+            else:
+                entry["value"] = inst.value
+            out.append(entry)
+        return out
+
+    def render(self) -> str:
+        """Grep-friendly one-line-per-instrument dump."""
+        lines = []
+        for entry in self.collect():
+            labels = ",".join(f"{k}={v}" for k, v in
+                              sorted(entry["labels"].items()))
+            tag = f"{entry['name']}{{{labels}}}" if labels else entry["name"]
+            if entry["type"] == "histogram":
+                lines.append(
+                    f"{tag} count={entry['count']} mean={entry['mean']:.6g} "
+                    f"p50={entry['p50']:.6g} p95={entry['p95']:.6g} "
+                    f"p99={entry['p99']:.6g}")
+            else:
+                value = entry["value"]
+                text = (f"{value:.6g}" if isinstance(value, float)
+                        else str(value))
+                lines.append(f"{tag} {text}")
+        return "\n".join(lines)

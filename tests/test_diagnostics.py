@@ -1,8 +1,19 @@
 """Tests for the loss-cause diagnostics."""
 
+import pytest
+
 import repro.simnet as sn
-from repro.analysis.diagnostics import LossBreakdown, loss_breakdown
+from repro.analysis.diagnostics import (
+    LossBreakdown,
+    loss_breakdown,
+    recovery_report,
+    trace_summary,
+)
 from repro.core import FobsConfig, run_fobs_transfer
+from repro.core.journal import ReceiverJournal
+from repro.core.receiver import FobsReceiver
+from repro.runtime.supervisor import RetryPolicy, TransferSupervisor
+from repro.simnet.trace import Tracer
 
 from _support import quick_config, tiny_path
 
@@ -56,3 +67,125 @@ class TestLossBreakdown:
         out = bd.render()
         assert "6 total" in out
         assert "random_loss" in out
+
+
+class _FakeOutcome:
+    def __init__(self, completed, packets_sent=10, resumed=0, reason=None):
+        self.completed = completed
+        self.packets_sent = packets_sent
+        self.resumed_packets = resumed
+        self.failure_reason = reason
+        self.retransmissions = 0
+
+
+def _supervise(attempt_fn, max_attempts, npackets=100):
+    sup = TransferSupervisor(RetryPolicy(max_attempts=max_attempts,
+                                         backoff_base=0), sleep=None)
+    return sup.run(attempt_fn, npackets=npackets)
+
+
+class TestRecoveryReportEdgeCases:
+    """Satellite: recovery_report on the journal machinery's corners."""
+
+    def test_zero_byte_journal_starts_fresh(self, tmp_path):
+        """An empty journal file can't seed a resume: open() falls back
+        to a fresh journal, and a run salvaging nothing pays the full
+        restart cost."""
+        p = tmp_path / "empty.journal"
+        p.write_bytes(b"")
+        journal, replay = ReceiverJournal.open(str(p), 0xFEED, 100_000, 1000)
+        assert replay is None
+        assert journal.bitmap.count == 0
+        journal.record(0)  # still usable for appending
+        journal.close()
+
+        # Crash once, then complete with zero salvage: every packet of
+        # both attempts crosses the wire.
+        result = _supervise(
+            lambda a, e: _FakeOutcome(a == 1, packets_sent=100, resumed=0),
+            max_attempts=2)
+        report = recovery_report(result, packet_size=1000)
+        assert report.attempts == 2
+        assert report.packets_salvaged == 0
+        assert report.bytes_salvaged == 0
+        assert report.total_packets_sent == 200
+        assert report.resume_overhead == pytest.approx(1.0)
+
+    def test_fully_journaled_transfer_sends_nothing_twice(self, tmp_path):
+        """A journal covering the whole object makes the resumed
+        receiver instantly complete and the overhead exactly zero."""
+        p = tmp_path / "full.journal"
+        journal = ReceiverJournal.create(str(p), 0xBEEF, 100_000, 1000)
+        journal.record_range(0, 100)
+        journal.close()
+
+        reopened, replay = ReceiverJournal.open(str(p), 0xBEEF, 100_000, 1000)
+        assert replay is not None
+        assert replay.packets_recovered == 100
+        receiver = FobsReceiver(quick_config(packet_size=1000), 100_000,
+                                resume_bitmap=replay.bitmap.array)
+        assert receiver.complete
+        assert receiver.stats.resumed_packets == 100
+        reopened.close()
+
+        # The resumed attempt inherits all 100 packets and resends none.
+        result = _supervise(
+            lambda a, e: _FakeOutcome(a == 0, packets_sent=0, resumed=100),
+            max_attempts=2)
+        assert result.attempts == 1
+        report = recovery_report(result, packet_size=1000)
+        assert report.packets_salvaged == 100
+        assert report.bytes_salvaged == 100_000
+        assert report.total_packets_sent == 0
+        assert report.resume_overhead == pytest.approx(-1.0)
+
+    def test_resume_across_two_epochs(self):
+        """Two crashes → three attempts on epochs 0/1/2, each salvaging
+        more; the report accounts every attempt's sends."""
+        sends = {0: 100, 1: 60, 2: 30}
+        salvage = {0: 0, 1: 40, 2: 70}
+
+        def attempt(a, e):
+            assert e == a  # epochs advance 0, 1, 2 with the attempts
+            return _FakeOutcome(a == 2, packets_sent=sends[a],
+                                resumed=salvage[a],
+                                reason=None if a == 2 else "crash")
+
+        result = _supervise(attempt, max_attempts=3)
+        report = recovery_report(result, packet_size=1000)
+        assert report.attempts == 3
+        assert [r.epoch for r in result.attempt_records] == [0, 1, 2]
+        # Salvage reported is the *final* attempt's inheritance.
+        assert report.packets_salvaged == 70
+        assert report.total_packets_sent == 190
+        assert report.resume_overhead == pytest.approx(0.9)
+        assert result.completed
+
+
+class TestTraceSummary:
+    """Satellite: Tracer truncation surfaced in diagnostics."""
+
+    def test_uncapped_trace(self):
+        tracer = Tracer(enabled=True)
+        for i in range(5):
+            tracer.emit(float(i), "send", f"pkt {i}")
+        tracer.emit(5.0, "drop", "pkt 5")
+        summary = trace_summary(tracer)
+        assert summary.records == 6
+        assert not summary.truncated
+        assert summary.by_kind == {"drop": 1, "send": 5}
+        assert "TRUNCATED" not in summary.render()
+
+    def test_capped_trace_reports_truncation(self):
+        tracer = Tracer(enabled=True, max_records=3)
+        for i in range(10):
+            tracer.emit(float(i), "send", f"pkt {i}")
+        summary = trace_summary(tracer)
+        assert summary.records == 3
+        assert summary.truncated
+        assert summary.max_records == 3
+        out = summary.render()
+        assert "TRUNCATED at max_records=3" in out
+        assert "lower bounds" in out
+        # The tracer's own render carries the same warning.
+        assert "truncated at max_records=3" in tracer.render()

@@ -38,6 +38,28 @@ class TestTopLevelExports:
             assert name in repro.__all__
             assert getattr(repro, name, None) is not None, name
 
+    def test_telemetry_surface(self):
+        """Event bus + sinks + schema constants are top-level (PR 5)."""
+        import repro
+
+        for name in ("Event", "EventBus", "TelemetryChannel",
+                     "RingBufferSink", "JsonlSink", "SnapshotSink",
+                     "MetricsRegistry", "read_events",
+                     "EVENT_KINDS", "EVENT_SCHEMA_VERSION"):
+            assert name in repro.__all__
+            assert getattr(repro, name, None) is not None, name
+
+    def test_event_kind_constants(self):
+        """Every EV_* schema constant is exported and enumerated."""
+        import repro
+
+        kinds = [n for n in repro.__all__ if n.startswith("EV_")]
+        assert len(kinds) == len(repro.EVENT_KINDS)
+        for name in kinds:
+            value = getattr(repro, name)
+            assert isinstance(value, str)
+            assert value in repro.EVENT_KINDS, name
+
     def test_version_string(self):
         import repro
 
@@ -49,7 +71,7 @@ class TestTopLevelExports:
 @pytest.mark.parametrize("module", [
     "repro.core", "repro.simnet", "repro.tcp", "repro.psockets",
     "repro.rudp", "repro.sabul", "repro.runtime", "repro.analysis",
-    "repro.server",
+    "repro.server", "repro.telemetry",
 ])
 class TestSubpackages:
     def test_all_exports_resolve(self, module):

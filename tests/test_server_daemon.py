@@ -198,7 +198,13 @@ class TestDrainAndStats:
         out.mkdir()
         with RunningServer(objects, rate_budget_bps=200e6) as running:
             fetch_many(["a.bin"], running.port, out)
-            snap = running.server.stats()
+            # The client returns on its own completion signal; give the
+            # server's loop a moment to record the finished transfer.
+            for _ in range(100):
+                snap = running.server.stats()
+                if snap.completed:
+                    break
+                threading.Event().wait(0.05)
         assert snap.completed == 1
         line = snap.render()
         assert "done=1" in line and "budget=" in line

@@ -1,0 +1,234 @@
+"""Unit tests for the telemetry subsystem (events, metrics, bus, sinks)."""
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import (
+    EV_BATCH_SENT,
+    EV_META,
+    EV_SNAPSHOT,
+    EV_STALL,
+    EV_TRANSFER_START,
+    EVENT_KINDS,
+    EVENT_SCHEMA_VERSION,
+    Event,
+    EventBus,
+    JsonlSink,
+    MetricsRegistry,
+    RingBufferSink,
+    SnapshotSink,
+    read_events,
+)
+from repro.telemetry.bus import NULL_CHANNEL
+from repro.telemetry.events import RESERVED_KEYS, SAMPLED_KINDS, meta_event
+
+
+class TestEvent:
+    def test_json_round_trip(self):
+        ev = Event(time=1.25, kind=EV_BATCH_SENT, transfer_id=0xABC,
+                   epoch=2, src="sender", fields={"size": 64, "sent": 128})
+        back = Event.from_json(ev.to_json())
+        assert back == ev
+
+    def test_compact_envelope_omits_defaults(self):
+        record = json.loads(Event(time=0.5, kind=EV_STALL).to_json())
+        assert record == {"t": 0.5, "kind": EV_STALL}
+
+    def test_reserved_key_collision_raises(self):
+        ev = Event(time=0.0, kind=EV_STALL, fields={"tid": 1})
+        with pytest.raises(ValueError, match="reserved"):
+            ev.to_json()
+        assert RESERVED_KEYS == {"t", "kind", "tid", "epoch", "src"}
+
+    def test_from_json_rejects_non_events(self):
+        with pytest.raises(ValueError):
+            Event.from_json("[1, 2, 3]")
+        with pytest.raises(ValueError):
+            Event.from_json('{"t": 1.0}')
+
+    def test_sampled_kinds_are_a_subset_of_the_vocabulary(self):
+        assert SAMPLED_KINDS < set(EVENT_KINDS)
+
+
+class TestReadEvents:
+    def test_reads_path_and_skips_blank_lines(self, tmp_path):
+        p = tmp_path / "log.jsonl"
+        p.write_text(meta_event("test").to_json() + "\n\n"
+                     + Event(time=1.0, kind=EV_STALL).to_json() + "\n")
+        events = list(read_events(str(p)))
+        assert [e.kind for e in events] == [EV_META, EV_STALL]
+        assert events[0].fields["schema"] == EVENT_SCHEMA_VERSION
+
+    def test_newer_schema_major_refused(self):
+        newer = json.dumps({"t": 0, "kind": "meta",
+                            "schema": EVENT_SCHEMA_VERSION + 1})
+        with pytest.raises(ValueError, match="newer"):
+            list(read_events(io.StringIO(newer + "\n")))
+
+
+class TestMetrics:
+    def test_counter_monotonic(self):
+        reg = MetricsRegistry()
+        c = reg.counter("packets_sent", role="sender")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge(self):
+        g = MetricsRegistry().gauge("active")
+        g.set(3)
+        g.inc()
+        g.dec(2)
+        assert g.value == 2
+
+    def test_registry_caches_by_name_and_labels(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x", a=1) is reg.counter("x", a=1)
+        assert reg.counter("x", a=1) is not reg.counter("x", a=2)
+        assert reg.counter("x", a=1) is not reg.gauge("x", a=1)
+
+    def test_histogram_quantiles_within_log_bucket_error(self):
+        h = MetricsRegistry().histogram("latency")
+        for v in range(1, 1001):
+            h.observe(float(v))
+        assert h.count == 1000
+        assert h.min == 1.0 and h.max == 1000.0
+        assert h.mean == pytest.approx(500.5)
+        # Log-scale buckets estimate within ~9 % anywhere on the axis.
+        assert h.p50 == pytest.approx(500, rel=0.09)
+        assert h.p95 == pytest.approx(950, rel=0.09)
+        assert h.p99 == pytest.approx(990, rel=0.09)
+
+    def test_histogram_zero_bucket(self):
+        h = MetricsRegistry().histogram("waste")
+        h.observe(0.0)
+        h.observe(0.0)
+        h.observe(10.0)
+        assert h.quantile(0.5) == 0.0
+        assert h.quantile(1.0) > 0.0
+
+    def test_disabled_registry_is_noop(self):
+        reg = MetricsRegistry(enabled=False)
+        c = reg.counter("x")
+        c.inc(100)
+        assert c.value == 0.0
+        h = reg.histogram("y")
+        h.observe(5.0)
+        assert h.p99 == 0.0
+        assert reg.collect() == []
+
+    def test_render(self):
+        reg = MetricsRegistry()
+        reg.counter("sent", role="sender").inc(7)
+        reg.histogram("dur").observe(2.0)
+        out = reg.render()
+        assert "sent{role=sender} 7" in out
+        assert "dur count=1" in out
+
+
+class TestEventBus:
+    def test_disabled_without_sinks(self):
+        bus = EventBus()
+        assert not bus.enabled
+        assert not bus.channel(transfer_id=1).enabled
+        assert not NULL_CHANNEL.enabled
+        NULL_CHANNEL.emit(EV_STALL, action="enter")  # must not raise
+
+    def test_channel_labels_and_clock(self):
+        ring = RingBufferSink()
+        bus = EventBus(sinks=[ring])
+        t = [0.0]
+        ch = bus.channel(transfer_id=7, epoch=1, src="sender",
+                         clock=lambda: t[0])
+        t[0] = 2.5
+        ch.emit(EV_STALL, action="enter")
+        (ev,) = ring.events
+        assert (ev.time, ev.transfer_id, ev.epoch, ev.src) == (2.5, 7, 1,
+                                                               "sender")
+        assert ev.fields == {"action": "enter"}
+
+    def test_sampling_thins_high_rate_kinds_only(self):
+        ring = RingBufferSink()
+        bus = EventBus(sinks=[ring], sample_every=10)
+        ch = bus.channel(transfer_id=1)
+        for _ in range(100):
+            ch.emit(EV_BATCH_SENT, size=1)
+        for _ in range(5):
+            ch.emit(EV_STALL, action="probe")
+        assert len(ring.of_kind(EV_BATCH_SENT)) == 10
+        assert len(ring.of_kind(EV_STALL)) == 5  # milestones never thinned
+        assert bus.events_sampled_out == 90
+
+    def test_sampling_is_per_transfer(self):
+        ring = RingBufferSink()
+        bus = EventBus(sinks=[ring], sample_every=2)
+        bus.channel(transfer_id=1).emit(EV_BATCH_SENT)
+        bus.channel(transfer_id=2).emit(EV_BATCH_SENT)
+        # Each transfer's first sample passes; neither silences the other.
+        assert len(ring.of_kind(EV_BATCH_SENT)) == 2
+
+    def test_fan_out_to_all_sinks(self):
+        a, b = RingBufferSink(), RingBufferSink()
+        bus = EventBus(sinks=[a])
+        bus.add_sink(b)
+        bus.channel().emit(EV_STALL, action="enter")
+        assert a.accepted == 1 and b.accepted == 1
+
+
+class TestRingBufferSink:
+    def test_capacity_and_dropped(self):
+        ring = RingBufferSink(capacity=3)
+        for i in range(5):
+            ring.accept(Event(time=float(i), kind=EV_STALL))
+        assert len(ring.events) == 3
+        assert ring.dropped == 2
+        assert ring.events[0].time == 2.0
+
+
+class TestJsonlSink:
+    def test_meta_header_then_events(self, tmp_path):
+        path = str(tmp_path / "log.jsonl")
+        sink = JsonlSink(path, producer="unit-test")
+        bus = EventBus(sinks=[sink])
+        bus.channel(transfer_id=3).emit(EV_TRANSFER_START, nbytes=100)
+        bus.close()
+        events = list(read_events(path))
+        assert events[0].kind == EV_META
+        assert events[0].fields["producer"] == "unit-test"
+        assert events[1].kind == EV_TRANSFER_START
+        assert events[1].fields["nbytes"] == 100
+
+    def test_borrowed_stream_not_closed(self):
+        buf = io.StringIO()
+        sink = JsonlSink(buf)
+        sink.close()
+        assert not buf.closed
+        assert buf.getvalue().splitlines()  # meta line present
+
+
+class TestSnapshotSink:
+    class _Snap:
+        def render(self):
+            return "snap!"
+
+        def counters(self):
+            return {"active": 2}
+
+    def test_interval_gating_and_event(self):
+        ring = RingBufferSink()
+        bus = EventBus(sinks=[ring])
+        out = io.StringIO()
+        sink = SnapshotSink(self._Snap, interval=10.0, out=out, bus=bus,
+                            clock=lambda: 0.0)
+        assert not sink.maybe_emit(now=5.0)
+        assert sink.maybe_emit(now=10.0)
+        assert not sink.maybe_emit(now=15.0)
+        assert sink.maybe_emit(now=20.0)
+        assert out.getvalue() == "snap!\nsnap!\n"
+        snaps = ring.of_kind(EV_SNAPSHOT)
+        assert len(snaps) == 2
+        assert snaps[0].fields == {"active": 2}
