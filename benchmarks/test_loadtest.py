@@ -1,0 +1,121 @@
+"""Population-scale load-test scenarios — the fleet SLO benchmark.
+
+Runs the full-size scenarios from :mod:`repro.loadtest` and persists
+the repo's first machine-readable benchmark artifact,
+``benchmarks/results/BENCH_loadtest.json``::
+
+    {"bench": "loadtest", "schema": 1, "entries": [<SLO report>, ...]}
+
+Every entry is a complete SLO report (see ``docs/LOADTEST.md``); the
+whole file is deterministic — fixed seeds, DES time only — so the
+committed artifact must match a regeneration bit for bit.
+
+Run with ``pytest -m loadtest benchmarks/test_loadtest.py`` (the CI
+``loadtest`` job does exactly that, then schema-checks the artifact).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.loadtest import render_slo_report, run_scenario
+
+from _bench_support import RESULTS_DIR, emit
+
+pytestmark = pytest.mark.loadtest
+
+BENCH_PATH = RESULTS_DIR / "BENCH_loadtest.json"
+SEED = 7
+
+#: (scenario, fleet-size override or None for the spec default).
+RUNS = [
+    ("smoke", None),
+    ("overload", None),       # 600 clients vs max_active 6 + queue 12
+    ("flash-crowd", None),    # 320 clients, 25x step past capacity
+    ("resume-storm", None),   # 140 clients, daemon killed at t=10s
+]
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {name: run_scenario(name, seed=SEED, clients=clients).report
+            for name, clients in RUNS}
+
+
+def _fmt_row(r):
+    storm = r["resume_storm"] or {}
+    recovery = storm.get("recovery_s", 0.0)
+    jain = r["fairness"]["jain_transfers"] or 0.0
+    return (
+        f"{r['scenario']:<13} {r['offered']:>7} "
+        f"{r['transfers']['completed']:>9} "
+        f"{r['admission']['rejected']:>8} "
+        f"{100 * r['admission']['reject_rate']:>7.1f}% "
+        f"{r['queue_wait_s']['p99']:>8.3f}s "
+        f"{r['goodput']['aggregate_mbps']:>8.1f} "
+        f"{jain:>6.3f} "
+        f"{recovery:>9.2f}s"
+    )
+
+
+def test_fleet_scenarios_write_bench_artifact(reports, capsys):
+    lines = [
+        "Load-test fleet: population-scale scenarios (seed "
+        f"{SEED}, DES)",
+        f"{'scenario':<13} {'offered':>7} {'completed':>9} "
+        f"{'rejected':>8} {'rej%':>8} {'wait p99':>9} "
+        f"{'agg Mb/s':>8} {'jain':>6} {'recovery':>10}",
+    ]
+    lines += [_fmt_row(reports[name]) for name, _ in RUNS]
+    emit("loadtest", "\n".join(lines), capsys)
+
+    payload = {
+        "bench": "loadtest",
+        "schema": 1,
+        "seed": SEED,
+        "entries": [json.loads(render_slo_report(reports[name]))
+                    for name, _ in RUNS],
+    }
+    BENCH_PATH.write_text(json.dumps(payload, sort_keys=True, indent=2)
+                          + "\n")
+    assert BENCH_PATH.stat().st_size > 0
+
+
+def test_overload_scenario_is_population_scale(reports):
+    """The ISSUE's acceptance bar: >=500 clients past admission
+    capacity, with reject rate, queue-wait p99 and per-class goodput
+    all computed from telemetry."""
+    r = reports["overload"]
+    assert r["offered"] >= 500
+    assert r["admission"]["rejected"] > 0
+    assert 0.0 < r["admission"]["reject_rate"] < 1.0
+    assert r["queue_wait_s"]["p99"] > 0.0
+    assert r["goodput"]["per_class"]
+    for stats in r["goodput"]["per_class"].values():
+        assert "goodput_mean_mbps" in stats
+    # Every admitted transfer resolved before the time limit.
+    t = r["transfers"]
+    assert t["completed"] + t["failed"] + t["timed_out"] \
+        == r["admission"]["admitted"]
+    assert t["timed_out"] == 0
+
+
+def test_flash_crowd_rejects_only_during_flash(reports):
+    r = reports["flash-crowd"]
+    assert r["admission"]["rejected"] > 0
+    # The quiet base load (before and long after the flash) clears the
+    # queue: overall completion still dominates.
+    assert r["transfers"]["completed"] > r["offered"] * 0.7
+
+
+def test_resume_storm_recovery(reports):
+    r = reports["resume-storm"]
+    storm = r["resume_storm"]
+    assert storm is not None
+    assert storm["active_at_kill"] >= 1
+    assert storm["storm_size"] >= storm["active_at_kill"]
+    assert storm["resumed_packets"] > 0
+    assert storm["recovery_s"] > 0.0
+    assert r["transfers"]["completed"] == r["offered"]

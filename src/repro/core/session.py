@@ -40,6 +40,7 @@ from repro.core.sender import FobsSender, SenderStats
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.journal import ReceiverJournal
     from repro.simnet.faults import KillSwitch
+    from repro.simnet.node import Host
 from repro.simnet.packet import Address
 from repro.simnet.sockets import UdpSocket
 from repro.simnet.topology import Network
@@ -135,6 +136,8 @@ class FobsTransfer:
         kill_switch: Optional["KillSwitch"] = None,
         telemetry: Optional[EventBus] = None,
         transfer_id: int = 0,
+        src: Optional["Host"] = None,
+        dst: Optional["Host"] = None,
     ):
         if nbytes <= 0:
             raise ValueError("nbytes must be positive")
@@ -182,7 +185,13 @@ class FobsTransfer:
         self._data_recv_count = 0
         self.crashed: Optional[str] = None
 
-        a, b = net.a, net.b
+        # The measurement pair defaults to the topology's endpoints;
+        # the fleet harness overrides ``dst`` to fan one server host
+        # out to many heterogeneous client hosts.
+        a = src if src is not None else net.a
+        b = dst if dst is not None else net.b
+        self.src_host = a
+        self.dst_host = b
         self._a_profile = a.profile
         self._b_profile = b.profile
         # Data: A -> (B, data_port).  ACKs: B -> (A, ack_port).
@@ -234,6 +243,11 @@ class FobsTransfer:
 
     def _on_ctrl_bytes(self, nbytes: int) -> None:
         del nbytes
+        if self.crashed == "sender":
+            # Process death: the completion handshake lands on a dead
+            # port and is lost, so in-flight data delivered after the
+            # crash cannot retroactively complete the transfer.
+            return
         self.sender.on_completion(self.sim.now)
 
     # ------------------------------------------------------------------
@@ -252,7 +266,15 @@ class FobsTransfer:
                 ack_frequency=self.config.ack_frequency, backend="des")
         self._ctrl_client.connect()
         self.sim.schedule(0.0, self._sender_step)
-        self.sim.schedule(self.config.receiver_idle_timeout, self._liveness_check)
+        if self.receiver.complete:
+            # A resumed receiver whose journal already covers the whole
+            # object: no data will ever flow, so it initiates the
+            # completion handshake immediately instead of arming a
+            # liveness timer that would only time out on silence.
+            self.sim.schedule(0.0, self._recv_after, None)
+        else:
+            self.sim.schedule(self.config.receiver_idle_timeout,
+                              self._liveness_check)
 
     def run(self, time_limit: float = 600.0) -> TransferStats:
         """Start (if needed) and simulate until the sender finishes.
@@ -310,9 +332,16 @@ class FobsTransfer:
             self.tracer.emit(self.sim.now, "failed", reason)
 
     def _liveness_check(self) -> None:
-        """Receiver-side liveness: fail if data stops arriving entirely."""
-        if (self.failed or self._receiver_closed or self.switched_to_tcp
-                or self.sender.complete):
+        """Receiver-side liveness: fail if data stops arriving entirely.
+
+        A receiver that closed *normally* keeps the check armed until
+        the sender confirms completion: if the completion handshake is
+        lost (the daemon died with all data in flight), the client must
+        still diagnose the silence rather than hang forever.  Only a
+        crashed receiver is a dead process with nothing left to notice.
+        """
+        if (self.failed or self.switched_to_tcp or self.sender.complete
+                or self.crashed == "receiver"):
             return
         timeout = self.config.receiver_idle_timeout
         idle = self.receiver.idle_since(self.sim.now, self._start_time)
@@ -520,6 +549,10 @@ class FobsTransfer:
                                  f"id={ack.ack_id} count={ack.received_count}")
         if self.receiver.complete and not self._completion_sent:
             self._completion_sent = True
+            if self.receiver.stats.completed_at is None:
+                # Pre-complete resume: every packet came from the
+                # journal, so completion is stamped at handshake time.
+                self.receiver.stats.completed_at = self.sim.now
             if self.tracer.enabled:
                 self.tracer.emit(self.sim.now, "complete", "receiver done")
             self._ctrl_client.app_write(COMPLETION_BYTES)
@@ -546,7 +579,7 @@ class FobsTransfer:
         missing = self.sender.acked.missing
         self._tcp_tail_bytes = max(1, missing * self.config.packet_size)
         port = self.config.ctrl_port + 1
-        a, b = self.net.a, self.net.b
+        a, b = self.src_host, self.dst_host
         # "switches to a high-performance TCP algorithm" (Section 7):
         # window-scaled, SACK-enabled HighSpeed TCP.
         opts = TcpOptions(window_scaling=True, sack=True,

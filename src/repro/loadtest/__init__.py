@@ -1,0 +1,79 @@
+"""repro.loadtest — population-scale fleet scenarios and SLO reports.
+
+The server package turned the paper's point-to-point engine into a
+service; this package asks whether the *service* holds up: hundreds to
+thousands of simulated clients, drawn from heterogeneous populations
+(short-haul, long-haul, satellite, lossy last-mile), arriving by
+pluggable stochastic processes (Poisson, diurnal sinusoid, flash-crowd
+step), against the DES server backend with its real admission
+controller and max-min allocator — including overload past admission
+capacity and a mid-run daemon kill that triggers a resume storm.
+
+Everything is derived from one seed and the DES clock, so a scenario's
+JSON SLO report is byte-identical across runs: the scenario-diversity
+engine for every scaling claim this repo makes.
+
+Layers:
+
+* :mod:`repro.loadtest.arrivals` — seeded arrival-time generators;
+* :mod:`repro.loadtest.population` — client classes and population
+  sampling (access link shape, loss, object-size distributions);
+* :mod:`repro.loadtest.fleet` — the star topology builder and
+  :class:`FleetServer`, a :class:`~repro.server.sim.SimObjectServer`
+  that survives a daemon kill/restart and services the resume storm;
+* :mod:`repro.loadtest.scenarios` — the named scenario vocabulary
+  (``steady``, ``overload``, ``flash-crowd``, ``resume-storm``,
+  ``smoke``) and :func:`run_scenario`;
+* :mod:`repro.loadtest.slo` — the SLO report computed from recorded
+  :mod:`repro.telemetry` events (queue-wait p50/p99, per-class
+  goodput, Jain fairness, reject/requeue rates, recovery time).
+
+CLI: ``repro loadtest <scenario> --seed N`` prints the JSON report on
+stdout.  ``docs/LOADTEST.md`` documents the scenario vocabulary.
+"""
+
+from repro.loadtest.arrivals import (
+    ArrivalProcess,
+    DiurnalProcess,
+    FlashCrowdProcess,
+    PoissonProcess,
+    generate_arrivals,
+    sample_arrival_times,
+)
+from repro.loadtest.fleet import FleetServer, build_fleet_network
+from repro.loadtest.population import (
+    CLIENT_CLASSES,
+    DEFAULT_POPULATION,
+    ClientClass,
+    ClientSpec,
+    Population,
+)
+from repro.loadtest.scenarios import (
+    SCENARIOS,
+    ScenarioResult,
+    ScenarioSpec,
+    run_scenario,
+)
+from repro.loadtest.slo import compute_slo_report, render_slo_report
+
+__all__ = [
+    "ArrivalProcess",
+    "CLIENT_CLASSES",
+    "ClientClass",
+    "ClientSpec",
+    "DEFAULT_POPULATION",
+    "DiurnalProcess",
+    "FlashCrowdProcess",
+    "FleetServer",
+    "PoissonProcess",
+    "Population",
+    "SCENARIOS",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "build_fleet_network",
+    "compute_slo_report",
+    "generate_arrivals",
+    "render_slo_report",
+    "run_scenario",
+    "sample_arrival_times",
+]

@@ -1,0 +1,160 @@
+"""Client classes and seeded population sampling.
+
+A :class:`ClientClass` describes one *kind* of client: the shape of
+its access path (bandwidth, one-way delay, queue), the faults its last
+mile injects (i.i.d. loss and/or Gilbert–Elliott bursts, applied via
+:mod:`repro.simnet.faults`), the object-size distribution it requests,
+and an optional per-request rate cap.  The four built-ins mirror the
+calibrated topology presets:
+
+* ``short_haul`` — campus-distance desktop, clean 100 Mb/s access;
+* ``long_haul`` — cross-country path, ~64 ms RTT, light residual loss;
+* ``satellite`` — GEO bounce, ~560 ms RTT, 45 Mb/s downlink;
+* ``lossy_lastmile`` — 20 Mb/s access with bursty 2 %-class loss.
+
+A :class:`Population` is a weighted mix of classes;
+:meth:`Population.sample` draws ``n`` concrete :class:`ClientSpec`
+values (class membership, object size) from one seeded generator, so a
+``(population, seed)`` pair names one reproducible fleet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.simnet.faults import FaultSchedule, GilbertElliott
+
+MBPS = 1e6
+
+
+@dataclass(frozen=True)
+class ClientClass:
+    """One kind of client in the fleet population."""
+
+    name: str
+    #: Access-link shape (the class's private hop off the hub router).
+    access_bw_bps: float
+    access_delay: float
+    queue_bytes: int = 128 * 1024
+    #: Last-mile fault model (None = clean access).
+    faults: Optional[FaultSchedule] = None
+    #: Lognormal object-size parameters (natural-log space), clamped
+    #: to ``[min_bytes, max_bytes]``.
+    object_log_mean: float = 11.5   # e^11.5 ≈ 99 KB
+    object_log_sigma: float = 0.5
+    min_bytes: int = 16 * 1024
+    max_bytes: int = 1 << 20
+    #: Per-request rate cap sent to the server (None = greedy).
+    rate_cap_bps: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.access_bw_bps <= 0:
+            raise ValueError("access_bw_bps must be positive")
+        if self.access_delay < 0:
+            raise ValueError("access_delay must be non-negative")
+        if not 0 < self.min_bytes <= self.max_bytes:
+            raise ValueError("need 0 < min_bytes <= max_bytes")
+
+    def sample_object_bytes(self, rng: np.random.Generator) -> int:
+        raw = rng.lognormal(self.object_log_mean, self.object_log_sigma)
+        return int(min(max(raw, self.min_bytes), self.max_bytes))
+
+
+#: The built-in class vocabulary (docs/LOADTEST.md documents each).
+CLIENT_CLASSES: dict[str, ClientClass] = {
+    "short_haul": ClientClass(
+        name="short_haul",
+        access_bw_bps=100 * MBPS,
+        access_delay=13e-3,
+        rate_cap_bps=90 * MBPS,
+    ),
+    "long_haul": ClientClass(
+        name="long_haul",
+        access_bw_bps=100 * MBPS,
+        access_delay=32e-3,
+        faults=FaultSchedule(loss_rate=9e-5),
+        rate_cap_bps=90 * MBPS,
+    ),
+    "satellite": ClientClass(
+        name="satellite",
+        access_bw_bps=45 * MBPS,
+        access_delay=280e-3,
+        queue_bytes=256 * 1024,
+        faults=FaultSchedule(loss_rate=1e-5),
+        rate_cap_bps=30 * MBPS,
+    ),
+    "lossy_lastmile": ClientClass(
+        name="lossy_lastmile",
+        access_bw_bps=20 * MBPS,
+        access_delay=10e-3,
+        queue_bytes=64 * 1024,
+        faults=FaultSchedule(
+            burst=GilbertElliott(p_good_bad=0.004, p_bad_good=0.25,
+                                 loss_good=0.002, loss_bad=0.3)),
+        rate_cap_bps=16 * MBPS,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ClientSpec:
+    """One sampled client: who it is and what it asks for."""
+
+    index: int
+    klass: ClientClass
+    object_bytes: int
+    #: Stable client identity (per-client admission caps key on it).
+    client_id: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.client_id or f"c{self.index}"
+
+
+@dataclass(frozen=True)
+class Population:
+    """A weighted mix of client classes."""
+
+    mix: tuple[tuple[ClientClass, float], ...] = field(
+        default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.mix:
+            raise ValueError("population mix must be non-empty")
+        if any(w <= 0 for _, w in self.mix):
+            raise ValueError("mix weights must be positive")
+
+    @classmethod
+    def of(cls, **weights: float) -> "Population":
+        """Build from built-in class names: ``Population.of(satellite=1)``."""
+        mix = tuple((CLIENT_CLASSES[name], w)
+                    for name, w in sorted(weights.items()))
+        return cls(mix=mix)
+
+    @property
+    def classes(self) -> tuple[ClientClass, ...]:
+        return tuple(k for k, _ in self.mix)
+
+    def sample(self, n: int, rng: np.random.Generator) -> list[ClientSpec]:
+        """Draw ``n`` clients: class by weight, object size by class."""
+        if n < 1:
+            raise ValueError("n must be >= 1")
+        weights = np.asarray([w for _, w in self.mix], dtype=np.float64)
+        weights /= weights.sum()
+        picks = rng.choice(len(self.mix), size=n, p=weights)
+        out: list[ClientSpec] = []
+        for i, pick in enumerate(picks):
+            klass = self.mix[int(pick)][0]
+            out.append(ClientSpec(
+                index=i, klass=klass,
+                object_bytes=klass.sample_object_bytes(rng),
+                client_id=f"{klass.name[:4]}-{i}"))
+        return out
+
+
+#: The default fleet mix: mostly wired, a satellite and lossy tail.
+DEFAULT_POPULATION = Population.of(
+    short_haul=4.0, long_haul=3.0, satellite=1.0, lossy_lastmile=2.0)

@@ -1,0 +1,272 @@
+"""The named scenario vocabulary and its runner.
+
+A :class:`ScenarioSpec` is a complete, seed-reproducible experiment:
+how many clients, drawn from which population, arriving by which
+process over which horizon, against which server limits — plus the
+optional daemon kill.  :data:`SCENARIOS` names the built-ins
+(``docs/LOADTEST.md`` is the reference):
+
+==============  ======================================================
+``smoke``       tiny fleet for CI: seconds of wall clock
+``steady``      under capacity, Poisson arrivals — the baseline SLO
+``diurnal``     sinusoid-modulated arrivals, peaks near capacity
+``overload``    arrival rate well past admission capacity: bounded
+                queue fills, the tail is rejected with reasons
+``flash-crowd`` quiet base load, then a step to many× capacity for a
+                few seconds — admission under a thundering herd
+``resume-storm`` mid-run daemon kill: actives crash, the queue drops,
+                the restarted daemon faces every client again at once
+==============  ======================================================
+
+:func:`run_scenario` executes one by name and returns the SLO report
+(computed from the recorded telemetry stream) alongside the raw
+harness results.  Two runs with the same (scenario, seed, overrides)
+produce byte-identical report renderings.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.core.config import FobsConfig
+from repro.server.sim import SimServerResult
+from repro.telemetry import Event, EventBus, JsonlSink, RingBufferSink
+
+from repro.loadtest.arrivals import (
+    ArrivalProcess,
+    DiurnalProcess,
+    FlashCrowdProcess,
+    PoissonProcess,
+    sample_arrival_times,
+)
+from repro.loadtest.fleet import FleetServer, build_fleet_network, fleet_transfer_specs
+from repro.loadtest.population import (
+    CLIENT_CLASSES,
+    DEFAULT_POPULATION,
+    Population,
+)
+from repro.loadtest.slo import compute_slo_report, render_slo_report
+
+#: High-rate telemetry kinds are thinned by this factor — milestone
+#: kinds (admissions, transfer start/end, snapshots) always pass, and
+#: they are all the SLO report reads.
+SAMPLE_EVERY = 64
+
+#: Ring capacity for the in-memory recording the SLO is computed from.
+RING_CAPACITY = 1 << 18
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, fully parameterized fleet experiment."""
+
+    name: str
+    description: str
+    clients: int
+    horizon: float
+    time_limit: float
+    #: horizon -> arrival process (rates are chosen per-horizon).
+    process: Callable[[float], ArrivalProcess]
+    population: Population = field(default_factory=lambda: DEFAULT_POPULATION)
+    max_active: int = 8
+    queue_depth: int = 16
+    per_client_max: Optional[int] = None
+    rate_budget_bps: Optional[float] = 500e6
+    kill_at: Optional[float] = None
+    restart_delay: float = 2.0
+    hosts_per_class: int = 4
+    packet_size: int = 1024
+    ack_frequency: int = 16
+    #: Fleet clients detect a dead daemon quickly (seconds, not the
+    #: 30 s point-to-point default) — it bounds resume-storm latency.
+    receiver_idle_timeout: float = 1.5
+
+    def config(self) -> FobsConfig:
+        return FobsConfig(
+            packet_size=self.packet_size,
+            ack_frequency=self.ack_frequency,
+            receiver_idle_timeout=self.receiver_idle_timeout,
+            stall_timeout=2.0,
+            stall_abort_after=20.0,
+        )
+
+
+def _spec(**kwargs) -> ScenarioSpec:
+    return ScenarioSpec(**kwargs)
+
+
+def _storm_population() -> Population:
+    """Slow-class-heavy mix with ~2× objects, so transfers are long
+    enough that a mid-run kill always lands on in-flight work."""
+    heavy = {name: dataclasses.replace(klass, object_log_mean=12.3)
+             for name, klass in CLIENT_CLASSES.items()}
+    return Population(mix=(
+        (heavy["short_haul"], 1.0),
+        (heavy["long_haul"], 2.0),
+        (heavy["satellite"], 3.0),
+        (heavy["lossy_lastmile"], 3.0),
+    ))
+
+
+SCENARIOS: dict[str, ScenarioSpec] = {
+    "smoke": _spec(
+        name="smoke",
+        description="Tiny CI fleet: 40 clients, seconds of wall clock.",
+        clients=40,
+        horizon=8.0,
+        time_limit=60.0,
+        process=lambda h: PoissonProcess(rate=40 / h),
+        max_active=6,
+        queue_depth=8,
+    ),
+    "steady": _spec(
+        name="steady",
+        description="Under capacity: Poisson arrivals, the baseline SLO.",
+        clients=160,
+        horizon=80.0,
+        time_limit=200.0,
+        process=lambda h: PoissonProcess(rate=160 / h),
+    ),
+    "diurnal": _spec(
+        name="diurnal",
+        description="Sinusoid-modulated arrivals peaking near capacity.",
+        clients=240,
+        horizon=90.0,
+        time_limit=220.0,
+        process=lambda h: DiurnalProcess(
+            base_rate=240 / h, amplitude=0.7, period=h,
+            phase=-np.pi / 2),
+    ),
+    "overload": _spec(
+        name="overload",
+        description="Arrivals far past admission capacity: the bounded "
+                    "queue fills and the tail is rejected.",
+        clients=600,
+        horizon=12.0,
+        time_limit=150.0,
+        process=lambda h: PoissonProcess(rate=600 / h),
+        max_active=6,
+        queue_depth=12,
+    ),
+    "flash-crowd": _spec(
+        name="flash-crowd",
+        description="Quiet base load, then a step to many times "
+                    "capacity for six seconds.",
+        clients=320,
+        horizon=40.0,
+        time_limit=150.0,
+        process=lambda h: FlashCrowdProcess(
+            base_rate=2.0, flash_rate=50.0,
+            flash_start=10.0, flash_end=16.0),
+        max_active=6,
+        queue_depth=12,
+    ),
+    "resume-storm": _spec(
+        name="resume-storm",
+        description="Mid-run daemon kill: actives crash, the queue "
+                    "drops, the restarted daemon faces every client "
+                    "again at once.",
+        clients=140,
+        horizon=20.0,
+        time_limit=150.0,
+        process=lambda h: PoissonProcess(rate=140 / h),
+        population=_storm_population(),
+        kill_at=10.0,
+        restart_delay=2.0,
+    ),
+}
+
+
+@dataclass
+class ScenarioResult:
+    """Everything one scenario run produced."""
+
+    report: dict
+    result: SimServerResult
+    server: FleetServer
+    events: list[Event]
+
+    def render(self) -> str:
+        return render_slo_report(self.report)
+
+
+def run_scenario(
+    name: str,
+    seed: int = 0,
+    clients: Optional[int] = None,
+    time_limit: Optional[float] = None,
+    telemetry_path: Optional[str] = None,
+) -> ScenarioResult:
+    """Run one named scenario; everything derives from ``seed``.
+
+    ``clients`` overrides the fleet size (arrival rates scale with it,
+    so the *shape* of the scenario is preserved); ``telemetry_path``
+    additionally records the full event stream as JSONL for
+    ``repro timeline`` / ``repro stats``.
+    """
+    try:
+        spec = SCENARIOS[name]
+    except KeyError:
+        known = ", ".join(sorted(SCENARIOS))
+        raise ValueError(f"unknown scenario {name!r}; known: {known}") \
+            from None
+    n = clients if clients is not None else spec.clients
+    if n < 1:
+        raise ValueError("clients must be >= 1")
+    horizon = spec.horizon
+    limit = time_limit if time_limit is not None else spec.time_limit
+
+    pop_rng = np.random.default_rng([seed, 1])
+    arrival_rng = np.random.default_rng([seed, 2])
+    population = spec.population.sample(n, pop_rng)
+    process = spec.process(horizon)
+    arrivals = sample_arrival_times(process, n, horizon, arrival_rng)
+
+    fleet = build_fleet_network(population, seed=seed,
+                                hosts_per_class=spec.hosts_per_class)
+    ring = RingBufferSink(capacity=RING_CAPACITY)
+    sinks: list = [ring]
+    if telemetry_path:
+        sinks.append(JsonlSink(telemetry_path, producer="repro.loadtest"))
+    bus = EventBus(sinks=sinks, sample_every=SAMPLE_EVERY)
+    try:
+        server = FleetServer(
+            fleet.net,
+            fleet_transfer_specs(fleet, population, arrivals),
+            kill_at=spec.kill_at,
+            restart_delay=spec.restart_delay,
+            config=spec.config(),
+            max_active=spec.max_active,
+            queue_depth=spec.queue_depth,
+            per_client_max=spec.per_client_max,
+            rate_budget_bps=spec.rate_budget_bps,
+            telemetry=bus,
+        )
+        result = server.run(time_limit=limit)
+    finally:
+        bus.close()
+
+    events = ring.events
+    report = compute_slo_report(
+        events, scenario=name, seed=seed,
+        extra={
+            "clients": n,
+            "horizon_s": horizon,
+            "time_limit_s": limit,
+            "params": {
+                "max_active": spec.max_active,
+                "queue_depth": spec.queue_depth,
+                "rate_budget_mbps": (spec.rate_budget_bps / 1e6
+                                     if spec.rate_budget_bps else None),
+                "kill_at_s": spec.kill_at,
+                "restart_delay_s": spec.restart_delay,
+                "hosts_per_class": spec.hosts_per_class,
+            },
+            "telemetry_truncated": ring.dropped > 0,
+        })
+    return ScenarioResult(report=report, result=result, server=server,
+                          events=events)

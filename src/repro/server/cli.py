@@ -114,6 +114,28 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("log", help="JSONL file written by --telemetry-out")
     timeline.add_argument("--width", type=int, default=50,
                           help="goodput sparkline width (default 50)")
+
+    loadtest = sub.add_parser(
+        "loadtest",
+        help="run a population-scale fleet scenario on the DES and "
+             "print its SLO report as JSON (see docs/LOADTEST.md)")
+    loadtest.add_argument("scenario", nargs="?", default=None,
+                          help="scenario name (use --list to enumerate)")
+    loadtest.add_argument("--seed", type=int, default=0,
+                          help="master seed; same (scenario, seed) -> "
+                               "byte-identical report (default 0)")
+    loadtest.add_argument("--clients", type=int, default=None, metavar="N",
+                          help="override the scenario's fleet size")
+    loadtest.add_argument("--time-limit", type=float, default=None,
+                          metavar="SECONDS",
+                          help="override the simulated-time budget")
+    loadtest.add_argument("--telemetry-out", default=None, metavar="PATH",
+                          help="also record the full event stream as "
+                               "JSONL (replay with 'repro timeline PATH')")
+    loadtest.add_argument("--list", action="store_true", dest="list_scenarios",
+                          help="list scenario names and exit")
+    loadtest.add_argument("--quiet", action="store_true",
+                          help="suppress progress output on stderr")
     return parser
 
 
@@ -265,6 +287,36 @@ def _cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_loadtest(args: argparse.Namespace) -> int:
+    from repro.loadtest import SCENARIOS, run_scenario
+
+    if args.list_scenarios:
+        for name in sorted(SCENARIOS):
+            print(f"{name}: {SCENARIOS[name].description}")
+        return 0
+    if args.scenario is None:
+        print("loadtest FAILED: scenario name required (try --list)",
+              file=sys.stderr)
+        return 2
+    try:
+        result = run_scenario(
+            args.scenario, seed=args.seed, clients=args.clients,
+            time_limit=args.time_limit,
+            telemetry_path=args.telemetry_out)
+    except ValueError as exc:
+        print(f"loadtest FAILED: {exc}", file=sys.stderr)
+        return 2
+    report = result.report
+    info(args, f"loadtest {args.scenario}: offered={report['offered']} "
+               f"completed={report['transfers']['completed']} "
+               f"rejected={report['admission']['rejected']} "
+               f"queue_wait_p99={report['queue_wait_s']['p99']:.3f}s")
+    if args.telemetry_out:
+        info(args, f"telemetry recorded to {args.telemetry_out}")
+    print(result.render())
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "serve":
@@ -273,6 +325,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_stats(args)
     if args.command == "timeline":
         return _cmd_timeline(args)
+    if args.command == "loadtest":
+        return _cmd_loadtest(args)
     return _cmd_fetch(args)
 
 

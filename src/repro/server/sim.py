@@ -26,6 +26,7 @@ from repro.server import admission as _adm
 from repro.server.admission import AdmissionController, AdmissionCounters
 from repro.server.allocator import BandwidthAllocator
 from repro.simnet.topology import Network
+from repro.telemetry import EV_ADMISSION, Event, EventBus
 
 #: Per-transfer port triples start here, spaced by this stride, so N
 #: concurrent sessions never collide on the shared simulated host.
@@ -44,6 +45,13 @@ class SimTransferSpec:
     client: str = "client-0"
     #: Optional per-request rate cap (the FETCH message's rate field).
     rate_cap_bps: Optional[float] = None
+    #: Destination host name on the shared network (``None`` = the
+    #: topology's ``b`` endpoint).  The load-test fleet points each
+    #: request at its client-class edge host.
+    dst: Optional[str] = None
+    #: Client-class label (``"satellite"``, ``"lossy_lastmile"``, ...)
+    #: carried into admission telemetry for per-class SLO reporting.
+    klass: str = ""
 
 
 @dataclass(frozen=True)
@@ -69,6 +77,9 @@ class SimServerResult:
     queued_ever: list[int] = field(default_factory=list)
     counters: AdmissionCounters = field(default_factory=AdmissionCounters)
     peak_active: int = 0
+    #: Admission wait per started request: seconds between arrival and
+    #: the slot grant (0.0 for immediately admitted requests).
+    wait_times: dict[int, float] = field(default_factory=dict)
 
     @property
     def completed(self) -> list[TransferStats]:
@@ -100,6 +111,7 @@ class SimObjectServer:
         per_client_max: Optional[int] = None,
         rate_budget_bps: Optional[float] = None,
         check_interval: float = 0.005,
+        telemetry: Optional[EventBus] = None,
     ):
         if not specs:
             raise ValueError("specs must be non-empty")
@@ -114,25 +126,63 @@ class SimObjectServer:
         )
         self.allocator = BandwidthAllocator(rate_budget_bps)
         self.check_interval = check_interval
+        self.telemetry = telemetry
         self._active: dict[int, FobsTransfer] = {}
         self._result = SimServerResult(stats=[None] * len(self.specs))
         self._resolved = 0
         self._poll_scheduled = False
+        self._arrived_at: dict[int, float] = {}
 
     # ------------------------------------------------------------------
     def _event(self, index: int, event: str, detail: str = "") -> None:
         self._result.events.append(
             AdmissionEvent(self.sim.now, index, event, detail))
 
+    def _emit_admission(self, index: int, action: str, **fields) -> None:
+        """Publish one EV_ADMISSION telemetry event (no-op when off)."""
+        if self.telemetry is None or not self.telemetry.enabled:
+            return
+        spec = self.specs[index]
+        payload: dict = {"action": action, "client": spec.client,
+                         "name": index}
+        if spec.klass:
+            payload["klass"] = spec.klass
+        payload.update(fields)
+        self.telemetry.publish(Event(
+            time=self.sim.now, kind=EV_ADMISSION, transfer_id=index + 1,
+            src="server", fields=payload))
+
     def _config_for(self, index: int) -> FobsConfig:
         base = PORT_BASE + PORT_STRIDE * index
         return replace(self.config, data_port=base, ack_port=base + 1,
                        ctrl_port=base + 2)
 
+    # -- fleet-harness hooks (see repro.loadtest.fleet) ----------------
+    def _epoch_of(self, index: int) -> int:
+        """Attempt epoch for the next build of ``index`` (0 = first)."""
+        del index
+        return 0
+
+    def _resume_of(self, index: int):
+        """Resume bitmap for the next build of ``index`` (None = fresh)."""
+        del index
+        return None
+
+    def _build_transfer(self, index: int) -> FobsTransfer:
+        """Construct the transfer for one admitted request."""
+        spec = self.specs[index]
+        dst = self.net.hosts[spec.dst] if spec.dst is not None else None
+        return FobsTransfer(
+            self.net, spec.nbytes, self._config_for(index),
+            epoch=self._epoch_of(index),
+            resume_bitmap=self._resume_of(index),
+            telemetry=self.telemetry, transfer_id=index + 1, dst=dst)
+
     def _start(self, index: int) -> None:
         spec = self.specs[index]
-        transfer = FobsTransfer(self.net, spec.nbytes,
-                                self._config_for(index))
+        arrived = self._arrived_at.get(index, self.sim.now)
+        self._result.wait_times[index] = self.sim.now - arrived
+        transfer = self._build_transfer(index)
         self._active[index] = transfer
         transfer.start()
         self.allocator.register(
@@ -144,28 +194,35 @@ class SimObjectServer:
 
     def _arrive(self, index: int) -> None:
         spec = self.specs[index]
+        self._arrived_at.setdefault(index, self.sim.now)
         decision = self.admission.request(index, client=spec.client)
         if decision.action == _adm.ADMIT:
             self._event(index, "admitted")
+            self._emit_admission(index, "admit")
             self._start(index)
             self.allocator.reallocate()
         elif decision.action == _adm.QUEUE:
             self._event(index, "queued", f"position={decision.position}")
+            self._emit_admission(index, "queue", position=decision.position)
             self._result.queued_ever.append(index)
         else:
             self._event(index, "rejected", decision.reason or "")
+            self._emit_admission(index, "reject", reason=decision.reason)
             self._result.rejected.append(index)
             self._resolved += 1
 
     def _finish(self, index: int) -> None:
         transfer = self._active.pop(index)
-        self._result.stats[index] = transfer.collect_stats()
+        stats = transfer.collect_stats()
+        self._result.stats[index] = stats
         self._resolved += 1
-        self._event(index, "finished",
-                    "ok" if self._result.stats[index].ok else "failed")
+        self._event(index, "finished", "ok" if stats.ok else "failed")
+        if transfer.telemetry.enabled:
+            transfer._emit_transfer_end(stats)
         self.allocator.unregister(index)
         for promoted in self.admission.release(index):
             self._event(promoted, "admitted", "from queue")
+            self._emit_admission(promoted, "admit", from_queue=True)
             self._start(promoted)
         self.allocator.reallocate()
 
@@ -194,7 +251,10 @@ class SimObjectServer:
         # timeout, reported per-transfer rather than silently dropped.
         for index, transfer in list(self._active.items()):
             transfer.timed_out = True
-            self._result.stats[index] = transfer.collect_stats()
+            stats = transfer.collect_stats()
+            self._result.stats[index] = stats
+            if transfer.telemetry.enabled:
+                transfer._emit_transfer_end(stats)
         self._active.clear()
         self._result.counters = self.admission.counters
         return self._result
@@ -209,10 +269,11 @@ def run_sim_server(
     per_client_max: Optional[int] = None,
     rate_budget_bps: Optional[float] = None,
     time_limit: float = 600.0,
+    telemetry: Optional[EventBus] = None,
 ) -> SimServerResult:
     """Convenience wrapper: build, run and summarize one server workload."""
     server = SimObjectServer(
         net, specs, config=config, max_active=max_active,
         queue_depth=queue_depth, per_client_max=per_client_max,
-        rate_budget_bps=rate_budget_bps)
+        rate_budget_bps=rate_budget_bps, telemetry=telemetry)
     return server.run(time_limit=time_limit)

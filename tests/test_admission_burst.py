@@ -1,0 +1,122 @@
+"""Admission under a burst of simultaneous arrivals.
+
+Regression pins for the properties the load-test fleet leans on: when
+many requests land at the same instant, the bounded queue keeps strict
+FIFO order (admissions, queue positions, and later promotions all
+follow arrival order) and the per-client cap is enforced across
+active + queued slots, not just actives.
+"""
+
+from repro.core.config import FobsConfig
+from repro.server import SimTransferSpec, run_sim_server
+from repro.server.admission import (
+    ADMIT,
+    CLIENT_CAP,
+    FULL,
+    QUEUE,
+    REJECT,
+    AdmissionController,
+)
+from repro.simnet import short_haul
+
+CONFIG = FobsConfig(ack_frequency=16)
+
+
+class TestControllerBurst:
+    def test_fifo_order_under_burst(self):
+        adm = AdmissionController(max_active=3, queue_depth=4)
+        decisions = [adm.request(i) for i in range(10)]
+
+        assert [d.action for d in decisions[:3]] == [ADMIT] * 3
+        assert [d.action for d in decisions[3:7]] == [QUEUE] * 4
+        # Queue positions are 1-based and strictly in arrival order.
+        assert [d.position for d in decisions[3:7]] == [1, 2, 3, 4]
+        assert [d.action for d in decisions[7:]] == [REJECT] * 3
+        assert all(d.reason == FULL for d in decisions[7:])
+        assert list(adm.waiting) == [3, 4, 5, 6]
+
+        # Releases promote strictly FIFO: 3, then 4, then 5, then 6.
+        promoted = []
+        for done in range(3):
+            promoted.extend(adm.release(done))
+        assert promoted == [3, 4, 5]
+        assert list(adm.waiting) == [6]
+
+    def test_per_client_cap_spans_active_and_queued(self):
+        adm = AdmissionController(max_active=2, queue_depth=4,
+                                  per_client_max=2)
+        assert adm.request("a1", client="alice").action == ADMIT
+        assert adm.request("a2", client="alice").action == ADMIT
+        # Third request from the same client: the cap counts the two
+        # active slots, so it cannot even queue.
+        third = adm.request("a3", client="alice")
+        assert third.action == REJECT
+        assert third.reason == CLIENT_CAP
+        # Another client still queues normally.
+        assert adm.request("b1", client="bob").action == QUEUE
+        # A queued slot counts against the cap too.
+        assert adm.request("b2", client="bob").action == QUEUE
+        b3 = adm.request("b3", client="bob")
+        assert b3.action == REJECT
+        assert b3.reason == CLIENT_CAP
+        assert adm.counters.rejected_client_cap == 2
+
+    def test_cancel_preserves_fifo_of_remaining(self):
+        adm = AdmissionController(max_active=1, queue_depth=3)
+        for key in ("a", "b", "c", "d"):
+            adm.request(key)
+        assert list(adm.waiting) == ["b", "c", "d"]
+        adm.cancel("c")
+        assert list(adm.waiting) == ["b", "d"]
+        assert adm.release("a") == ["b"]
+        assert adm.release("b") == ["d"]
+
+
+class TestServerBurst:
+    """The same properties end-to-end through the DES server."""
+
+    def _burst(self, n, client=None):
+        return [SimTransferSpec(nbytes=96_000, arrival=0.0,
+                                client=client or f"c{i}")
+                for i in range(n)]
+
+    def test_simultaneous_burst_fifo(self):
+        result = run_sim_server(
+            short_haul(seed=5), self._burst(10), config=CONFIG,
+            max_active=3, queue_depth=4, rate_budget_bps=60e6)
+
+        admitted_first = [e.index for e in result.events
+                          if e.event == "admitted" and not e.detail]
+        assert admitted_first == [0, 1, 2]
+        assert result.queued_ever == [3, 4, 5, 6]
+        assert result.rejected == [7, 8, 9]
+        # Promotions drain the queue in exactly arrival order.
+        promoted = [e.index for e in result.events
+                    if e.event == "admitted" and e.detail == "from queue"]
+        assert promoted == [3, 4, 5, 6]
+        assert len(result.completed) == 7
+        assert result.counters.rejected_full == 3
+
+    def test_simultaneous_burst_per_client_cap(self):
+        result = run_sim_server(
+            short_haul(seed=5), self._burst(6, client="greedy"),
+            config=CONFIG, max_active=3, queue_depth=8,
+            per_client_max=2, rate_budget_bps=60e6)
+
+        # One client bursting 6 simultaneous requests holds at most 2
+        # slots; the rest are rejected with the cap reason, regardless
+        # of free active/queue capacity.
+        assert len(result.completed) == 2
+        assert result.rejected == [2, 3, 4, 5]
+        assert result.counters.rejected_client_cap == 4
+        assert result.counters.rejected_full == 0
+
+    def test_queue_wait_times_recorded(self):
+        result = run_sim_server(
+            short_haul(seed=5), self._burst(5), config=CONFIG,
+            max_active=2, queue_depth=8, rate_budget_bps=60e6)
+        # Immediate admits wait ~0; promoted ones wait strictly longer.
+        assert result.wait_times[0] == 0.0
+        assert result.wait_times[1] == 0.0
+        for index in (2, 3, 4):
+            assert result.wait_times[index] > 0.0

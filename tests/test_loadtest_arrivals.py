@@ -1,0 +1,139 @@
+"""Property tests for the load-test arrival-process generators.
+
+Two families, per the harness's determinism contract:
+
+* **Seed determinism** — for any process shape and any seed, both
+  generators (thinning and exact-*n*) reproduce identical arrays from
+  equal seeds, and the arrays are sorted and confined to the horizon.
+* **Rate fidelity** — the empirical mean rate of the thinning
+  generator converges to the configured intensity (the expected count
+  is the integral of ``rate_at`` over the horizon), within a
+  statistical tolerance scaled to Poisson-count variance.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.loadtest import (
+    DiurnalProcess,
+    FlashCrowdProcess,
+    PoissonProcess,
+    generate_arrivals,
+    sample_arrival_times,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+HORIZON = 50.0
+
+
+def processes() -> st.SearchStrategy:
+    """Random-but-valid arrival processes of every supported shape."""
+    rates = st.floats(0.5, 40.0)
+    poisson = st.builds(PoissonProcess, rate=rates)
+    diurnal = st.builds(
+        DiurnalProcess,
+        base_rate=rates,
+        amplitude=st.floats(0.0, 0.95),
+        period=st.floats(5.0, 120.0),
+        phase=st.floats(0.0, 2.0 * math.pi),
+    )
+    flash = st.builds(
+        lambda base, flash, start, span: FlashCrowdProcess(
+            base_rate=base, flash_rate=flash,
+            flash_start=start, flash_end=start + span),
+        base=rates,
+        flash=st.floats(5.0, 120.0),
+        start=st.floats(0.0, 30.0),
+        span=st.floats(1.0, 20.0),
+    )
+    return st.one_of(poisson, diurnal, flash)
+
+
+def mean_rate(process, horizon: float, grid: int = 20_000) -> float:
+    """Numerical average of ``rate_at`` over the horizon."""
+    ts = np.linspace(0.0, horizon, grid)
+    return float(np.mean([process.rate_at(float(t)) for t in ts]))
+
+
+class TestSeedDeterminism:
+    @given(process=processes(), seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_thinning_reproduces_from_seed(self, process, seed):
+        a = generate_arrivals(process, HORIZON,
+                              np.random.default_rng(seed))
+        b = generate_arrivals(process, HORIZON,
+                              np.random.default_rng(seed))
+        np.testing.assert_array_equal(a, b)
+        assert np.all(np.diff(a) >= 0.0)
+        if a.size:
+            assert 0.0 <= a[0] and a[-1] < HORIZON
+
+    @given(process=processes(), seed=st.integers(0, 2**32 - 1),
+           n=st.integers(0, 500))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_n_reproduces_from_seed(self, process, seed, n):
+        a = sample_arrival_times(process, n, HORIZON,
+                                 np.random.default_rng(seed))
+        b = sample_arrival_times(process, n, HORIZON,
+                                 np.random.default_rng(seed))
+        np.testing.assert_array_equal(a, b)
+        assert a.size == n
+        assert np.all(np.diff(a) >= 0.0)
+        if n:
+            assert 0.0 <= a[0] and a[-1] <= HORIZON
+
+    def test_different_seeds_differ(self):
+        process = PoissonProcess(rate=10.0)
+        a = generate_arrivals(process, HORIZON, np.random.default_rng(1))
+        b = generate_arrivals(process, HORIZON, np.random.default_rng(2))
+        assert a.size != b.size or not np.array_equal(a, b)
+
+
+class TestRateFidelity:
+    @given(process=processes(), seed=st.integers(0, 2**32 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_empirical_mean_rate_within_tolerance(self, process, seed):
+        expected = mean_rate(process, HORIZON) * HORIZON
+        count = generate_arrivals(process, HORIZON,
+                                  np.random.default_rng(seed)).size
+        # Poisson count: sd = sqrt(mean).  5 sigma (plus a unit slack
+        # for discretization) keeps false failures out of CI while
+        # still catching any systematic rate bias.
+        tolerance = 5.0 * math.sqrt(expected) + 1.0
+        assert abs(count - expected) <= tolerance
+
+    def test_poisson_long_run_rate(self):
+        process = PoissonProcess(rate=20.0)
+        horizon = 500.0
+        count = generate_arrivals(process, horizon,
+                                  np.random.default_rng(7)).size
+        assert count / horizon == pytest.approx(20.0, rel=0.05)
+
+    def test_flash_crowd_density_follows_intensity(self):
+        process = FlashCrowdProcess(base_rate=2.0, flash_rate=40.0,
+                                    flash_start=10.0, flash_end=20.0)
+        times = sample_arrival_times(process, 4000, 40.0,
+                                     np.random.default_rng(3))
+        in_flash = np.count_nonzero((times >= 10.0) & (times < 20.0))
+        # Intensity mass: flash window holds 400 of the 460 expected
+        # arrivals (~87%).
+        assert in_flash / times.size == pytest.approx(400 / 460, abs=0.03)
+
+    def test_diurnal_peak_versus_trough(self):
+        process = DiurnalProcess(base_rate=10.0, amplitude=0.8,
+                                 period=40.0, phase=0.0)
+        times = sample_arrival_times(process, 8000, 40.0,
+                                     np.random.default_rng(9))
+        # sin peaks in the first half-period and dips in the second.
+        peak = np.count_nonzero(times < 20.0)
+        trough = times.size - peak
+        ratio = peak / trough
+        # Intensity mass ratio between halves: (1 + 2*amp/pi)/(1 - 2*amp/pi).
+        expected = (1 + 2 * 0.8 / math.pi) / (1 - 2 * 0.8 / math.pi)
+        assert ratio == pytest.approx(expected, rel=0.1)

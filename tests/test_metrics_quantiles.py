@@ -1,0 +1,118 @@
+"""Telemetry histogram quantile accuracy on adversarial samples.
+
+The SLO report quotes queue-wait and duration p50/p99 straight from
+:class:`repro.telemetry.metrics.Histogram` (log-scale buckets, base
+2^(1/4)).  The design contract is "within one geometric bin of the
+exact sample quantile"; these tests pin that on the distributions most
+likely to break a bucketed estimator — bimodal mixtures whose modes
+straddle many octaves, and heavy-tailed samples where p99 lives far
+from the mass.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.telemetry.metrics import _LOG_BASE, MetricsRegistry
+
+#: One-bin tolerance: the estimate is the geometric midpoint of its
+#: bucket, so it can sit at most 1.5 bucket-widths (in log space) from
+#: any exact sample value that maps into an adjacent bucket.
+ONE_BIN = _LOG_BASE ** 1.5
+
+
+def exact_quantile(values: np.ndarray, q: float) -> float:
+    return float(np.quantile(values, q))
+
+
+def fill(values: np.ndarray):
+    hist = MetricsRegistry().histogram("sample")
+    for v in values:
+        hist.observe(float(v))
+    return hist
+
+
+def assert_within_one_bin(estimate: float, exact: float) -> None:
+    assert exact > 0.0
+    ratio = estimate / exact
+    assert 1.0 / ONE_BIN <= ratio <= ONE_BIN, (
+        f"estimate {estimate:.6g} vs exact {exact:.6g} "
+        f"(ratio {ratio:.4f}, allowed {1 / ONE_BIN:.4f}..{ONE_BIN:.4f})")
+
+
+class TestBimodal:
+    def _sample(self, seed: int) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        # Two tight modes five orders of magnitude apart: fast-path
+        # queue waits (~1 ms) and stuck-behind-the-storm waits (~30 s).
+        fast = rng.lognormal(np.log(1e-3), 0.1, size=700)
+        slow = rng.lognormal(np.log(30.0), 0.1, size=300)
+        return np.concatenate([fast, slow])
+
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_p50_in_fast_mode(self, seed):
+        values = self._sample(seed)
+        hist = fill(values)
+        exact = exact_quantile(values, 0.50)
+        assert exact < 1e-2  # p50 sits in the fast mode
+        assert_within_one_bin(hist.p50, exact)
+
+    @pytest.mark.parametrize("seed", [1, 7, 23])
+    def test_p99_in_slow_mode(self, seed):
+        values = self._sample(seed)
+        hist = fill(values)
+        exact = exact_quantile(values, 0.99)
+        assert exact > 10.0  # p99 sits in the slow mode
+        assert_within_one_bin(hist.p99, exact)
+
+    def test_mode_boundary_quantile(self):
+        # q = 0.70 lands exactly on the gap between the modes; the
+        # estimator must pick a bucket belonging to one of them, not
+        # an interpolated value in the empty gap.
+        values = self._sample(3)
+        hist = fill(values)
+        est = hist.quantile(0.70)
+        assert est < 1e-2 or est > 10.0
+
+
+class TestHeavyTailed:
+    def _sample(self, seed: int, alpha: float = 1.3) -> np.ndarray:
+        rng = np.random.default_rng(seed)
+        # Pareto(alpha) with alpha < 2: infinite variance, the p99
+        # estimate must survive a tail thousands of times the median.
+        return (1.0 + rng.pareto(alpha, size=5000)) * 1e-2
+
+    @pytest.mark.parametrize("seed", [2, 11, 42])
+    @pytest.mark.parametrize("q", [0.50, 0.95, 0.99])
+    def test_quantiles_track_exact(self, seed, q):
+        values = self._sample(seed)
+        hist = fill(values)
+        assert_within_one_bin(hist.quantile(q), exact_quantile(values, q))
+
+    def test_extreme_alpha_near_one(self):
+        values = self._sample(5, alpha=1.05)
+        hist = fill(values)
+        assert_within_one_bin(hist.p99, exact_quantile(values, 0.99))
+
+
+class TestEdgeCases:
+    def test_zeros_have_their_own_bucket(self):
+        hist = MetricsRegistry().histogram("zeros")
+        for _ in range(90):
+            hist.observe(0.0)
+        for _ in range(10):
+            hist.observe(5.0)
+        assert hist.p50 == 0.0
+        assert_within_one_bin(hist.p99, 5.0)
+
+    def test_single_observation(self):
+        hist = MetricsRegistry().histogram("one")
+        hist.observe(0.25)
+        for q in (0.5, 0.95, 0.99):
+            assert_within_one_bin(hist.quantile(q), 0.25)
+
+    def test_empty_histogram_quantile_is_zero(self):
+        hist = MetricsRegistry().histogram("empty")
+        assert hist.p50 == 0.0
+        assert hist.p99 == 0.0
