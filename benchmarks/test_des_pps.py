@@ -1,0 +1,139 @@
+"""DES engine throughput baseline + digest-verify overhead.
+
+Writes the repo's first *performance* baseline artifact,
+``benchmarks/results/BENCH_des_pps.json``::
+
+    {"bench": "des_pps", "schema": 1, "entries": [...]}
+
+Two measurements:
+
+* **des_pps** — how many simulated data packets per wall-clock second
+  the deterministic event simulator pushes through a clean FOBS
+  transfer.  This is the number every DES-based experiment (figures,
+  ablations, loadtest) scales with.
+* **verify overhead** — what the per-chunk digest manifest costs on
+  top of a transfer: manifest build rate, audit rate, and the audit's
+  wall-clock share of a same-sized DES transfer.  The storage-chaos
+  design leans on "verify is cheap"; this pins the claim with numbers.
+
+Wall-clock numbers move between runners, so the committed artifact is
+a *baseline*, not a determinism contract (unlike BENCH_loadtest.json);
+the hard assertions are generous floors that only a real perf
+regression should cross.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import FobsConfig, run_fobs_transfer
+from repro.core.manifest import ChunkManifest
+from repro.simnet.topology import HopSpec, PathSpec, build_path
+
+from _bench_support import RESULTS_DIR, emit
+
+pytestmark = pytest.mark.chaos
+
+BENCH_PATH = RESULTS_DIR / "BENCH_des_pps.json"
+NBYTES = 4_000_000
+PACKET_SIZE = 1024
+REPEATS = 3
+
+
+def _net(seed=7):
+    spec = PathSpec(
+        "bench", "a", "b",
+        hops=(HopSpec(1e9, 1e-3, queue_bytes=1 << 20),),
+        bottleneck_bps=1e9,
+    )
+    return build_path(spec, seed=seed)
+
+
+def _best(fn, repeats=REPEATS):
+    best, out = float("inf"), None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        dt = time.perf_counter() - t0
+        if dt < best:
+            best, out = dt, result
+    return best, out
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    config = FobsConfig(packet_size=PACKET_SIZE, ack_frequency=16)
+
+    transfer_wall, stats = _best(
+        lambda: run_fobs_transfer(_net(), NBYTES, config))
+    assert stats.completed
+    pps = stats.packets_sent / transfer_wall
+
+    data = np.random.default_rng(3).integers(
+        0, 256, NBYTES, dtype=np.uint8).tobytes()
+    build_wall, manifest = _best(
+        lambda: ChunkManifest.from_data(data, PACKET_SIZE))
+    audit_wall, bad = _best(lambda: manifest.verify_blob(data))
+    assert len(bad) == 0
+
+    return {
+        "nbytes": NBYTES,
+        "packet_size": PACKET_SIZE,
+        "des": {
+            "packets_sent": stats.packets_sent,
+            "wall_s": round(transfer_wall, 4),
+            "pps": round(pps, 1),
+        },
+        "verify": {
+            "npackets": manifest.npackets,
+            "build_wall_s": round(build_wall, 4),
+            "build_mbps": round(NBYTES / build_wall / 1e6, 1),
+            "audit_wall_s": round(audit_wall, 4),
+            "audit_mbps": round(NBYTES / audit_wall / 1e6, 1),
+            # The cost of one completion audit relative to moving the
+            # same object through the DES once.
+            "audit_share_of_transfer": round(audit_wall / transfer_wall, 4),
+        },
+    }
+
+
+def test_des_pps_baseline_and_artifact(measurements, capsys):
+    m = measurements
+    lines = [
+        "DES packets/sec + digest-verify overhead "
+        f"({m['nbytes']} B object, {m['packet_size']} B packets, "
+        f"best of {REPEATS})",
+        f"  DES transfer: {m['des']['packets_sent']} packets in "
+        f"{m['des']['wall_s']:.3f}s -> {m['des']['pps']:,.0f} pkt/s",
+        f"  manifest build: {m['verify']['build_mbps']:.0f} MB/s, "
+        f"audit: {m['verify']['audit_mbps']:.0f} MB/s",
+        f"  completion audit = "
+        f"{100 * m['verify']['audit_share_of_transfer']:.1f}% of one DES "
+        f"transfer's wall time",
+    ]
+    emit("des_pps", "\n".join(lines), capsys)
+
+    payload = {"bench": "des_pps", "schema": 1, "entries": [m]}
+    BENCH_PATH.write_text(json.dumps(payload, sort_keys=True, indent=2)
+                          + "\n")
+    assert BENCH_PATH.stat().st_size > 0
+
+
+def test_verify_is_cheap_relative_to_the_transfer(measurements):
+    """The robustness design assumes digest audits are a rounding error
+    next to moving the bytes; a regression here (e.g. accidentally
+    quadratic audit) should fail loudly."""
+    v = measurements["verify"]
+    assert v["build_mbps"] > 20, "manifest build slower than 20 MB/s"
+    assert v["audit_mbps"] > 20, "digest audit slower than 20 MB/s"
+    assert v["audit_share_of_transfer"] < 0.5, (
+        "completion audit costs more than half a DES transfer")
+
+
+def test_des_engine_clears_throughput_floor(measurements):
+    assert measurements["des"]["pps"] > 2000, (
+        "DES slower than 2k packets/sec — engine perf regression")

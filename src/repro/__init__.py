@@ -37,12 +37,14 @@ replay the log with ``repro timeline`` /
 """
 
 from repro.core import (
+    ChunkManifest,
     FobsConfig,
     FobsReceiver,
     FobsSender,
     FobsTransfer,
     PacketBitmap,
     TransferStats,
+    VerifyStats,
     run_fobs_transfer,
 )
 from repro.simnet import (
@@ -71,15 +73,19 @@ from repro.telemetry import (
     EV_ADMISSION,
     EV_BATCH_SENT,
     EV_BITMAP_DELTA,
+    EV_CORRUPTION,
     EV_META,
+    EV_REPAIR,
     EV_RESUME_EPOCH,
     EV_RETRANSMIT_ROUND,
     EV_SAMPLE,
     EV_SNAPSHOT,
     EV_STALL,
+    EV_STORAGE_FAULT,
     EV_TRACE,
     EV_TRANSFER_END,
     EV_TRANSFER_START,
+    EV_VERIFY,
     EVENT_KINDS,
     EVENT_SCHEMA_VERSION,
     Event,
@@ -144,5 +150,11 @@ __all__ = [
     "EV_SNAPSHOT",
     "EV_SAMPLE",
     "EV_TRACE",
+    "EV_STORAGE_FAULT",
+    "EV_CORRUPTION",
+    "EV_REPAIR",
+    "EV_VERIFY",
+    "ChunkManifest",
+    "VerifyStats",
     "__version__",
 ]

@@ -140,15 +140,31 @@ class RecoveryReport:
     #: half-delivered object starts near 0.5 before loss is counted.
     resume_overhead: float
     stale_epoch_dropped: int = 0
+    #: Journal-claimed ranges demoted back to unreceived by a digest
+    #: audit (verify-on-resume or verify-on-complete).
+    ranges_demoted: int = 0
+    #: Bytes re-fetched because a digest audit rejected them.
+    bytes_refetched: int = 0
+    #: Wall-clock seconds spent in digest audits across all attempts.
+    verify_seconds: float = 0.0
 
     def render(self) -> str:
-        return (
+        out = (
             f"recovery: {self.attempts} attempt(s), salvaged "
             f"{self.packets_salvaged}/{self.npackets} packets "
             f"({self.bytes_salvaged} bytes), overhead "
             f"{self.resume_overhead:.2f}x over oracle, "
             f"{self.stale_epoch_dropped} stale-epoch datagrams dropped"
         )
+        if self.ranges_demoted or self.bytes_refetched:
+            out += (
+                f"; verify demoted {self.ranges_demoted} range(s) "
+                f"({self.bytes_refetched} bytes re-fetched) "
+                f"in {self.verify_seconds:.3f}s"
+            )
+        elif self.verify_seconds:
+            out += f"; verify clean in {self.verify_seconds:.3f}s"
+        return out
 
 
 # ---------------------------------------------------------------------------
@@ -222,4 +238,7 @@ def recovery_report(result, packet_size: int) -> "RecoveryReport":
         total_packets_sent=sent,
         resume_overhead=overhead,
         stale_epoch_dropped=int(getattr(result, "stale_epoch_dropped", 0)),
+        ranges_demoted=int(getattr(result, "ranges_demoted", 0)),
+        bytes_refetched=int(getattr(result, "bytes_refetched", 0)),
+        verify_seconds=float(getattr(result, "verify_seconds", 0.0)),
     )

@@ -1,0 +1,38 @@
+"""repro.chaos — deterministic host-side fault injection + chaos harness.
+
+``simnet.faults`` (PR 1) attacks the *network*; this package attacks
+the *host*: torn writes, bit rot, EIO/ENOSPC at scheduled operations,
+and crash-drop of unsynced pages, all replayable from a seed
+(:mod:`repro.chaos.hostfaults`).  :mod:`repro.chaos.harness` composes
+them with network faults and kill-anywhere crash injection and checks
+the one invariant that matters: a transfer that reports success
+delivered bytes identical to the source — never silent corruption.
+"""
+
+from repro.chaos.hostfaults import (
+    FaultyFile,
+    FaultyStore,
+    HostFaultSchedule,
+    HostFaultStats,
+    bit_rot,
+    disk_full_at,
+    torn_writes,
+)
+from repro.chaos.harness import (
+    ChaosResult,
+    ChaosScenario,
+    run_chaos_transfer,
+)
+
+__all__ = [
+    "ChaosResult",
+    "ChaosScenario",
+    "FaultyFile",
+    "FaultyStore",
+    "HostFaultSchedule",
+    "HostFaultStats",
+    "bit_rot",
+    "disk_full_at",
+    "run_chaos_transfer",
+    "torn_writes",
+]

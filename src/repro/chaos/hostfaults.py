@@ -1,0 +1,335 @@
+"""Deterministic, seeded host-side (storage) fault injection.
+
+The mirror image of :mod:`repro.simnet.faults`: that module corrupts
+the *network* a transfer crosses, this one corrupts the *disk* it lands
+on.  Faults are declared as an immutable :class:`HostFaultSchedule`
+value (round-trips through ``to_dict``/``from_dict`` like
+``FaultSchedule``), executed by a :class:`FaultyStore` whose RNG is
+seeded, so the same ``(seed, schedule)`` pair replays the identical
+fault pattern on every run.
+
+Fault model (each drawn per file-write from the store's RNG stream):
+
+* **torn write** — the application-visible write "succeeds" (position
+  advances the full length) but only a random prefix of the payload
+  actually lands in the file; the tail keeps whatever bytes were there
+  before (or the file stays short).  Models a crash mid-page-writeout
+  and buggy storage stacks; invisible to the writer, caught only by
+  digest verification.
+* **bit rot** — one random bit of the written payload is flipped
+  before it hits the file.  Persistent media corruption.
+* **read flip** — one random bit of a read's *returned* buffer is
+  flipped (the stored bytes stay intact).  Transient readback
+  corruption (cabling, controller RAM).
+* **scheduled errors** — the Nth write operation (store-wide counter)
+  raises ``EIO``/``ENOSPC``.  Because the counter keeps advancing
+  across attempts, a scheduled error is transient: the retry's writes
+  land at later op indices, exactly like a disk that filled up and was
+  then cleaned.
+* **crash-drop of unsynced pages** — every write is undo-logged until
+  the next ``flush()`` (the sync barrier); :meth:`FaultyFile.crash`
+  rolls the unflushed writes back, exactly as a kernel losing its dirty
+  page cache in a power cut.  This is the delayed-fsync model that
+  makes "journal claims a packet whose bytes were lost" reachable.
+
+The store exposes the same ``open(path, mode)`` callable shape as the
+builtin, so the transfer stack takes it as an ``opener`` seam without
+importing this package.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from dataclasses import dataclass, fields
+from typing import IO, Dict, List, Optional, Tuple
+
+import numpy as np
+
+_ERRNOS = {"EIO": errno.EIO, "ENOSPC": errno.ENOSPC, "EDQUOT": errno.EDQUOT}
+
+
+@dataclass(frozen=True)
+class HostFaultSchedule:
+    """Declarative, replayable description of one host's storage faults."""
+
+    #: Probability a write persists only a random prefix of its payload.
+    torn_write_rate: float = 0.0
+    #: Probability a written payload gets one bit flipped on media.
+    bitrot_rate: float = 0.0
+    #: Probability a read's returned buffer gets one bit flipped.
+    read_flip_rate: float = 0.0
+    #: ``(op_index, errname)`` pairs: the op_index-th write (store-wide
+    #: 0-based counter) raises that errno ("EIO"/"ENOSPC"/"EDQUOT").
+    error_ops: Tuple[Tuple[int, str], ...] = ()
+    #: When True, writes since the last flush are rolled back by
+    #: :meth:`FaultyFile.crash` (delayed-fsync page-cache loss).
+    crash_drops_unsynced: bool = True
+
+    def __post_init__(self) -> None:
+        for name in ("torn_write_rate", "bitrot_rate", "read_flip_rate"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {v!r}")
+        for op, errname in self.error_ops:
+            if op < 0:
+                raise ValueError(f"error op index must be >= 0, got {op}")
+            if errname not in _ERRNOS:
+                raise ValueError(
+                    f"unknown errno {errname!r}; choose from {sorted(_ERRNOS)}")
+
+    @property
+    def benign(self) -> bool:
+        return (self.torn_write_rate == 0 and self.bitrot_rate == 0
+                and self.read_flip_rate == 0 and not self.error_ops)
+
+    def to_dict(self) -> dict:
+        out: dict = {}
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if v == f.default:
+                continue
+            if f.name == "error_ops":
+                v = [list(pair) for pair in v]
+            out[f.name] = v
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "HostFaultSchedule":
+        kwargs = dict(data)
+        if "error_ops" in kwargs:
+            kwargs["error_ops"] = tuple(
+                (int(op), str(name)) for op, name in kwargs["error_ops"])
+        return cls(**kwargs)
+
+
+@dataclass
+class HostFaultStats:
+    """What one store did to the I/O it saw."""
+
+    writes_seen: int = 0
+    reads_seen: int = 0
+    torn_writes: int = 0
+    bitrot_writes: int = 0
+    read_flips: int = 0
+    errors_injected: int = 0
+    crashes: int = 0
+    crash_dropped_bytes: int = 0
+
+    @property
+    def corruptions(self) -> int:
+        return self.torn_writes + self.bitrot_writes + self.read_flips
+
+
+def _flip_one_bit(buf: bytes, rng: np.random.Generator) -> bytes:
+    if not buf:
+        return buf
+    arr = bytearray(buf)
+    pos = int(rng.integers(0, len(arr)))
+    arr[pos] ^= 1 << int(rng.integers(0, 8))
+    return bytes(arr)
+
+
+class FaultyFile:
+    """A file object that lies, per the store's schedule.
+
+    Wraps a real binary file handle and forwards the full file-object
+    surface the transfer stack uses (``write``/``read``/``seek``/
+    ``tell``/``flush``/``truncate``/``close``/``fileno``), injecting
+    faults on the way through.  Writes are undo-logged until ``flush``
+    so :meth:`crash` can drop the unsynced pages.
+    """
+
+    def __init__(self, fh: IO[bytes], store: "FaultyStore", path: str):
+        self._fh = fh
+        self._store = store
+        self.path = path
+        #: (offset, previous_bytes, file_size_before, bytes_written)
+        #: per unsynced write.
+        self._undo: List[Tuple[int, bytes, int, int]] = []
+        self.closed = False
+
+    # -- faulted write path -------------------------------------------
+    def write(self, data) -> int:
+        buf = bytes(data)
+        self._store._on_write(self, buf)
+        return len(buf)
+
+    def _raw_write(self, buf: bytes, *, torn_to: Optional[int],
+                   flip: bool) -> None:
+        fh = self._fh
+        offset = fh.tell()
+        n = len(buf)
+        if self._store.schedule.crash_drops_unsynced:
+            fh.seek(0, os.SEEK_END)
+            size_before = fh.tell()
+            fh.seek(offset)
+            old = fh.read(min(n, max(0, size_before - offset)))
+            fh.seek(offset)
+            self._undo.append((offset, old, size_before, n))
+        if flip:
+            buf = _flip_one_bit(buf, self._store._rng)
+        if torn_to is not None:
+            fh.write(buf[:torn_to])
+        else:
+            fh.write(buf)
+        # The application-visible position always advances the full
+        # write length — a torn write is invisible to the writer.
+        fh.seek(offset + n)
+
+    # -- faulted read path --------------------------------------------
+    def read(self, size: int = -1) -> bytes:
+        data = self._fh.read(size)
+        return self._store._on_read(data)
+
+    # -- pass-through surface -----------------------------------------
+    def seek(self, offset: int, whence: int = os.SEEK_SET) -> int:
+        return self._fh.seek(offset, whence)
+
+    def tell(self) -> int:
+        return self._fh.tell()
+
+    def truncate(self, size: Optional[int] = None) -> int:
+        return self._fh.truncate(size)
+
+    def fileno(self) -> int:
+        return self._fh.fileno()
+
+    def flush(self) -> None:
+        """The sync barrier: everything written so far survives a crash."""
+        self._fh.flush()
+        self._undo.clear()
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self.flush()
+        self._fh.close()
+        self.closed = True
+        self._store._forget(self)
+
+    def __enter__(self) -> "FaultyFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- crash injection ----------------------------------------------
+    def crash(self) -> int:
+        """Simulate process+page-cache death: roll back unsynced writes.
+
+        Returns how many bytes were dropped.  The handle is closed; the
+        on-disk file holds only what had been flushed.
+        """
+        dropped = 0
+        if not self.closed:
+            fh = self._fh
+            for offset, old, size_before, nwritten in reversed(self._undo):
+                fh.truncate(size_before)
+                fh.seek(offset)
+                fh.write(old)
+                dropped += nwritten
+            fh.flush()
+            fh.close()
+            self.closed = True
+        self._undo.clear()
+        self._store._forget(self)
+        return dropped
+
+
+class FaultyStore:
+    """Factory + shared fault state for one host's files.
+
+    One store models one machine: the scheduled-error op counter, RNG
+    stream and stats span every file it opens, so a schedule like
+    "ENOSPC at write #40" fires once wherever write #40 lands (part
+    file or journal) and is transient across retry attempts.
+    """
+
+    def __init__(self, schedule: HostFaultSchedule, seed: int = 0):
+        self.schedule = schedule
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+        self._error_ops: Dict[int, str] = {op: name
+                                           for op, name in schedule.error_ops}
+        self.write_ops = 0
+        self.stats = HostFaultStats()
+        self._open_files: List[FaultyFile] = []
+
+    # The transfer stack's ``opener`` seam: same shape as builtin open.
+    def open(self, path: str, mode: str = "r+b") -> FaultyFile:
+        if "b" not in mode:
+            raise ValueError("FaultyStore only serves binary files")
+        ff = FaultyFile(open(path, mode), self, path)
+        self._open_files.append(ff)
+        return ff
+
+    def crash(self) -> int:
+        """Kill the host: every open file loses its unsynced pages."""
+        dropped = 0
+        for ff in list(self._open_files):
+            dropped += ff.crash()
+        self.stats.crashes += 1
+        self.stats.crash_dropped_bytes += dropped
+        return dropped
+
+    # -- internal fault engine ----------------------------------------
+    def _on_write(self, ff: FaultyFile, buf: bytes) -> None:
+        op = self.write_ops
+        self.write_ops += 1
+        self.stats.writes_seen += 1
+        errname = self._error_ops.get(op)
+        if errname is not None:
+            self.stats.errors_injected += 1
+            raise OSError(_ERRNOS[errname],
+                          f"injected {errname} at write op {op}")
+        sched = self.schedule
+        torn_to: Optional[int] = None
+        flip = False
+        if sched.torn_write_rate and self._rng.random() < sched.torn_write_rate:
+            torn_to = int(self._rng.integers(0, max(1, len(buf))))
+            self.stats.torn_writes += 1
+        if sched.bitrot_rate and self._rng.random() < sched.bitrot_rate:
+            flip = True
+            self.stats.bitrot_writes += 1
+        ff._raw_write(buf, torn_to=torn_to, flip=flip)
+
+    def _on_read(self, data: bytes) -> bytes:
+        self.stats.reads_seen += 1
+        sched = self.schedule
+        if (data and sched.read_flip_rate
+                and self._rng.random() < sched.read_flip_rate):
+            self.stats.read_flips += 1
+            return _flip_one_bit(data, self._rng)
+        return data
+
+    def _forget(self, ff: FaultyFile) -> None:
+        try:
+            self._open_files.remove(ff)
+        except ValueError:
+            pass
+
+
+# Canned schedules used by the chaos matrix and tests ------------------
+
+def torn_writes(rate: float = 0.05) -> HostFaultSchedule:
+    return HostFaultSchedule(torn_write_rate=rate)
+
+
+def bit_rot(rate: float = 0.05) -> HostFaultSchedule:
+    return HostFaultSchedule(bitrot_rate=rate)
+
+
+def disk_full_at(op: int, errname: str = "ENOSPC") -> HostFaultSchedule:
+    return HostFaultSchedule(error_ops=((op, errname),))
+
+
+__all__ = [
+    "FaultyFile",
+    "FaultyStore",
+    "HostFaultSchedule",
+    "HostFaultStats",
+    "torn_writes",
+    "bit_rot",
+    "disk_full_at",
+]

@@ -17,6 +17,11 @@ from repro.core.journal import (
     ReplayResult,
     replay_journal,
 )
+from repro.core.manifest import (
+    ChunkManifest,
+    ManifestCorrupt,
+    VerifyStats,
+)
 from repro.core.scheduling import (
     CircularScheduler,
     RandomScheduler,
@@ -52,6 +57,9 @@ __all__ = [
     "ReceiverJournal",
     "ReplayResult",
     "replay_journal",
+    "ChunkManifest",
+    "ManifestCorrupt",
+    "VerifyStats",
     "CircularScheduler",
     "SequentialRestartScheduler",
     "RandomScheduler",

@@ -57,6 +57,35 @@ class PacketBitmap:
         self._count += 1
         return True
 
+    def clear(self, seq: int) -> bool:
+        """Demote ``seq`` back to unreceived; True if it was set.
+
+        The inverse of :meth:`mark`, used by the verify passes: a chunk
+        whose on-disk bytes fail their digest is cleared so the
+        ordinary FOBS machinery re-fetches it.
+        """
+        if not 0 <= seq < self.npackets:
+            raise IndexError(f"seq {seq} out of range [0, {self.npackets})")
+        if not self._arr[seq]:
+            return False
+        self._arr[seq] = False
+        self._count -= 1
+        return True
+
+    def demote(self, seqs) -> int:
+        """Clear many sequence numbers at once; returns how many were
+        actually set (vectorized — verify passes hand over whole
+        corrupt-range arrays)."""
+        idx = np.asarray(seqs, dtype=np.int64)
+        if idx.size == 0:
+            return 0
+        if idx.min() < 0 or idx.max() >= self.npackets:
+            raise IndexError("demote indices out of range")
+        was_set = int(np.count_nonzero(self._arr[idx]))
+        self._arr[idx] = False
+        self._count = int(np.count_nonzero(self._arr))
+        return was_set
+
     def merge(self, other: np.ndarray) -> int:
         """OR in another bitmap; returns how many packets became new."""
         if other.shape != self._arr.shape:

@@ -40,7 +40,7 @@ import os
 import struct
 import zlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -207,6 +207,13 @@ class ReceiverJournal:
         self._run_start: Optional[int] = None
         self._run_count = 0
         self._fh = None  # type: Optional[object]
+        #: Fault-injection seam: when set, called with a phase label at
+        #: each compaction step ("compact:tmp-synced" after the temp
+        #: file is durable, "compact:replaced" after the rename).  A
+        #: hook that raises simulates a kill at exactly that point; the
+        #: on-disk file must replay as either the old or the new
+        #: journal, never neither.
+        self.crash_hook: Optional[Callable[[str], None]] = None
 
     # ------------------------------------------------------------------
     @classmethod
@@ -321,7 +328,14 @@ class ReceiverJournal:
         self._run_start = None
         self._run_count = 0
         if self.records_written >= self.compact_threshold:
-            self.compact()
+            try:
+                self.compact()
+            except OSError:
+                # Auto-compaction is an optimization; a full disk must
+                # not fail the data path.  The old journal is intact
+                # and still appendable; compact() already backed the
+                # threshold off so we retry later, not per-record.
+                pass
 
     def flush(self) -> None:
         """Append the pending run and push it to the OS (and disk if
@@ -333,31 +347,89 @@ class ReceiverJournal:
         if self.fsync:
             os.fsync(self._fh.fileno())
 
+    def _crash_point(self, phase: str) -> None:
+        if self.crash_hook is not None:
+            self.crash_hook(phase)
+
     def compact(self) -> None:
-        """Rewrite the journal as the RLE of the current bitmap."""
+        """Rewrite the journal as the RLE of the current bitmap.
+
+        Crash-atomic: the replacement is written to a temp file,
+        fsynced *unconditionally* (rename-into-place is only atomic if
+        the new bytes are durable before the rename makes them the
+        journal), then renamed over the old file.  The old journal
+        stays open and untouched until the rename succeeds, so a kill
+        or an ENOSPC/EIO at any point leaves exactly one valid journal
+        on disk — never a truncated half-rewrite.  On OSError the temp
+        file is removed, the compaction threshold is backed off (so a
+        full disk does not retry per-record), and the error propagates
+        for the caller's storage-fault handling.
+        """
         if self._fh is None:
             raise ValueError("journal is closed")
         tmp = self.path + ".compact"
         tid = self.header.transfer_id
-        with open(tmp, "wb") as out:
-            out.write(self.header.encode())
-            nrecords = 0
-            arr = self.bitmap.array
-            # Run-length encode the received ranges, vectorized.
-            padded = np.concatenate(([False], arr, [False]))
-            edges = np.flatnonzero(padded[1:] != padded[:-1])
-            for start, end in zip(edges[::2].tolist(), edges[1::2].tolist()):
-                out.write(encode_record(start, end - start, tid))
-                nrecords += 1
-            out.flush()
-            if self.fsync:
+        nrecords = 0
+        try:
+            with open(tmp, "wb") as out:
+                out.write(self.header.encode())
+                arr = self.bitmap.array
+                # Run-length encode the received ranges, vectorized.
+                padded = np.concatenate(([False], arr, [False]))
+                edges = np.flatnonzero(padded[1:] != padded[:-1])
+                for start, end in zip(edges[::2].tolist(), edges[1::2].tolist()):
+                    out.write(encode_record(start, end - start, tid))
+                    nrecords += 1
+                out.flush()
                 os.fsync(out.fileno())
+            self._crash_point("compact:tmp-synced")
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                os.remove(tmp)
+            except OSError:
+                pass
+            self.compact_threshold *= 2
+            raise
+        self._crash_point("compact:replaced")
+        # The bitmap (which the RLE was written from) already includes
+        # any pending run; carrying it past the rewrite would only
+        # append a duplicate record.
+        self._run_start = None
+        self._run_count = 0
         self._fh.close()
-        os.replace(tmp, self.path)
         self._fh = open(self.path, "r+b")
         self._fh.seek(0, os.SEEK_END)
+        if self.fsync:
+            # Make the rename itself durable, not just the file bytes.
+            try:
+                dirfd = os.open(os.path.dirname(self.path) or ".", os.O_RDONLY)
+            except OSError:
+                dirfd = None
+            if dirfd is not None:
+                try:
+                    os.fsync(dirfd)
+                finally:
+                    os.close(dirfd)
         self.records_written = nrecords
         self.compactions += 1
+
+    def demote(self, seqs: Sequence[int]) -> int:
+        """Durably demote packets back to unreceived.
+
+        The verify passes call this when on-disk chunks fail their
+        digests: the bits are cleared and the journal is immediately
+        compacted, so the demotion is itself crash-durable — a kill
+        right after a verify pass cannot resurrect the corrupt ranges
+        as "received" on the next resume.  Returns how many packets
+        were actually demoted (idempotent on re-runs).
+        """
+        if self._fh is None:
+            raise ValueError("journal is closed")
+        demoted = self.bitmap.demote(seqs)
+        if demoted:
+            self.compact()
+        return demoted
 
     # ------------------------------------------------------------------
     def simulate_crash(self) -> None:

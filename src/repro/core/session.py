@@ -26,6 +26,7 @@ bytes to a TCP bulk transfer when the policy trips.
 
 from __future__ import annotations
 
+import errno
 from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Optional
@@ -48,6 +49,7 @@ from repro.simnet.trace import Tracer
 from repro.tcp.connection import TcpConnection, TcpListener
 from repro.tcp.options import TcpOptions
 from repro.telemetry import (
+    EV_STORAGE_FAULT,
     EV_TRANSFER_END,
     EV_TRANSFER_START,
     NULL_CHANNEL,
@@ -533,7 +535,23 @@ class FobsTransfer:
             self._recv_busy = True
             self.sim.schedule(cost, self._recv_after, None)
             return
-        ack = self.receiver.on_data(pkt.seq, self.sim.now)
+        try:
+            ack = self.receiver.on_data(pkt.seq, self.sim.now)
+        except OSError as exc:
+            # The receiver's journal write hit a disk fault (EIO,
+            # ENOSPC).  Fail this attempt with a typed, retryable
+            # diagnosis — the supervisor treats storage faults like any
+            # other attempt failure, and the journal's already-durable
+            # prefix still seeds the resume.
+            name = errno.errorcode.get(exc.errno, type(exc).__name__)
+            if self.telemetry.enabled:
+                self.telemetry.emit(EV_STORAGE_FAULT, error=name,
+                                    where="journal", detail=str(exc))
+            if self.tracer.enabled:
+                self.tracer.emit(self.sim.now, "storage_fault",
+                                 f"{name}: {exc}")
+            self._fail(f"storage fault [{name}] at journal: {exc}")
+            return
         if ack is not None:
             cost += self._b_profile.ack_cost(self._bitmap_bytes)
             cost += self._b_profile.send_cost(ack.wire_bytes)

@@ -30,6 +30,7 @@ Used by the ``fobs-xfer`` CLI (:mod:`repro.runtime.cli`).
 
 from __future__ import annotations
 
+import errno
 import os
 import socket
 import struct
@@ -43,6 +44,12 @@ import numpy as np
 
 from repro.core.config import FobsConfig
 from repro.core.journal import ReceiverJournal
+from repro.core.manifest import (
+    ChunkManifest,
+    ManifestCorrupt,
+    VerifyStats,
+    corrupt_ranges,
+)
 from repro.core.receiver import FobsReceiver
 from repro.core.sender import FobsSender
 from repro.runtime import wire
@@ -52,8 +59,12 @@ from repro.runtime.supervisor import (
     kill_for_attempt,
 )
 from repro.telemetry import (
+    EV_CORRUPTION,
+    EV_REPAIR,
+    EV_STORAGE_FAULT,
     EV_TRANSFER_END,
     EV_TRANSFER_START,
+    EV_VERIFY,
     NULL_CHANNEL,
     EventBus,
     TelemetryChannel,
@@ -75,6 +86,13 @@ FLAG_CHECKSUM = 1
 #: Offer flag bit (v2 offers only): resumable session.  The receiver
 #: journals progress and replies with RESUME instead of ACCEPT.
 FLAG_RESUME = 2
+#: Offer flag bit (v2 offers only, requires FLAG_RESUME): a VERIFY
+#: frame carrying the per-chunk digest manifest follows the offer on
+#: the control channel (PROTOCOL.md §10).  The receiver audits its
+#: journal-claimed chunks against the manifest before building the
+#: RESUME bitmap, and audits the whole object before declaring
+#: completion; corrupt chunks are demoted and re-fetched.
+FLAG_VERIFY = 4
 
 
 @dataclass
@@ -94,6 +112,12 @@ class FileTransferResult:
     #: Packets recovered from the journal instead of retransmitted.
     resumed_packets: int = 0
     stale_epoch_dropped: int = 0
+    #: Corruption-repair counters (receiver side; zero for senders).
+    ranges_demoted: int = 0
+    packets_demoted: int = 0
+    bytes_refetched: int = 0
+    verify_seconds: float = 0.0
+    storage_faults: int = 0
 
 
 def recv_exact(sock: socket.socket, nbytes: int) -> bytes:
@@ -148,9 +172,15 @@ def _send_attempt(
     session: Optional[wire.SessionContext],
     kill=None,
     telemetry: Optional[EventBus] = None,
+    manifest: Optional[ChunkManifest] = None,
+    drop_rate: float = 0.0,
+    corrupt_rate: float = 0.0,
+    fault_seed: int = 0,
 ) -> _SendOutcome:
     """Run one connect→offer→blast attempt; never raises on failure."""
     deadline = time.monotonic() + timeout
+    drop_rng = np.random.default_rng(fault_seed + 1)
+    corrupt_rng = np.random.default_rng(fault_seed + 2)
     resumable = session is not None
     tid = session.transfer_id if resumable else 0
     epoch = session.epoch if resumable else 0
@@ -179,10 +209,17 @@ def _send_attempt(
             flags = FLAG_CHECKSUM if config.checksum else 0
             if resumable:
                 flags |= FLAG_RESUME
+                if manifest is not None:
+                    flags |= FLAG_VERIFY
                 ctrl.sendall(_OFFER2.pack(
                     OFFER2_MAGIC, len(data), config.packet_size,
                     ack_sock.getsockname()[1], flags, crc,
                     session.transfer_id, session.epoch))
+                if manifest is not None:
+                    # VERIFY rides between OFFER and the RESUME reply,
+                    # so the receiver holds the digests before it
+                    # decides which journal-claimed packets to trust.
+                    ctrl.sendall(wire.encode_verify(manifest.encode()))
                 resume = wire.decode_resume(recv_exact(
                     ctrl, wire.resume_wire_bytes(config.npackets(len(data)))))
                 if resume.transfer_id != session.transfer_id:
@@ -203,6 +240,7 @@ def _send_attempt(
 
             ctrl.setblocking(False)
             start = time.monotonic()
+            completion_seen = False
             while not sender.complete:
                 now = time.monotonic()
                 if now > deadline:
@@ -232,11 +270,20 @@ def _send_attempt(
                 for pkt in batch:
                     off = pkt.seq * config.packet_size
                     payload = data[off:off + pkt.payload_bytes]
-                    data_sock.sendto(
-                        wire.encode_data(pkt, payload,
-                                         checksum=config.checksum,
-                                         session=session),
-                        data_addr)
+                    if drop_rate and drop_rng.random() < drop_rate:
+                        continue  # simulated wide-area loss
+                    datagram = wire.encode_data(pkt, payload,
+                                                checksum=config.checksum,
+                                                session=session)
+                    if (corrupt_rate
+                            and corrupt_rng.random() < corrupt_rate):
+                        # Flip one byte in flight; the receiver's CRC
+                        # rejects it and the scheduler re-sends later.
+                        pos = int(corrupt_rng.integers(len(datagram)))
+                        damaged = bytearray(datagram)
+                        damaged[pos] ^= 0xFF
+                        datagram = bytes(damaged)
+                    data_sock.sendto(datagram, data_addr)
                 try:
                     ack = wire.decode_ack(ack_sock.recv(1 << 20),
                                           checksum=config.checksum,
@@ -252,7 +299,20 @@ def _send_attempt(
                     msg = ctrl.recv(64)
                     if msg:
                         wire.decode_completion(msg)
+                        completion_seen = True
                         sender.on_completion(time.monotonic())
+                    elif resumable:
+                        # EOF before the completion frame: the receiver
+                        # ended its attempt without blessing delivery —
+                        # its audit demoted corrupt chunks, or it hit a
+                        # storage fault.  Fail this attempt so the
+                        # retry's RESUME learns which packets to
+                        # re-send.
+                        return _outcome(
+                            sender, start,
+                            "control connection closed before completion"
+                            " (receiver did not bless delivery)",
+                            telemetry=channel)
                 except BlockingIOError:
                     pass
                 except OSError:
@@ -261,6 +321,19 @@ def _send_attempt(
                                     telemetry=channel)
                 if not batch and not sender.complete:
                     time.sleep(0.001)
+            if (resumable and not completion_seen
+                    and sender.stats.completion_timeouts):
+                # Every packet was acknowledged but the receiver never
+                # blessed the delivery.  Without verification that used
+                # to be good enough ("the data demonstrably arrived");
+                # with end-to-end audits it is not — the bytes may be
+                # corrupt on the receiver's disk, so treat the missing
+                # blessing as a retryable failure.
+                return _outcome(
+                    sender, start,
+                    "all packets acknowledged but the completion signal"
+                    " never arrived; delivery unconfirmed",
+                    telemetry=channel)
             return _outcome(sender, start, None, telemetry=channel)
     except (OSError, ValueError, wire.ChecksumError) as exc:
         return _outcome(sender, start, f"{type(exc).__name__}: {exc}",
@@ -313,6 +386,9 @@ def send_file(
     policy: Optional[RetryPolicy] = None,
     kill_plan=None,
     telemetry: Optional[EventBus] = None,
+    verify: bool = True,
+    drop_rate: float = 0.0,
+    corrupt_rate: float = 0.0,
 ) -> FileTransferResult:
     """Send ``path`` to a :func:`receive_file` peer at ``host:port``.
 
@@ -324,6 +400,17 @@ def send_file(
     ``completed=False`` (it does not raise), so callers can report the
     failure.  The legacy single-shot path (default) is byte-identical
     on the wire to the original protocol and raises on timeout.
+
+    ``verify`` (resumable sessions only) sends the per-chunk digest
+    manifest as a VERIFY frame so the receiver can audit its disk and
+    demote corrupt chunks for re-fetch instead of delivering them.
+
+    ``drop_rate`` discards that fraction of outgoing data datagrams
+    (deterministic RNG) and ``corrupt_rate`` flips one byte in that
+    fraction instead — the same sender-side network-chaos knobs as
+    :func:`repro.runtime.transfer.run_loopback_transfer`, here for the
+    file-transfer stack (``repro.chaos`` composes them with host-side
+    storage faults).
     """
     config = config if config is not None else FobsConfig(ack_frequency=32)
     with open(path, "rb") as fh:
@@ -335,7 +422,9 @@ def send_file(
 
     if not resumable:
         outcome = _send_attempt(data, crc, host, port, config, timeout,
-                                session=None, telemetry=telemetry)
+                                session=None, telemetry=telemetry,
+                                drop_rate=drop_rate,
+                                corrupt_rate=corrupt_rate)
         if not outcome.completed:
             raise TimeoutError(f"file send failed: {outcome.failure_reason}")
         return FileTransferResult(
@@ -353,12 +442,16 @@ def send_file(
     if policy is None:
         policy = RetryPolicy(max_attempts=max(max_attempts, 1),
                              backoff_base=0.2, seed=tid & 0xFFFF)
+    manifest = (ChunkManifest.from_data(data, config.packet_size)
+                if verify else None)
 
     def attempt_fn(attempt: int, epoch: int) -> _SendOutcome:
         return _send_attempt(data, crc, host, port, config, timeout,
                              session=wire.SessionContext(tid, epoch),
                              kill=kill_for_attempt(kill_plan, attempt),
-                             telemetry=telemetry)
+                             telemetry=telemetry, manifest=manifest,
+                             drop_rate=drop_rate, corrupt_rate=corrupt_rate,
+                             fault_seed=tid + epoch)
 
     supervised = TransferSupervisor(policy=policy).run(
         attempt_fn, npackets=config.npackets(len(data)))
@@ -400,10 +493,37 @@ class Offer:
     def resumable(self) -> bool:
         return bool(self.flags & FLAG_RESUME)
 
+    @property
+    def verify(self) -> bool:
+        """A VERIFY frame (digest manifest) follows this offer."""
+        return self.resumable and bool(self.flags & FLAG_VERIFY)
+
 
 #: Wire sizes of the two offer formats (for non-blocking framed reads).
 OFFER_V1_BYTES = _OFFER.size
 OFFER_V2_BYTES = _OFFER2.size
+
+
+def read_verify_manifest(
+    ctrl: socket.socket, offer: Offer
+) -> Optional[ChunkManifest]:
+    """Read + decode the VERIFY frame announced by ``offer.verify``.
+
+    The frame bytes are always consumed (the control stream must stay
+    in sync); a manifest that fails its CRC or does not describe the
+    offered object returns None — the receiver falls back to the
+    whole-object CRC32, it never trusts a damaged digest list.
+    """
+    header = recv_exact(ctrl, wire.VERIFY_HDR_BYTES)
+    body = recv_exact(ctrl, wire.verify_body_bytes(header))
+    try:
+        manifest = ChunkManifest.decode(body)
+    except ManifestCorrupt:
+        return None
+    if (manifest.total_bytes != offer.filesize
+            or manifest.packet_size != offer.packet_size):
+        return None
+    return manifest
 
 
 def decode_offer(data: bytes) -> Offer:
@@ -509,19 +629,156 @@ def _receive_attempt(
                 continue  # zombie datagram from a dead attempt
             # Data before log: the payload must be on "disk" before the
             # journal claims it (on_data journals newly marked packets).
-            part_fh.seek(pkt.seq * config.packet_size)
-            part_fh.write(payload)
-            ack = receiver.on_data(pkt.seq, time.monotonic())
+            try:
+                part_fh.seek(pkt.seq * config.packet_size)
+                part_fh.write(payload)
+                ack = receiver.on_data(pkt.seq, time.monotonic())
+            except OSError as exc:
+                # Disk fault (ENOSPC/EIO) on the part file or journal:
+                # fail the *attempt*, not the process.  The journal
+                # holds everything durable so far; the supervisor
+                # retries with backoff and resumes from it.
+                return False, _storage_reason("part", exc), receiver
             if ack is not None:
                 ack_sock.sendto(
                     wire.encode_ack(ack, checksum=config.checksum,
                                     session=session),
                     (peer[0], offer.ack_port))
-        part_fh.flush()
+        try:
+            part_fh.flush()
+        except OSError as exc:
+            return False, _storage_reason("part-flush", exc), receiver
         return True, None, receiver
     finally:
         data_sock.close()
         ack_sock.close()
+
+
+#: Failure-reason prefix shared by every disk-fault path; the
+#: supervisor and daemon treat these as retryable, and ``repro stats``
+#: counts them.
+STORAGE_FAULT_PREFIX = "storage fault"
+
+
+def _storage_reason(where: str, exc: OSError) -> str:
+    name = errno.errorcode.get(exc.errno, type(exc).__name__) \
+        if exc.errno else type(exc).__name__
+    return f"{STORAGE_FAULT_PREFIX} [{name}] at {where}: {exc}"
+
+
+def is_storage_fault(reason: Optional[str]) -> bool:
+    return bool(reason) and reason.startswith(STORAGE_FAULT_PREFIX)
+
+
+def _verify_pass(
+    phase: str,
+    manifest: ChunkManifest,
+    target,
+    seqs,
+    journal: Optional[ReceiverJournal],
+    channel: TelemetryChannel = NULL_CHANNEL,
+) -> VerifyStats:
+    """One digest audit: check chunks, durably demote failures.
+
+    ``target`` is an open binary file (resume audit) or a bytes blob
+    (completion audit); ``seqs`` restricts the audit (None = whole
+    object).  Demotion goes through the journal so it is crash-durable
+    — a kill right after the pass cannot resurrect corrupt ranges.
+    """
+    t0 = time.monotonic()
+    stats = VerifyStats(phase=phase, mode="manifest")
+    if isinstance(target, (bytes, bytearray, memoryview)):
+        bad = manifest.verify_blob(bytes(target), seqs)
+    else:
+        bad = manifest.verify_file(target, seqs)
+    stats.chunks_checked = (manifest.npackets if seqs is None
+                            else len(list(seqs)))
+    stats.chunks_corrupt = int(bad.size)
+    if bad.size:
+        stats.corrupt_seqs = [int(s) for s in bad]
+        stats.ranges_demoted = len(corrupt_ranges(stats.corrupt_seqs))
+        stats.bytes_demoted = int(sum(
+            manifest.chunk_length(int(s)) for s in bad))
+        if journal is not None:
+            try:
+                journal.demote(bad)
+            except OSError:
+                # The durable demotion (compact) hit a disk fault; the
+                # in-memory bitmap is demoted so this attempt behaves
+                # correctly, and the next attempt's audit re-detects
+                # and re-demotes.  Never let a full disk turn a caught
+                # corruption into a crash.
+                pass
+    stats.duration = max(time.monotonic() - t0, 1e-9)
+    if channel.enabled:
+        channel.emit(EV_VERIFY, phase=phase, mode=stats.mode,
+                     chunks_checked=stats.chunks_checked,
+                     chunks_corrupt=stats.chunks_corrupt,
+                     duration=stats.duration)
+        if stats.chunks_corrupt:
+            channel.emit(EV_CORRUPTION, phase=phase, mode=stats.mode,
+                         chunks_corrupt=stats.chunks_corrupt,
+                         bytes=stats.bytes_demoted)
+            channel.emit(EV_REPAIR, phase=phase,
+                         packets_demoted=stats.chunks_corrupt,
+                         ranges_demoted=stats.ranges_demoted,
+                         bytes_demoted=stats.bytes_demoted)
+    return stats
+
+
+def _completion_audit(
+    blob: bytes,
+    offer: Offer,
+    manifest: Optional[ChunkManifest],
+    journal: Optional[ReceiverJournal],
+    channel: TelemetryChannel = NULL_CHANNEL,
+) -> tuple[bool, Optional[str], VerifyStats]:
+    """Verify-on-complete: the last gate before the object is blessed.
+
+    With a manifest, every chunk is audited and corrupt ones are
+    demoted for re-fetch (a *retryable* failure).  Without one, the
+    whole-object CRC32 fallback can only detect, not localize: a
+    mismatch demotes *everything* so the retry re-fetches the full
+    object — a full restart, but a self-repairing one, never silent
+    corruption.
+    """
+    if manifest is not None:
+        stats = _verify_pass("complete", manifest, blob, None, journal,
+                             channel)
+        if not stats.clean:
+            return False, (
+                f"verify failed: {stats.chunks_corrupt} corrupt chunk(s) "
+                f"demoted for re-fetch"), stats
+        return True, None, stats
+    t0 = time.monotonic()
+    stats = VerifyStats(phase="complete", mode="crc32", chunks_checked=1)
+    crc_ok = zlib.crc32(blob) == offer.crc
+    stats.duration = max(time.monotonic() - t0, 1e-9)
+    if channel.enabled:
+        channel.emit(EV_VERIFY, phase="complete", mode="crc32",
+                     chunks_checked=1, chunks_corrupt=0 if crc_ok else 1,
+                     duration=stats.duration)
+    if crc_ok:
+        return True, None, stats
+    stats.chunks_corrupt = 1
+    stats.bytes_demoted = len(blob)
+    if journal is not None and journal.bitmap.count:
+        claimed = np.flatnonzero(journal.bitmap.array)
+        stats.ranges_demoted = len(corrupt_ranges(claimed.tolist()))
+        try:
+            journal.demote(claimed)
+        except OSError:
+            pass  # in-memory demotion stands; next audit re-demotes
+    if channel.enabled:
+        channel.emit(EV_CORRUPTION, phase="complete", mode="crc32",
+                     chunks_corrupt=1, bytes=len(blob))
+        channel.emit(EV_REPAIR, phase="complete",
+                     packets_demoted=int(stats.bytes_demoted and
+                                         -(-len(blob) // offer.packet_size)),
+                     ranges_demoted=stats.ranges_demoted,
+                     bytes_demoted=stats.bytes_demoted)
+    return False, ("CRC mismatch after reassembly; "
+                   "all packets demoted for re-fetch"), stats
 
 
 def attempt_config_for(offer: Offer, base: Optional[FobsConfig]) -> FobsConfig:
@@ -553,22 +810,45 @@ def receive_offer(
     journal_path: Optional[str] = None,
     bind: str = "0.0.0.0",
     telemetry: Optional[EventBus] = None,
-) -> tuple[bool, Optional[str], Optional[FobsReceiver], float]:
+    opener=open,
+    manifest: Optional[ChunkManifest] = None,
+) -> tuple[bool, Optional[str], Optional[FobsReceiver], float, VerifyStats]:
     """Serve one already-negotiated offer as the receiving endpoint.
 
     The shared receive path of :func:`receive_file` (push: a sender
     connected to us) and :func:`repro.server.fetch_file` (pull: we
     connected and the server offered) — journal management, the
     crash-persistent ``.part`` reassembly buffer, the transfer loop,
-    CRC verification, the completion signal and the atomic rename all
-    live here.  Returns ``(ok, failure_reason, receiver, duration)``;
-    raises :class:`ValueError` if the reassembled object fails the
-    offer's CRC.
+    the verify passes, the completion signal and the atomic rename all
+    live here.  Returns ``(ok, failure_reason, receiver, duration,
+    verify_stats)``.
+
+    When ``offer.verify`` is set the VERIFY frame is read from ``ctrl``
+    (unless the caller already parsed it into ``manifest``) and two
+    audits run: journal-claimed chunks *before* the RESUME reply
+    (verify-on-resume, so corrupt disk never re-enters the bitmap) and
+    the whole object before completion (verify-on-complete).  Corrupt
+    chunks are durably demoted and the attempt fails *retryably* — the
+    next attempt re-fetches only the demoted gap.  Without a manifest
+    the whole-object CRC32 is the fallback: a mismatch demotes every
+    claimed packet instead of raising, so even legacy peers self-repair
+    rather than loop on a poisoned journal.  Disk faults (ENOSPC/EIO)
+    surface as ``storage fault`` failures, never exceptions.
+
+    ``opener`` is the part-file factory (``open``-compatible) — the
+    seam host-fault injection plugs into.
     """
     if journal_path is None:
         journal_path = output_path + ".journal"
     part_path = output_path + ".part"
     attempt_config = attempt_config_for(offer, config)
+    vstats = VerifyStats()
+    if offer.verify and manifest is None:
+        try:
+            manifest = read_verify_manifest(ctrl, offer)
+        except (ConnectionError, ValueError) as exc:
+            return (False, f"bad verify frame: {exc}", None, 1e-9, vstats)
+    vstats.mode = "manifest" if manifest is not None else "crc32"
     journal: Optional[ReceiverJournal] = None
     resume_bitmap: Optional[np.ndarray] = None
     if offer.resumable:
@@ -594,19 +874,70 @@ def receive_offer(
         channel = NULL_CHANNEL
     start = time.monotonic()
     receiver: Optional[FobsReceiver] = None
+    ok, failure = False, None
+    blessed = False  # passed the completion audit; safe to publish
     try:
-        with open(part_path, mode) as part_fh:
-            if mode == "w+b":
-                part_fh.truncate(offer.filesize)
-            ok, failure, receiver = _receive_attempt(
-                ctrl, peer, offer, attempt_config, part_fh,
-                journal, resume_bitmap, bind, deadline, telemetry=telemetry)
+        try:
+            part_fh = opener(part_path, mode)
+        except OSError as exc:
+            part_fh = None
+            failure = _storage_reason("part-open", exc)
+        if part_fh is not None:
+            try:
+                try:
+                    if mode == "w+b":
+                        part_fh.truncate(offer.filesize)
+                    # Verify-on-resume: audit every journal-claimed
+                    # chunk against the manifest *before* the RESUME
+                    # bitmap is built, so a torn write or bit rot under
+                    # a crashed attempt is demoted — re-fetched, not
+                    # resurrected.  (Without a manifest the fallback is
+                    # the completion CRC; corruption is still caught,
+                    # just repaired less surgically.)
+                    if (manifest is not None and journal is not None
+                            and mode == "r+b" and journal.bitmap.count):
+                        claimed = np.flatnonzero(journal.bitmap.array)
+                        vstats.merge(_verify_pass(
+                            "resume", manifest, part_fh, claimed.tolist(),
+                            journal, channel))
+                        resume_bitmap = journal.bitmap.array
+                except OSError as exc:
+                    failure = _storage_reason("resume-audit", exc)
+                else:
+                    ok, failure, receiver = _receive_attempt(
+                        ctrl, peer, offer, attempt_config, part_fh,
+                        journal, resume_bitmap, bind, deadline,
+                        telemetry=telemetry)
+                    if ok:
+                        # Verify-on-complete: the receiver's bitmap says
+                        # every packet arrived; the disk gets the last
+                        # word before the object is published.
+                        try:
+                            part_fh.seek(0)
+                            blob = part_fh.read(offer.filesize)
+                        except OSError as exc:
+                            ok = False
+                            failure = _storage_reason("readback", exc)
+                        else:
+                            ok, failure, audit = _completion_audit(
+                                blob, offer, manifest, journal, channel)
+                            vstats.merge(audit)
+                            blessed = ok
+            finally:
+                try:
+                    part_fh.close()
+                except OSError as exc:
+                    if ok:
+                        ok, blessed = False, False
+                        failure = _storage_reason("part-close", exc)
     except ConnectionError as exc:
         ok, failure = False, f"control connection lost: {exc}"
     finally:
         duration = max(time.monotonic() - start, 1e-9)
         if journal is not None:
             journal.close()
+    if is_storage_fault(failure) and channel.enabled:
+        channel.emit(EV_STORAGE_FAULT, detail=failure or "")
     if channel.enabled:
         channel.emit(
             EV_TRANSFER_END, completed=ok, failed=not ok, duration=duration,
@@ -614,12 +945,8 @@ def receive_offer(
             resumed_packets=(receiver.stats.resumed_packets
                              if receiver is not None else 0),
             failure_reason=failure or "")
-    if not ok:
-        return False, failure, receiver, duration
-    with open(part_path, "rb") as fh:
-        blob = fh.read()
-    if zlib.crc32(blob) != offer.crc:
-        raise ValueError("CRC mismatch after reassembly")
+    if not (ok and blessed):
+        return False, failure, receiver, duration, vstats
     try:
         ctrl.sendall(wire.encode_completion(receiver.npackets))
     except OSError:
@@ -630,7 +957,7 @@ def receive_offer(
             os.remove(journal_path)
         except OSError:
             pass
-    return True, None, receiver, duration
+    return True, None, receiver, duration, vstats
 
 
 def receive_file(
@@ -642,6 +969,7 @@ def receive_file(
     max_attempts: int = 1,
     journal_path: Optional[str] = None,
     config: Optional[FobsConfig] = None,
+    opener=open,
 ) -> FileTransferResult:
     """Accept one file from a :func:`send_file` peer; returns on completion.
 
@@ -672,6 +1000,8 @@ def receive_file(
     receiver: Optional[FobsReceiver] = None
     offer: Optional[Offer] = None
     duration = 1e-9
+    vtotal = VerifyStats()
+    storage_faults = 0
     try:
         while attempts < max(max_attempts, 1):
             attempts += 1
@@ -687,9 +1017,13 @@ def receive_file(
                 except (ConnectionError, ValueError) as exc:
                     failure = f"bad offer: {exc}"
                     continue
-                ok, failure, receiver, duration = receive_offer(
+                ok, failure, receiver, duration, vstats = receive_offer(
                     ctrl, peer, offer, output_path, deadline,
-                    config=config, journal_path=journal_path, bind=bind)
+                    config=config, journal_path=journal_path, bind=bind,
+                    opener=opener)
+                vtotal.merge(vstats)
+                if is_storage_fault(failure):
+                    storage_faults += 1
                 if ok:
                     return FileTransferResult(
                         path=output_path,
@@ -700,6 +1034,11 @@ def receive_file(
                         attempts=attempts,
                         resumed_packets=receiver.stats.resumed_packets,
                         stale_epoch_dropped=receiver.stats.stale_epoch_data,
+                        ranges_demoted=vtotal.ranges_demoted,
+                        packets_demoted=vtotal.chunks_corrupt,
+                        bytes_refetched=vtotal.bytes_demoted,
+                        verify_seconds=vtotal.duration,
+                        storage_faults=storage_faults,
                     )
                 if time.monotonic() > deadline:
                     break
@@ -720,4 +1059,9 @@ def receive_file(
                          if receiver is not None else 0),
         stale_epoch_dropped=(receiver.stats.stale_epoch_data
                              if receiver is not None else 0),
+        ranges_demoted=vtotal.ranges_demoted,
+        packets_demoted=vtotal.chunks_corrupt,
+        bytes_refetched=vtotal.bytes_demoted,
+        verify_seconds=vtotal.duration,
+        storage_faults=storage_faults,
     )

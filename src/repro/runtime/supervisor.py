@@ -98,6 +98,13 @@ class AttemptRecord:
     stale_epoch_dropped: int = 0
     duration: float = 0.0
     backoff_before: float = 0.0
+    #: Corruption-repair and disk-fault counters (verify-capable
+    #: backends; zero elsewhere).
+    ranges_demoted: int = 0
+    packets_demoted: int = 0
+    bytes_refetched: int = 0
+    verify_seconds: float = 0.0
+    storage_faults: int = 0
 
 
 @dataclass
@@ -117,6 +124,17 @@ class SupervisedResult:
     #: Stale-epoch datagrams rejected across all attempts.
     stale_epoch_dropped: int = 0
     total_backoff: float = 0.0
+    #: Corrupt-chunk ranges demoted back to unreceived, summed over
+    #: every attempt's verify passes (resume audits + completion audits).
+    ranges_demoted: int = 0
+    #: Individual packets demoted for re-fetch across all attempts.
+    packets_demoted: int = 0
+    #: Bytes those demoted packets covered — the re-fetch bill.
+    bytes_refetched: int = 0
+    #: Wall-clock seconds spent hashing in verify passes, all attempts.
+    verify_seconds: float = 0.0
+    #: Attempts that failed on an injected/real disk error (EIO/ENOSPC).
+    storage_faults: int = 0
     attempt_records: list[AttemptRecord] = field(default_factory=list)
     #: Backend-specific outcome of the final attempt.
     final: object = None
@@ -198,6 +216,11 @@ class TransferSupervisor:
                 stale_epoch_dropped=_get(outcome, "stale_epoch_dropped"),
                 duration=time.monotonic() - start,
                 backoff_before=backoff,
+                ranges_demoted=_get(outcome, "ranges_demoted"),
+                packets_demoted=_get(outcome, "packets_demoted"),
+                bytes_refetched=_get(outcome, "bytes_refetched"),
+                verify_seconds=_get(outcome, "verify_seconds", default=0.0),
+                storage_faults=_get(outcome, "storage_faults"),
             ))
             if completed:
                 break
@@ -211,6 +234,11 @@ class TransferSupervisor:
             failure_reason=None if last.completed else last.failure_reason,
             stale_epoch_dropped=sum(r.stale_epoch_dropped for r in records),
             total_backoff=total_backoff,
+            ranges_demoted=sum(r.ranges_demoted for r in records),
+            packets_demoted=sum(r.packets_demoted for r in records),
+            bytes_refetched=sum(r.bytes_refetched for r in records),
+            verify_seconds=sum(r.verify_seconds for r in records),
+            storage_faults=sum(r.storage_faults for r in records),
             attempt_records=records,
             final=outcome,
         )

@@ -63,6 +63,9 @@ _FETCH_HDR = struct.Struct("!IIIQIH")
 _SERVER_REPLY = struct.Struct("!III")
 COMPLETION_MAGIC = 0xF0B5D011
 RESUME_MAGIC = 0xF0B5BE5A
+VERIFY_MAGIC = 0xF0B5E51F
+# magic, body length; the ChunkManifest bytes follow (PROTOCOL.md §10).
+_VERIFY_HDR = struct.Struct("!II")
 FETCH_MAGIC = 0xF0B5FE7C
 QUEUED_MAGIC = 0xF0B5C0ED
 REJECT_MAGIC = 0xF0B57E77
@@ -314,6 +317,54 @@ def decode_resume(data: bytes) -> ResumeInfo:
 
 
 # ----------------------------------------------------------------------
+# VERIFY extension (TCP control channel; PROTOCOL.md §10)
+# ----------------------------------------------------------------------
+
+def encode_verify(manifest_bytes: bytes) -> bytes:
+    """Frame a :class:`~repro.core.manifest.ChunkManifest` for TCP.
+
+    Sent by the data source immediately after its OFFER when the offer
+    flags carry ``FLAG_VERIFY``; the receiver audits journal-claimed
+    chunks against the manifest *before* building its RESUME bitmap.
+    The body is the manifest's own encoding (self-describing and
+    CRC32-protected); this frame only adds magic + length so the
+    control stream stays parseable.
+    """
+    if not manifest_bytes:
+        raise ValueError("verify frame requires a manifest body")
+    return _VERIFY_HDR.pack(VERIFY_MAGIC, len(manifest_bytes)) + manifest_bytes
+
+
+def verify_body_bytes(header: bytes) -> int:
+    """Body length declared by a VERIFY header (for framed reads).
+
+    Raises on a bad magic — the caller knows a VERIFY frame is due
+    (the offer announced ``FLAG_VERIFY``), so anything else here is a
+    protocol violation, not a dispatch choice.
+    """
+    if len(header) < _VERIFY_HDR.size:
+        raise ValueError("verify frame truncated")
+    magic, body_len = _VERIFY_HDR.unpack_from(header)
+    if magic != VERIFY_MAGIC:
+        raise ValueError(f"bad verify magic {magic:#x}")
+    if body_len == 0:
+        raise ValueError("verify frame with empty body")
+    return body_len
+
+
+def decode_verify(data: bytes) -> bytes:
+    """Parse a whole VERIFY frame; returns the manifest bytes."""
+    body_len = verify_body_bytes(data)
+    body = data[_VERIFY_HDR.size:_VERIFY_HDR.size + body_len]
+    if len(body) != body_len:
+        raise ValueError("verify frame body truncated")
+    return bytes(body)
+
+
+VERIFY_HDR_BYTES = _VERIFY_HDR.size
+
+
+# ----------------------------------------------------------------------
 # Server control plane (TCP; PROTOCOL.md §9)
 # ----------------------------------------------------------------------
 
@@ -321,6 +372,8 @@ def decode_resume(data: bytes) -> ResumeInfo:
 FETCH_FLAG_CHECKSUM = 1
 #: FETCH flag bit: crash-resumable session (journal + RESUME reply).
 FETCH_FLAG_RESUME = 2
+#: FETCH flag bit: per-chunk digest manifest (VERIFY frame) requested.
+FETCH_FLAG_VERIFY = 4
 
 #: REJECT codes (the second word of a REJECT reply).
 REJECT_FULL = 1          # max-active reached and the wait queue is full
@@ -356,6 +409,10 @@ class FetchRequest:
     @property
     def checksum(self) -> bool:
         return bool(self.flags & FETCH_FLAG_CHECKSUM)
+
+    @property
+    def verify(self) -> bool:
+        return bool(self.flags & FETCH_FLAG_VERIFY)
 
 
 def encode_fetch(req: FetchRequest) -> bytes:

@@ -97,11 +97,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ask the server to cap this transfer's share "
                             "of its budget")
     fetch.add_argument("--no-checksum", action="store_true")
+    fetch.add_argument("--no-verify", action="store_true",
+                       help="skip the per-chunk digest manifest; fall back "
+                            "to the legacy whole-object CRC32")
     fetch.add_argument("--telemetry-out", default=None, metavar="PATH",
                        help="record protocol events to a JSONL file "
                             "(replay with 'repro timeline PATH')")
     fetch.add_argument("--quiet", action="store_true",
                        help="suppress progress output on stderr")
+
+    verify = sub.add_parser(
+        "verify",
+        help="audit a file against a saved per-chunk digest manifest")
+    verify.add_argument("file", help="file to audit")
+    verify.add_argument("manifest",
+                        help="manifest written by ChunkManifest.save()")
+    verify.add_argument("--quiet", action="store_true",
+                        help="suppress the per-chunk report on stderr")
 
     stats = sub.add_parser(
         "stats", help="aggregate a recorded telemetry JSONL log")
@@ -204,6 +216,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _verify_failure(reason: Optional[str]) -> bool:
+    """True when a fetch failure is an end-to-end integrity failure."""
+    text = (reason or "").lower()
+    return "verify failed" in text or "crc mismatch" in text
+
+
 def _cmd_fetch(args: argparse.Namespace) -> int:
     config = FobsConfig(ack_frequency=32, checksum=not args.no_checksum)
     bus = _telemetry_bus(args)
@@ -212,7 +230,8 @@ def _cmd_fetch(args: argparse.Namespace) -> int:
             args.name, args.host, args.port, args.output, config=config,
             timeout=args.timeout, max_attempts=args.max_attempts,
             rate_cap_bps=int(args.rate_cap * 1e6),
-            checksum=not args.no_checksum, telemetry=bus)
+            checksum=not args.no_checksum,
+            verify=not args.no_verify, telemetry=bus)
     finally:
         if bus is not None:
             bus.close()
@@ -220,27 +239,89 @@ def _cmd_fetch(args: argparse.Namespace) -> int:
     if not result.completed:
         print(f"fetch FAILED after {result.attempts} attempt(s): "
               f"{result.failure_reason}", file=sys.stderr)
+        if _verify_failure(result.failure_reason):
+            # Machine-readable integrity verdict: the bytes on disk are
+            # NOT the object the server holds, and retries were exhausted.
+            print(f"fetch VERIFY_FAILED name={args.name} "
+                  f"attempts={result.attempts} "
+                  f"packets_demoted={result.packets_demoted} "
+                  f"reason={(result.failure_reason or '').split(';')[0]!r}")
+            return 3
         return 1
     info(args, f"fetched {args.name}: {result.nbytes} bytes -> "
                f"{result.path}")
+    repaired = (f" packets_demoted={result.packets_demoted} "
+                f"ranges_demoted={result.ranges_demoted} "
+                f"bytes_refetched={result.bytes_refetched}"
+                if result.packets_demoted else "")
     print(f"fetch ok name={args.name} nbytes={result.nbytes} "
           f"path={result.path} duration_s={result.duration:.3f} "
           f"throughput_mbps={result.throughput_bps / 1e6:.2f} "
           f"attempts={result.attempts} "
-          f"resumed_packets={result.resumed_packets}")
+          f"resumed_packets={result.resumed_packets} "
+          f"verify_s={result.verify_seconds:.3f}" + repaired)
     return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    import os
+    import time
+
+    from repro.core.manifest import ChunkManifest, ManifestCorrupt, corrupt_ranges
+
+    try:
+        manifest = ChunkManifest.load(args.manifest)
+    except (OSError, ManifestCorrupt, ValueError) as exc:
+        print(f"verify FAILED: bad manifest: {exc}", file=sys.stderr)
+        return 2
+    start = time.monotonic()
+    try:
+        size = os.path.getsize(args.file)
+        if size != manifest.total_bytes:
+            print(f"verify CORRUPT name={args.file} "
+                  f"nbytes={size} expected={manifest.total_bytes} "
+                  f"reason='size mismatch'")
+            return 1
+        with open(args.file, "rb") as fh:
+            bad = manifest.verify_file(fh)
+    except OSError as exc:
+        print(f"verify FAILED: {exc}", file=sys.stderr)
+        return 2
+    duration = time.monotonic() - start
+    if not args.quiet and len(bad):
+        shown = ", ".join(str(s) for s in bad[:16])
+        more = len(bad) - 16
+        print(f"corrupt chunks: {shown}"
+              + (f" (+{more} more)" if more > 0 else ""), file=sys.stderr)
+    if not len(bad):
+        print(f"verify ok name={args.file} nbytes={manifest.total_bytes} "
+              f"chunks={manifest.npackets} duration_s={duration:.3f}")
+        return 0
+    nbytes_bad = sum(manifest.chunk_length(int(s)) for s in bad)
+    print(f"verify CORRUPT name={args.file} "
+          f"chunks_corrupt={len(bad)} chunks={manifest.npackets} "
+          f"ranges={len(corrupt_ranges(bad))} bytes={nbytes_bad} "
+          f"duration_s={duration:.3f}")
+    return 1
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.telemetry import (
         EV_ADMISSION,
+        EV_CORRUPTION,
+        EV_REPAIR,
+        EV_STORAGE_FAULT,
         EV_TRANSFER_END,
         EV_TRANSFER_START,
+        EV_VERIFY,
         read_events,
     )
 
     kinds: dict[str, int] = {}
     starts = ends = completed = failed = 0
+    corruptions = storage_faults = 0
+    packets_demoted = bytes_refetched = 0
+    verify_seconds = 0.0
     admissions: dict[str, int] = {}
     transfers: set[tuple[int, int]] = set()
     try:
@@ -259,6 +340,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
             elif event.kind == EV_ADMISSION:
                 action = str(event.fields.get("action", "?"))
                 admissions[action] = admissions.get(action, 0) + 1
+            elif event.kind == EV_CORRUPTION:
+                corruptions += int(event.fields.get("chunks_corrupt", 0) or 0)
+            elif event.kind == EV_REPAIR:
+                packets_demoted += int(
+                    event.fields.get("packets_demoted", 0) or 0)
+                bytes_refetched += int(
+                    event.fields.get("bytes_demoted", 0) or 0)
+            elif event.kind == EV_STORAGE_FAULT:
+                storage_faults += 1
+            elif event.kind == EV_VERIFY:
+                verify_seconds += float(event.fields.get("duration", 0) or 0)
     except (OSError, ValueError) as exc:
         print(f"stats FAILED: {exc}", file=sys.stderr)
         return 1
@@ -267,9 +359,17 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         print(f"  {kind}: {kinds[kind]}", file=sys.stderr)
     admitted = " ".join(f"admission_{k}={v}"
                         for k, v in sorted(admissions.items()))
+    integrity = ""
+    if (corruptions or storage_faults or packets_demoted
+            or kinds.get(EV_VERIFY)):
+        integrity = (f" corruptions={corruptions} "
+                     f"packets_demoted={packets_demoted} "
+                     f"bytes_refetched={bytes_refetched} "
+                     f"storage_faults={storage_faults} "
+                     f"verify_s={verify_seconds:.3f}")
     print(f"stats ok events={total} attempts={max(starts, ends)} "
           f"completed={completed} failed={failed}"
-          + (f" {admitted}" if admitted else ""))
+          + (f" {admitted}" if admitted else "") + integrity)
     return 0
 
 
@@ -323,6 +423,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "stats":
         return _cmd_stats(args)
+    if args.command == "verify":
+        return _cmd_verify(args)
     if args.command == "timeline":
         return _cmd_timeline(args)
     if args.command == "loadtest":

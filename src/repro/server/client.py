@@ -57,6 +57,15 @@ class _FetchOutcome:
     npackets: int = 0
     rejected: bool = False
     reject_code: int = 0
+    #: Corruption-repair and disk-fault counters (one attempt's worth).
+    ranges_demoted: int = 0
+    packets_demoted: int = 0
+    bytes_refetched: int = 0
+    verify_seconds: float = 0.0
+    storage_faults: int = 0
+    #: The offered object size — lets the caller audit the delivered
+    #: file instead of trusting the attempt's own success claim.
+    expected_nbytes: int = 0
 
 
 def _read_server_message(ctrl: socket.socket) -> tuple[str, object]:
@@ -87,12 +96,16 @@ def _fetch_attempt(
     journal_path: Optional[str],
     checksum: bool,
     telemetry: Optional[EventBus] = None,
+    verify: bool = True,
+    opener=open,
 ) -> _FetchOutcome:
     """One connect → FETCH → (queue?) → receive attempt; never raises."""
     deadline = time.monotonic() + timeout
     start = time.monotonic()
     flags = wire.FETCH_FLAG_RESUME | (wire.FETCH_FLAG_CHECKSUM if checksum
                                       else 0)
+    if verify:
+        flags |= wire.FETCH_FLAG_VERIFY
     queued_position = 0
     try:
         with socket.create_connection((host, port), timeout=timeout) as ctrl:
@@ -115,10 +128,10 @@ def _fetch_attempt(
                         rejected=True, reject_code=code)
                 offer: files.Offer = detail
                 break
-            ok, failure, receiver, duration = files.receive_offer(
+            ok, failure, receiver, duration, vstats = files.receive_offer(
                 ctrl, (host, port), offer, output_path, deadline,
                 config=config, journal_path=journal_path,
-                telemetry=telemetry)
+                telemetry=telemetry, opener=opener)
             return _FetchOutcome(
                 completed=ok,
                 duration=duration,
@@ -128,7 +141,13 @@ def _fetch_attempt(
                                  if receiver is not None else 0),
                 stale_epoch_dropped=(receiver.stats.stale_epoch_data
                                      if receiver is not None else 0),
-                npackets=receiver.npackets if receiver is not None else 0)
+                npackets=receiver.npackets if receiver is not None else 0,
+                ranges_demoted=vstats.ranges_demoted,
+                packets_demoted=vstats.chunks_corrupt,
+                bytes_refetched=vstats.bytes_demoted,
+                verify_seconds=vstats.duration,
+                storage_faults=1 if files.is_storage_fault(failure) else 0,
+                expected_nbytes=offer.filesize)
     except (OSError, ValueError, wire.ChecksumError) as exc:
         return _FetchOutcome(
             completed=False,
@@ -151,6 +170,8 @@ def fetch_file(
     checksum: bool = True,
     policy: Optional[RetryPolicy] = None,
     telemetry: Optional[EventBus] = None,
+    verify: bool = True,
+    opener=open,
 ) -> files.FileTransferResult:
     """Fetch object ``name`` from a ``repro serve`` daemon.
 
@@ -162,6 +183,13 @@ def fetch_file(
     transfer id is stable, a retry after a server (or client) crash
     resumes from the receiver journal instead of refetching from byte
     zero.
+
+    ``verify`` requests the per-chunk digest manifest
+    (``FETCH_FLAG_VERIFY``); the receive path then audits the disk on
+    resume and before completion, demoting corrupt chunks for
+    re-fetch.  Independently of the flag, the delivered file's size is
+    checked against the server's offer — a byte-incomplete output is
+    reported as ``verify failed``, never as success.
     """
     nonce = (client_nonce if client_nonce is not None
              else default_client_nonce(output_path))
@@ -173,21 +201,41 @@ def fetch_file(
         del attempt
         return _fetch_attempt(name, host, port, output_path, config,
                               timeout, epoch, nonce, rate_cap_bps,
-                              journal_path, checksum, telemetry=telemetry)
+                              journal_path, checksum, telemetry=telemetry,
+                              verify=verify, opener=opener)
 
     supervised = TransferSupervisor(policy=policy).run(attempt_fn)
     final: _FetchOutcome = supervised.final
-    nbytes = os.path.getsize(output_path) if supervised.completed else 0
+    completed = supervised.completed
+    failure = supervised.failure_reason
+    nbytes = 0
+    if completed:
+        # Independent delivery audit: never report success on output
+        # that is missing or byte-incomplete, whatever the attempt's
+        # own bookkeeping claims.
+        try:
+            nbytes = os.path.getsize(output_path)
+        except OSError:
+            nbytes = -1
+        if final.expected_nbytes and nbytes != final.expected_nbytes:
+            completed = False
+            failure = (f"verify failed: output is {max(nbytes, 0)} bytes, "
+                       f"offer promised {final.expected_nbytes}")
+            nbytes = 0
     return files.FileTransferResult(
         path=output_path,
         nbytes=nbytes,
         duration=final.duration,
-        throughput_bps=(nbytes * 8.0 / final.duration
-                        if supervised.completed else 0.0),
-        crc_ok=supervised.completed,
-        completed=supervised.completed,
-        failure_reason=supervised.failure_reason,
+        throughput_bps=(nbytes * 8.0 / final.duration if completed else 0.0),
+        crc_ok=completed,
+        completed=completed,
+        failure_reason=failure,
         attempts=supervised.attempts,
         resumed_packets=supervised.packets_salvaged,
         stale_epoch_dropped=supervised.stale_epoch_dropped,
+        ranges_demoted=supervised.ranges_demoted,
+        packets_demoted=supervised.packets_demoted,
+        bytes_refetched=supervised.bytes_refetched,
+        verify_seconds=supervised.verify_seconds,
+        storage_faults=supervised.storage_faults,
     )

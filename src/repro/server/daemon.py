@@ -55,6 +55,7 @@ import numpy as np
 
 from repro.core.config import FobsConfig
 from repro.core.journal import ReceiverJournal
+from repro.core.manifest import ChunkManifest, ManifestCorrupt, VerifyStats
 from repro.core.rate import TokenBucket
 from repro.core.receiver import FobsReceiver
 from repro.core.sender import FobsSender
@@ -76,6 +77,7 @@ from repro.server.registry import (
 from repro.server.stats import ServerSnapshot, TransferSnapshot
 from repro.telemetry import (
     EV_ADMISSION,
+    EV_STORAGE_FAULT,
     EV_TRANSFER_END,
     EV_TRANSFER_START,
     NULL_CHANNEL,
@@ -103,10 +105,10 @@ class _Conn:
     """One TCP control connection and its framing state."""
 
     __slots__ = ("sock", "addr", "buf", "state", "deadline", "entry",
-                 "key", "fetch", "offer")
+                 "key", "fetch", "offer", "manifest")
 
     # States: "request" → ("queued" →) "await_resume" → "sending"
-    #                   |             "receiving"
+    #                   | ("await_verify" →) "receiving"
     def __init__(self, sock: socket.socket, addr, deadline: float):
         self.sock = sock
         self.addr = addr
@@ -117,6 +119,8 @@ class _Conn:
         self.key = None
         self.fetch: Optional[wire.FetchRequest] = None
         self.offer: Optional[files.Offer] = None
+        #: Digest manifest from a push client's VERIFY frame.
+        self.manifest: Optional[ChunkManifest] = None
 
 
 class _SendEntry:
@@ -148,7 +152,8 @@ class _RecvEntry:
     kind = RECEIVING
     __slots__ = ("key", "session", "receiver", "config", "conn", "offer",
                  "name", "client", "sock", "part_fh", "part_path",
-                 "output_path", "journal", "journal_path", "started_at")
+                 "output_path", "journal", "journal_path", "started_at",
+                 "manifest", "vstats")
 
     def __init__(self, key, session, receiver, config, conn, offer, name):
         self.key = key
@@ -166,6 +171,8 @@ class _RecvEntry:
         self.journal: Optional[ReceiverJournal] = None
         self.journal_path = ""
         self.started_at = 0.0
+        self.manifest: Optional[ChunkManifest] = None
+        self.vstats = VerifyStats()
 
 
 class ObjectServer:
@@ -187,8 +194,12 @@ class ObjectServer:
         handshake_timeout: float = 15.0,
         kill=None,
         telemetry: Optional[EventBus] = None,
+        opener=open,
     ):
         self.root = os.path.abspath(root)
+        #: Part-file factory — ``repro.chaos.FaultyStore.open`` slots in
+        #: here to put the daemon's disk under fault injection.
+        self.opener = opener
         if not os.path.isdir(self.root):
             raise ValueError(f"served root {root!r} is not a directory")
         self.bind = bind
@@ -541,10 +552,43 @@ class ObjectServer:
                         self._close_conn(conn)
                         return
                     del buf[:need]
+                    if offer.verify:
+                        # A VERIFY frame (digest manifest) follows the
+                        # offer; hold admission until it arrives so the
+                        # resume audit has digests from the start.
+                        conn.offer = offer
+                        conn.state = "await_verify"
+                        continue
                     self._handle_push(conn, offer, now)
                 else:
                     self._close_conn(conn)
                     return
+            elif conn.state == "await_verify":
+                if len(buf) < wire.VERIFY_HDR_BYTES:
+                    return
+                try:
+                    body = wire.verify_body_bytes(
+                        bytes(buf[:wire.VERIFY_HDR_BYTES]))
+                except ValueError:
+                    self._close_conn(conn)
+                    return
+                need = wire.VERIFY_HDR_BYTES + body
+                if len(buf) < need:
+                    return
+                frame = bytes(buf[:need])
+                del buf[:need]
+                try:
+                    manifest = ChunkManifest.decode(wire.decode_verify(frame))
+                except (ValueError, ManifestCorrupt):
+                    # Unusable manifest: fall back to the whole-object
+                    # CRC rather than refusing the transfer.
+                    manifest = None
+                if manifest is not None and (
+                        manifest.total_bytes != conn.offer.filesize
+                        or manifest.packet_size != conn.offer.packet_size):
+                    manifest = None
+                conn.manifest = manifest
+                self._handle_push(conn, conn.offer, now)
             elif conn.state == "await_resume":
                 entry: _SendEntry = conn.entry
                 need = wire.resume_wire_bytes(entry.sender.npackets)
@@ -695,11 +739,21 @@ class ObjectServer:
         self.allocator.reallocate()
         flags = files.FLAG_RESUME | (files.FLAG_CHECKSUM if req.checksum
                                      else 0)
+        manifest = None
+        if req.verify:
+            flags |= files.FLAG_VERIFY
+            manifest = ChunkManifest.from_data(data, config.packet_size)
         offer = files.Offer(
             filesize=len(data), packet_size=config.packet_size,
             ack_port=self.udp_port, flags=flags, crc=zlib.crc32(data),
             transfer_id=tid, epoch=req.epoch)
-        if not self._send_ctrl(conn, files.encode_offer(offer)):
+        payload = files.encode_offer(offer)
+        if manifest is not None:
+            # VERIFY rides between OFFER and the client's RESUME reply
+            # (PROTOCOL.md §10): the client audits its journal-claimed
+            # chunks against these digests before building the bitmap.
+            payload += wire.encode_verify(manifest.encode())
+        if not self._send_ctrl(conn, payload):
             self._finish_send(entry, ok=False,
                               reason="client vanished before offer")
 
@@ -766,6 +820,7 @@ class ObjectServer:
         entry.output_path = output_path
         entry.part_path = output_path + ".part"
         entry.journal_path = output_path + ".journal"
+        entry.manifest = conn.manifest
         resume_bitmap = None
         if offer.resumable:
             entry.journal, replay = ReceiverJournal.open(
@@ -773,6 +828,43 @@ class ObjectServer:
                 offer.packet_size)
             if replay is not None:
                 resume_bitmap = replay.bitmap.array
+        mode = "r+b" if (os.path.exists(entry.part_path)
+                         and os.path.getsize(entry.part_path) == offer.filesize
+                         and offer.resumable and resume_bitmap is not None
+                         ) else "w+b"
+        channel = self._transfer_channel(offer.transfer_id, offer.epoch)
+        try:
+            entry.part_fh = self.opener(entry.part_path, mode)
+            if mode == "w+b":
+                entry.part_fh.truncate(offer.filesize)
+            if (entry.manifest is not None and entry.journal is not None
+                    and mode == "r+b" and entry.journal.bitmap.count):
+                # Verify-on-resume: audit every journal-claimed chunk
+                # against the manifest BEFORE the RESUME reply, so
+                # corrupt ranges are demoted and re-requested rather
+                # than trusted.
+                claimed = np.flatnonzero(entry.journal.bitmap.array)
+                entry.vstats.merge(files._verify_pass(
+                    "resume", entry.manifest, entry.part_fh,
+                    claimed.tolist(), entry.journal, channel))
+                resume_bitmap = entry.journal.bitmap.array
+        except OSError as exc:
+            reason = files._storage_reason("part", exc)
+            if channel.enabled:
+                channel.emit(EV_STORAGE_FAULT, error=type(exc).__name__,
+                             detail=str(exc), where="part")
+            if entry.part_fh is not None:
+                try:
+                    entry.part_fh.close()
+                except OSError:
+                    pass
+            if entry.journal is not None:
+                entry.journal.close()
+            self._failed += 1
+            self.history.append((name, "recv", conn.addr[0], False, reason))
+            self._close_conn(conn)
+            self._release_and_promote(conn.key)
+            return
         entry.receiver = FobsReceiver(
             config, offer.filesize, resume_bitmap=resume_bitmap,
             journal=entry.journal, epoch=offer.epoch,
@@ -784,12 +876,6 @@ class ObjectServer:
             packet_size=offer.packet_size,
             ack_frequency=config.ack_frequency, backend="server",
             role="receiver", name=name, client=conn.addr[0])
-        mode = "r+b" if (os.path.exists(entry.part_path)
-                         and os.path.getsize(entry.part_path) == offer.filesize
-                         and offer.resumable) else "w+b"
-        entry.part_fh = open(entry.part_path, mode)
-        if mode == "w+b":
-            entry.part_fh.truncate(offer.filesize)
         data_port = self.udp_port
         if session is None:
             # v1 datagrams carry no session extension to demux on: give
@@ -883,9 +969,25 @@ class ObjectServer:
         self._bytes_received += len(datagram)
         # Data before log: the payload lands in the .part file before
         # on_data journals the packet.
-        entry.part_fh.seek(pkt.seq * entry.config.packet_size)
-        entry.part_fh.write(payload)
-        ack = entry.receiver.on_data(pkt.seq, now)
+        try:
+            entry.part_fh.seek(pkt.seq * entry.config.packet_size)
+            entry.part_fh.write(payload)
+            ack = entry.receiver.on_data(pkt.seq, now)
+        except OSError as exc:
+            # Disk fault mid-push (ENOSPC/EIO): fail this transfer with
+            # a typed, retryable reason — the daemon itself survives,
+            # the journal keeps its durable prefix, and the client's
+            # supervisor re-offers through admission.
+            if entry.session is not None:
+                channel = self._transfer_channel(entry.session.transfer_id,
+                                                 entry.session.epoch)
+                if channel.enabled:
+                    channel.emit(EV_STORAGE_FAULT,
+                                 error=type(exc).__name__,
+                                 detail=str(exc), where="part")
+            self._finish_recv(entry, ok=False,
+                              reason=files._storage_reason("part", exc))
+            return
         if ack is not None:
             out = wire.encode_ack(ack, checksum=entry.config.checksum,
                                   session=entry.session)
@@ -1030,16 +1132,29 @@ class ObjectServer:
                 entry.part_fh = None
                 with open(entry.part_path, "rb") as fh:
                     blob = fh.read()
-                if zlib.crc32(blob) != entry.offer.crc:
-                    ok = False
-                    reason = "CRC mismatch after reassembly"
-                else:
-                    self._send_ctrl(entry.conn, wire.encode_completion(
-                        entry.receiver.npackets))
-                    os.replace(entry.part_path, entry.output_path)
             except OSError as exc:
                 ok = False
-                reason = f"finalize failed: {exc}"
+                reason = files._storage_reason("finalize", exc)
+            else:
+                # Verify-on-complete: per-chunk digests when the client
+                # sent a manifest, whole-object CRC32 fallback
+                # otherwise; either way corrupt chunks are demoted in
+                # the journal so the retry re-fetches them instead of
+                # publishing garbage.
+                channel = self._transfer_channel(entry.offer.transfer_id,
+                                                 entry.offer.epoch)
+                ok, reason, vstats = files._completion_audit(
+                    blob, entry.offer, entry.manifest, entry.journal,
+                    channel)
+                entry.vstats.merge(vstats)
+                if ok:
+                    try:
+                        self._send_ctrl(entry.conn, wire.encode_completion(
+                            entry.receiver.npackets))
+                        os.replace(entry.part_path, entry.output_path)
+                    except OSError as exc:
+                        ok = False
+                        reason = files._storage_reason("finalize", exc)
         if entry.part_fh is not None:
             try:
                 entry.part_fh.close()
@@ -1065,6 +1180,10 @@ class ObjectServer:
                               if receiver is not None else 0),
             resumed_packets=(receiver.stats.resumed_packets
                              if receiver is not None else 0),
+            packets_demoted=entry.vstats.chunks_corrupt,
+            ranges_demoted=entry.vstats.ranges_demoted,
+            bytes_demoted=entry.vstats.bytes_demoted,
+            verify_seconds=entry.vstats.duration,
             name=entry.name, role="receiver", failure_reason=reason or "")
         self.history.append((entry.name, "recv", entry.client, ok, reason))
         self._close_conn(entry.conn)

@@ -42,15 +42,19 @@ from repro.telemetry.events import (
     EV_ADMISSION,
     EV_BATCH_SENT,
     EV_BITMAP_DELTA,
+    EV_CORRUPTION,
     EV_META,
+    EV_REPAIR,
     EV_RESUME_EPOCH,
     EV_RETRANSMIT_ROUND,
     EV_SAMPLE,
     EV_SNAPSHOT,
     EV_STALL,
+    EV_STORAGE_FAULT,
     EV_TRACE,
     EV_TRANSFER_END,
     EV_TRANSFER_START,
+    EV_VERIFY,
     EVENT_KINDS,
     EVENT_SCHEMA_VERSION,
     SAMPLED_KINDS,
@@ -95,4 +99,8 @@ __all__ = [
     "EV_SNAPSHOT",
     "EV_SAMPLE",
     "EV_TRACE",
+    "EV_STORAGE_FAULT",
+    "EV_CORRUPTION",
+    "EV_REPAIR",
+    "EV_VERIFY",
 ]

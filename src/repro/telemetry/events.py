@@ -61,6 +61,19 @@ EV_SAMPLE = "sample"
 #: A forwarded :class:`~repro.simnet.trace.Tracer` record:
 #: trace_kind, detail.
 EV_TRACE = "trace"
+#: A disk operation failed under the receiver/daemon: error (errno
+#: name), detail, where ("part"/"journal"/"finalize").  The transfer
+#: pauses and retries; the process survives.
+EV_STORAGE_FAULT = "storage_fault"
+#: A verify pass (resume or completion audit) found on-disk chunks
+#: whose digests do not match: phase, mode, chunks_corrupt, bytes.
+EV_CORRUPTION = "corruption"
+#: Corrupt chunks were demoted back to unreceived bitmap bits for
+#: re-fetch: phase, packets_demoted, ranges_demoted, bytes_demoted.
+EV_REPAIR = "repair"
+#: A verify pass completed: phase, mode, chunks_checked,
+#: chunks_corrupt, duration.
+EV_VERIFY = "verify"
 
 #: Every kind a conforming producer may emit.
 EVENT_KINDS = (
@@ -77,6 +90,10 @@ EVENT_KINDS = (
     EV_SNAPSHOT,
     EV_SAMPLE,
     EV_TRACE,
+    EV_STORAGE_FAULT,
+    EV_CORRUPTION,
+    EV_REPAIR,
+    EV_VERIFY,
 )
 
 #: High-rate kinds the bus may sample (drop all but every Nth); the

@@ -1,0 +1,193 @@
+"""Tests for the seeded host-side fault injector (``repro.chaos``).
+
+The injector's value is *replayability*: the same (schedule, seed) pair
+must corrupt the same writes the same way, so a chaos failure found in
+the matrix can be replayed under a debugger.  These tests pin the
+semantics of each fault mode — torn writes persist a prefix while the
+writer sees a full write, bit rot flips exactly one bit, scheduled
+errors fire once at a store-wide op index, and a crash drops exactly
+the unsynced pages.
+"""
+
+from __future__ import annotations
+
+import errno
+
+import numpy as np
+import pytest
+
+from repro.chaos import (
+    FaultyStore,
+    HostFaultSchedule,
+    bit_rot,
+    disk_full_at,
+    torn_writes,
+)
+
+
+def payload(seed: int = 5, nbytes: int = 4096) -> bytes:
+    return np.random.default_rng(seed).integers(
+        0, 256, nbytes, dtype=np.uint8).tobytes()
+
+
+class TestSchedule:
+    def test_benign_default(self):
+        assert HostFaultSchedule().benign
+        assert not torn_writes(0.1).benign
+        assert not disk_full_at(3).benign
+
+    def test_rates_validated(self):
+        with pytest.raises(ValueError):
+            HostFaultSchedule(torn_write_rate=1.5)
+        with pytest.raises(ValueError):
+            HostFaultSchedule(bitrot_rate=-0.1)
+
+    def test_dict_round_trip(self):
+        sched = HostFaultSchedule(
+            torn_write_rate=0.25, bitrot_rate=0.1, read_flip_rate=0.05,
+            error_ops=((7, "EIO"), (40, "ENOSPC")),
+            crash_drops_unsynced=False)
+        assert HostFaultSchedule.from_dict(sched.to_dict()) == sched
+
+    def test_dict_round_trip_default(self):
+        sched = HostFaultSchedule()
+        assert HostFaultSchedule.from_dict(sched.to_dict()) == sched
+
+
+class TestDeterminism:
+    def damage_profile(self, seed: int):
+        """Write 64 chunks through a faulty store; return what stuck."""
+        import io
+
+        sched = HostFaultSchedule(torn_write_rate=0.2, bitrot_rate=0.2)
+        store = FaultyStore(sched, seed=seed)
+        raw = io.BytesIO()
+        ff = store.__class__.__mro__  # silence linters; not used
+        del ff
+        # Wrap the BytesIO through the same fault engine the file uses.
+        from repro.chaos.hostfaults import FaultyFile
+
+        f = FaultyFile(raw, store, "mem")
+        store._open_files.append(f)
+        for i in range(64):
+            f.write(payload(i, 256))
+        f.flush()
+        return raw.getvalue(), (store.stats.torn_writes,
+                                store.stats.bitrot_writes)
+
+    def test_same_seed_same_damage(self):
+        a_bytes, a_stats = self.damage_profile(42)
+        b_bytes, b_stats = self.damage_profile(42)
+        assert a_bytes == b_bytes
+        assert a_stats == b_stats
+        assert sum(a_stats) > 0  # the schedule actually fired
+
+    def test_different_seed_different_damage(self):
+        a_bytes, _ = self.damage_profile(42)
+        b_bytes, _ = self.damage_profile(43)
+        assert a_bytes != b_bytes
+
+
+class TestTornWrites:
+    def test_torn_write_persists_prefix_but_advances_position(self, tmp_path):
+        store = FaultyStore(torn_writes(1.0), seed=1)
+        path = str(tmp_path / "f.bin")
+        data = payload(1, 1024)
+        with store.open(path, "w+b") as f:
+            assert f.write(data) == len(data)  # writer sees full success
+            assert f.tell() == len(data)       # position advances fully
+        on_disk = open(path, "rb").read()
+        assert len(on_disk) < len(data)        # ...but a prefix persisted
+        assert data.startswith(on_disk)
+        assert store.stats.torn_writes == 1
+
+
+class TestBitRot:
+    def test_bitrot_flips_exactly_one_bit(self, tmp_path):
+        store = FaultyStore(bit_rot(1.0), seed=2)
+        path = str(tmp_path / "f.bin")
+        data = payload(2, 2048)
+        with store.open(path, "w+b") as f:
+            f.write(data)
+        on_disk = open(path, "rb").read()
+        assert len(on_disk) == len(data)
+        diff = np.frombuffer(on_disk, np.uint8) ^ np.frombuffer(data, np.uint8)
+        assert int(np.unpackbits(diff).sum()) == 1
+
+    def test_read_flip_leaves_disk_intact(self, tmp_path):
+        sched = HostFaultSchedule(read_flip_rate=1.0)
+        store = FaultyStore(sched, seed=3)
+        path = str(tmp_path / "f.bin")
+        data = payload(3, 512)
+        open(path, "wb").write(data)
+        with store.open(path, "rb") as f:
+            seen = f.read()
+        assert seen != data                  # readback was flipped...
+        assert open(path, "rb").read() == data  # ...the medium is fine
+        assert store.stats.read_flips == 1
+        assert store.stats.corruptions >= 1
+
+
+class TestScheduledErrors:
+    def test_error_fires_once_at_store_wide_op(self, tmp_path):
+        store = FaultyStore(disk_full_at(2, "ENOSPC"), seed=4)
+        with store.open(str(tmp_path / "a.bin"), "w+b") as fa:
+            fa.write(b"x" * 10)              # op 0
+            with store.open(str(tmp_path / "b.bin"), "w+b") as fb:
+                fb.write(b"y" * 10)          # op 1
+                with pytest.raises(OSError) as exc:
+                    fa.write(b"z" * 10)      # op 2 -> boom
+                assert exc.value.errno == errno.ENOSPC
+                # Transient: the very next op succeeds (retry survives).
+                fa.write(b"z" * 10)
+        assert store.stats.errors_injected == 1
+
+    def test_eio_injection(self, tmp_path):
+        store = FaultyStore(disk_full_at(0, "EIO"), seed=4)
+        with store.open(str(tmp_path / "a.bin"), "w+b") as f:
+            with pytest.raises(OSError) as exc:
+                f.write(b"x")
+            assert exc.value.errno == errno.EIO
+
+
+class TestCrash:
+    def test_crash_drops_unsynced_keeps_flushed(self, tmp_path):
+        store = FaultyStore(HostFaultSchedule(), seed=5)
+        path = str(tmp_path / "f.bin")
+        f = store.open(path, "w+b")
+        f.write(b"A" * 100)
+        f.flush()                             # durable
+        f.write(b"B" * 100)                   # page cache only
+        dropped = store.crash()
+        assert dropped >= 100
+        on_disk = open(path, "rb").read()
+        assert on_disk == b"A" * 100
+        assert store.stats.crashes == 1
+        assert store.stats.crash_dropped_bytes == dropped
+
+    def test_crash_disabled_keeps_everything(self, tmp_path):
+        store = FaultyStore(
+            HostFaultSchedule(crash_drops_unsynced=False), seed=5)
+        path = str(tmp_path / "f.bin")
+        f = store.open(path, "w+b")
+        f.write(b"A" * 100)
+        f.write(b"B" * 100)
+        store.crash()
+        assert open(path, "rb").read() == b"A" * 100 + b"B" * 100
+
+    def test_crash_rolls_back_overwrites_in_place(self, tmp_path):
+        """An unsynced overwrite of old data reverts to the old bytes."""
+        store = FaultyStore(HostFaultSchedule(), seed=6)
+        path = str(tmp_path / "f.bin")
+        f = store.open(path, "w+b")
+        f.write(b"OLDOLDOLD")
+        f.flush()
+        f.seek(0)
+        f.write(b"NEWNEWNEW")
+        store.crash()
+        assert open(path, "rb").read() == b"OLDOLDOLD"
+
+    def test_text_mode_rejected(self, tmp_path):
+        store = FaultyStore(HostFaultSchedule(), seed=0)
+        with pytest.raises(ValueError):
+            store.open(str(tmp_path / "f.txt"), "w")

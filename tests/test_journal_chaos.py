@@ -1,0 +1,194 @@
+"""Journal robustness under storage chaos: crash-atomic compaction,
+durable demotion, and the whole-file flip property.
+
+``tests/test_journal.py`` proves record-level damage is contained;
+this file attacks the two operations added for digest-driven repair —
+``compact()`` (now rewrite-to-temp + fsync + rename) and ``demote()``
+(verify-pass fallout must survive a crash) — plus the global version
+of the fabrication property: flip *any* single byte anywhere in a
+journal file and replay either refuses the file or recovers a subset
+of the true bitmap.  It must never fabricate a received packet.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.journal import (
+    HEADER_BYTES,
+    JournalCorrupt,
+    ReceiverJournal,
+    replay_journal,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+NPACKETS = 64
+TID = 0xDEADBEEF
+PACKET_SIZE = 1000
+TOTAL_BYTES = NPACKETS * PACKET_SIZE
+
+
+class _Killed(BaseException):
+    """Raised by the crash hook to model a kill -9 at an exact point."""
+
+
+def make_journal(tmp_path, **kwargs) -> ReceiverJournal:
+    return ReceiverJournal.create(
+        str(tmp_path / "j.journal"), TID, TOTAL_BYTES, PACKET_SIZE,
+        flush_every=1, **kwargs)
+
+
+class TestCompactionCrashAtomicity:
+    def populate(self, journal):
+        journal.record_range(0, 10)
+        journal.record_range(20, 5)
+        journal.record_range(40, 8)
+        return journal.bitmap.array.copy()
+
+    @pytest.mark.parametrize("phase", ["compact:tmp-synced",
+                                       "compact:replaced"])
+    def test_kill_at_phase_leaves_one_valid_journal(self, tmp_path, phase):
+        """A kill before the rename keeps the old journal; a kill after
+        it keeps the new one.  Either way replay sees the same bitmap —
+        never a truncated half-rewrite."""
+        journal = make_journal(tmp_path)
+        expected = self.populate(journal)
+
+        def hook(p):
+            if p == phase:
+                raise _Killed(p)
+
+        journal.crash_hook = hook
+        with pytest.raises(_Killed):
+            journal.compact()
+        journal.simulate_crash()
+        replay = replay_journal(journal.path)
+        assert np.array_equal(replay.bitmap.array, expected)
+        assert replay.records_dropped == 0
+
+    def test_kill_mid_compact_leaves_no_temp_garbage_behind_resume(
+        self, tmp_path
+    ):
+        """The .compact temp file never shadows the journal: resume
+        reads ``path`` itself, which is always one valid journal."""
+        journal = make_journal(tmp_path)
+        expected = self.populate(journal)
+        journal.crash_hook = lambda p: (_ for _ in ()).throw(_Killed(p))
+        with pytest.raises(_Killed):
+            journal.compact()
+        journal.simulate_crash()
+        # Whatever temp state was left, replaying the canonical path is
+        # exact.
+        replay = replay_journal(journal.path)
+        assert np.array_equal(replay.bitmap.array, expected)
+
+    def test_compact_survives_and_backs_off_on_enospc(self, tmp_path):
+        """An OSError during compaction propagates but the journal file
+        stays valid and the threshold backs off."""
+        journal = make_journal(tmp_path)
+        expected = self.populate(journal)
+        before = journal.compact_threshold
+
+        def hook(p):
+            if p == "compact:tmp-synced":
+                raise OSError(28, "injected ENOSPC")
+
+        journal.crash_hook = hook
+        with pytest.raises(OSError):
+            journal.compact()
+        assert journal.compact_threshold > before
+        journal.crash_hook = None
+        journal.close()
+        replay = replay_journal(journal.path)
+        assert np.array_equal(replay.bitmap.array, expected)
+
+
+class TestDemotion:
+    def test_demote_is_durable_across_crash(self, tmp_path):
+        """Demoted bits stay demoted after a kill: the next resume must
+        re-fetch the corrupt ranges, not resurrect them."""
+        journal = make_journal(tmp_path)
+        journal.record_range(0, 32)
+        assert journal.demote([3, 4, 5, 20]) == 4
+        journal.simulate_crash()  # kill right after the verify pass
+        replay = replay_journal(journal.path)
+        assert not replay.bitmap.array[[3, 4, 5, 20]].any()
+        assert replay.bitmap.array[[0, 1, 2, 6, 19, 21, 31]].all()
+
+    def test_demote_idempotent(self, tmp_path):
+        journal = make_journal(tmp_path)
+        journal.record_range(0, 16)
+        assert journal.demote([2, 3]) == 2
+        assert journal.demote([2, 3]) == 0
+        assert journal.demote([50]) == 0  # never-received: nothing to do
+        journal.close()
+
+
+class TestWholeFileFlipProperty:
+    @given(
+        ranges=st.lists(
+            st.tuples(st.integers(0, NPACKETS - 1), st.integers(1, 8)).map(
+                lambda rc: (rc[0], min(rc[1], NPACKETS - rc[0]))),
+            min_size=1, max_size=12),
+        offset_frac=st.floats(0.0, 1.0, exclude_max=True),
+        mask=st.integers(1, 255),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_any_single_byte_flip_never_fabricates(
+        self, tmp_path_factory, ranges, offset_frac, mask
+    ):
+        """Flip ANY byte — header, record, anywhere.  Replay either
+        raises ``JournalCorrupt`` or recovers a strict subset of the
+        true bitmap.  A fabricated packet would resume a hole as
+        'received' and corrupt the object; that outcome must be
+        unreachable from single-byte damage."""
+        tmp = tmp_path_factory.mktemp("journal")
+        path = str(tmp / "j.journal")
+        journal = ReceiverJournal.create(path, TID, TOTAL_BYTES, PACKET_SIZE,
+                                         flush_every=1)
+        for start, count in ranges:
+            journal.record_range(start, count)
+        truth = journal.bitmap.array.copy()
+        journal.close()
+        blob = bytearray(open(path, "rb").read())
+        blob[int(offset_frac * len(blob))] ^= mask
+        flipped = str(tmp / "flipped.journal")
+        with open(flipped, "wb") as fh:
+            fh.write(bytes(blob))
+        try:
+            replay = replay_journal(flipped)
+        except JournalCorrupt:
+            return  # refused outright: safe
+        fabricated = replay.bitmap.array & ~truth
+        assert not fabricated.any(), "flip fabricated a received packet"
+
+    @given(
+        mask=st.integers(1, 255),
+        header_byte=st.integers(0, HEADER_BYTES - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_header_flips_refused_or_harmless(
+        self, tmp_path_factory, mask, header_byte
+    ):
+        """Header damage in particular must never pass an ``expect``
+        check against the live transfer's identity."""
+        from repro.core.journal import JournalHeader
+
+        tmp = tmp_path_factory.mktemp("journal")
+        path = str(tmp / "j.journal")
+        journal = ReceiverJournal.create(path, TID, TOTAL_BYTES, PACKET_SIZE,
+                                         flush_every=1)
+        journal.record_range(0, 8)
+        journal.close()
+        blob = bytearray(open(path, "rb").read())
+        blob[header_byte] ^= mask
+        with open(path, "wb") as fh:
+            fh.write(bytes(blob))
+        expect = JournalHeader(TID, TOTAL_BYTES, PACKET_SIZE)
+        with pytest.raises(JournalCorrupt):
+            replay_journal(path, expect=expect)
