@@ -1,0 +1,153 @@
+"""Dataset transfers on the DES — packing vs per-file sessions.
+
+Produces ``benchmarks/results/BENCH_dataset.json``::
+
+    {"bench": "dataset", "schema": 1, "entries": [
+        {"name": "packed", ...},    # 10k-file tree as packed objects
+        {"name": "naive", ...},     # per-file sessions (1k sample)
+        {"name": "resume", ...}     # killed at K objects: resume vs restart
+    ]}
+
+The workload is the small-file wall every naive tree-copy hits: ~10k
+files of a few hundred bytes next to a handful of striped multi-object
+files, on the paper's short-haul topology.  The naive baseline pays a
+full control handshake and admission round-trip per file, so its
+files/sec is a *rate* — flat in the number of files — and is measured
+on a 1,000-file sample of the same tree to keep the suite fast (the
+full 10k naive run takes ~5 minutes of wall clock and the same rate).
+
+Deterministic end to end: seeded tree spec, seeded topology, DES time
+only.  Run with ``pytest -m dataset benchmarks/test_dataset.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.dataset import (
+    PackingConfig,
+    mixed_tree_spec,
+    plan_objects,
+    run_sim_dataset,
+    run_sim_naive,
+    run_sim_resume,
+    scan_tree,
+)
+from repro.dataset.manifest import DatasetManifest
+from repro.simnet.topology import short_haul
+
+from _bench_support import RESULTS_DIR, emit
+
+pytestmark = pytest.mark.dataset
+
+BENCH_PATH = RESULTS_DIR / "BENCH_dataset.json"
+
+CHUNK = 16 * 1024
+PACKING = PackingConfig(object_bytes=256 * 1024, pack_threshold=64 * 1024)
+NSMALL = 10_000
+NAIVE_SAMPLE = 1_000
+KILL_AFTER = 8
+SEED = 42
+
+
+@pytest.fixture(scope="module")
+def manifest(tmp_path_factory) -> DatasetManifest:
+    root = tmp_path_factory.mktemp("dataset-bench")
+    src = str(root / "tree")
+    mixed_tree_spec(nsmall=NSMALL, small_bytes=300, nmedium=20,
+                    medium_bytes=50_000, nlarge=3, large_bytes=700_000,
+                    seed=SEED).generate(src)
+    return scan_tree(src, CHUNK)
+
+
+def _sample(manifest: DatasetManifest, n: int) -> DatasetManifest:
+    """First ``n`` non-empty files of the tree, as their own manifest."""
+    picked = [e for e in manifest.entries if e.size > 0][:n]
+    return DatasetManifest(chunk_size=manifest.chunk_size,
+                           algo=manifest.algo, dirs=(),
+                           entries=tuple(picked))
+
+
+def test_dataset_bench(manifest, capsys):
+    plan = plan_objects(manifest, PACKING)
+    packed = run_sim_dataset(short_haul(seed=1), manifest,
+                             packing=PACKING, max_active=8)
+    assert packed.all_ok, "packed DES run failed"
+
+    sample = _sample(manifest, NAIVE_SAMPLE)
+    naive = run_sim_naive(short_haul(seed=1), sample, max_active=8,
+                          time_limit=20_000.0)
+    assert naive.all_ok, "naive DES run failed"
+
+    resume, restart = run_sim_resume(
+        lambda: short_haul(seed=2), manifest, KILL_AFTER,
+        packing=PACKING, max_active=8)
+    assert resume.all_ok and restart.all_ok
+    assert resume.packets_sent < restart.packets_sent
+
+    speedup = packed.files_per_sec / naive.files_per_sec
+    saved = 1.0 - resume.packets_sent / restart.packets_sent
+    assert speedup > 10, f"packing speedup collapsed: {speedup:.1f}x"
+
+    entries = [
+        {
+            "name": "packed",
+            "nfiles": manifest.nfiles,
+            "bytes": manifest.total_bytes,
+            "sessions": packed.nsessions,
+            "objects": plan.nobjects,
+            "kind_counts": plan.counts(),
+            "files_per_sec": round(packed.files_per_sec, 1),
+            "goodput_mbps": round(packed.goodput_bps / 1e6, 3),
+            "duration_s": round(packed.duration, 3),
+            "packets_sent": packed.packets_sent,
+        },
+        {
+            "name": "naive",
+            "nfiles": sample.nfiles,
+            "note": f"per-file sessions on a {NAIVE_SAMPLE}-file sample "
+                    f"of the same tree (steady-state rate)",
+            "sessions": naive.nsessions,
+            "files_per_sec": round(naive.files_per_sec, 1),
+            "goodput_mbps": round(naive.goodput_bps / 1e6, 3),
+            "duration_s": round(naive.duration, 3),
+            "packets_sent": naive.packets_sent,
+            "speedup_packed_vs_naive": round(speedup, 1),
+        },
+        {
+            "name": "resume",
+            "kill_after_objects": KILL_AFTER,
+            "objects_total": plan.nobjects,
+            "resume_packets": resume.packets_sent,
+            "restart_packets": restart.packets_sent,
+            "packets_saved_fraction": round(saved, 4),
+        },
+    ]
+    BENCH_PATH.write_text(json.dumps(
+        {"bench": "dataset", "schema": 1, "entries": entries},
+        indent=2, sort_keys=True) + "\n")
+
+    lines = [
+        "dataset transfers on the DES (short-haul topology)",
+        f"  tree: {manifest.nfiles} files, "
+        f"{manifest.total_bytes / 1e6:.1f} MB "
+        f"({NSMALL} small + 20 medium + 3 striped)",
+        "",
+        f"  {'strategy':<22} {'sessions':>8} {'files/s':>9} "
+        f"{'goodput':>12} {'sim time':>9}",
+        f"  {'packed objects':<22} {packed.nsessions:>8} "
+        f"{packed.files_per_sec:>9.0f} "
+        f"{packed.goodput_bps / 1e6:>9.1f} Mb/s {packed.duration:>8.1f}s",
+        f"  {'per-file sessions*':<22} {naive.nsessions:>8} "
+        f"{naive.files_per_sec:>9.1f} "
+        f"{naive.goodput_bps / 1e6:>9.1f} Mb/s {naive.duration:>8.1f}s",
+        f"  (* {NAIVE_SAMPLE}-file sample)  packing speedup: "
+        f"{speedup:.0f}x files/sec",
+        "",
+        f"  resume after {KILL_AFTER}/{plan.nobjects} objects: "
+        f"{resume.packets_sent} packets vs {restart.packets_sent} "
+        f"restart ({100 * saved:.0f}% saved)",
+    ]
+    emit("dataset", "\n".join(lines), capsys)

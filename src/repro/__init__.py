@@ -12,6 +12,9 @@ Top-level convenience exports; the full API lives in the subpackages:
   sans-IO FOBS core;
 * :mod:`repro.server` — the concurrent multi-transfer daemon
   (admission control, shared-socket demux, max-min sharing);
+* :mod:`repro.dataset` — manifest-driven whole-tree transfers
+  (small-file packing, chunk striping, layout-aware scheduling,
+  dataset-level crash resume; ``repro sync``, ``docs/DATASET.md``);
 * :mod:`repro.analysis` — per-figure/table experiment harness and CLI.
 
 Quickstart::
@@ -68,12 +71,30 @@ from repro.server import (
     run_sim_server,
     serve_root,
 )
+from repro.dataset import (
+    DatasetJournal,
+    DatasetManifest,
+    DatasetSyncResult,
+    FileEntry,
+    PackingConfig,
+    SchedulerConfig,
+    TransferPlan,
+    plan_objects,
+    scan_tree,
+    schedule,
+    sync_tree,
+)
 from repro.telemetry import (
     EV_ACK_PROCESSED,
     EV_ADMISSION,
     EV_BATCH_SENT,
     EV_BITMAP_DELTA,
+    EV_CHUNK_DONE,
+    EV_CHUNK_SCHEDULED,
     EV_CORRUPTION,
+    EV_DATASET_PACK,
+    EV_DATASET_RESUME,
+    EV_DATASET_UNPACK,
     EV_META,
     EV_REPAIR,
     EV_RESUME_EPOCH,
@@ -98,7 +119,7 @@ from repro.telemetry import (
     read_events,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "FobsConfig",
@@ -154,7 +175,23 @@ __all__ = [
     "EV_CORRUPTION",
     "EV_REPAIR",
     "EV_VERIFY",
+    "EV_DATASET_PACK",
+    "EV_DATASET_UNPACK",
+    "EV_CHUNK_SCHEDULED",
+    "EV_CHUNK_DONE",
+    "EV_DATASET_RESUME",
     "ChunkManifest",
     "VerifyStats",
+    "DatasetManifest",
+    "FileEntry",
+    "DatasetJournal",
+    "DatasetSyncResult",
+    "PackingConfig",
+    "SchedulerConfig",
+    "TransferPlan",
+    "scan_tree",
+    "plan_objects",
+    "schedule",
+    "sync_tree",
     "__version__",
 ]

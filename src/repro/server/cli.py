@@ -84,11 +84,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--quiet", action="store_true",
                        help="suppress progress output on stderr")
 
-    fetch = sub.add_parser("fetch", help="fetch one object from a server")
-    fetch.add_argument("name", help="object name under the served root")
+    fetch = sub.add_parser(
+        "fetch", help="fetch one or more objects from a server")
+    fetch.add_argument("names", nargs="+", metavar="name",
+                       help="object name(s) under the served root")
     fetch.add_argument("--host", default="127.0.0.1")
     fetch.add_argument("--port", type=int, required=True)
-    fetch.add_argument("--output", required=True)
+    fetch.add_argument("--output", default=None,
+                       help="destination path (single object only)")
+    fetch.add_argument("--output-dir", default=None, metavar="DIR",
+                       help="destination directory (required for "
+                            "multi-object fetches; each object lands "
+                            "under its own name)")
     fetch.add_argument("--timeout", type=float, default=120.0)
     fetch.add_argument("--max-attempts", type=int, default=1, metavar="N",
                        help="retry budget; retries resume from the "
@@ -148,6 +155,55 @@ def build_parser() -> argparse.ArgumentParser:
                           help="list scenario names and exit")
     loadtest.add_argument("--quiet", action="store_true",
                           help="suppress progress output on stderr")
+
+    sync = sub.add_parser(
+        "sync",
+        help="replicate a directory tree as packed/striped dataset "
+             "objects (see docs/DATASET.md)")
+    sync.add_argument("src", help="source directory tree")
+    sync.add_argument("dest", help="destination directory (created)")
+    sync.add_argument("--chunk-size", type=int, default=65536,
+                      metavar="BYTES",
+                      help="manifest chunk size (default 65536)")
+    sync.add_argument("--object-size", type=int, default=4 * 1024 * 1024,
+                      metavar="BYTES",
+                      help="target object size; files larger than this "
+                           "stripe into chunk objects (default 4 MiB; "
+                           "must be a multiple of --chunk-size)")
+    sync.add_argument("--pack-threshold", type=int, default=1024 * 1024,
+                      metavar="BYTES",
+                      help="files smaller than this coalesce into "
+                           "packed objects (default 1 MiB)")
+    sync.add_argument("--policy", default="layout",
+                      choices=("layout", "fifo", "random"),
+                      help="transfer-order policy (default layout: "
+                           "sequential per destination file, "
+                           "interleaved across files/spindles)")
+    sync.add_argument("--burst", type=int, default=1, metavar="N",
+                      help="objects per lane per round-robin turn "
+                           "(layout policy; default 1)")
+    sync.add_argument("--seed", type=int, default=0,
+                      help="seed for --policy random (default 0)")
+    sync.add_argument("--transport", default="local",
+                      choices=("local", "loopback"),
+                      help="data plane: in-process (default) or the "
+                           "real-socket FOBS stack over localhost")
+    sync.add_argument("--max-attempts", type=int, default=3, metavar="N",
+                      help="delivery+verify attempts per object "
+                           "(default 3)")
+    sync.add_argument("--no-resume", action="store_true",
+                      help="ignore any dataset journal; start from "
+                           "scratch")
+    sync.add_argument("--dry-run", action="store_true",
+                      help="print the canonical JSON transfer plan to "
+                           "stdout and exit without moving bytes "
+                           "(byte-identical across runs on the same "
+                           "tree)")
+    sync.add_argument("--telemetry-out", default=None, metavar="PATH",
+                      help="record dataset/protocol events to a JSONL "
+                           "file (replay with 'repro stats PATH')")
+    sync.add_argument("--quiet", action="store_true",
+                      help="suppress progress output on stderr")
     return parser
 
 
@@ -223,43 +279,109 @@ def _verify_failure(reason: Optional[str]) -> bool:
 
 
 def _cmd_fetch(args: argparse.Namespace) -> int:
+    """Fetch one or many objects.
+
+    Output discipline (docs/DATASET.md): exactly one machine-readable
+    line on stdout — the legacy per-object line for a single name, a
+    ``fetch ok objects=...`` summary for a multi-object run — with all
+    per-object diagnostics on stderr.  Exit codes: 0 every object
+    landed and verified, 3 any object exhausted retries on an
+    integrity failure, 1 any other failure, 2 usage.
+    """
+    import os
+
+    multi = len(args.names) > 1
+    if multi and args.output:
+        print("fetch FAILED: --output is single-object; use "
+              "--output-dir for multiple names", file=sys.stderr)
+        return 2
+    if multi and not args.output_dir:
+        print("fetch FAILED: --output-dir is required when fetching "
+              "multiple objects", file=sys.stderr)
+        return 2
+    if not args.output and not args.output_dir:
+        print("fetch FAILED: one of --output / --output-dir is required",
+              file=sys.stderr)
+        return 2
+    if args.output_dir:
+        os.makedirs(args.output_dir, exist_ok=True)
+
     config = FobsConfig(ack_frequency=32, checksum=not args.no_checksum)
     bus = _telemetry_bus(args)
+    results = []
     try:
-        result = fetch_file(
-            args.name, args.host, args.port, args.output, config=config,
-            timeout=args.timeout, max_attempts=args.max_attempts,
-            rate_cap_bps=int(args.rate_cap * 1e6),
-            checksum=not args.no_checksum,
-            verify=not args.no_verify, telemetry=bus)
+        for name in args.names:
+            output = args.output or os.path.join(
+                args.output_dir, os.path.basename(name))
+            result = fetch_file(
+                name, args.host, args.port, output, config=config,
+                timeout=args.timeout, max_attempts=args.max_attempts,
+                rate_cap_bps=int(args.rate_cap * 1e6),
+                checksum=not args.no_checksum,
+                verify=not args.no_verify, telemetry=bus)
+            results.append((name, result))
+            if result.completed:
+                info(args, f"fetched {name}: {result.nbytes} bytes -> "
+                           f"{result.path}")
+            else:
+                print(f"fetch of {name} FAILED after {result.attempts} "
+                      f"attempt(s): {result.failure_reason}",
+                      file=sys.stderr)
+                if multi:
+                    break
     finally:
         if bus is not None:
             bus.close()
             info(args, f"telemetry recorded to {args.telemetry_out}")
-    if not result.completed:
-        print(f"fetch FAILED after {result.attempts} attempt(s): "
-              f"{result.failure_reason}", file=sys.stderr)
+
+    if not multi:
+        name, result = results[0]
+        if not result.completed:
+            print(f"fetch FAILED after {result.attempts} attempt(s): "
+                  f"{result.failure_reason}", file=sys.stderr)
+            if _verify_failure(result.failure_reason):
+                # Machine-readable integrity verdict: the bytes on disk
+                # are NOT the object the server holds, and retries were
+                # exhausted.
+                print(f"fetch VERIFY_FAILED name={name} "
+                      f"attempts={result.attempts} "
+                      f"packets_demoted={result.packets_demoted} "
+                      f"reason="
+                      f"{(result.failure_reason or '').split(';')[0]!r}")
+                return 3
+            return 1
+        repaired = (f" packets_demoted={result.packets_demoted} "
+                    f"ranges_demoted={result.ranges_demoted} "
+                    f"bytes_refetched={result.bytes_refetched}"
+                    if result.packets_demoted else "")
+        print(f"fetch ok name={name} nbytes={result.nbytes} "
+              f"path={result.path} duration_s={result.duration:.3f} "
+              f"throughput_mbps={result.throughput_bps / 1e6:.2f} "
+              f"attempts={result.attempts} "
+              f"resumed_packets={result.resumed_packets} "
+              f"verify_s={result.verify_seconds:.3f}" + repaired)
+        return 0
+
+    done = [(n, r) for n, r in results if r.completed]
+    bad = [(n, r) for n, r in results if not r.completed]
+    nbytes = sum(r.nbytes for _, r in done)
+    duration = sum(r.duration for _, r in done)
+    if bad:
+        name, result = bad[0]
         if _verify_failure(result.failure_reason):
-            # Machine-readable integrity verdict: the bytes on disk are
-            # NOT the object the server holds, and retries were exhausted.
-            print(f"fetch VERIFY_FAILED name={args.name} "
+            print(f"fetch VERIFY_FAILED name={name} "
+                  f"objects={len(done)}/{len(args.names)} "
                   f"attempts={result.attempts} "
-                  f"packets_demoted={result.packets_demoted} "
                   f"reason={(result.failure_reason or '').split(';')[0]!r}")
             return 3
+        print(f"fetch FAILED name={name} "
+              f"objects={len(done)}/{len(args.names)} "
+              f"reason={(result.failure_reason or '').split(';')[0]!r}")
         return 1
-    info(args, f"fetched {args.name}: {result.nbytes} bytes -> "
-               f"{result.path}")
-    repaired = (f" packets_demoted={result.packets_demoted} "
-                f"ranges_demoted={result.ranges_demoted} "
-                f"bytes_refetched={result.bytes_refetched}"
-                if result.packets_demoted else "")
-    print(f"fetch ok name={args.name} nbytes={result.nbytes} "
-          f"path={result.path} duration_s={result.duration:.3f} "
-          f"throughput_mbps={result.throughput_bps / 1e6:.2f} "
-          f"attempts={result.attempts} "
-          f"resumed_packets={result.resumed_packets} "
-          f"verify_s={result.verify_seconds:.3f}" + repaired)
+    print(f"fetch ok objects={len(done)} nbytes={nbytes} "
+          f"duration_s={duration:.3f} "
+          f"attempts={sum(r.attempts for _, r in done)} "
+          f"resumed_packets={sum(r.resumed_packets for _, r in done)}")
     return 0
 
 
@@ -305,10 +427,123 @@ def _cmd_verify(args: argparse.Namespace) -> int:
     return 1
 
 
+def _cmd_sync(args: argparse.Namespace) -> int:
+    """Replicate a tree as dataset objects (docs/DATASET.md).
+
+    Exit codes: 0 the whole dataset landed and verified (or the
+    ``--dry-run`` plan printed), 1 transport/storage failure, 2 usage
+    (bad tree or config), 3 an object exhausted its retries on digest
+    verification.  Exactly one machine-readable line goes to stdout.
+    """
+    import json
+    import os
+
+    from repro.dataset import (
+        PackingConfig,
+        SchedulerConfig,
+        lane_count,
+        plan_objects,
+        scan_tree,
+        schedule,
+        sync_tree,
+    )
+
+    if not os.path.isdir(args.src):
+        print(f"sync FAILED: {args.src} is not a directory",
+              file=sys.stderr)
+        return 2
+    try:
+        packing = PackingConfig(object_bytes=args.object_size,
+                                pack_threshold=args.pack_threshold)
+        scheduler = SchedulerConfig(policy=args.policy, burst=args.burst,
+                                    seed=args.seed)
+        manifest = scan_tree(args.src, args.chunk_size)
+        plan = plan_objects(manifest, packing)
+    except (ValueError, OSError) as exc:
+        print(f"sync FAILED: {exc}", file=sys.stderr)
+        return 2
+
+    if args.dry_run:
+        order = schedule(plan, scheduler)
+        doc = {
+            "dataset_id": f"{manifest.dataset_id:016x}",
+            "chunk_size": manifest.chunk_size,
+            "object_bytes": packing.object_bytes,
+            "pack_threshold": packing.pack_threshold,
+            "policy": args.policy,
+            "files": manifest.nfiles,
+            "dirs": len(manifest.dirs),
+            "bytes": manifest.total_bytes,
+            "objects": plan.nobjects,
+            "counts": plan.counts(),
+            "empty_files": len(plan.empty_files),
+            "wire_bytes": plan.wire_bytes(),
+            "lanes": lane_count(plan, scheduler),
+            "schedule": [
+                {"object": o.index, "kind": o.kind_name,
+                 "bytes": o.payload_bytes, "members": len(o.members),
+                 "first": o.members[0].path, "stripe": o.stripe}
+                for o in order
+            ],
+        }
+        print(json.dumps(doc, sort_keys=True, separators=(",", ":")))
+        return 0
+
+    bus = _telemetry_bus(args)
+    transport = None
+    if args.transport == "loopback":
+        from repro.dataset import LoopbackTransport
+
+        transport = LoopbackTransport()
+    try:
+        result = sync_tree(
+            args.src, args.dest, chunk_size=args.chunk_size,
+            packing=packing, scheduler=scheduler, manifest=manifest,
+            resume=not args.no_resume, transport=transport,
+            telemetry=bus, max_object_attempts=args.max_attempts)
+    finally:
+        if transport is not None:
+            transport.close()
+        if bus is not None:
+            bus.close()
+            info(args, f"telemetry recorded to {args.telemetry_out}")
+    if result.resumed:
+        info(args, f"resumed: {result.objects_skipped} object(s) "
+                   f"already landed ({result.bytes_skipped} bytes), "
+                   f"{result.objects_demoted} demoted by the audit")
+    if not result.completed:
+        print(f"sync FAILED: {result.failure_reason}", file=sys.stderr)
+        verdict = ("VERIFY_FAILED"
+                   if _verify_failure(result.failure_reason) else "FAILED")
+        print(f"sync {verdict} dataset_id={result.dataset_id:016x} "
+              f"objects={result.objects_transferred + result.objects_skipped}"
+              f"/{result.nobjects} "
+              f"verify_failures={result.verify_failures} "
+              f"reason={(result.failure_reason or '').split(':')[0]!r}")
+        return 3 if verdict == "VERIFY_FAILED" else 1
+    info(args, f"synced {result.nfiles} file(s), "
+               f"{result.objects_transferred} object(s), "
+               f"{result.bytes_transferred} bytes -> {args.dest}")
+    print(f"sync ok dataset_id={result.dataset_id:016x} "
+          f"files={result.nfiles} dirs={result.ndirs} "
+          f"objects={result.nobjects} bytes={result.bytes_total} "
+          f"objects_sent={result.objects_transferred} "
+          f"objects_skipped={result.objects_skipped} "
+          f"objects_demoted={result.objects_demoted} "
+          f"verify_failures={result.verify_failures} "
+          f"duration_s={result.duration:.3f} "
+          f"files_per_sec={result.files_per_sec:.1f} "
+          f"goodput_mbps={result.goodput_bps / 1e6:.2f}")
+    return 0
+
+
 def _cmd_stats(args: argparse.Namespace) -> int:
     from repro.telemetry import (
         EV_ADMISSION,
+        EV_CHUNK_DONE,
         EV_CORRUPTION,
+        EV_DATASET_PACK,
+        EV_DATASET_RESUME,
         EV_REPAIR,
         EV_STORAGE_FAULT,
         EV_TRANSFER_END,
@@ -322,6 +557,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     corruptions = storage_faults = 0
     packets_demoted = bytes_refetched = 0
     verify_seconds = 0.0
+    ds_objects = ds_bytes = ds_resumes = ds_demoted = ds_skipped = 0
     admissions: dict[str, int] = {}
     transfers: set[tuple[int, int]] = set()
     try:
@@ -351,6 +587,14 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 storage_faults += 1
             elif event.kind == EV_VERIFY:
                 verify_seconds += float(event.fields.get("duration", 0) or 0)
+            elif event.kind == EV_CHUNK_DONE:
+                ds_objects += 1
+                ds_bytes += int(event.fields.get("nbytes", 0) or 0)
+            elif event.kind == EV_DATASET_RESUME:
+                ds_resumes += 1
+                ds_demoted += int(
+                    event.fields.get("objects_demoted", 0) or 0)
+                ds_skipped += int(event.fields.get("objects_done", 0) or 0)
     except (OSError, ValueError) as exc:
         print(f"stats FAILED: {exc}", file=sys.stderr)
         return 1
@@ -367,9 +611,18 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                      f"bytes_refetched={bytes_refetched} "
                      f"storage_faults={storage_faults} "
                      f"verify_s={verify_seconds:.3f}")
+    dataset = ""
+    if ds_objects or ds_resumes or kinds.get(EV_DATASET_PACK):
+        # Chunk-done counts understate under sampling (SAMPLED_KINDS);
+        # resume milestones are never sampled, so those are exact.
+        dataset = (f" dataset_objects={ds_objects} "
+                   f"dataset_bytes={ds_bytes} "
+                   f"dataset_resumes={ds_resumes} "
+                   f"dataset_objects_skipped={ds_skipped} "
+                   f"dataset_objects_demoted={ds_demoted}")
     print(f"stats ok events={total} attempts={max(starts, ends)} "
           f"completed={completed} failed={failed}"
-          + (f" {admitted}" if admitted else "") + integrity)
+          + (f" {admitted}" if admitted else "") + integrity + dataset)
     return 0
 
 
@@ -429,6 +682,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_timeline(args)
     if args.command == "loadtest":
         return _cmd_loadtest(args)
+    if args.command == "sync":
+        return _cmd_sync(args)
     return _cmd_fetch(args)
 
 

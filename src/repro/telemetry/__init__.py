@@ -42,7 +42,12 @@ from repro.telemetry.events import (
     EV_ADMISSION,
     EV_BATCH_SENT,
     EV_BITMAP_DELTA,
+    EV_CHUNK_DONE,
+    EV_CHUNK_SCHEDULED,
     EV_CORRUPTION,
+    EV_DATASET_PACK,
+    EV_DATASET_RESUME,
+    EV_DATASET_UNPACK,
     EV_META,
     EV_REPAIR,
     EV_RESUME_EPOCH,
@@ -103,4 +108,9 @@ __all__ = [
     "EV_CORRUPTION",
     "EV_REPAIR",
     "EV_VERIFY",
+    "EV_DATASET_PACK",
+    "EV_DATASET_UNPACK",
+    "EV_CHUNK_SCHEDULED",
+    "EV_CHUNK_DONE",
+    "EV_DATASET_RESUME",
 ]

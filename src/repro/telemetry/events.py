@@ -74,6 +74,21 @@ EV_REPAIR = "repair"
 #: A verify pass completed: phase, mode, chunks_checked,
 #: chunks_corrupt, duration.
 EV_VERIFY = "verify"
+#: The packer materialized one dataset object: object (index),
+#: obj_kind (packed/whole/stripe), members, nbytes, wire_bytes.
+EV_DATASET_PACK = "dataset_pack"
+#: One dataset object was unpacked and written at the destination:
+#: object, members, nbytes.
+EV_DATASET_UNPACK = "dataset_unpack"
+#: The scheduler handed one chunk-object to the transport: object,
+#: obj_kind, lane (destination file / spindle), position, nbytes.
+EV_CHUNK_SCHEDULED = "chunk_scheduled"
+#: One chunk-object finished (transferred + verified + durable):
+#: object, nbytes, duration, packets_sent where known.
+EV_CHUNK_DONE = "chunk_done"
+#: A dataset sync resumed from its journal: objects_done,
+#: objects_demoted, objects_total, bytes_skipped.
+EV_DATASET_RESUME = "dataset_resume"
 
 #: Every kind a conforming producer may emit.
 EVENT_KINDS = (
@@ -94,12 +109,19 @@ EVENT_KINDS = (
     EV_CORRUPTION,
     EV_REPAIR,
     EV_VERIFY,
+    EV_DATASET_PACK,
+    EV_DATASET_UNPACK,
+    EV_CHUNK_SCHEDULED,
+    EV_CHUNK_DONE,
+    EV_DATASET_RESUME,
 )
 
 #: High-rate kinds the bus may sample (drop all but every Nth); the
-#: rest are milestones and always pass through.
+#: rest are milestones and always pass through.  The per-object dataset
+#: kinds are sampled too — a million-file tree emits one per object.
 SAMPLED_KINDS = frozenset((
     EV_BATCH_SENT, EV_ACK_PROCESSED, EV_BITMAP_DELTA, EV_SAMPLE, EV_TRACE,
+    EV_DATASET_PACK, EV_DATASET_UNPACK, EV_CHUNK_SCHEDULED, EV_CHUNK_DONE,
 ))
 
 #: Keys reserved by the envelope; kind-specific fields may not use them.

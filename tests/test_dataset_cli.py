@@ -1,0 +1,173 @@
+"""``repro sync`` / multi-object ``repro fetch``: output discipline.
+
+The contract (docs/DATASET.md): exactly one machine-readable line on
+stdout per invocation, diagnostics on stderr, exit codes 0 (ok),
+1 (failure), 2 (usage), 3 (verification failure).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.dataset import TreeSpec, trees_equal
+from repro.server.cli import main
+
+SYNC_OPTS = ["--chunk-size", "4096", "--object-size", "65536",
+             "--pack-threshold", "8192", "--quiet"]
+
+
+@pytest.fixture
+def tree(tmp_path):
+    src = str(tmp_path / "tree")
+    sizes = {f"d{i % 2}/f{i:02d}": 150 + i * 11 for i in range(20)}
+    sizes["big/huge.bin"] = 400_000  # stripes at 64 KiB objects
+    sizes["nil"] = 0
+    TreeSpec(sizes=sizes, seed=3).generate(src)
+    return src
+
+
+class TestSyncCommand:
+    def test_ok_line_and_exit_zero(self, tree, tmp_path, capsys):
+        dest = str(tmp_path / "out")
+        rc = main(["sync", tree, dest, *SYNC_OPTS])
+        out = capsys.readouterr().out
+        assert rc == 0
+        lines = out.strip().splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("sync ok dataset_id=")
+        assert "files=22" in lines[0]
+        assert "objects_demoted=0" in lines[0]
+        assert trees_equal(tree, dest)
+
+    def test_dry_run_is_canonical_json_and_deterministic(
+            self, tree, tmp_path, capsys):
+        dest = str(tmp_path / "out")
+        rc1 = main(["sync", tree, dest, "--dry-run", *SYNC_OPTS])
+        first = capsys.readouterr().out
+        rc2 = main(["sync", tree, dest, "--dry-run", *SYNC_OPTS])
+        second = capsys.readouterr().out
+        assert rc1 == rc2 == 0
+        assert first == second  # byte-identical (the CI cmp check)
+        doc = json.loads(first)
+        assert doc["files"] == 22
+        assert doc["objects"] == len(doc["schedule"])
+        assert not os.path.exists(dest)  # dry-run moves nothing
+
+    def test_missing_source_is_usage_error(self, tmp_path, capsys):
+        rc = main(["sync", str(tmp_path / "ghost"), str(tmp_path / "d"),
+                   "--quiet"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert captured.out == ""  # diagnostics go to stderr
+        assert "sync FAILED" in captured.err
+
+    def test_bad_config_is_usage_error(self, tree, tmp_path, capsys):
+        rc = main(["sync", tree, str(tmp_path / "d"), "--chunk-size",
+                   "4096", "--object-size", "10000", "--quiet"])
+        capsys.readouterr()
+        assert rc == 2
+
+    def test_resume_after_kill_via_cli(self, tree, tmp_path, capsys):
+        from repro.dataset import PackingConfig, sync_tree
+
+        dest = str(tmp_path / "out")
+        killed = sync_tree(tree, dest, chunk_size=4096,
+                           packing=PackingConfig(object_bytes=65536,
+                                                 pack_threshold=8192),
+                           kill_after_objects=3)
+        assert killed.killed
+        rc = main(["sync", tree, dest, *SYNC_OPTS])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "objects_skipped=3" in out
+        assert trees_equal(tree, dest)
+
+    def test_telemetry_feeds_stats(self, tree, tmp_path, capsys):
+        dest = str(tmp_path / "out")
+        log = str(tmp_path / "ev.jsonl")
+        rc = main(["sync", tree, dest, "--telemetry-out", log, *SYNC_OPTS])
+        capsys.readouterr()
+        assert rc == 0
+        rc = main(["stats", log])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "dataset_objects=" in out
+        assert "dataset_resumes=0" in out
+
+
+def _fake_result(name, ok=True, reason=None):
+    from repro.runtime.files import FileTransferResult
+
+    return FileTransferResult(
+        path=name, nbytes=1000 if ok else 0, duration=0.1,
+        throughput_bps=8e4, crc_ok=ok, completed=ok,
+        failure_reason=reason, attempts=1)
+
+
+class TestMultiFetch:
+    def test_summary_line_and_exit_zero(self, monkeypatch, tmp_path,
+                                        capsys):
+        fetched = []
+        monkeypatch.setattr(
+            "repro.server.cli.fetch_file",
+            lambda name, *a, **k: (fetched.append(name),
+                                   _fake_result(name))[1])
+        rc = main(["fetch", "a.bin", "b.bin", "c.bin", "--port", "1",
+                   "--output-dir", str(tmp_path / "objs"), "--quiet"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert fetched == ["a.bin", "b.bin", "c.bin"]
+        lines = out.strip().splitlines()
+        assert len(lines) == 1
+        assert lines[0].startswith("fetch ok objects=3 nbytes=3000")
+
+    def test_one_verify_failure_exits_three(self, monkeypatch, tmp_path,
+                                            capsys):
+        results = iter([
+            _fake_result("a.bin"),
+            _fake_result("b.bin", ok=False,
+                         reason="verify failed: corrupt chunks"),
+        ])
+        monkeypatch.setattr("repro.server.cli.fetch_file",
+                            lambda *a, **k: next(results))
+        rc = main(["fetch", "a.bin", "b.bin", "c.bin", "--port", "1",
+                   "--output-dir", str(tmp_path / "objs"), "--quiet"])
+        out = capsys.readouterr().out
+        assert rc == 3
+        assert "fetch VERIFY_FAILED name=b.bin" in out
+        assert "objects=1/3" in out
+
+    def test_plain_failure_exits_one(self, monkeypatch, tmp_path, capsys):
+        results = iter([
+            _fake_result("a.bin"),
+            _fake_result("b.bin", ok=False, reason="connection refused"),
+        ])
+        monkeypatch.setattr("repro.server.cli.fetch_file",
+                            lambda *a, **k: next(results))
+        rc = main(["fetch", "a.bin", "b.bin", "--port", "1",
+                   "--output-dir", str(tmp_path / "objs"), "--quiet"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "VERIFY_FAILED" not in out
+
+
+class TestFetchUsage:
+    def test_multi_fetch_requires_output_dir(self, capsys):
+        rc = main(["fetch", "a.bin", "b.bin", "--port", "1",
+                   "--output", "x", "--quiet"])
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "--output-dir" in captured.err
+
+    def test_multi_fetch_without_any_output(self, capsys):
+        rc = main(["fetch", "a.bin", "b.bin", "--port", "1", "--quiet"])
+        captured = capsys.readouterr()
+        assert rc == 2
+
+    def test_single_fetch_without_output(self, capsys):
+        rc = main(["fetch", "a.bin", "--port", "1", "--quiet"])
+        captured = capsys.readouterr()
+        assert rc == 2

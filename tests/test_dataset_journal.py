@@ -1,0 +1,166 @@
+"""Dataset journal: replay, torn tails, demotion, crash discipline."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.dataset.journal import (
+    HEADER_BYTES,
+    RECORD_BYTES,
+    DatasetJournal,
+    DatasetJournalCorrupt,
+    DatasetJournalHeader,
+    encode_record,
+    replay_dataset_journal,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+DID = 0xDEADBEEF12345678
+N = 64
+
+
+class TestBasics:
+    def test_create_replay_round_trip(self, tmp_path):
+        path = str(tmp_path / "ds.journal")
+        with DatasetJournal.create(path, DID, N) as j:
+            for i in (0, 5, 9, 5):  # duplicate mark is a no-op
+                j.mark_done(i)
+        replay = replay_dataset_journal(path)
+        assert replay.done == {0, 5, 9}
+        assert replay.records_applied == 3
+        assert replay.header == DatasetJournalHeader(DID, N)
+
+    def test_resume_continues_appending(self, tmp_path):
+        path = str(tmp_path / "ds.journal")
+        with DatasetJournal.create(path, DID, N) as j:
+            j.mark_done(1)
+        j2, replay = DatasetJournal.resume(path, DID, N)
+        assert replay.done == {1}
+        j2.mark_done(2)
+        j2.close()
+        assert replay_dataset_journal(path).done == {1, 2}
+
+    def test_open_falls_back_to_create(self, tmp_path):
+        path = str(tmp_path / "absent.journal")
+        journal, replay = DatasetJournal.open(path, DID, N)
+        assert replay is None and journal.done == set()
+        journal.close()
+
+    def test_range_check(self, tmp_path):
+        with DatasetJournal.create(str(tmp_path / "j"), DID, N) as j:
+            with pytest.raises(ValueError):
+                j.mark_done(N)
+            with pytest.raises(ValueError):
+                j.mark_done(-1)
+
+
+class TestCorruption:
+    def test_wrong_dataset_raises(self, tmp_path):
+        path = str(tmp_path / "j")
+        DatasetJournal.create(path, DID, N).close()
+        with pytest.raises(DatasetJournalCorrupt):
+            replay_dataset_journal(
+                path, expect=DatasetJournalHeader(DID + 1, N))
+        # ... and open() starts fresh instead of trusting it
+        journal, replay = DatasetJournal.open(path, DID + 1, N)
+        assert replay is None
+        journal.close()
+
+    def test_torn_tail_is_discarded(self, tmp_path):
+        path = str(tmp_path / "j")
+        with DatasetJournal.create(path, DID, N) as j:
+            j.mark_done(3)
+            j.mark_done(7)
+        with open(path, "ab") as fh:
+            fh.write(encode_record(9, DID)[:RECORD_BYTES - 3])
+        replay = replay_dataset_journal(path)
+        assert replay.done == {3, 7}
+        assert replay.torn_tail_bytes == RECORD_BYTES - 3
+        # resume truncates the tear; appends land cleanly after it
+        j2, _ = DatasetJournal.resume(path, DID, N)
+        j2.mark_done(11)
+        j2.close()
+        assert replay_dataset_journal(path).done == {3, 7, 11}
+
+    def test_bad_record_crc_is_skipped(self, tmp_path):
+        path = str(tmp_path / "j")
+        with DatasetJournal.create(path, DID, N) as j:
+            j.mark_done(1)
+            j.mark_done(2)
+        with open(path, "r+b") as fh:
+            fh.seek(HEADER_BYTES + RECORD_BYTES + 4)  # record 2's CRC
+            fh.write(b"\xff\xff\xff\xff")
+        replay = replay_dataset_journal(path)
+        assert replay.done == {1}
+        assert replay.records_dropped == 1
+
+    def test_damaged_header_raises(self, tmp_path):
+        path = str(tmp_path / "j")
+        DatasetJournal.create(path, DID, N).close()
+        with open(path, "r+b") as fh:
+            fh.write(b"\x00\x00\x00\x00")
+        with pytest.raises(DatasetJournalCorrupt):
+            replay_dataset_journal(path)
+
+
+class TestDemote:
+    def test_demote_is_durable(self, tmp_path):
+        path = str(tmp_path / "j")
+        j = DatasetJournal.create(path, DID, N)
+        for i in range(6):
+            j.mark_done(i)
+        assert j.demote([2, 4, 99]) == 2
+        j.simulate_crash()  # kill right after the demotion
+        assert replay_dataset_journal(path).done == {0, 1, 3, 5}
+
+    def test_demote_idempotent(self, tmp_path):
+        with DatasetJournal.create(str(tmp_path / "j"), DID, N) as j:
+            j.mark_done(1)
+            assert j.demote([1]) == 1
+            assert j.demote([1]) == 0
+
+    def test_compact_rewrites_one_record_per_object(self, tmp_path):
+        path = str(tmp_path / "j")
+        with DatasetJournal.create(path, DID, N) as j:
+            for i in range(10):
+                j.mark_done(i)
+            j.compact()
+        assert os.path.getsize(path) == HEADER_BYTES + 10 * RECORD_BYTES
+
+
+class TestCrash:
+    def test_flushed_records_survive_simulated_kill(self, tmp_path):
+        path = str(tmp_path / "j")
+        j = DatasetJournal.create(path, DID, N)
+        j.mark_done(0)  # flush=True default
+        j.mark_done(1)
+        j.simulate_crash()
+        assert replay_dataset_journal(path).done == {0, 1}
+
+    def test_delete_retires_the_log(self, tmp_path):
+        path = str(tmp_path / "j")
+        j = DatasetJournal.create(path, DID, N)
+        j.mark_done(0)
+        j.delete()
+        assert not os.path.exists(path)
+
+    @settings(max_examples=25, deadline=None)
+    @given(marks=st.lists(st.integers(0, N - 1), max_size=40),
+           demotes=st.lists(st.integers(0, N - 1), max_size=10))
+    def test_property_replay_equals_marks_minus_demotes(
+            self, marks, demotes):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "j")
+            j = DatasetJournal.create(path, DID, N)
+            for i in marks:
+                j.mark_done(i)
+            j.demote(demotes)
+            j.simulate_crash()
+            assert replay_dataset_journal(path).done == \
+                set(marks) - set(demotes)

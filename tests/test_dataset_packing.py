@@ -1,0 +1,215 @@
+"""Packer/splitter: plan invariants, framing round-trips, tamper detection."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.manifest import ALGO_CRC32, ALGO_SHA256
+from repro.dataset.manifest import manifest_from_files
+from repro.dataset.packing import (
+    KIND_PACKED,
+    KIND_STRIPE,
+    KIND_WHOLE,
+    PackCorrupt,
+    PackingConfig,
+    pack_object,
+    plan_objects,
+    unpack_object,
+    verify_members_against_manifest,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+CHUNK = 512
+CFG = PackingConfig(object_bytes=4 * CHUNK, pack_threshold=CHUNK)
+
+
+def coverage_map(plan):
+    """(path, offset) -> length for every member of every object."""
+    cover = {}
+    for obj in plan.objects:
+        for m in obj.members:
+            key = (m.path, m.file_offset)
+            assert key not in cover, "byte range covered twice"
+            cover[key] = m.length
+    return cover
+
+
+class TestPlan:
+    def test_every_byte_covered_exactly_once(self):
+        files = {
+            "tiny1": b"a" * 10,
+            "tiny2": b"b" * 100,
+            "mid": b"c" * (2 * CHUNK),
+            "huge": b"d" * (9 * CHUNK + 7),
+            "empty": b"",
+        }
+        m = manifest_from_files(files, CHUNK)
+        plan = plan_objects(m, CFG)
+        cover = coverage_map(plan)
+        for path, data in files.items():
+            got = sum(length for (p, _), length in cover.items()
+                      if p == path)
+            assert got == len(data)
+        assert plan.empty_files == ("empty",)
+        assert plan.payload_bytes == m.total_bytes
+
+    def test_kind_classification(self):
+        m = manifest_from_files({
+            "small": b"s" * 10,            # < pack_threshold -> packed
+            "whole": b"w" * (3 * CHUNK),   # <= object_bytes  -> whole
+            "big": b"b" * (10 * CHUNK),    # > object_bytes   -> striped
+        }, CHUNK)
+        plan = plan_objects(m, CFG)
+        kinds = {}
+        for obj in plan.objects:
+            for mem in obj.members:
+                kinds.setdefault(mem.path, obj.kind)
+        assert kinds == {"small": KIND_PACKED, "whole": KIND_WHOLE,
+                         "big": KIND_STRIPE}
+        # 10 chunks at 4-chunk objects -> stripes of 4, 4, 2 chunks
+        stripes = [o for o in plan.objects if o.kind == KIND_STRIPE]
+        assert [o.payload_bytes for o in stripes] == [
+            4 * CHUNK, 4 * CHUNK, 2 * CHUNK]
+        assert [o.stripe for o in stripes] == [0, 1, 2]
+        assert all(o.nstripes == 3 for o in stripes)
+
+    def test_stripe_members_are_chunk_aligned(self):
+        m = manifest_from_files({"big": b"x" * (11 * CHUNK + 3)}, CHUNK)
+        plan = plan_objects(m, CFG)
+        for obj in plan.objects:
+            assert obj.members[0].file_offset % CHUNK == 0
+
+    def test_packed_objects_close_at_object_bytes(self):
+        # 20 files of half an object each can never fit 3 to an object.
+        m = manifest_from_files(
+            {f"f{i:02d}": bytes([i]) * (2 * CHUNK - CHUNK // 2)
+             for i in range(20)}, CHUNK,
+        )
+        plan = plan_objects(m, PackingConfig(object_bytes=4 * CHUNK,
+                                             pack_threshold=4 * CHUNK))
+        for obj in plan.objects:
+            assert obj.payload_bytes <= 4 * CHUNK
+            assert obj.kind == KIND_PACKED
+            assert len(obj.members) <= 2
+
+    def test_plan_is_deterministic(self):
+        files = {f"d{i % 3}/f{i}": os.urandom(i * 37 % (3 * CHUNK))
+                 for i in range(30)}
+        m = manifest_from_files(files, CHUNK)
+        p1, p2 = plan_objects(m, CFG), plan_objects(m, CFG)
+        assert [(o.index, o.kind, o.members) for o in p1.objects] == \
+               [(o.index, o.kind, o.members) for o in p2.objects]
+
+    def test_object_bytes_must_align_to_chunk(self):
+        m = manifest_from_files({"a": b"x"}, CHUNK)
+        with pytest.raises(ValueError):
+            plan_objects(m, PackingConfig(object_bytes=CHUNK + 1,
+                                          pack_threshold=CHUNK))
+
+
+def roundtrip(files, algo=ALGO_CRC32):
+    m = manifest_from_files(files, CHUNK, algo=algo)
+    plan = plan_objects(m, CFG)
+    out = {path: bytearray(len(data)) for path, data in files.items()}
+    for obj in plan.objects:
+        blob = pack_object(obj, root="", algo=algo, data=files)
+        kind, members = unpack_object(blob)
+        assert kind == obj.kind
+        assert verify_members_against_manifest(members, m) == []
+        for mem in members:
+            out[mem.path][mem.file_offset:mem.file_offset
+                          + len(mem.payload)] = mem.payload
+    for path in plan.empty_files:
+        assert files[path] == b""
+    return {p: bytes(b) for p, b in out.items()}
+
+
+class TestPackUnpack:
+    def test_byte_equality(self):
+        files = {
+            "a/one": os.urandom(77),
+            "a/two": os.urandom(2 * CHUNK),
+            "b/three": os.urandom(6 * CHUNK + 13),
+            "zero": b"",
+        }
+        assert roundtrip(files) == files
+
+    def test_wire_bytes_is_exact(self):
+        files = {"x": os.urandom(300), "y": os.urandom(5 * CHUNK)}
+        m = manifest_from_files(files, CHUNK, algo=ALGO_SHA256)
+        plan = plan_objects(m, CFG)
+        for obj in plan.objects:
+            blob = pack_object(obj, root="", algo=ALGO_SHA256, data=files)
+            assert len(blob) == obj.wire_bytes(ALGO_SHA256)
+
+    def test_pack_from_disk_matches_memory(self, tmp_path):
+        files = {"d/f1": os.urandom(900), "d/f2": os.urandom(3 * CHUNK)}
+        for path, payload in files.items():
+            full = tmp_path / path
+            full.parent.mkdir(parents=True, exist_ok=True)
+            full.write_bytes(payload)
+        m = manifest_from_files(files, CHUNK)
+        plan = plan_objects(m, CFG)
+        for obj in plan.objects:
+            assert pack_object(obj, str(tmp_path), ALGO_CRC32) == \
+                   pack_object(obj, "", ALGO_CRC32, data=files)
+
+    def test_shrunken_source_raises(self, tmp_path):
+        (tmp_path / "f").write_bytes(b"q" * (2 * CHUNK))
+        m = manifest_from_files({"f": b"q" * (2 * CHUNK)}, CHUNK)
+        plan = plan_objects(m, CFG)
+        (tmp_path / "f").write_bytes(b"q" * 10)
+        with pytest.raises(PackCorrupt):
+            pack_object(plan.objects[0], str(tmp_path), ALGO_CRC32)
+
+    @settings(max_examples=25, deadline=None)
+    @given(files=st.dictionaries(
+        st.text(alphabet="xyz", min_size=1, max_size=6),
+        st.binary(min_size=0, max_size=6 * CHUNK),
+        min_size=1, max_size=6),
+        algo=st.sampled_from([ALGO_CRC32, ALGO_SHA256]))
+    def test_property_byte_equality(self, files, algo):
+        assert roundtrip(files, algo) == files
+
+
+class TestTamper:
+    def test_every_single_byte_flip_is_detected(self):
+        files = {"p1": b"alpha" * 30, "p2": b"beta" * 40}
+        m = manifest_from_files(files, CHUNK)
+        plan = plan_objects(m, CFG)
+        blob = bytearray(pack_object(plan.objects[0], "", ALGO_CRC32,
+                                     data=files))
+        for pos in range(len(blob)):
+            blob[pos] ^= 0x01
+            try:
+                kind, members = unpack_object(bytes(blob))
+                # Framing CRC may miss nothing, but if it ever parsed,
+                # the manifest cross-check must catch payload damage.
+                assert verify_members_against_manifest(members, m) != []
+            except PackCorrupt:
+                pass
+            blob[pos] ^= 0x01
+        unpack_object(bytes(blob))  # restored blob is valid again
+
+    def test_truncation_raises(self):
+        files = {"t": b"data" * 100}
+        m = manifest_from_files(files, CHUNK)
+        blob = pack_object(plan_objects(m, CFG).objects[0], "",
+                           ALGO_CRC32, data=files)
+        for cut in (0, 3, len(blob) // 2, len(blob) - 1):
+            with pytest.raises(PackCorrupt):
+                unpack_object(blob[:cut])
+
+    def test_foreign_member_fails_manifest_check(self):
+        files = {"known": b"k" * 100}
+        other = {"stranger": b"s" * 100}
+        m = manifest_from_files(files, CHUNK)
+        mo = manifest_from_files(other, CHUNK)
+        blob = pack_object(plan_objects(mo, CFG).objects[0], "",
+                           ALGO_CRC32, data=other)
+        _, members = unpack_object(blob)
+        assert verify_members_against_manifest(members, m) == ["stranger"]

@@ -1,0 +1,109 @@
+"""Layout-aware scheduler: ordering invariants across policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dataset.manifest import manifest_from_files
+from repro.dataset.packing import KIND_STRIPE, PackingConfig, plan_objects
+from repro.dataset.scheduler import (
+    SchedulerConfig,
+    default_spindle,
+    lane_count,
+    schedule,
+    sequential_write_fraction,
+)
+
+CHUNK = 256
+CFG = PackingConfig(object_bytes=2 * CHUNK, pack_threshold=CHUNK)
+
+
+def striped_plan():
+    """Three top-level dirs; two files stripe into 8 and 5 objects."""
+    files = {
+        "disk0/big.a": b"a" * (16 * CHUNK),       # 8 stripes
+        "disk1/big.b": b"b" * (10 * CHUNK - 7),   # 5 stripes
+        "disk2/mid": b"m" * (2 * CHUNK),          # whole
+        "disk0/t1": b"1" * 20,                    # packed
+        "disk1/t2": b"2" * 30,                    # packed (same object)
+    }
+    return plan_objects(manifest_from_files(files, CHUNK), CFG)
+
+
+class TestPolicies:
+    def test_fifo_is_plan_order(self):
+        plan = striped_plan()
+        order = schedule(plan, SchedulerConfig(policy="fifo"))
+        assert [o.index for o in order] == [o.index for o in plan.objects]
+
+    def test_random_is_seeded_and_deterministic(self):
+        plan = striped_plan()
+        a = schedule(plan, SchedulerConfig(policy="random", seed=42))
+        b = schedule(plan, SchedulerConfig(policy="random", seed=42))
+        c = schedule(plan, SchedulerConfig(policy="random", seed=43))
+        assert [o.index for o in a] == [o.index for o in b]
+        assert [o.index for o in a] != [o.index for o in c]
+        assert sorted(o.index for o in a) == sorted(
+            o.index for o in plan.objects)
+
+    def test_layout_is_a_permutation(self):
+        plan = striped_plan()
+        order = schedule(plan, SchedulerConfig())
+        assert sorted(o.index for o in order) == sorted(
+            o.index for o in plan.objects)
+
+    def test_layout_keeps_stripes_ascending_per_file(self):
+        plan = striped_plan()
+        for burst in (1, 2, 4):
+            order = schedule(plan, SchedulerConfig(burst=burst))
+            seen = {}
+            for obj in order:
+                if obj.kind != KIND_STRIPE:
+                    continue
+                path = obj.members[0].path
+                assert obj.stripe == seen.get(path, -1) + 1
+                seen[path] = obj.stripe
+            assert sequential_write_fraction(order) == 1.0
+
+    def test_layout_interleaves_across_lanes(self):
+        plan = striped_plan()
+        order = schedule(plan, SchedulerConfig(burst=1))
+        # The two striped files' first stripes both appear before
+        # either file's second stripe: lanes advance together.
+        pos = {(o.members[0].path, o.stripe): i
+               for i, o in enumerate(order) if o.kind == KIND_STRIPE}
+        assert pos[("disk0/big.a", 0)] < pos[("disk1/big.b", 1)]
+        assert pos[("disk1/big.b", 0)] < pos[("disk0/big.a", 1)]
+
+    def test_random_order_breaks_sequentiality(self):
+        plan = striped_plan()
+        frac = sequential_write_fraction(
+            schedule(plan, SchedulerConfig(policy="random", seed=7)))
+        assert frac < 1.0
+
+
+class TestLanes:
+    def test_lane_count(self):
+        plan = striped_plan()
+        # 2 stripe lanes (one per striped file) + spindle lanes for
+        # disk2 (whole) and disk0 (the packed object's first member).
+        assert lane_count(plan) == 4
+
+    def test_custom_spindle_function(self):
+        plan = striped_plan()
+        one_disk = SchedulerConfig(spindle_of=lambda path: "only")
+        assert lane_count(plan, one_disk) == 3  # 2 stripe lanes + 1
+
+    def test_default_spindle(self):
+        assert default_spindle("disk0/a/b") == "disk0"
+        assert default_spindle("rootfile") == ""
+
+
+class TestValidation:
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(policy="clairvoyant")
+
+    def test_bad_burst(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(burst=0)

@@ -60,18 +60,30 @@ class TestTopLevelExports:
             assert isinstance(value, str)
             assert value in repro.EVENT_KINDS, name
 
+    def test_dataset_surface(self):
+        """Dataset-transfer API is promoted to the top level (PR 7)."""
+        import repro
+
+        for name in ("DatasetManifest", "FileEntry", "DatasetJournal",
+                     "DatasetSyncResult", "PackingConfig",
+                     "SchedulerConfig", "TransferPlan", "scan_tree",
+                     "plan_objects", "schedule", "sync_tree"):
+            assert name in repro.__all__
+            assert getattr(repro, name, None) is not None, name
+
     def test_version_string(self):
         import repro
 
         parts = repro.__version__.split(".")
         assert len(parts) == 3
         assert all(p.isdigit() for p in parts)
+        assert repro.__version__ == "1.2.0"
 
 
 @pytest.mark.parametrize("module", [
     "repro.core", "repro.simnet", "repro.tcp", "repro.psockets",
     "repro.rudp", "repro.sabul", "repro.runtime", "repro.analysis",
-    "repro.server", "repro.telemetry",
+    "repro.server", "repro.telemetry", "repro.dataset",
 ])
 class TestSubpackages:
     def test_all_exports_resolve(self, module):
