@@ -25,6 +25,10 @@ class PacketBitmap:
         self.npackets = npackets
         self._arr = np.zeros(npackets, dtype=np.bool_)
         self._count = 0
+        #: Mutation counter: bumped whenever the set changes.  Lets the
+        #: circular scheduler cache its missing-index array between
+        #: acknowledgements instead of rescanning per batch.
+        self.version = 0
 
     # ------------------------------------------------------------------
     @property
@@ -55,6 +59,7 @@ class PacketBitmap:
             return False
         self._arr[seq] = True
         self._count += 1
+        self.version += 1
         return True
 
     def clear(self, seq: int) -> bool:
@@ -70,6 +75,7 @@ class PacketBitmap:
             return False
         self._arr[seq] = False
         self._count -= 1
+        self.version += 1
         return True
 
     def demote(self, seqs) -> int:
@@ -84,6 +90,7 @@ class PacketBitmap:
         was_set = int(np.count_nonzero(self._arr[idx]))
         self._arr[idx] = False
         self._count = int(np.count_nonzero(self._arr))
+        self.version += 1
         return was_set
 
     def merge(self, other: np.ndarray) -> int:
@@ -94,6 +101,8 @@ class PacketBitmap:
         new_count = int(np.count_nonzero(self._arr))
         added = new_count - self._count
         self._count = new_count
+        if added:
+            self.version += 1
         return added
 
     def snapshot(self) -> np.ndarray:
@@ -144,6 +153,7 @@ class PacketBitmap:
         bits = np.unpackbits(np.frombuffer(data, dtype=np.uint8), count=npackets)
         bm._arr[:] = bits.astype(np.bool_)
         bm._count = int(np.count_nonzero(bm._arr))
+        bm.version += 1
         return bm
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -53,6 +53,22 @@ class DataPacket:
         if self.payload_bytes <= 0:
             raise ValueError("payload_bytes must be positive")
 
+    @classmethod
+    def unchecked(cls, seq: int, total: int, payload_bytes: int,
+                  transmission: int, epoch: int) -> "DataPacket":
+        """Validation-free construction for the batch-assembly hot path.
+
+        The sender builds tens of thousands of these per transfer from
+        values that are in-range by construction; skipping the frozen
+        dataclass ``__init__`` + ``__post_init__`` costs nothing in
+        safety and roughly a microsecond per packet in speed.
+        """
+        pkt = object.__new__(cls)
+        pkt.__dict__.update(seq=seq, total=total,
+                            payload_bytes=payload_bytes,
+                            transmission=transmission, epoch=epoch)
+        return pkt
+
     @property
     def wire_bytes(self) -> int:
         return self.payload_bytes + DATA_HEADER_BYTES

@@ -10,6 +10,7 @@ are the losing strategies the ablation bench contrasts it with.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Optional, Protocol
 
 import numpy as np
@@ -44,7 +45,32 @@ class CircularScheduler:
         self.npackets = npackets
         self._ptr = 0
         self.rounds = 0
-        self.send_count = np.zeros(npackets, dtype=np.int32)
+        # Transmission counts: the plain list is the source of truth on
+        # the scalar paths (numpy scalar indexing costs ~10x a list
+        # index); the array view is rebuilt on demand for vectorized
+        # batch selection and external readers.
+        self._send_list: list[int] = [0] * npackets
+        self._send_np = np.zeros(npackets, dtype=np.int32)
+        self._send_np_dirty = False
+        # Missing-set cache keyed on the bitmap's mutation counter: the
+        # ACK state only changes between batches, so consecutive
+        # take_batch calls reuse one scan instead of O(npackets) each.
+        self._cache_version = -1
+        self._missing_np: Optional[np.ndarray] = None
+        self._missing_list: list[int] = []
+        # Resume point for the scalar sweep: (pointer, index) pair so a
+        # take_batch immediately following another (same ACK state, the
+        # steady-state case) skips the bisect.
+        self._pos_ptr = -1
+        self._pos = 0
+
+    @property
+    def send_count(self) -> np.ndarray:
+        """Per-packet transmission counts as an array (read-only view)."""
+        if self._send_np_dirty:
+            self._send_np = np.array(self._send_list, dtype=np.int32)
+            self._send_np_dirty = False
+        return self._send_np
 
     def next_seq(self, acked: PacketBitmap) -> Optional[int]:
         seq = acked.next_missing(self._ptr)
@@ -55,11 +81,104 @@ class CircularScheduler:
         return seq
 
     def record_sent(self, seq: int) -> None:
-        self.send_count[seq] += 1
+        self._send_list[seq] += 1
+        self._send_np_dirty = True
         self._ptr = seq + 1
         if self._ptr >= self.npackets:
             self._ptr = 0
             self.rounds += 1
+
+    def take_batch(
+        self, acked: PacketBitmap, size: int
+    ) -> tuple[list[int], list[int]]:
+        """Select *and record* up to ``size`` packets in one pass.
+
+        Vectorized equivalent of ``size`` successive ``next_seq`` /
+        ``record_sent`` calls: the ACK state cannot change mid-batch, so
+        the whole sweep is a rotation of the missing set tiled to the
+        batch length.  Returns ``(seqs, transmission_counts)`` where the
+        counts are pre-increment, exactly as the per-call path reports
+        them.  ``rounds``, ``send_count`` and the pointer end up
+        bit-identical to the scalar path.
+        """
+        if size <= 0:
+            return [], []
+        if acked.version != self._cache_version:
+            self._missing_np = acked.missing_indices()
+            self._missing_list = self._missing_np.tolist()
+            self._cache_version = acked.version
+            self._pos_ptr = -1
+        length = len(self._missing_list)
+        if length == 0:
+            return [], []
+        ptr = self._ptr
+        last = self.npackets - 1
+        if size <= 32:
+            # Scalar sweep over the cached list: O(log n + size), which
+            # beats the array machinery for the small batches the
+            # adaptive policy emits while the pipe is full.
+            ml = self._missing_list
+            sl = self._send_list
+            if ptr == self._pos_ptr:
+                # Consecutive batch against the same missing set: the
+                # sweep resumes exactly where the previous one stopped.
+                pos = self._pos
+            else:
+                pos = bisect_left(ml, ptr)
+            rounds = 0
+            seqs: list[int] = []
+            trans: list[int] = []
+            for _ in range(size):
+                if pos >= length:
+                    pos = 0
+                seq = ml[pos]
+                pos += 1
+                if seq < ptr:
+                    rounds += 1
+                t = sl[seq]
+                seqs.append(seq)
+                trans.append(t)
+                sl[seq] = t + 1
+                ptr = seq + 1
+                if ptr > last:
+                    ptr = 0
+                    rounds += 1
+            self._ptr = ptr
+            self._pos_ptr = ptr
+            self._pos = pos
+            self.rounds += rounds
+            self._send_np_dirty = True
+            return seqs, trans
+        missing = self._missing_np
+        sc = self.send_count
+        k = int(np.searchsorted(missing, ptr))
+        idx = np.arange(size, dtype=np.int64)
+        seqs_arr = missing[(k + idx) % length]
+        trans_arr = sc[seqs_arr].astype(np.int64) + idx // length
+        # next_seq wraps (seq < ptr) once at the head if the pointer is
+        # past every missing seq, then whenever a pick does not advance
+        # past its predecessor -- except when the predecessor was the
+        # final seq, because record_sent already wrapped the pointer to
+        # zero (and charged that round) itself.
+        rounds = int(seqs_arr[0] < ptr)
+        rounds += int(np.count_nonzero(seqs_arr == last))
+        prev, cur = seqs_arr[:-1], seqs_arr[1:]
+        rounds += int(np.count_nonzero((cur <= prev) & (prev != last)))
+        self.rounds += rounds
+        seqs = seqs_arr.tolist()
+        sl = self._send_list
+        full, rem = divmod(size, length)
+        if full:
+            sc[missing] += full
+            for s in self._missing_list:
+                sl[s] += full
+        if rem:
+            sc[seqs_arr[:rem]] += 1
+            for s in seqs[:rem]:
+                sl[s] += 1
+        last_seq = seqs[-1]
+        self._ptr = 0 if last_seq == last else last_seq + 1
+        return seqs, trans_arr.tolist()
 
 
 class SequentialRestartScheduler:

@@ -29,12 +29,19 @@ from __future__ import annotations
 import errno
 from collections import deque
 from dataclasses import dataclass
+from heapq import heappush
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
 
 from repro.core.config import FobsConfig
-from repro.core.packets import COMPLETION_BYTES, AckPacket, DataPacket, bitmap_wire_bytes
+from repro.core.packets import (
+    COMPLETION_BYTES,
+    DATA_HEADER_BYTES,
+    AckPacket,
+    DataPacket,
+    bitmap_wire_bytes,
+)
 from repro.core.receiver import FobsReceiver, ReceiverStats
 from repro.core.sender import FobsSender, SenderStats
 
@@ -42,7 +49,15 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.journal import ReceiverJournal
     from repro.simnet.faults import KillSwitch
     from repro.simnet.node import Host
-from repro.simnet.packet import Address
+from repro.simnet.engine import _NO_ARG
+from repro.simnet.link import Link
+from repro.simnet.packet import (
+    UDP_HEADER_BYTES,
+    Address,
+    Frame,
+    _frame_ids,
+)
+from repro.simnet.queues import DropTailQueue
 from repro.simnet.sockets import UdpSocket
 from repro.simnet.topology import Network
 from repro.simnet.trace import Tracer
@@ -205,6 +220,49 @@ class FobsTransfer:
                                 recv_buffer_bytes=self.config.ack_recv_buffer)
         self._data_dst = Address(b.name, self.config.data_port)
         self._ack_dst = Address(a.name, self.config.ack_port)
+        # Hot-path caches: the data egress link, source address and the
+        # full-size-packet send cost never change for the life of the
+        # session, so the per-packet loop resolves them once here
+        # instead of through the host/socket layers on every datagram.
+        self._data_link = a._routes.get(b.name, a._default_route)
+        self._data_src = self.data_out.address
+        self._full_wire = self.config.packet_size + DATA_HEADER_BYTES
+        self._full_send_cost = self._a_profile.send_cost(self._full_wire)
+        self._stall_timeout = self.config.stall_timeout
+        self._full_frame_bytes = self._full_wire + UDP_HEADER_BYTES
+        self._full_recv_cost = self._b_profile.recv_cost(
+            self._full_frame_bytes)
+        # ACK frames have one wire size per transfer (fixed bitmap);
+        # memoize the sender-side receive cost for it.
+        self._ack_cost_size = -1
+        self._ack_cost_cached = 0.0
+        # True when the data link is a plain finite-bandwidth Link with
+        # a vanilla drop-tail queue: the per-datagram loop may then use
+        # the inlined admit path (_admit/try_enqueue/_start_tx fused).
+        # RED queues, DelayLinks and custom disciplines take the
+        # polymorphic path.
+        link = self._data_link
+        self._data_link_plain = (
+            link is not None
+            and type(link) is Link
+            and type(link.queue) is DropTailQueue
+        )
+        # Prebound loop callbacks: the per-packet heap pushes would
+        # otherwise materialize a fresh bound-method object each time.
+        self._cb_sender_step = self._sender_step
+        self._cb_recv_step = self._recv_step
+        self._cb_recv_after = self._recv_after
+        self._cb_fused_wake = self._fused_wake
+        # Fused queue-full wait state (see _sender_step/_fused_wake):
+        # the snapshot from which the skipped pacing step's wait was
+        # predicted, so the wake can detect and repair a stale
+        # prediction.
+        self._fuse_link: Optional[Link] = None
+        self._fuse_p = 0.0
+        self._fuse_ctx_end = 0.0
+        self._fuse_qbytes = 0
+        self._fuse_frame_bytes = 0
+        self._fuse_log_start = 0
 
         # TCP completion channel: receiver (B) connects to sender (A).
         self._ctrl_listener = TcpListener(
@@ -251,6 +309,7 @@ class FobsTransfer:
             # crash cannot retroactively complete the transfer.
             return
         self.sender.on_completion(self.sim.now)
+        self.sim.stop()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -287,7 +346,12 @@ class FobsTransfer:
         if not self._started:
             self.start()
         deadline = self._start_time + time_limit
-        self.sim.run(until=deadline, stop_when=self._finished)
+        if not self._finished():
+            # The events that can finish the transfer call sim.stop()
+            # themselves, so the engine loop runs without a per-event
+            # stop_when predicate (a measurable win at packet-per-event
+            # rates).
+            self.sim.run(until=deadline, stop_on_request=True)
         if not self._finished():
             self.timed_out = True
         stats = self.collect_stats()
@@ -332,6 +396,7 @@ class FobsTransfer:
         self.failure_reason = reason
         if self.tracer.enabled:
             self.tracer.emit(self.sim.now, "failed", reason)
+        self.sim.stop()
 
     def _liveness_check(self) -> None:
         """Receiver-side liveness: fail if data stops arriving entirely.
@@ -354,7 +419,7 @@ class FobsTransfer:
                 f"packets received)"
             )
             return
-        self.sim.schedule(timeout - idle, self._liveness_check)
+        self.sim.call_in(timeout - idle, self._liveness_check)
 
     # ------------------------------------------------------------------
     # Sender loop (Section 3.1's three phases, one event per action)
@@ -363,7 +428,7 @@ class FobsTransfer:
         if self._stall_wait_handle is not None and self.sender.stalled:
             self._stall_wait_handle.cancel()
             self._stall_wait_handle = None
-            self.sim.schedule(0.0, self._sender_step)
+            self.sim.call_in(0.0, self._cb_sender_step)
 
     def _crash(self, target: str) -> None:
         """Crash injection: abrupt process death of one endpoint.
@@ -391,105 +456,298 @@ class FobsTransfer:
         self._stall_wait_handle = None
         if self.crashed == "sender":
             return
-        if self.sender.complete or self.switched_to_tcp or self.failed:
+        sender = self.sender
+        if sender.complete or self.switched_to_tcp or self.failed:
             return
         kill = self.kill_switch
         if (kill is not None and kill.target == "sender"
                 and kill.should_fire(self._data_sent_count)):
             self._crash("sender")
             return
+        sim = self.sim
+        now = sim.now
 
         # Stall detection: no ACK progress for stall_timeout switches
         # the loop to backoff re-blast probing; stalling past the abort
         # threshold fails the transfer cleanly instead of hanging until
-        # the run() deadline.
-        stall = self.sender.poll_stall(self.sim.now)
-        if stall == "abort":
-            self._fail(self.sender.failure_reason)
-            return
-        if self.sender.complete:
-            # poll_stall synthesized completion (all packets acked but
-            # the TCP completion signal never arrived).
-            return
+        # the run() deadline.  The common case — recent progress, not
+        # stalled — is decided inline; poll_stall handles the rest.
+        pt = sender._progress_time
+        if (pt is not None and not sender._stalled
+                and now - pt < self._stall_timeout):
+            stall = None
+        else:
+            stall = sender.poll_stall(now)
+            if stall == "abort":
+                self._fail(sender.failure_reason)
+                return
+            if sender.complete:
+                # poll_stall synthesized completion (all packets acked
+                # but the TCP completion signal never arrived).
+                sim.stop()
+                return
+
+        # Phase ordering matches the paper's loop: an unfinished batch
+        # is always flushed before ACKs or new batches are considered.
+        if not self._pending:
+            # Phase 2: look for (but do not block on) an acknowledgement.
+            # UdpSocket.poll, inlined (this poll runs once per batch and
+            # almost always finds the buffer empty).
+            ack_in = self.ack_in
+            buf = ack_in._buffer
+            if buf:
+                frame = buf.popleft()
+                ack_in._buffered_bytes -= frame.size_bytes
+                fs = frame.size_bytes
+                if fs == self._ack_cost_size:
+                    cost = self._ack_cost_cached
+                else:
+                    cost = self._a_profile.recv_cost(fs)
+                    self._ack_cost_size = fs
+                    self._ack_cost_cached = cost
+                if frame.corrupted and self.config.checksum:
+                    sender.on_corrupt_ack()
+                    if self.tracer.enabled:
+                        self.tracer.emit(now, "ack_corrupt", "dropped")
+                    sim.call_in(cost, self._cb_sender_step)
+                    return
+                ack: AckPacket = frame.payload
+                if ack.epoch != self.epoch:
+                    # Zombie acknowledgement from a previous attempt: its
+                    # bitmap may claim packets this epoch never delivered.
+                    sender.on_stale_ack()
+                    if self.tracer.enabled:
+                        self.tracer.emit(now, "ack_stale",
+                                         f"epoch={ack.epoch}")
+                    sim.call_in(cost, self._cb_sender_step)
+                    return
+                sender.on_ack(ack, now)
+                if self.tracer.enabled:
+                    self.tracer.emit(now, "ack_rx",
+                                     f"id={ack.ack_id} count={ack.received_count}")
+                if sender.congestion.should_switch_to_tcp():
+                    sim.call_in(cost, self._switch_to_tcp)
+                    return
+                sim._seq = seq = sim._seq + 1
+                heappush(sim._heap, (now + cost, seq, self._cb_sender_step, _NO_ARG))
+                return
+
+            # Stalled with no probe due: back off — no new batches until the
+            # probe timer (or an arriving ACK, via on_readable) wakes us.
+            if stall == "wait":
+                self._stall_wait_handle = sim.schedule(
+                    sender.stall_wait_hint(now), self._sender_step
+                )
+                return
+
+            # Phases 1+3: assemble the next batch via the schedule policy.
+            # A stall probe overrides the (possibly collapsed) batch policy
+            # so the re-blast is large enough to elicit an acknowledgement.
+            batch = (sender.probe_batch() if stall == "probe"
+                     else sender.next_batch())
+            if not batch:
+                # Everything locally acked; poll for the completion signal.
+                sim.call_in(1e-3, self._cb_sender_step)
+                return
+            self._pending.extend(batch)
+            delay = sender.congestion.batch_delay()
+            if delay > 0:
+                sim.call_in(delay, self._cb_sender_step)
+                return
+            # Fall through and emit the first packet right away: the
+            # re-entry preamble would be a verbatim no-op repeat (no
+            # event ran since the checks above), so the tail call it
+            # guarded is skipped rather than re-verified.
 
         # Phase: emit the current batch one packet at a time, pacing on
-        # the NIC via the select()-equivalent writability check.
-        if self._pending:
-            pkt = self._pending[0]
-            wire = pkt.wire_bytes
-            if not self.data_out.can_send(wire, self._data_dst):
-                wait = self.data_out.send_wait_hint(wire, self._data_dst)
-                self.sim.schedule(max(wait, 1e-6), self._sender_step)
+        # the NIC via the select()-equivalent writability check.  The
+        # socket/host layers are inlined here — route, writability
+        # check, frame build and pacing — because this branch runs once
+        # per datagram and dominates the whole simulation.
+        pkt = self._pending[0]
+        wire = pkt.payload_bytes + DATA_HEADER_BYTES
+        link = self._data_link
+        if link is None:
+            raise RuntimeError(
+                f"{self.src_host.name}: no route for {self._data_dst.host}")
+        frame_bytes = wire + UDP_HEADER_BYTES
+        plain = self._data_link_plain
+        if plain and link._busy:
+            # Link.can_send, inlined: room behind the transmitter?
+            q = link.queue
+            qbytes = q._bytes
+            if (qbytes + frame_bytes > q.capacity_bytes
+                    or (q.capacity_frames is not None
+                        and len(q._frames) >= q.capacity_frames)):
+                # Link.time_until_room, inlined: residual of the
+                # in-flight frame plus draining the overflow.
+                wait = link._current_tx_end - now
+                if wait < 0.0:
+                    wait = 0.0
+                overflow = qbytes + frame_bytes - q.capacity_bytes
+                if overflow > 0:
+                    wait += overflow * 8.0 / link.bandwidth_bps
+                if wait < 1e-6:
+                    wait = 1e-6
+                sim._seq = seq = sim._seq + 1
+                heappush(sim._heap,
+                         (now + wait, seq, self._cb_sender_step, _NO_ARG))
                 return
-            self._pending.popleft()
-            self.data_out.sendto(pkt, wire, self._data_dst)
-            self._data_sent_count += 1
-            if self.tracer.enabled:
-                self.tracer.emit(self.sim.now, "data_tx",
-                                 f"seq={pkt.seq} txno={pkt.transmission}")
-            delay = self._a_profile.send_cost(wire)
-            # Pacing reads the sender's live rate (not the frozen
-            # config): the multi-transfer server re-feeds it as its
-            # max-min allocation changes mid-transfer.
-            rate = self.sender.pacing_rate_bps
-            if rate is not None:
-                delay = max(delay, wire * 8.0 / rate)
-            self.sim.schedule(delay, self._sender_step)
+        elif not plain and not link.can_send(frame_bytes):
+            wait = link.time_until_room(frame_bytes)
+            if wait < 1e-6:
+                wait = 1e-6
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._heap,
+                     (now + wait, seq, self._cb_sender_step, _NO_ARG))
             return
-
-        # Phase 2: look for (but do not block on) an acknowledgement.
-        frame = self.ack_in.poll()
-        if frame is not None:
-            cost = self._a_profile.recv_cost(frame.size_bytes)
-            if frame.corrupted and self.config.checksum:
-                self.sender.on_corrupt_ack()
-                if self.tracer.enabled:
-                    self.tracer.emit(self.sim.now, "ack_corrupt", "dropped")
-                self.sim.schedule(cost, self._sender_step)
-                return
-            ack: AckPacket = frame.payload
-            if ack.epoch != self.epoch:
-                # Zombie acknowledgement from a previous attempt: its
-                # bitmap may claim packets this epoch never delivered.
-                self.sender.on_stale_ack()
-                if self.tracer.enabled:
-                    self.tracer.emit(self.sim.now, "ack_stale",
-                                     f"epoch={ack.epoch}")
-                self.sim.schedule(cost, self._sender_step)
-                return
-            self.sender.on_ack(ack, self.sim.now)
-            if self.tracer.enabled:
-                self.tracer.emit(self.sim.now, "ack_rx",
-                                 f"id={ack.ack_id} count={ack.received_count}")
-            if self.sender.congestion.should_switch_to_tcp():
-                self.sim.schedule(cost, self._switch_to_tcp)
-                return
-            self.sim.schedule(cost, self._sender_step)
-            return
-
-        # Stalled with no probe due: back off — no new batches until the
-        # probe timer (or an arriving ACK, via on_readable) wakes us.
-        if stall == "wait":
-            self._stall_wait_handle = self.sim.schedule(
-                self.sender.stall_wait_hint(self.sim.now), self._sender_step
-            )
-            return
-
-        # Phases 1+3: assemble the next batch via the schedule policy.
-        # A stall probe overrides the (possibly collapsed) batch policy
-        # so the re-blast is large enough to elicit an acknowledgement.
-        batch = (self.sender.probe_batch() if stall == "probe"
-                 else self.sender.next_batch())
-        if not batch:
-            # Everything locally acked; poll for the completion signal.
-            self.sim.schedule(1e-3, self._sender_step)
-            return
-        self._pending.extend(batch)
-        delay = self.sender.congestion.batch_delay()
-        if delay > 0:
-            self.sim.schedule(delay, self._sender_step)
+        self._pending.popleft()
+        data_out = self.data_out
+        # _fast_frame, inlined (one construction per datagram).
+        frame = object.__new__(Frame)
+        frame.src = self._data_src
+        frame.dst = self._data_dst
+        frame.proto = "udp"
+        frame.size_bytes = frame_bytes
+        frame.payload = pkt
+        frame.created_at = now
+        frame.frame_id = next(_frame_ids)
+        frame.hops = 0
+        frame.corrupted = False
+        if plain and not link.faults:
+            # Link._admit + DropTailQueue.try_enqueue / _start_tx,
+            # fused: the room check above already guaranteed
+            # acceptance, so this is pure bookkeeping.
+            link.stats.frames_offered += 1
+            if link._busy:
+                q = link.queue
+                q._frames.append(frame)
+                nb = q._bytes + frame_bytes
+                q._bytes = nb
+                qs = q.stats
+                qs.enqueued += 1
+                qs.bytes_enqueued += frame_bytes
+                if nb > qs.peak_bytes:
+                    qs.peak_bytes = nb
+                if link._watchers:
+                    link._watch_log.append((now, frame_bytes))
+            else:
+                link._busy = True
+                tx = frame_bytes * 8.0 / link.bandwidth_bps
+                link._current_tx_end = now + tx
+                link.stats.busy_time += tx
+                sim._seq = seq = sim._seq + 1
+                heappush(sim._heap, (now + tx, seq, link._cb_tx_done, frame))
+            data_out.datagrams_sent += 1
         else:
-            self._sender_step()
+            if link.send(frame):
+                data_out.datagrams_sent += 1
+            else:
+                data_out.send_failures += 1
+        self._data_sent_count += 1
+        if self.tracer.enabled:
+            self.tracer.emit(now, "data_tx",
+                             f"seq={pkt.seq} txno={pkt.transmission}")
+        delay = (self._full_send_cost if wire == self._full_wire
+                 else self._a_profile.send_cost(wire))
+        # Pacing reads the sender's live rate (not the frozen
+        # config): the multi-transfer server re-feeds it as its
+        # max-min allocation changes mid-transfer.
+        rate = sender.pacing_rate_bps
+        if rate is not None:
+            paced = wire * 8.0 / rate
+            if paced > delay:
+                delay = paced
+        p = now + delay
+        # Fused queue-full wait: when the pacing step due at ``p``
+        # would provably just rediscover a full queue and re-arm
+        # itself ``wait`` later, predict that wait now and skip the
+        # discovery event entirely (one heap event instead of two
+        # per steady-state packet).  Sound only when nothing can
+        # drain the queue before ``p`` (the in-flight transmission
+        # ends strictly after it) and the skipped step's preamble
+        # is provably a no-op (recent ACK progress, no pending
+        # kill); foreign admissions are caught by the link watch
+        # and repaired in _fused_wake.
+        if plain and not link.faults and self._pending and link._busy:
+            q = link.queue
+            qbytes = q._bytes
+            nxt_wire = self._pending[0].payload_bytes + DATA_HEADER_BYTES
+            fb_next = nxt_wire + UDP_HEADER_BYTES
+            ctx_end = link._current_tx_end
+            if ((qbytes + fb_next > q.capacity_bytes
+                 or (q.capacity_frames is not None
+                     and len(q._frames) >= q.capacity_frames))
+                    and ctx_end > p):
+                pt = sender._progress_time
+                kill = self.kill_switch
+                if (pt is not None and not sender._stalled
+                        and p - pt < self._stall_timeout
+                        and (kill is None or kill.target != "sender"
+                             or not kill.should_fire(
+                                 self._data_sent_count))):
+                    # Exactly the wait the skipped step would have
+                    # computed at p (same operations, same order).
+                    wait = ctx_end - p
+                    overflow = qbytes + fb_next - q.capacity_bytes
+                    if overflow > 0:
+                        wait += overflow * 8.0 / link.bandwidth_bps
+                    if wait < 1e-6:
+                        wait = 1e-6
+                    self._fuse_link = link
+                    self._fuse_p = p
+                    self._fuse_ctx_end = ctx_end
+                    self._fuse_qbytes = qbytes
+                    self._fuse_frame_bytes = fb_next
+                    self._fuse_log_start = len(link._watch_log)
+                    link._watchers += 1
+                    sim._seq = seq = sim._seq + 1
+                    heappush(sim._heap,
+                             (p + wait, seq, self._cb_fused_wake,
+                              _NO_ARG))
+                    return
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (p, seq, self._cb_sender_step, _NO_ARG))
+        return
+
+    def _fused_wake(self) -> None:
+        """Wake from a fused queue-full wait (see _sender_step).
+
+        If no frame was accepted by the watched link's queue at or
+        before the skipped pacing instant, the prediction holds and
+        this event IS the wake the two-event chain would have produced.
+        Otherwise recompute the wait exactly as the skipped step would
+        have — with the foreign bytes included — and re-arm a plain
+        sender step at that (later) time.
+        """
+        link = self._fuse_link
+        self._fuse_link = None
+        link._watchers -= 1
+        log = link._watch_log
+        entries = log[self._fuse_log_start:] if log else ()
+        if not link._watchers and log:
+            log.clear()
+        if entries:
+            p = self._fuse_p
+            extra = 0
+            for t, nbytes in entries:
+                if t <= p:
+                    extra += nbytes
+            if extra:
+                wait = self._fuse_ctx_end - p
+                overflow = (self._fuse_qbytes + extra
+                            + self._fuse_frame_bytes
+                            - link.queue.capacity_bytes)
+                if overflow > 0:
+                    wait += overflow * 8.0 / link.bandwidth_bps
+                if wait < 1e-6:
+                    wait = 1e-6
+                sim = self.sim
+                sim._seq = seq = sim._seq + 1
+                heappush(sim._heap,
+                         (p + wait, seq, self._cb_sender_step, _NO_ARG))
+                return
+        self._sender_step()
 
     # ------------------------------------------------------------------
     # Receiver loop (event-driven, CPU-cost accurate)
@@ -498,7 +756,9 @@ class FobsTransfer:
         if self._recv_busy or self._recv_scheduled or self._receiver_closed:
             return
         self._recv_scheduled = True
-        self.sim.schedule(0.0, self._recv_step)
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim.now, seq, self._cb_recv_step, _NO_ARG))
 
     def _recv_step(self) -> None:
         self._recv_scheduled = False
@@ -509,11 +769,17 @@ class FobsTransfer:
                 and kill.should_fire(self._data_recv_count)):
             self._crash("receiver")
             return
-        frame = self.data_in.poll()
-        if frame is None:
+        # UdpSocket.poll, inlined (once per received datagram).
+        data_in = self.data_in
+        dbuf = data_in._buffer
+        if not dbuf:
             return
+        frame = dbuf.popleft()
+        data_in._buffered_bytes -= frame.size_bytes
         self._data_recv_count += 1
-        cost = self._b_profile.recv_cost(frame.size_bytes)
+        fs = frame.size_bytes
+        cost = (self._full_recv_cost if fs == self._full_frame_bytes
+                else self._b_profile.recv_cost(fs))
         if frame.corrupted and self.config.checksum:
             # Checksum rejects the damaged payload; the packet is lost
             # as far as the bitmap is concerned and will be re-sent.
@@ -521,7 +787,7 @@ class FobsTransfer:
             if self.tracer.enabled:
                 self.tracer.emit(self.sim.now, "data_corrupt", "dropped")
             self._recv_busy = True
-            self.sim.schedule(cost, self._recv_after, None)
+            self.sim.call_in(cost, self._cb_recv_after, None)
             return
         pkt: DataPacket = frame.payload
         if pkt.epoch != self.epoch:
@@ -533,7 +799,7 @@ class FobsTransfer:
                 self.tracer.emit(self.sim.now, "data_stale",
                                  f"seq={pkt.seq} epoch={pkt.epoch}")
             self._recv_busy = True
-            self.sim.schedule(cost, self._recv_after, None)
+            self.sim.call_in(cost, self._cb_recv_after, None)
             return
         try:
             ack = self.receiver.on_data(pkt.seq, self.sim.now)
@@ -556,7 +822,9 @@ class FobsTransfer:
             cost += self._b_profile.ack_cost(self._bitmap_bytes)
             cost += self._b_profile.send_cost(ack.wire_bytes)
         self._recv_busy = True
-        self.sim.schedule(cost, self._recv_after, ack)
+        sim = self.sim
+        sim._seq = seq = sim._seq + 1
+        heappush(sim._heap, (sim.now + cost, seq, self._cb_recv_after, ack))
 
     def _recv_after(self, ack: Optional[AckPacket]) -> None:
         self._recv_busy = False
@@ -576,9 +844,11 @@ class FobsTransfer:
             self._ctrl_client.app_write(COMPLETION_BYTES)
             self._close_receiver()
             return
-        if self.data_in.readable and not self._recv_scheduled:
+        if self.data_in._buffer and not self._recv_scheduled:
             self._recv_scheduled = True
-            self.sim.schedule(0.0, self._recv_step)
+            sim = self.sim
+            sim._seq = seq = sim._seq + 1
+            heappush(sim._heap, (sim.now, seq, self._cb_recv_step, _NO_ARG))
 
     def _close_receiver(self) -> None:
         """Stop consuming data packets once the object is complete."""
@@ -623,6 +893,7 @@ class FobsTransfer:
             if self.receiver.stats.completed_at is None:
                 self.receiver.stats.completed_at = now
             self.sender.on_completion(now)
+            self.sim.stop()
 
     # ------------------------------------------------------------------
     def collect_stats(self) -> TransferStats:

@@ -18,10 +18,12 @@ from repro.runtime.wire import (
     decode_ack,
     decode_completion,
     decode_data,
+    decode_data_burst,
     decode_resume,
     encode_ack,
     encode_completion,
     encode_data,
+    encode_data_burst,
     encode_resume,
 )
 from repro.runtime.transfer import LoopbackResult, run_loopback_transfer
@@ -41,6 +43,8 @@ __all__ = [
     "receive_file",
     "encode_data",
     "decode_data",
+    "encode_data_burst",
+    "decode_data_burst",
     "encode_ack",
     "decode_ack",
     "encode_completion",

@@ -27,6 +27,7 @@ drives the retry loop over these hooks.
 from __future__ import annotations
 
 import hashlib
+import select
 import socket
 import threading
 import time
@@ -73,6 +74,25 @@ class LoopbackResult:
     crashed: Optional[str] = None
 
 
+def _send_burst(sock: socket.socket, views: list, addr) -> None:
+    """Write one encoded burst of datagrams with grouped sends.
+
+    A true multi-datagram syscall (``sendmmsg``) is probed for —
+    some interpreters/backports expose it — but CPython's socket
+    object does not wrap it, so the portable grouped write is a tight
+    ``sendto`` loop over the burst's preallocated memoryviews: one
+    syscall per datagram and *zero* per-datagram encode, allocation,
+    or copy (the views all window the codec's single shared buffer).
+    """
+    sendmmsg = getattr(sock, "sendmmsg", None)
+    if sendmmsg is not None:  # pragma: no cover - no CPython binding
+        sendmmsg([([v], [], 0, addr) for v in views])
+        return
+    sendto = sock.sendto
+    for v in views:
+        sendto(v, addr)
+
+
 class _Receiver(threading.Thread):
     def __init__(
         self,
@@ -113,8 +133,14 @@ class _Receiver(threading.Thread):
         self.data_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self.data_sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1 << 20)
         self.data_sock.bind(("127.0.0.1", data_port))
-        self.data_sock.settimeout(0.05)
+        self.data_sock.setblocking(False)
         self.ack_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        # Reusable datagram buffer: every receive lands in this one
+        # allocation via recv_into and is decoded through zero-copy
+        # memoryview slices, instead of a fresh 64 KiB bytes object per
+        # datagram.
+        self._rxbuf = bytearray(65535)
+        self._rxview = memoryview(self._rxbuf)
 
     @property
     def data_port(self) -> int:
@@ -130,8 +156,10 @@ class _Receiver(threading.Thread):
             self.ack_sock.close()
 
     def _loop(self) -> None:
-        packet_size = self.config.packet_size
         start = time.monotonic()
+        recv_into = self.data_sock.recv_into
+        rxbuf = self._rxbuf
+        sock_list = [self.data_sock]
         while not self.receiver.complete:
             now = time.monotonic()
             if now > self.deadline:
@@ -146,45 +174,57 @@ class _Receiver(threading.Thread):
                     f"packets received)"
                 )
                 return
-            try:
-                datagram = self.data_sock.recv(65535)
-            except socket.timeout:
+            if not select.select(sock_list, [], [], 0.05)[0]:
                 continue
-            if (self.kill is not None and self.kill.target == "receiver"
-                    and self.kill.should_fire(self._data_count)):
-                # Crash injection: abrupt process death.  The pending
-                # (unflushed) journal run is lost, no goodbye is sent;
-                # the sender sees silence and must stall-abort.
-                self.kill.fire(time.monotonic())
-                if self.receiver.journal is not None:
-                    self.receiver.journal.simulate_crash()
-                self.crashed = True
-                self.failure_reason = (
-                    f"receiver killed by crash injection after "
-                    f"{self._data_count} data packets")
-                return
-            try:
-                pkt, payload = wire.decode_data(datagram,
-                                                checksum=self.config.checksum,
-                                                session=self.session)
-            except wire.ChecksumError:
-                self.receiver.on_corrupt_data(time.monotonic())
-                continue  # damaged in flight; the sender re-sends it
-            except wire.StaleEpochError:
-                self.receiver.on_stale_data(0)
-                continue  # zombie datagram from a dead attempt
-            except wire.SessionMismatchError:
-                self.receiver.on_stale_data(0)
-                continue  # foreign transfer entirely
-            self._data_count += 1
-            offset = pkt.seq * packet_size
-            self.buffer[offset:offset + len(payload)] = payload
-            ack = self.receiver.on_data(pkt.seq, time.monotonic())
-            if ack is not None and not self.blackhole_acks:
-                self.ack_sock.sendto(
-                    wire.encode_ack(ack, checksum=self.config.checksum,
-                                    session=self.session),
-                    self._ack_addr)
+            # Drain every datagram queued in the kernel before going
+            # back to the timers: one wakeup per burst instead of one
+            # per packet, each landing in the reusable buffer.
+            while not self.receiver.complete:
+                try:
+                    nrecv = recv_into(rxbuf)
+                except BlockingIOError:
+                    break
+                if not self._handle_datagram(self._rxview[:nrecv]):
+                    return
+
+    def _handle_datagram(self, datagram: memoryview) -> bool:
+        """Process one received datagram; False aborts the loop."""
+        if (self.kill is not None and self.kill.target == "receiver"
+                and self.kill.should_fire(self._data_count)):
+            # Crash injection: abrupt process death.  The pending
+            # (unflushed) journal run is lost, no goodbye is sent;
+            # the sender sees silence and must stall-abort.
+            self.kill.fire(time.monotonic())
+            if self.receiver.journal is not None:
+                self.receiver.journal.simulate_crash()
+            self.crashed = True
+            self.failure_reason = (
+                f"receiver killed by crash injection after "
+                f"{self._data_count} data packets")
+            return False
+        try:
+            pkt, payload = wire.decode_data(datagram,
+                                            checksum=self.config.checksum,
+                                            session=self.session)
+        except wire.ChecksumError:
+            self.receiver.on_corrupt_data(time.monotonic())
+            return True  # damaged in flight; the sender re-sends it
+        except wire.StaleEpochError:
+            self.receiver.on_stale_data(0)
+            return True  # zombie datagram from a dead attempt
+        except wire.SessionMismatchError:
+            self.receiver.on_stale_data(0)
+            return True  # foreign transfer entirely
+        self._data_count += 1
+        offset = pkt.seq * self.config.packet_size
+        self.buffer[offset:offset + len(payload)] = payload
+        ack = self.receiver.on_data(pkt.seq, time.monotonic())
+        if ack is not None and not self.blackhole_acks:
+            self.ack_sock.sendto(
+                wire.encode_ack(ack, checksum=self.config.checksum,
+                                session=self.session),
+                self._ack_addr)
+        return True
         if self.receiver.journal is not None:
             self.receiver.journal.close()
         if self.blackhole_acks:
@@ -286,44 +326,66 @@ class _Sender(threading.Thread):
             elif stall != "wait":
                 # Phase 1/3: batch-send (suppressed between stall probes).
                 batch = self.sender.next_batch()
-            for pkt in batch:
-                if (self.kill is not None and self.kill.target == "sender"
-                        and self.kill.should_fire(self._sent_count)):
-                    # Crash injection: the sender process dies mid-batch.
-                    self.kill.fire(time.monotonic())
-                    self.crashed = True
-                    self.failure_reason = (
-                        f"sender killed by crash injection after "
-                        f"{self._sent_count} data packets")
-                    return
-                offset = pkt.seq * packet_size
-                payload = self.data[offset:offset + pkt.payload_bytes]
-                if self.drop_rate and self._drop_rng.random() < self.drop_rate:
-                    continue  # simulated wide-area loss
-                datagram = wire.encode_data(pkt, payload,
-                                            checksum=self.config.checksum,
-                                            session=self.session)
-                self._sent_count += 1
-                if self.corrupt_rate and self._corrupt_rng.random() < self.corrupt_rate:
-                    # Flip one byte in flight; the receiver's CRC must
-                    # reject it and the scheduler re-sends later.
-                    pos = int(self._corrupt_rng.integers(len(datagram)))
-                    damaged = bytearray(datagram)
-                    damaged[pos] ^= 0xFF
-                    datagram = bytes(damaged)
-                self.data_sock.sendto(datagram, self._data_addr)
-            # Phase 2: poll (never block) for an acknowledgement.
-            try:
-                datagram = self.ack_sock.recv(1 << 20)
-                ack = wire.decode_ack(datagram, checksum=self.config.checksum,
-                                      session=self.session)
-                self.sender.on_ack(ack, time.monotonic())
-            except BlockingIOError:
-                pass
-            except wire.ChecksumError:
-                self.sender.on_corrupt_ack()
-            except (wire.StaleEpochError, wire.SessionMismatchError):
-                self.sender.on_stale_ack()
+            if batch and not (self.drop_rate or self.corrupt_rate
+                              or self.kill is not None):
+                # Hot path: no fault injection in the loop, so the whole
+                # batch is encoded in one codec pass into a shared
+                # buffer and written with grouped sends.
+                data = self.data
+                mv = memoryview(data)
+                payloads = [mv[pkt.seq * packet_size:
+                               pkt.seq * packet_size + pkt.payload_bytes]
+                            for pkt in batch]
+                views = wire.encode_data_burst(
+                    batch, payloads, checksum=self.config.checksum,
+                    session=self.session)
+                self._sent_count += len(views)
+                _send_burst(self.data_sock, views, self._data_addr)
+            else:
+                for pkt in batch:
+                    if (self.kill is not None and self.kill.target == "sender"
+                            and self.kill.should_fire(self._sent_count)):
+                        # Crash injection: the sender dies mid-batch.
+                        self.kill.fire(time.monotonic())
+                        self.crashed = True
+                        self.failure_reason = (
+                            f"sender killed by crash injection after "
+                            f"{self._sent_count} data packets")
+                        return
+                    offset = pkt.seq * packet_size
+                    payload = self.data[offset:offset + pkt.payload_bytes]
+                    if self.drop_rate and self._drop_rng.random() < self.drop_rate:
+                        continue  # simulated wide-area loss
+                    datagram = wire.encode_data(pkt, payload,
+                                                checksum=self.config.checksum,
+                                                session=self.session)
+                    self._sent_count += 1
+                    if self.corrupt_rate and self._corrupt_rng.random() < self.corrupt_rate:
+                        # Flip one byte in flight; the receiver's CRC must
+                        # reject it and the scheduler re-sends later.
+                        pos = int(self._corrupt_rng.integers(len(datagram)))
+                        damaged = bytearray(datagram)
+                        damaged[pos] ^= 0xFF
+                        datagram = bytes(damaged)
+                    self.data_sock.sendto(datagram, self._data_addr)
+            # Phase 2: poll (never block) and drain *every* queued
+            # acknowledgement.  One ACK per loop iteration falls behind
+            # whenever the receiver acks faster than the sender cycles,
+            # leaving stale bitmaps to steer retransmission.
+            while True:
+                try:
+                    datagram = self.ack_sock.recv(1 << 20)
+                except BlockingIOError:
+                    break
+                try:
+                    ack = wire.decode_ack(datagram,
+                                          checksum=self.config.checksum,
+                                          session=self.session)
+                    self.sender.on_ack(ack, time.monotonic())
+                except wire.ChecksumError:
+                    self.sender.on_corrupt_ack()
+                except (wire.StaleEpochError, wire.SessionMismatchError):
+                    self.sender.on_stale_ack()
             self._check_completion()
             if not batch:
                 # Stalled, or all packets acked locally; don't spin.

@@ -1,0 +1,90 @@
+"""Build-on-demand loader for the optional ``_evloop`` C accelerator.
+
+The repository is pure Python; ``_evloop.c`` is a strictly optional
+fast path for the simulation event loop.  This module compiles it with
+the system C compiler the first time it is needed (one ``gcc -O2
+-shared`` invocation against the running interpreter's headers — no
+third-party packages), caches the shared object, and loads it.  Any
+failure — no compiler, no headers, read-only filesystem — degrades
+silently to ``None`` and the engine keeps using its interpreted loop,
+which is behaviourally identical.
+
+Set ``REPRO_PURE_PYTHON=1`` to skip the accelerator entirely (used by
+the test suite to exercise fallback parity).
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sysconfig
+import tempfile
+from types import ModuleType
+from typing import Optional
+
+_SOURCE = os.path.join(os.path.dirname(os.path.abspath(__file__)), "_evloop.c")
+
+
+def _cache_dir() -> str:
+    override = os.environ.get("REPRO_EVLOOP_CACHE")
+    if override:
+        return override
+    # Keyed by interpreter ABI so several Pythons can share a machine.
+    tag = sysconfig.get_config_var("SOABI") or "unknown-abi"
+    return os.path.join(tempfile.gettempdir(), f"repro-evloop-{tag}")
+
+
+def _compile(target: str) -> bool:
+    include = sysconfig.get_paths()["include"]
+    cc = os.environ.get("CC", "gcc")
+    os.makedirs(os.path.dirname(target), exist_ok=True)
+    # Build to a temp name and move into place atomically so parallel
+    # test workers never observe a half-written shared object.
+    fd, tmp = tempfile.mkstemp(suffix=".so", dir=os.path.dirname(target))
+    os.close(fd)
+    try:
+        proc = subprocess.run(
+            [cc, "-O2", "-fPIC", "-shared", f"-I{include}", _SOURCE,
+             "-o", tmp],
+            capture_output=True,
+            timeout=120,
+        )
+        if proc.returncode != 0:
+            return False
+        os.replace(tmp, target)
+        return True
+    except (OSError, subprocess.SubprocessError):
+        return False
+    finally:
+        if os.path.exists(tmp):
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def load() -> Optional[ModuleType]:
+    """Return the ``_evloop`` extension module, or None if unavailable."""
+    if os.environ.get("REPRO_PURE_PYTHON"):
+        return None
+    if not os.path.exists(_SOURCE):
+        return None
+    suffix = sysconfig.get_config_var("EXT_SUFFIX") or ".so"
+    target = os.path.join(_cache_dir(), "_evloop" + suffix)
+    try:
+        stale = (not os.path.exists(target)
+                 or os.path.getmtime(target) < os.path.getmtime(_SOURCE))
+        if stale and not _compile(target):
+            return None
+        spec = importlib.util.spec_from_file_location(
+            "repro.simnet._evloop", target)
+        if spec is None or spec.loader is None:
+            return None
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+    except Exception:
+        # Optional accelerator: any surprise (importlib, filesystem,
+        # ABI mismatch) must never take the simulator down with it.
+        return None

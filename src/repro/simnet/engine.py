@@ -11,10 +11,29 @@ profiling showed that for packet-per-event workloads (several hundred
 thousand events per transfer) plain callbacks are 2-3x faster than
 generator-based processes, and the protocol state machines in
 :mod:`repro.core` are written sans-IO anyway.
+
+Two event representations share the heap:
+
+* ``(time, seq, EventHandle)`` — the general form returned by
+  :meth:`Simulator.schedule` / :meth:`Simulator.schedule_at`; supports
+  O(1) cancellation and arbitrary argument lists.
+* ``(time, seq, fn, arg)`` — the *lightweight* form used by
+  :meth:`Simulator.call_in`, for hot-path events that are never
+  cancelled (packet transmissions, deliveries, pacing steps).  ``arg``
+  is the :data:`_NO_ARG` sentinel for zero-argument callbacks, so the
+  dispatcher never has to inspect the tuple length.  No handle object
+  is allocated; per the profile this is the single largest per-event
+  cost in packet-per-event workloads.
+
+Mixing tuple lengths in one heap is safe: heap comparisons resolve on
+the unique ``(time, seq)`` prefix and never reach the third element.
+Both forms fire in exactly the same (time, seq) order, so converting a
+call site from ``schedule`` to ``call_in`` cannot change outcomes.
 """
 
 from __future__ import annotations
 
+import gc
 import heapq
 from typing import Any, Callable, Optional
 
@@ -47,6 +66,23 @@ def _noop(*_args: Any) -> None:
     return None
 
 
+#: Sentinel distinguishing "no argument" from an explicit None argument.
+_NO_ARG = object()
+
+# Optional compiled inner loop (_evloop.c): the Simulator.run fast path
+# in C, byte-for-byte equivalent in event order and observable state.
+# None when no compiler is available or REPRO_PURE_PYTHON is set; the
+# interpreted loop below is always the reference behaviour.
+from repro.simnet._evloop_build import load as _load_evloop  # noqa: E402
+
+_evloop = _load_evloop()
+if _evloop is not None:
+    try:
+        _evloop.configure(EventHandle, _NO_ARG, _noop)
+    except Exception:  # pragma: no cover - defensive
+        _evloop = None
+
+
 class Simulator:
     """The event loop.
 
@@ -60,14 +96,16 @@ class Simulator:
     non-decreasing time order; ties break in scheduling order.
     """
 
-    __slots__ = ("now", "_heap", "_seq", "_running", "_processed")
+    __slots__ = ("now", "_heap", "_seq", "_running", "_processed",
+                 "_stop_requested")
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, EventHandle]] = []
+        self._heap: list[tuple] = []
         self._seq: int = 0
         self._running = False
         self._processed: int = 0
+        self._stop_requested = False
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -87,6 +125,31 @@ class Simulator:
         heapq.heappush(self._heap, (time, self._seq, handle))
         return handle
 
+    def call_in(self, delay: float, fn: Callable[..., Any], arg: Any = _NO_ARG) -> None:
+        """Hot-path scheduling: ``fn()`` (or ``fn(arg)``) in ``delay`` s.
+
+        No :class:`EventHandle` is allocated, so the event cannot be
+        cancelled.  Fires in exactly the same (time, seq) order as an
+        equivalent :meth:`schedule` call — use it for the per-packet
+        events that dominate transfer simulations.
+        """
+        if delay < 0:
+            raise ValueError(f"negative delay: {delay!r}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, fn, arg))
+
+    def stop(self) -> None:
+        """Request that the current ``run(stop_on_request=True)`` return.
+
+        Cheap alternative to a ``stop_when`` predicate: instead of the
+        engine calling a Python predicate after every event, the event
+        that finishes the workload calls ``stop()`` and the loop exits
+        after it.  Runs started without ``stop_on_request`` ignore (and
+        clear) the flag, so a completion inside a larger multi-workload
+        run cannot end it early.
+        """
+        self._stop_requested = True
+
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
@@ -94,14 +157,21 @@ class Simulator:
         """Run the single next event.  Returns False if none remain."""
         heap = self._heap
         while heap:
-            time, _seq, handle = heapq.heappop(heap)
-            if handle.cancelled:
-                continue
-            self.now = time
-            fn, args = handle.fn, handle.args
-            handle.fn = _noop  # release references once fired
-            handle.args = ()
-            fn(*args)
+            event = heapq.heappop(heap)
+            fn = event[2]
+            if fn.__class__ is EventHandle:
+                if fn.cancelled:
+                    continue
+                self.now = event[0]
+                handle = fn
+                fn, args = handle.fn, handle.args
+                handle.fn = _noop  # release references once fired
+                handle.args = ()
+                fn(*args)
+            else:
+                self.now = event[0]
+                arg = event[3]
+                fn(arg) if arg is not _NO_ARG else fn()
             self._processed += 1
             return True
         return False
@@ -111,6 +181,7 @@ class Simulator:
         until: Optional[float] = None,
         max_events: Optional[int] = None,
         stop_when: Optional[Callable[[], bool]] = None,
+        stop_on_request: bool = False,
     ) -> None:
         """Run events until the heap drains or a bound is hit.
 
@@ -123,28 +194,116 @@ class Simulator:
             Safety valve for runaway simulations.
         stop_when:
             Predicate checked after every event; return True to stop.
+        stop_on_request:
+            Honour :meth:`stop` calls made by events during this run.
+            Far cheaper than an equivalent ``stop_when`` predicate for
+            event counts in the hundreds of thousands.
         """
         if self._running:
             raise RuntimeError("Simulator.run() is not reentrant")
         self._running = True
+        self._stop_requested = False
+        if _evloop is not None and max_events is None and stop_when is None:
+            # Compiled fast path: same heap, same dispatch, same
+            # (time, seq) order — see _evloop.c.  It maintains
+            # _processed itself (including when a callback raises).
+            gc_was_enabled = gc.isenabled()
+            if gc_was_enabled:
+                gc.disable()
+            try:
+                hit_limit = _evloop.run(
+                    self, self._heap,
+                    until if until is not None else 0.0,
+                    until is not None,
+                    stop_on_request,
+                )
+                if until is not None and not self._stop_requested:
+                    # Heap drained or the next event lies beyond the
+                    # deadline: the clock advances to the deadline,
+                    # exactly as the interpreted loop does.
+                    del hit_limit
+                    if until > self.now:
+                        self.now = until
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+                self._running = False
+            return
+        pop = heapq.heappop
+        push = heapq.heappush
+        # Pause cyclic GC for the duration of the loop: the hot path
+        # allocates only acyclically-referenced tuples and frames, so
+        # generation-0 scans are pure overhead (~15% of wall time at
+        # packet-per-event rates).  Cycles made during the run (session
+        # graphs, handles) are collected as usual after it returns.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
             heap = self._heap
             count = 0
+            processed = self._processed
+            if max_events is None and stop_when is None:
+                # Specialized loop for the dominant case (transfer and
+                # fleet runs bound only by ``until``): no per-event
+                # count or predicate checks.
+                limit = until if until is not None else float("inf")
+                while heap:
+                    event = pop(heap)
+                    time = event[0]
+                    if time > limit:
+                        push(heap, event)
+                        self.now = until
+                        return
+                    fn = event[2]
+                    if fn.__class__ is EventHandle:
+                        if fn.cancelled:
+                            continue
+                        self.now = time
+                        handle = fn
+                        fn, args = handle.fn, handle.args
+                        handle.fn = _noop
+                        handle.args = ()
+                        fn(*args)
+                    else:
+                        self.now = time
+                        arg = event[3]
+                        fn(arg) if arg is not _NO_ARG else fn()
+                    processed += 1
+                    if self._stop_requested:
+                        if stop_on_request:
+                            return
+                        self._stop_requested = False
+                if until is not None and until > self.now:
+                    self.now = until
+                return
             while heap:
-                time, _seq, handle = heap[0]
+                event = pop(heap)
+                time = event[0]
                 if until is not None and time > until:
+                    push(heap, event)
                     self.now = until
                     return
-                heapq.heappop(heap)
-                if handle.cancelled:
-                    continue
-                self.now = time
-                fn, args = handle.fn, handle.args
-                handle.fn = _noop
-                handle.args = ()
-                fn(*args)
-                self._processed += 1
+                fn = event[2]
+                if fn.__class__ is EventHandle:
+                    if fn.cancelled:
+                        continue
+                    self.now = time
+                    handle = fn
+                    fn, args = handle.fn, handle.args
+                    handle.fn = _noop
+                    handle.args = ()
+                    fn(*args)
+                else:
+                    self.now = time
+                    arg = event[3]
+                    fn(arg) if arg is not _NO_ARG else fn()
+                processed += 1
                 count += 1
+                if self._stop_requested:
+                    if stop_on_request:
+                        return
+                    self._stop_requested = False
                 if max_events is not None and count >= max_events:
                     return
                 if stop_when is not None and stop_when():
@@ -152,6 +311,9 @@ class Simulator:
             if until is not None and until > self.now:
                 self.now = until
         finally:
+            if gc_was_enabled:
+                gc.enable()
+            self._processed = processed
             self._running = False
 
     # ------------------------------------------------------------------
@@ -170,6 +332,10 @@ class Simulator:
     def peek_time(self) -> Optional[float]:
         """Time of the next live event, or None if the heap is empty."""
         heap = self._heap
-        while heap and heap[0][2].cancelled:
-            heapq.heappop(heap)
-        return heap[0][0] if heap else None
+        while heap:
+            head = heap[0][2]
+            if head.__class__ is EventHandle and head.cancelled:
+                heapq.heappop(heap)
+                continue
+            return heap[0][0]
+        return None

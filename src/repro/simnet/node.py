@@ -151,6 +151,12 @@ class Host(Node):
         self.frames_received = 0
         self.frames_unclaimed = 0
         self._ephemeral_port = 49152
+        # One-entry demux memo: almost every frame on a link goes to the
+        # same (proto, port), so the common case skips the tuple build
+        # and dict lookup.  Invalidated on any handler change.
+        self._memo_proto: Optional[str] = None
+        self._memo_port = -1
+        self._memo_handler: Optional[Callable[[Frame], None]] = None
 
     # ------------------------------------------------------------------
     def bind_handler(self, proto: str, port: int, handler: Callable[[Frame], None]) -> None:
@@ -158,9 +164,11 @@ class Host(Node):
         if key in self._handlers:
             raise ValueError(f"{self.name}: {proto} port {port} already bound")
         self._handlers[key] = handler
+        self._memo_proto = None
 
     def unbind_handler(self, proto: str, port: int) -> None:
         self._handlers.pop((proto, port), None)
+        self._memo_proto = None
 
     def allocate_port(self) -> int:
         """Hand out a fresh ephemeral port number."""
@@ -187,13 +195,22 @@ class Host(Node):
         return link.time_until_room(frame_bytes)
 
     def receive(self, frame: Frame) -> None:
-        if frame.dst.host != self.name:
+        dst = frame.dst
+        if dst.host != self.name:
             # Host is not a router; misdelivered frames are dropped.
             self.frames_unclaimed += 1
             return
         self.frames_received += 1
-        handler = self._handlers.get((frame.proto, frame.dst.port))
+        proto = frame.proto
+        port = dst.port
+        if proto == self._memo_proto and port == self._memo_port:
+            self._memo_handler(frame)
+            return
+        handler = self._handlers.get((proto, port))
         if handler is None:
             self.frames_unclaimed += 1
             return
+        self._memo_proto = proto
+        self._memo_port = port
+        self._memo_handler = handler
         handler(frame)

@@ -65,16 +65,22 @@ class DropTailQueue:
 
     def try_enqueue(self, frame: Frame) -> bool:
         """Enqueue or drop; returns True if the frame was accepted."""
-        if not self.would_accept(frame):
-            self.stats.dropped += 1
-            self.stats.bytes_dropped += frame.size_bytes
+        size = frame.size_bytes
+        nbytes = self._bytes + size
+        stats = self.stats
+        if nbytes > self.capacity_bytes or (
+            self.capacity_frames is not None
+            and len(self._frames) >= self.capacity_frames
+        ):
+            stats.dropped += 1
+            stats.bytes_dropped += size
             return False
         self._frames.append(frame)
-        self._bytes += frame.size_bytes
-        self.stats.enqueued += 1
-        self.stats.bytes_enqueued += frame.size_bytes
-        if self._bytes > self.stats.peak_bytes:
-            self.stats.peak_bytes = self._bytes
+        self._bytes = nbytes
+        stats.enqueued += 1
+        stats.bytes_enqueued += size
+        if nbytes > stats.peak_bytes:
+            stats.peak_bytes = nbytes
         return True
 
     def dequeue(self) -> Optional[Frame]:
