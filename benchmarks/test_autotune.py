@@ -1,0 +1,91 @@
+"""Tuned FOBS vs the paper's greedy blast on a lossy shared bottleneck.
+
+Writes ``benchmarks/results/BENCH_autotune.json``::
+
+    {"bench": "autotune", "schema": 1, "entries": [...]}
+
+Three senders share the contended 100 Mb/s path (Table 2's NCSA↔CACR
+route: 0.1 % backbone loss + bursty ON/OFF cross traffic in the final
+drop-tail queue).  Greedy FOBS blasts at line rate and repairs the
+carnage in hole-filling rounds; the ``repro.tuning`` hill-climbing
+controller searches rate/F/B per epoch instead, and the vegas mode
+backs off on queueing delay before loss even appears.
+
+The committed artifact is a determinism contract: the DES is
+deterministic, so the same (seed, workload) must reproduce these
+numbers exactly.  The acceptance gate from the issue is asserted here:
+tuned goodput within 10 % of greedy at <= 50 % of greedy's waste
+(measured: ~6 % goodput given back for ~11x less waste).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.experiments import tuned_vs_greedy
+
+from _bench_support import RESULTS_DIR, emit
+
+pytestmark = pytest.mark.tuning
+
+BENCH_PATH = RESULTS_DIR / "BENCH_autotune.json"
+NBYTES = 25_000_000
+NSENDERS = 3
+SEED = 11
+
+
+@pytest.fixture(scope="module")
+def measured():
+    result = tuned_vs_greedy(nbytes=NBYTES, nsenders=NSENDERS, seed=SEED)
+    return result
+
+
+def test_autotune_bench(measured, capsys):
+    emit("autotune", measured.render(), capsys)
+    by_mode = {m["mode"]: m for m in measured.measured}
+    doc = {
+        "bench": "autotune",
+        "schema": 1,
+        "entries": [
+            {
+                "nbytes": NBYTES,
+                "nsenders": NSENDERS,
+                "seed": SEED,
+                "topology": "contended_path",
+                "modes": {
+                    mode: {
+                        "goodput_mbps": round(m["goodput_mbps"], 2),
+                        "waste_ratio": round(m["waste_ratio"], 4),
+                        "jain": round(m["jain"], 4),
+                        "packets_sent": m["packets_sent"],
+                        "packets_required": m["packets_required"],
+                        "duration_s": round(m["duration_s"], 3),
+                    }
+                    for mode, m in by_mode.items()
+                },
+            }
+        ],
+    }
+    BENCH_PATH.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+    greedy, hill = by_mode["greedy"], by_mode["hill"]
+    # The issue's acceptance gate: tuned matches greedy goodput within
+    # ~10% at no more than half the waste.
+    assert hill["goodput_mbps"] >= 0.9 * greedy["goodput_mbps"]
+    assert hill["waste_ratio"] <= 0.5 * greedy["waste_ratio"]
+    # Concurrent tuned senders converge to a fair split.
+    assert hill["jain"] >= 0.9
+    # Greedy on this path really is wasteful — the comparison is not
+    # against a strawman.
+    assert greedy["waste_ratio"] > 1.0
+
+
+def test_autotune_vegas(measured):
+    """Delay-based mode: less aggressive, still low-waste and fair."""
+    by_mode = {m["mode"]: m for m in measured.measured}
+    greedy, vegas = by_mode["greedy"], by_mode["vegas"]
+    assert vegas["waste_ratio"] <= 0.5 * greedy["waste_ratio"]
+    assert vegas["jain"] >= 0.9
+    assert vegas["goodput_mbps"] >= 0.6 * greedy["goodput_mbps"]

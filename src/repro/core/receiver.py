@@ -73,6 +73,9 @@ class FobsReceiver:
         if resume_bitmap is not None:
             self.stats.resumed_packets = self.bitmap.merge(
                 np.asarray(resume_bitmap, dtype=np.bool_))
+        #: Live copy of ``config.ack_frequency`` — the tuning
+        #: controller reassigns it mid-transfer; ``on_data`` reads it.
+        self.ack_frequency = config.ack_frequency
         self._new_since_ack = 0
         self._next_ack_id = 0
         #: Time of the most recent data arrival (any, including
@@ -141,7 +144,7 @@ class FobsReceiver:
             if self.stats.completed_at is None:
                 self.stats.completed_at = now
             return self._stamped_ack(now)
-        if self._new_since_ack >= self.config.ack_frequency:
+        if self._new_since_ack >= self.ack_frequency:
             return self._stamped_ack(now)
         if refresh_due:
             self.stats.acks_refreshed += 1

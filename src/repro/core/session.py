@@ -49,6 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.core.journal import ReceiverJournal
     from repro.simnet.faults import KillSwitch
     from repro.simnet.node import Host
+    from repro.tuning import TuningConfig
 from repro.simnet.engine import _NO_ARG
 from repro.simnet.link import Link
 from repro.simnet.packet import (
@@ -155,6 +156,7 @@ class FobsTransfer:
         transfer_id: int = 0,
         src: Optional["Host"] = None,
         dst: Optional["Host"] = None,
+        tuning: Optional["TuningConfig"] = None,
     ):
         if nbytes <= 0:
             raise ValueError("nbytes must be positive")
@@ -197,6 +199,39 @@ class FobsTransfer:
             self.receiver.stats.resumed_packets = self.receiver.bitmap.merge(
                 np.asarray(resume_bitmap, dtype=np.bool_))
             self.sender.resume_from(resume_bitmap)
+        # Optional online knob tuning.  The DES owns both endpoints, so
+        # the tuner drives all three knobs: pacing rate (sender), ack
+        # frequency F (receiver live attr), batch size B (fixed batch
+        # policy).  Hot paths guard every tuner touch with
+        # ``if self._tuner is not None`` — the untuned cost is one
+        # attribute load per ACK.
+        self._tuner = None
+        if tuning is not None:
+            from repro.core.rate import FixedBatchPolicy
+            from repro.tuning import TransferTuner
+            tuner_tel = NULL_CHANNEL
+            if telemetry is not None and telemetry.enabled:
+                tuner_tel = telemetry.channel(
+                    transfer_id, epoch=epoch, src="tuner", clock=clock)
+            policy = self.sender.batch_policy
+            set_batch = None
+            if isinstance(policy, FixedBatchPolicy):
+                def set_batch(b, _p=policy):
+                    _p.batch_size = b
+            receiver = self.receiver
+            def set_f(f, _r=receiver):
+                _r.ack_frequency = f
+            self._tuner = TransferTuner(
+                tuning,
+                set_rate=self.sender.set_pacing_rate,
+                set_ack_frequency=set_f,
+                set_batch_size=set_batch,
+                telemetry=tuner_tel,
+                rate_bps=self.sender.pacing_rate_bps,
+                ack_frequency=self.config.ack_frequency,
+                batch_size=self.config.batch_size,
+            )
+
         self._bitmap_bytes = bitmap_wire_bytes(self.sender.npackets)
         self._data_sent_count = 0
         self._data_recv_count = 0
@@ -336,6 +371,16 @@ class FobsTransfer:
         else:
             self.sim.schedule(self.config.receiver_idle_timeout,
                               self._liveness_check)
+
+    def set_rate_ceiling(self, rate_bps: Optional[float]) -> None:
+        """Allocator share update.  Untuned transfers pace directly at
+        their share; tuned transfers treat it as a ceiling the
+        controller searches under (it may sit below the share when the
+        path, not the allocator, is the constraint)."""
+        if self._tuner is not None:
+            self._tuner.set_ceiling(rate_bps)
+        else:
+            self.sender.set_pacing_rate(rate_bps)
 
     def run(self, time_limit: float = 600.0) -> TransferStats:
         """Start (if needed) and simulate until the sender finishes.
@@ -522,6 +567,8 @@ class FobsTransfer:
                     sim.call_in(cost, self._cb_sender_step)
                     return
                 sender.on_ack(ack, now)
+                if self._tuner is not None:
+                    self._tuner.on_ack(sender, now)
                 if self.tracer.enabled:
                     self.tracer.emit(now, "ack_rx",
                                      f"id={ack.ack_id} count={ack.received_count}")
@@ -645,6 +692,8 @@ class FobsTransfer:
             else:
                 data_out.send_failures += 1
         self._data_sent_count += 1
+        if self._tuner is not None:
+            self._tuner.maybe_probe(pkt.seq, now)
         if self.tracer.enabled:
             self.tracer.emit(now, "data_tx",
                              f"seq={pkt.seq} txno={pkt.transmission}")
@@ -961,7 +1010,8 @@ def run_fobs_transfer(
     config: Optional[FobsConfig] = None,
     time_limit: float = 600.0,
     telemetry: Optional[EventBus] = None,
+    tuning: Optional["TuningConfig"] = None,
 ) -> TransferStats:
     """Convenience wrapper: build, run and summarize one transfer."""
-    return FobsTransfer(net, nbytes, config,
-                        telemetry=telemetry).run(time_limit=time_limit)
+    return FobsTransfer(net, nbytes, config, telemetry=telemetry,
+                        tuning=tuning).run(time_limit=time_limit)

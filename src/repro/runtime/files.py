@@ -34,11 +34,15 @@ import errno
 import os
 import socket
 import struct
+import sys
 import threading
 import time
 import zlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tuning import TuningConfig
 
 import numpy as np
 
@@ -577,6 +581,8 @@ def _receive_attempt(
     bind: str,
     deadline: float,
     telemetry: Optional[EventBus] = None,
+    tuning: Optional["TuningConfig"] = None,
+    stats_interval: float = 0.0,
 ) -> tuple[bool, Optional[str], FobsReceiver]:
     """Serve one accepted control connection; returns (ok, reason, rx)."""
     session = (wire.SessionContext(offer.transfer_id, offer.epoch)
@@ -589,6 +595,27 @@ def _receive_attempt(
     receiver = FobsReceiver(config, offer.filesize,
                             resume_bitmap=resume_bitmap, journal=journal,
                             epoch=offer.epoch, telemetry=receiver_tel)
+    tuner = None
+    if tuning is not None:
+        # Receiver-side tuner: the only knob this end owns is the ACK
+        # frequency F.  The controller's rate tracks measured delivery
+        # goodput, which drives the F time-cap (ACK spacing stays under
+        # feedback_interval seconds however slow the path gets).
+        from repro.tuning import TransferTuner
+
+        tuner_tel = NULL_CHANNEL
+        if telemetry is not None and telemetry.enabled:
+            tuner_tel = telemetry.channel(
+                transfer_id=offer.transfer_id, epoch=offer.epoch,
+                src="tuner")
+
+        def _set_f(f: int, r=receiver) -> None:
+            r.ack_frequency = f
+
+        tuner = TransferTuner(tuning, set_rate=lambda r: None,
+                              set_ack_frequency=_set_f,
+                              telemetry=tuner_tel,
+                              ack_frequency=config.ack_frequency)
     data_sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
     data_sock.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1 << 20)
     data_sock.bind((bind, 0))
@@ -603,8 +630,29 @@ def _receive_attempt(
             ctrl.sendall(_ACCEPT.pack(ACCEPT_MAGIC,
                                       data_sock.getsockname()[1], 0))
         start = time.monotonic()
+        next_report = start + stats_interval if stats_interval > 0 else None
         while not receiver.complete:
             now = time.monotonic()
+            if tuner is not None:
+                s = receiver.stats
+                tuner.poll(now, acked=s.packets_new,
+                           sent=s.packets_new + s.packets_duplicate,
+                           retrans=s.packets_duplicate)
+            if next_report is not None and now >= next_report:
+                next_report = now + stats_interval
+                line = (f"fetch {offer.transfer_id:#018x}: "
+                        f"{int(receiver.bitmap.count)}/{receiver.npackets} "
+                        f"pkts t={now - start:.1f}s")
+                if tuner is not None:
+                    rate = tuner.rate_bps
+                    line += (" tune[rate="
+                             + ("unpaced" if rate is None
+                                else f"{rate / 1e6:.1f}Mb/s")
+                             + f" F={tuner.ack_frequency}"
+                             + f" B={tuner.batch_size}"
+                             + f" waste={tuner.last_waste:.3f}"
+                             + f" stalls={tuner.last_stalls}]")
+                print(line, file=sys.stderr)
             if now > deadline:
                 return False, "file receive timed out", receiver
             if receiver.idle_since(now, start) > config.receiver_idle_timeout:
@@ -812,6 +860,8 @@ def receive_offer(
     telemetry: Optional[EventBus] = None,
     opener=open,
     manifest: Optional[ChunkManifest] = None,
+    tuning: Optional["TuningConfig"] = None,
+    stats_interval: float = 0.0,
 ) -> tuple[bool, Optional[str], Optional[FobsReceiver], float, VerifyStats]:
     """Serve one already-negotiated offer as the receiving endpoint.
 
@@ -907,7 +957,8 @@ def receive_offer(
                     ok, failure, receiver = _receive_attempt(
                         ctrl, peer, offer, attempt_config, part_fh,
                         journal, resume_bitmap, bind, deadline,
-                        telemetry=telemetry)
+                        telemetry=telemetry, tuning=tuning,
+                        stats_interval=stats_interval)
                     if ok:
                         # Verify-on-complete: the receiver's bitmap says
                         # every packet arrived; the disk gets the last

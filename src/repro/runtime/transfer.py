@@ -44,6 +44,7 @@ from repro.runtime import wire
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.journal import ReceiverJournal
     from repro.simnet.faults import KillSwitch
+    from repro.tuning import TuningConfig
 
 
 @dataclass
@@ -186,6 +187,15 @@ class _Receiver(threading.Thread):
                     break
                 if not self._handle_datagram(self._rxview[:nrecv]):
                     return
+        # Normal completion (crash/liveness/deadline exits above never
+        # reach here): make the journal durable, then send the
+        # completion signal over TCP (the paper's third connection).
+        if self.receiver.journal is not None:
+            self.receiver.journal.close()
+        if self.blackhole_acks:
+            return  # adversarial mode: suppress the completion signal too
+        with socket.create_connection(self._ctrl_addr, timeout=5.0) as ctrl:
+            ctrl.sendall(wire.encode_completion(self.receiver.npackets))
 
     def _handle_datagram(self, datagram: memoryview) -> bool:
         """Process one received datagram; False aborts the loop."""
@@ -225,13 +235,6 @@ class _Receiver(threading.Thread):
                                 session=self.session),
                 self._ack_addr)
         return True
-        if self.receiver.journal is not None:
-            self.receiver.journal.close()
-        if self.blackhole_acks:
-            return  # adversarial mode: suppress the completion signal too
-        # Completion signal over TCP (the paper's third connection).
-        with socket.create_connection(self._ctrl_addr, timeout=5.0) as ctrl:
-            ctrl.sendall(wire.encode_completion(self.receiver.npackets))
 
 
 class _Sender(threading.Thread):
@@ -257,6 +260,12 @@ class _Sender(threading.Thread):
         self.crashed = False
         self.failure_reason: Optional[str] = None
         self._sent_count = 0
+        #: Optional online tuner (repro.tuning.TransferTuner), attached
+        #: by run_loopback_transfer before the thread starts.
+        self.tuner = None
+        #: Pacing clock: earliest monotonic time the next batch may go
+        #: out.  Inactive while the sender's pacing rate is None.
+        self._next_send = 0.0
         self.sender = FobsSender(
             config, len(data), rng=np.random.default_rng(seed),
             epoch=session.epoch if session is not None else 0,
@@ -320,12 +329,25 @@ class _Sender(threading.Thread):
                 # sender.failed / failure_reason carry the diagnosis;
                 # terminate cleanly well before the deadline.
                 return
-            batch: list = []
-            if stall == "probe":
-                batch = self.sender.probe_batch()
-            elif stall != "wait":
-                # Phase 1/3: batch-send (suppressed between stall probes).
-                batch = self.sender.next_batch()
+            rate = self.sender.pacing_rate_bps
+            if rate is not None and now < self._next_send:
+                # Paced and ahead of schedule.  Sleep in short slices —
+                # never the full deficit — so a rate raise (allocator or
+                # tuner) applied mid-wait takes effect within ~20 ms,
+                # then fall through to the ACK drain below.
+                time.sleep(min(self._next_send - now, 0.02))
+                batch = []
+            else:
+                batch = []
+                if stall == "probe":
+                    batch = self.sender.probe_batch()
+                elif stall != "wait":
+                    # Phase 1/3: batch-send (suppressed between stall
+                    # probes).
+                    batch = self.sender.next_batch()
+            if batch and self.tuner is not None:
+                self.tuner.maybe_probe(batch[0].seq, now)
+            batch_bytes = 0
             if batch and not (self.drop_rate or self.corrupt_rate
                               or self.kill is not None):
                 # Hot path: no fault injection in the loop, so the whole
@@ -340,6 +362,7 @@ class _Sender(threading.Thread):
                     batch, payloads, checksum=self.config.checksum,
                     session=self.session)
                 self._sent_count += len(views)
+                batch_bytes = sum(len(v) for v in views)
                 _send_burst(self.data_sock, views, self._data_addr)
             else:
                 for pkt in batch:
@@ -367,6 +390,7 @@ class _Sender(threading.Thread):
                         damaged = bytearray(datagram)
                         damaged[pos] ^= 0xFF
                         datagram = bytes(damaged)
+                    batch_bytes += len(datagram)
                     self.data_sock.sendto(datagram, self._data_addr)
             # Phase 2: poll (never block) and drain *every* queued
             # acknowledgement.  One ACK per loop iteration falls behind
@@ -386,8 +410,14 @@ class _Sender(threading.Thread):
                     self.sender.on_corrupt_ack()
                 except (wire.StaleEpochError, wire.SessionMismatchError):
                     self.sender.on_stale_ack()
+            if self.tuner is not None:
+                self.tuner.on_ack(self.sender, time.monotonic())
+            if rate is not None and batch_bytes:
+                # Advance the pacing clock by this batch's wire time.
+                self._next_send = (max(self._next_send, now)
+                                   + batch_bytes * 8.0 / rate)
             self._check_completion()
-            if not batch:
+            if not batch and (rate is None or now >= self._next_send):
                 # Stalled, or all packets acked locally; don't spin.
                 time.sleep(0.001)
 
@@ -406,6 +436,8 @@ def run_loopback_transfer(
     session: Optional[wire.SessionContext] = None,
     kill: Optional["KillSwitch"] = None,
     buffer: Optional[bytearray] = None,
+    tuning: Optional["TuningConfig"] = None,
+    telemetry=None,
 ) -> LoopbackResult:
     """Transfer a checksummed object over real sockets on localhost.
 
@@ -447,6 +479,36 @@ def run_loopback_transfer(
     # Late-bind the dynamic ports discovered after socket creation.
     receiver._ack_addr = ("127.0.0.1", sender.ack_port)
     receiver._ctrl_addr = sender.ctrl_addr
+
+    if tuning is not None:
+        # Loopback owns both endpoints (like the DES), so the tuner
+        # drives rate and batch size on the sender and F on the
+        # in-process receiver.
+        from repro.core.rate import FixedBatchPolicy
+        from repro.telemetry import NULL_CHANNEL
+        from repro.tuning import TransferTuner
+        channel = NULL_CHANNEL
+        if telemetry is not None and telemetry.enabled:
+            tid = session.transfer_id if session is not None else 0
+            channel = telemetry.channel(
+                tid, epoch=sender.sender.epoch, src="tuner")
+        policy = sender.sender.batch_policy
+        set_batch = None
+        if isinstance(policy, FixedBatchPolicy):
+            def set_batch(b, _p=policy):
+                _p.batch_size = b
+        def set_f(f, _r=receiver.receiver):
+            _r.ack_frequency = f
+        sender.tuner = TransferTuner(
+            tuning,
+            set_rate=sender.sender.set_pacing_rate,
+            set_ack_frequency=set_f,
+            set_batch_size=set_batch,
+            telemetry=channel,
+            rate_bps=sender.sender.pacing_rate_bps,
+            ack_frequency=config.ack_frequency,
+            batch_size=config.batch_size,
+        )
 
     start = time.monotonic()
     receiver.start()

@@ -81,6 +81,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--ack-frequency", type=int, default=32)
     serve.add_argument("--no-checksum", action="store_true",
                        help="disable per-packet CRC32 on fetches")
+    serve.add_argument("--autotune", action="store_true",
+                       help="adapt each send's rate and batch size per "
+                            "epoch from live telemetry (docs/TUNING.md); "
+                            "the max-min share becomes the controller's "
+                            "rate ceiling")
+    serve.add_argument("--rate-mode", default="hill",
+                       choices=("hill", "vegas"),
+                       help="autotune rate search: loss/slope hill "
+                            "climbing (default) or delay-based vegas")
     serve.add_argument("--quiet", action="store_true",
                        help="suppress progress output on stderr")
 
@@ -104,6 +113,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="ask the server to cap this transfer's share "
                             "of its budget")
     fetch.add_argument("--no-checksum", action="store_true")
+    fetch.add_argument("--autotune", action="store_true",
+                       help="adapt the receive-side ACK frequency per "
+                            "epoch from live delivery telemetry "
+                            "(docs/TUNING.md)")
+    fetch.add_argument("--rate-mode", default="hill",
+                       choices=("hill", "vegas"),
+                       help="autotune search mode (default hill)")
+    fetch.add_argument("--stats-interval", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="print a one-line progress/tuning report to "
+                            "stderr every N seconds (default: off)")
     fetch.add_argument("--no-verify", action="store_true",
                        help="skip the per-chunk digest manifest; fall back "
                             "to the legacy whole-object CRC32")
@@ -216,6 +236,16 @@ def _telemetry_bus(args: argparse.Namespace):
     return EventBus(sinks=[JsonlSink(args.telemetry_out, producer="repro")])
 
 
+def _tuning_config(args: argparse.Namespace):
+    """Build a TuningConfig from ``--autotune`` / ``--rate-mode``."""
+    if not getattr(args, "autotune", False):
+        return None
+    from repro.tuning import TuningConfig
+
+    return TuningConfig(mode=args.rate_mode,
+                        packet_size=getattr(args, "packet_size", 1024))
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     config = FobsConfig(packet_size=args.packet_size,
                         ack_frequency=args.ack_frequency,
@@ -229,7 +259,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             per_client_max=args.per_client_max, rate_budget_bps=budget,
             drain_timeout=args.drain_timeout,
             stats_interval=args.stats_interval,
-            telemetry=bus)
+            telemetry=bus, tuning=_tuning_config(args))
     except (ValueError, OSError) as exc:
         if bus is not None:
             bus.close()
@@ -308,6 +338,7 @@ def _cmd_fetch(args: argparse.Namespace) -> int:
 
     config = FobsConfig(ack_frequency=32, checksum=not args.no_checksum)
     bus = _telemetry_bus(args)
+    tuning = _tuning_config(args)
     results = []
     try:
         for name in args.names:
@@ -318,7 +349,8 @@ def _cmd_fetch(args: argparse.Namespace) -> int:
                 timeout=args.timeout, max_attempts=args.max_attempts,
                 rate_cap_bps=int(args.rate_cap * 1e6),
                 checksum=not args.no_checksum,
-                verify=not args.no_verify, telemetry=bus)
+                verify=not args.no_verify, telemetry=bus,
+                tuning=tuning, stats_interval=args.stats_interval)
             results.append((name, result))
             if result.completed:
                 info(args, f"fetched {name}: {result.nbytes} bytes -> "
@@ -548,6 +580,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         EV_STORAGE_FAULT,
         EV_TRANSFER_END,
         EV_TRANSFER_START,
+        EV_TUNE_DECISION,
+        EV_TUNE_EPOCH,
         EV_VERIFY,
         read_events,
     )
@@ -558,6 +592,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     packets_demoted = bytes_refetched = 0
     verify_seconds = 0.0
     ds_objects = ds_bytes = ds_resumes = ds_demoted = ds_skipped = 0
+    tune_epochs = tune_decisions = 0
+    last_tune: Optional[dict] = None
     admissions: dict[str, int] = {}
     transfers: set[tuple[int, int]] = set()
     try:
@@ -595,6 +631,12 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                 ds_demoted += int(
                     event.fields.get("objects_demoted", 0) or 0)
                 ds_skipped += int(event.fields.get("objects_done", 0) or 0)
+            elif event.kind == EV_TUNE_EPOCH:
+                tune_epochs += 1
+                last_tune = event.fields
+            elif event.kind == EV_TUNE_DECISION:
+                if event.fields.get("action") != "init":
+                    tune_decisions += 1
     except (OSError, ValueError) as exc:
         print(f"stats FAILED: {exc}", file=sys.stderr)
         return 1
@@ -620,9 +662,20 @@ def _cmd_stats(args: argparse.Namespace) -> int:
                    f"dataset_resumes={ds_resumes} "
                    f"dataset_objects_skipped={ds_skipped} "
                    f"dataset_objects_demoted={ds_demoted}")
+    tuning = ""
+    if tune_epochs:
+        rate = last_tune.get("rate") if last_tune else None
+        tuning = (f" tune_epochs={tune_epochs} "
+                  f"tune_decisions={tune_decisions} "
+                  f"tune_rate_mbps="
+                  + (f"{rate / 1e6:.2f}" if rate is not None else "none")
+                  + f" tune_f={last_tune.get('f')} "
+                  f"tune_b={last_tune.get('b')} "
+                  f"tune_waste={last_tune.get('waste')}")
     print(f"stats ok events={total} attempts={max(starts, ends)} "
           f"completed={completed} failed={failed}"
-          + (f" {admitted}" if admitted else "") + integrity + dataset)
+          + (f" {admitted}" if admitted else "")
+          + integrity + dataset + tuning)
     return 0
 
 

@@ -20,7 +20,10 @@ import struct
 import time
 import zlib
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tuning import TuningConfig
 
 from repro.core.config import FobsConfig
 from repro.runtime import files, wire
@@ -98,6 +101,8 @@ def _fetch_attempt(
     telemetry: Optional[EventBus] = None,
     verify: bool = True,
     opener=open,
+    tuning: Optional["TuningConfig"] = None,
+    stats_interval: float = 0.0,
 ) -> _FetchOutcome:
     """One connect → FETCH → (queue?) → receive attempt; never raises."""
     deadline = time.monotonic() + timeout
@@ -131,7 +136,8 @@ def _fetch_attempt(
             ok, failure, receiver, duration, vstats = files.receive_offer(
                 ctrl, (host, port), offer, output_path, deadline,
                 config=config, journal_path=journal_path,
-                telemetry=telemetry, opener=opener)
+                telemetry=telemetry, opener=opener, tuning=tuning,
+                stats_interval=stats_interval)
             return _FetchOutcome(
                 completed=ok,
                 duration=duration,
@@ -172,6 +178,8 @@ def fetch_file(
     telemetry: Optional[EventBus] = None,
     verify: bool = True,
     opener=open,
+    tuning: Optional["TuningConfig"] = None,
+    stats_interval: float = 0.0,
 ) -> files.FileTransferResult:
     """Fetch object ``name`` from a ``repro serve`` daemon.
 
@@ -202,7 +210,8 @@ def fetch_file(
         return _fetch_attempt(name, host, port, output_path, config,
                               timeout, epoch, nonce, rate_cap_bps,
                               journal_path, checksum, telemetry=telemetry,
-                              verify=verify, opener=opener)
+                              verify=verify, opener=opener, tuning=tuning,
+                              stats_interval=stats_interval)
 
     supervised = TransferSupervisor(policy=policy).run(attempt_fn)
     final: _FetchOutcome = supervised.final

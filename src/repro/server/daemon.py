@@ -49,7 +49,10 @@ import time
 import zlib
 from collections import deque
 from dataclasses import replace
-from typing import Optional, TextIO
+from typing import TYPE_CHECKING, Optional, TextIO
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tuning import TuningConfig
 
 import numpy as np
 
@@ -129,7 +132,7 @@ class _SendEntry:
     kind = SENDING
     __slots__ = ("key", "session", "sender", "data", "config", "conn",
                  "name", "client", "data_addr", "pacer", "pending",
-                 "started_at")
+                 "started_at", "tuner")
 
     def __init__(self, key, session, sender, data, config, conn, name):
         self.key = key
@@ -144,6 +147,8 @@ class _SendEntry:
         self.pacer = TokenBucket()
         self.pending: deque[bytes] = deque()
         self.started_at = 0.0
+        #: Per-transfer autotuner, or None (the common, untuned case).
+        self.tuner = None
 
 
 class _RecvEntry:
@@ -195,6 +200,7 @@ class ObjectServer:
         kill=None,
         telemetry: Optional[EventBus] = None,
         opener=open,
+        tuning: Optional["TuningConfig"] = None,
     ):
         self.root = os.path.abspath(root)
         #: Part-file factory — ``repro.chaos.FaultyStore.open`` slots in
@@ -215,6 +221,8 @@ class ObjectServer:
         self.stats_out = stats_out
         self.handshake_timeout = handshake_timeout
         self.kill = kill
+        #: Autotune sends (None = fixed-knob sends, the default).
+        self.tuning = tuning
         #: Enabled event bus, or None — one check site for every emit.
         self.telemetry = (telemetry if telemetry is not None
                           and telemetry.enabled else None)
@@ -274,6 +282,14 @@ class ObjectServer:
         now = time.monotonic()
         transfers = []
         for entry in list(self._send_entries.values()):
+            tune: dict = {}
+            if entry.tuner is not None:
+                tune = dict(
+                    tune_rate_bps=entry.tuner.rate_bps,
+                    tune_ack_frequency=entry.tuner.ack_frequency,
+                    tune_batch_size=entry.tuner.batch_size,
+                    waste_ratio=entry.tuner.last_waste,
+                    stall_events=entry.tuner.last_stalls)
             transfers.append(TransferSnapshot(
                 transfer_id=entry.session.transfer_id,
                 name=entry.name, client=entry.client, direction="send",
@@ -282,7 +298,8 @@ class ObjectServer:
                 npackets=entry.sender.npackets,
                 packets_done=int(entry.sender.acked.count),
                 share_bps=entry.pacer.rate_bps,
-                elapsed=max(now - entry.started_at, 0.0)))
+                elapsed=max(now - entry.started_at, 0.0),
+                **tune))
         for entry in list(self._recv_entries.values()):
             transfers.append(TransferSnapshot(
                 transfer_id=entry.offer.transfer_id,
@@ -738,9 +755,36 @@ class ObjectServer:
         conn.deadline = now + self.handshake_timeout
         self._send_entries[tid] = entry
         self.registry.add(RegisteredTransfer(tid, req.epoch, SENDING, entry))
-        self.allocator.register(
-            tid, lambda r, p=entry.pacer: p.set_rate(r, time.monotonic()),
-            demand_bps=req.rate_cap_bps or None)
+        if self.tuning is not None:
+            from repro.core.rate import FixedBatchPolicy
+            from repro.tuning import TransferTuner
+
+            # ack_frequency is receiver-side; the fetch client runs its
+            # own F-tuner.  The daemon's tuner drives pacing rate and
+            # batch size, with the max-min share as its rate ceiling.
+            set_batch = None
+            policy = sender.batch_policy
+            if isinstance(policy, FixedBatchPolicy):
+                def set_batch(b, p=policy):
+                    p.batch_size = b
+            entry.tuner = TransferTuner(
+                self.tuning,
+                set_rate=lambda r, p=entry.pacer: p.set_rate(
+                    r, time.monotonic()),
+                set_batch_size=set_batch,
+                telemetry=self._transfer_channel(tid, req.epoch,
+                                                 src="tuner"),
+                rate_bps=entry.pacer.rate_bps,
+                ack_frequency=config.ack_frequency,
+                batch_size=config.batch_size,
+                label=req.name)
+        if entry.tuner is not None:
+            self.allocator.register(tid, entry.tuner.set_ceiling,
+                                    demand_bps=req.rate_cap_bps or None)
+        else:
+            self.allocator.register(
+                tid, lambda r, p=entry.pacer: p.set_rate(r, time.monotonic()),
+                demand_bps=req.rate_cap_bps or None)
         self.allocator.reallocate()
         flags = files.FLAG_RESUME | (files.FLAG_CHECKSUM if req.checksum
                                      else 0)
@@ -963,6 +1007,8 @@ class ObjectServer:
             self.registry.count_undecodable()
             return
         entry.sender.on_ack(ack, now)
+        if entry.tuner is not None:
+            entry.tuner.on_ack(entry.sender, now)
 
     def _on_push_data(self, entry: _RecvEntry, datagram: bytes,
                       now: float) -> None:
@@ -1043,7 +1089,12 @@ class ObjectServer:
             if entry.pending:
                 datagram = entry.pending[0]
                 if not entry.pacer.take(len(datagram), now):
-                    return entry.pacer.wait_hint(len(datagram), now)
+                    # Clamp the pacing sleep: wait_hint is computed
+                    # against the *current* rate, and a mid-sleep
+                    # allocator/tuner raise would otherwise not take
+                    # effect until a stale (possibly long) sleep ends.
+                    return min(entry.pacer.wait_hint(len(datagram), now),
+                               0.02)
                 entry.pending.popleft()
                 try:
                     self._udp.sendto(datagram, entry.data_addr)
@@ -1072,6 +1123,8 @@ class ObjectServer:
                      else sender.next_batch())
             if not batch:
                 return 0.002  # all packets out; waiting on ACK/completion
+            if entry.tuner is not None:
+                entry.tuner.maybe_probe(batch[0].seq, now)
             # One codec pass for the whole batch: headers scattered
             # vectorized, payloads sliced zero-copy from the object
             # blob, one shared output buffer backing every datagram the

@@ -18,7 +18,10 @@ completion — mid-transfer, exactly as the daemon does.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.tuning import TuningConfig
 
 from repro.core.config import FobsConfig
 from repro.core.session import FobsTransfer, TransferStats
@@ -112,6 +115,7 @@ class SimObjectServer:
         rate_budget_bps: Optional[float] = None,
         check_interval: float = 0.005,
         telemetry: Optional[EventBus] = None,
+        tuning: Optional["TuningConfig"] = None,
     ):
         if not specs:
             raise ValueError("specs must be non-empty")
@@ -127,6 +131,7 @@ class SimObjectServer:
         self.allocator = BandwidthAllocator(rate_budget_bps)
         self.check_interval = check_interval
         self.telemetry = telemetry
+        self.tuning = tuning
         self._active: dict[int, FobsTransfer] = {}
         self._result = SimServerResult(stats=[None] * len(self.specs))
         self._resolved = 0
@@ -176,7 +181,8 @@ class SimObjectServer:
             self.net, spec.nbytes, self._config_for(index),
             epoch=self._epoch_of(index),
             resume_bitmap=self._resume_of(index),
-            telemetry=self.telemetry, transfer_id=index + 1, dst=dst)
+            telemetry=self.telemetry, transfer_id=index + 1, dst=dst,
+            tuning=self.tuning)
 
     def _start(self, index: int) -> None:
         spec = self.specs[index]
@@ -185,8 +191,10 @@ class SimObjectServer:
         transfer = self._build_transfer(index)
         self._active[index] = transfer
         transfer.start()
+        # Tuned transfers take the max-min share as a ceiling for the
+        # controller's search; untuned transfers pace at it directly.
         self.allocator.register(
-            index, transfer.sender.set_pacing_rate,
+            index, transfer.set_rate_ceiling,
             demand_bps=spec.rate_cap_bps)
         self._result.peak_active = max(self._result.peak_active,
                                        len(self._active))
@@ -270,10 +278,11 @@ def run_sim_server(
     rate_budget_bps: Optional[float] = None,
     time_limit: float = 600.0,
     telemetry: Optional[EventBus] = None,
+    tuning: Optional["TuningConfig"] = None,
 ) -> SimServerResult:
     """Convenience wrapper: build, run and summarize one server workload."""
     server = SimObjectServer(
         net, specs, config=config, max_active=max_active,
         queue_depth=queue_depth, per_client_max=per_client_max,
-        rate_budget_bps=rate_budget_bps, telemetry=telemetry)
+        rate_budget_bps=rate_budget_bps, telemetry=telemetry, tuning=tuning)
     return server.run(time_limit=time_limit)

@@ -35,6 +35,12 @@ class TransferSnapshot:
     packets_done: int
     share_bps: Optional[float] = None
     elapsed: float = 0.0
+    #: Autotune live readings — None on untuned transfers.
+    tune_rate_bps: Optional[float] = None
+    tune_ack_frequency: Optional[int] = None
+    tune_batch_size: Optional[int] = None
+    waste_ratio: Optional[float] = None
+    stall_events: Optional[int] = None
 
     @property
     def fraction_done(self) -> float:
@@ -43,12 +49,19 @@ class TransferSnapshot:
         return self.packets_done / self.npackets
 
     def render(self) -> str:
-        return (f"{self.transfer_id:#018x} {self.direction} {self.name!r} "
+        line = (f"{self.transfer_id:#018x} {self.direction} {self.name!r} "
                 f"{self.fraction_done * 100.0:.0f}% "
                 f"({self.packets_done}/{self.npackets} pkts) "
                 f"@{_rate(self.share_bps)} "
                 f"client={self.client} epoch={self.epoch} "
                 f"t={self.elapsed:.1f}s")
+        if self.waste_ratio is not None:
+            line += (f" tune[rate={_rate(self.tune_rate_bps)}"
+                     f" F={self.tune_ack_frequency}"
+                     f" B={self.tune_batch_size}"
+                     f" waste={self.waste_ratio:.3f}"
+                     f" stalls={self.stall_events}]")
+        return line
 
 
 @dataclass(frozen=True)

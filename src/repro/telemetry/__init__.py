@@ -59,6 +59,8 @@ from repro.telemetry.events import (
     EV_TRACE,
     EV_TRANSFER_END,
     EV_TRANSFER_START,
+    EV_TUNE_DECISION,
+    EV_TUNE_EPOCH,
     EV_VERIFY,
     EVENT_KINDS,
     EVENT_SCHEMA_VERSION,
@@ -113,4 +115,6 @@ __all__ = [
     "EV_CHUNK_SCHEDULED",
     "EV_CHUNK_DONE",
     "EV_DATASET_RESUME",
+    "EV_TUNE_EPOCH",
+    "EV_TUNE_DECISION",
 ]

@@ -89,6 +89,15 @@ EV_CHUNK_DONE = "chunk_done"
 #: A dataset sync resumed from its journal: objects_done,
 #: objects_demoted, objects_total, bytes_skipped.
 EV_DATASET_RESUME = "dataset_resume"
+#: One tuning epoch elapsed: n (epoch index), raw signal deltas (dur,
+#: acked, sent, retrans, stalls, rtt, ceiling), derived waste, and the
+#: resulting knobs (rate, f, b) + action.  Never sampled — replaying
+#: the decision sequence requires every epoch.
+EV_TUNE_EPOCH = "tune_epoch"
+#: The tuning controller changed a knob (or action="init" carrying the
+#: full TuningConfig + starting knobs at construction): n, action,
+#: rate, f, b.
+EV_TUNE_DECISION = "tune_decision"
 
 #: Every kind a conforming producer may emit.
 EVENT_KINDS = (
@@ -114,6 +123,8 @@ EVENT_KINDS = (
     EV_CHUNK_SCHEDULED,
     EV_CHUNK_DONE,
     EV_DATASET_RESUME,
+    EV_TUNE_EPOCH,
+    EV_TUNE_DECISION,
 )
 
 #: High-rate kinds the bus may sample (drop all but every Nth); the

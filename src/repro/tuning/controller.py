@@ -1,0 +1,372 @@
+"""Sans-io online knob controller for FOBS transfers.
+
+The paper fixes FOBS's knobs — send rate, ack frequency ``F``, batch
+size ``B`` — per run and sweeps them offline (Section 5).  Arslan &
+Kosar showed the same knobs can be searched *online* with a cheap
+heuristic: watch goodput per epoch, climb while it improves, reverse
+when it degrades, back off hard on loss.  :class:`TuningController`
+implements that search as a pure state machine: feed it one
+:class:`EpochSignals` per tuning epoch and it returns a
+:class:`Decision` with the knob values to apply.
+
+The controller is deliberately sans-io and clock-free — it never reads
+time, sockets, or randomness — so the same signal trace always
+produces the same decision sequence.  That is what makes every
+decision replayable from recorded telemetry alone (see
+:mod:`repro.tuning.replay`) and what the hypothesis determinism
+property pins.
+
+Two rate policies share the epoch/bounds/hysteresis machinery:
+
+``hill``
+    Multiplicative hill climbing on goodput with a hysteresis band
+    (relative changes inside the band are noise → hold), periodic
+    upward exploration out of flat-slope holds, and a hard back-off —
+    to the measured delivery rate — on stalls or a delivery deficit
+    above ``loss_high``.
+
+``vegas``
+    Delay-based: reuse the Vegas base-RTT estimator from
+    :mod:`repro.tcp.vegas` and keep the estimated number of packets
+    queued at the bottleneck — ``rate_pps * (rtt - base_rtt)`` —
+    between ``vegas_alpha`` and ``vegas_beta``, the same invariant
+    Vegas keeps in segments.  A fleet of vegas-mode senders backs off
+    on queue growth *before* loss, so they converge near the fair
+    share instead of blasting.
+
+``F`` and ``B`` follow the same rules in both modes: trouble (stall or
+a delivery deficit above ``loss_high``) halves them toward their
+minimums — more frequent ACK feedback, smaller bursts — while clean
+epochs (deficit below ``loss_low``, no stalls) double ``F`` and grow
+``B`` toward their maximums to shed per-ACK overhead.  ``F`` is
+additionally capped so ACK spacing never exceeds ``feedback_interval``
+seconds at the current rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.tcp.vegas import VegasController
+
+__all__ = ["TuningConfig", "EpochSignals", "Decision", "TuningController"]
+
+MODES = ("hill", "vegas")
+
+
+@dataclass(frozen=True)
+class TuningConfig:
+    """Bounds and policy constants for a :class:`TuningController`."""
+
+    mode: str = "hill"
+    #: Seconds of signal accumulated between decisions.
+    epoch_interval: float = 0.15
+    min_rate_bps: float = 1e6
+    max_rate_bps: float = 10e9
+    min_ack_frequency: int = 8
+    max_ack_frequency: int = 256
+    min_batch: int = 1
+    max_batch: int = 64
+    #: Multiplicative step for rate climbs (and reverses).
+    rate_step: float = 1.1
+    #: Multiplier applied to the rate on stall / high-waste epochs.
+    backoff: float = 0.65
+    #: Delivery deficit (1 - acked/sent) above which an epoch counts as
+    #: trouble.  The retransmit-based waste ratio is reported but is
+    #: *not* the trigger: once the first pass over the object is done,
+    #: FOBS re-blasts only holes, so every send in a hole-fill round is
+    #: structurally a retransmission even on a healthy path.
+    loss_high: float = 0.15
+    #: Delivery deficit below which an epoch counts as clean (F/B grow).
+    loss_low: float = 0.05
+    #: Relative goodput change inside ±hysteresis is treated as noise.
+    hysteresis: float = 0.05
+    #: After this many consecutive clean holds, climb anyway
+    #: ("explore") — a steady rate yields a flat goodput slope, so a
+    #: pure slope rule would park below the fair share forever.
+    hold_patience: int = 3
+    #: Consecutive successful climbs compound the step (slow-start
+    #: style), capped at rate_step ** streak_cap per epoch, so a
+    #: sender whose competitors left reclaims the pipe in seconds.
+    streak_cap: int = 4
+    #: Vegas thresholds, in packets estimated queued at the bottleneck.
+    vegas_alpha: float = 24.0
+    vegas_beta: float = 48.0
+    #: Cap F so consecutive ACKs stay within this many seconds at the
+    #: current rate — a large F at a low rate starves the sender of
+    #: feedback past its stall timeout and pins it at the floor.
+    feedback_interval: float = 0.05
+    #: Packet size used for pps <-> bps conversion.
+    packet_size: int = 1024
+
+    def __post_init__(self):
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}")
+        if self.epoch_interval <= 0:
+            raise ValueError("epoch_interval must be positive")
+        if not 0 < self.min_rate_bps <= self.max_rate_bps:
+            raise ValueError("require 0 < min_rate_bps <= max_rate_bps")
+        if not 0 < self.min_ack_frequency <= self.max_ack_frequency:
+            raise ValueError("require 0 < min_ack_frequency <= max_ack_frequency")
+        if not 0 < self.min_batch <= self.max_batch:
+            raise ValueError("require 0 < min_batch <= max_batch")
+        if self.rate_step <= 1.0:
+            raise ValueError("rate_step must be > 1")
+        if not 0 < self.backoff < 1.0:
+            raise ValueError("backoff must be in (0, 1)")
+        if not 0 <= self.loss_low <= self.loss_high:
+            raise ValueError("require 0 <= loss_low <= loss_high")
+        if self.hysteresis < 0:
+            raise ValueError("hysteresis must be >= 0")
+        if self.hold_patience < 1:
+            raise ValueError("hold_patience must be >= 1")
+        if self.streak_cap < 1:
+            raise ValueError("streak_cap must be >= 1")
+        if not 0 < self.vegas_alpha <= self.vegas_beta:
+            raise ValueError("require 0 < vegas_alpha <= vegas_beta")
+        if self.feedback_interval <= 0:
+            raise ValueError("feedback_interval must be positive")
+        if self.packet_size <= 0:
+            raise ValueError("packet_size must be positive")
+
+
+@dataclass(frozen=True)
+class EpochSignals:
+    """Raw per-epoch telemetry deltas fed to the controller.
+
+    The allocator's rate ceiling travels *in* the signals rather than
+    as controller state so a recorded signal trace fully determines
+    the decision sequence.
+    """
+
+    duration: float
+    #: Packets newly acknowledged this epoch.
+    acked_delta: int
+    #: Packets sent this epoch (first transmissions + retransmits).
+    sent_delta: int
+    #: Retransmitted packets this epoch.
+    retrans_delta: int
+    #: Stall events observed this epoch.
+    stall_events: int = 0
+    #: Most recent RTT probe sample, if any (seconds).
+    rtt_sample: Optional[float] = None
+    #: Allocator-imposed ceiling on the send rate, if any.
+    rate_ceiling_bps: Optional[float] = None
+
+    @property
+    def goodput_pps(self) -> float:
+        return self.acked_delta / self.duration if self.duration > 0 else 0.0
+
+    @property
+    def waste(self) -> float:
+        return self.retrans_delta / max(self.sent_delta, 1)
+
+    @property
+    def loss(self) -> float:
+        """Delivery deficit: fraction of this epoch's sends not (yet)
+        acknowledged.  Clamped — ACK catch-up can make acked > sent."""
+        if self.sent_delta <= 0:
+            return 0.0
+        return min(max(1.0 - self.acked_delta / self.sent_delta, 0.0), 1.0)
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One knob assignment, emitted once per epoch."""
+
+    #: Epoch index (0-based).  Named ``n`` because ``epoch`` is a
+    #: reserved telemetry envelope key.
+    n: int
+    rate_bps: float
+    ack_frequency: int
+    batch_size: int
+    #: What the controller did: seed/climb/reverse/hold/explore/
+    #: back_off or vegas_up/vegas_down/vegas_hold.
+    action: str
+    #: True when any knob differs from the previous epoch's values.
+    changed: bool
+
+
+class TuningController:
+    """Pure hill-climbing / vegas knob search.  One instance per sender."""
+
+    def __init__(
+        self,
+        config: TuningConfig,
+        *,
+        rate_bps: Optional[float] = None,
+        ack_frequency: int = 32,
+        batch_size: int = 8,
+    ):
+        self.config = config
+        c = config
+        #: None until the first epoch seeds it from measured goodput.
+        self.rate_bps: Optional[float] = (
+            None if rate_bps is None else self._clamp_rate(rate_bps, None)
+        )
+        self.ack_frequency = min(max(ack_frequency, c.min_ack_frequency), c.max_ack_frequency)
+        self.batch_size = min(max(batch_size, c.min_batch), c.max_batch)
+        self.n = 0
+        self._direction = 1
+        self._held = 0
+        self._streak = 0
+        self._last_goodput: Optional[float] = None
+        self._vegas: Optional[VegasController] = None
+        if c.mode == "vegas":
+            # mss=1 keeps the estimator's units in packets; only the
+            # base-RTT tracking is used here, not the window logic.
+            self._vegas = VegasController(1, alpha=c.vegas_alpha, beta=c.vegas_beta)
+
+    # ------------------------------------------------------------------
+    def _clamp_rate(self, rate: float, ceiling: Optional[float]) -> float:
+        c = self.config
+        hi = c.max_rate_bps if ceiling is None else min(c.max_rate_bps, ceiling)
+        return min(max(rate, c.min_rate_bps), max(hi, c.min_rate_bps))
+
+    def _shrink_feedback_knobs(self) -> None:
+        c = self.config
+        self.ack_frequency = max(c.min_ack_frequency, self.ack_frequency // 2)
+        self.batch_size = max(c.min_batch, self.batch_size // 2)
+
+    def _grow_feedback_knobs(self) -> None:
+        c = self.config
+        self.ack_frequency = min(c.max_ack_frequency, self.ack_frequency * 2)
+        self.batch_size = min(c.max_batch, self.batch_size + 1)
+
+    # ------------------------------------------------------------------
+    def on_epoch(self, signals: EpochSignals) -> Decision:
+        """Consume one epoch of signals, return the knobs to apply."""
+        c = self.config
+        prev = (self.rate_bps, self.ack_frequency, self.batch_size)
+        goodput = signals.goodput_pps
+        packet_bits = c.packet_size * 8.0
+        trouble = signals.stall_events > 0 or signals.loss > c.loss_high
+        clean = signals.stall_events == 0 and signals.loss < c.loss_low
+
+        if trouble and self.rate_bps is not None:
+            # Back off *to the measured delivery rate* — under overload
+            # that is the path's actual share — floored at
+            # backoff * rate so one noisy epoch can't crater the rate,
+            # and never upward.
+            delivered = goodput * packet_bits
+            target = min(self.rate_bps, max(delivered, self.rate_bps * c.backoff))
+            self.rate_bps = self._clamp_rate(target, signals.rate_ceiling_bps)
+            self._shrink_feedback_knobs()
+            self._direction = 1
+            self._held = 0
+            self._streak = 0
+            action = "back_off"
+        elif self.rate_bps is None:
+            # First useful epoch: seed the rate just above measured
+            # goodput so the climb starts from reality, not a guess.
+            seed = max(goodput * packet_bits * c.rate_step, c.min_rate_bps)
+            self.rate_bps = self._clamp_rate(seed, signals.rate_ceiling_bps)
+            action = "seed"
+        elif c.mode == "vegas":
+            action = self._vegas_epoch(signals)
+        else:
+            action = self._hill_epoch(signals)
+
+        if clean and action in ("hold", "climb", "explore", "vegas_hold", "vegas_up"):
+            self._grow_feedback_knobs()
+
+        if self.rate_bps is not None:
+            # Ceiling applies every epoch, including holds — an
+            # allocator cut must bite even when the search is idle.
+            self.rate_bps = self._clamp_rate(self.rate_bps, signals.rate_ceiling_bps)
+            # Time-based F cap: at rate r the receiver must not sit
+            # more than feedback_interval between ACKs.
+            f_cap = int(self.rate_bps / packet_bits * c.feedback_interval)
+            f_cap = max(c.min_ack_frequency, f_cap)
+            if self.ack_frequency > f_cap:
+                self.ack_frequency = f_cap
+
+        self._last_goodput = goodput
+        now = (self.rate_bps, self.ack_frequency, self.batch_size)
+        decision = Decision(
+            n=self.n,
+            rate_bps=self.rate_bps,
+            ack_frequency=self.ack_frequency,
+            batch_size=self.batch_size,
+            action=action,
+            changed=now != prev,
+        )
+        self.n += 1
+        return decision
+
+    # ------------------------------------------------------------------
+    def _hill_epoch(self, signals: EpochSignals) -> str:
+        c = self.config
+        goodput = signals.goodput_pps
+        last = self._last_goodput
+        if last is None:
+            return "hold"
+        rel = (goodput - last) / max(last, 1e-9)
+        if rel > c.hysteresis:
+            action = "climb"
+        elif rel < -c.hysteresis:
+            self._direction = -self._direction
+            self._streak = 0
+            action = "reverse"
+        else:
+            # Flat slope.  A steady rate produces a steady goodput, so
+            # "no change" is not evidence the rate is right — after
+            # hold_patience clean epochs, explore upward and let the
+            # loss/slope rules pull it back if that was wrong.
+            clean = signals.stall_events == 0 and signals.loss < c.loss_low
+            self._held += 1
+            self._streak = 0
+            if clean and self._held >= c.hold_patience:
+                self._held = 0
+                self._direction = 1
+                self.rate_bps = self._clamp_rate(
+                    self.rate_bps * c.rate_step, signals.rate_ceiling_bps
+                )
+                return "explore"
+            return "hold"
+        self._held = 0
+        if self._direction > 0:
+            # Successful upward climbs compound, slow-start style.
+            self._streak = min(self._streak + 1, c.streak_cap)
+            rate = self.rate_bps * c.rate_step ** self._streak
+        else:
+            self._streak = 0
+            rate = self.rate_bps / c.rate_step
+        self.rate_bps = self._clamp_rate(rate, signals.rate_ceiling_bps)
+        return action
+
+    def _vegas_epoch(self, signals: EpochSignals) -> str:
+        c = self.config
+        vegas = self._vegas
+        rate_pps = self.rate_bps / (c.packet_size * 8.0)
+        rtt = signals.rtt_sample
+        if rtt is not None and rtt > 0 and rate_pps > 0:
+            # A probe measures send -> ACK-marked, which includes the
+            # receiver waiting for up to F more packets before it emits
+            # the covering ACK.  That aggregation delay grows as the
+            # rate drops, so feeding it raw would invert the congestion
+            # signal (slower -> "longer RTT" -> slow down further).
+            # Subtract the expected F-packet accumulation time at the
+            # current rate before feeding the Vegas estimator.
+            rtt = max(rtt - self.ack_frequency / rate_pps, 1e-6)
+            vegas.on_rtt_sample(rtt)
+        else:
+            rtt = None
+        base = vegas.base_rtt
+        if rtt is None or base is None:
+            return "vegas_hold"
+        # Estimated packets sitting in the bottleneck queue: the Vegas
+        # diff computed from rate instead of window.
+        diff = rate_pps * (rtt - base)
+        if diff < c.vegas_alpha:
+            self.rate_bps = self._clamp_rate(
+                self.rate_bps * c.rate_step, signals.rate_ceiling_bps
+            )
+            return "vegas_up"
+        if diff > c.vegas_beta:
+            self.rate_bps = self._clamp_rate(
+                self.rate_bps / c.rate_step, signals.rate_ceiling_bps
+            )
+            return "vegas_down"
+        return "vegas_hold"

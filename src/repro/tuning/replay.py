@@ -1,0 +1,103 @@
+"""Rebuild tuning decisions from recorded telemetry alone.
+
+The ``tune_decision(action="init")`` event carries the full
+:class:`~repro.tuning.controller.TuningConfig` plus starting knobs;
+each ``tune_epoch`` event carries the raw :class:`EpochSignals` fields
+unrounded.  Because the controller is sans-io and deterministic,
+re-running a fresh controller over those signals reproduces the exact
+decision sequence — which is how the acceptance criterion "every
+decision reconstructable from recorded telemetry alone" is tested.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.telemetry.events import EV_TUNE_DECISION, EV_TUNE_EPOCH
+from repro.tuning.controller import Decision, EpochSignals, TuningConfig, TuningController
+
+__all__ = ["replay_decisions"]
+
+
+def _config_from_init(ev: dict) -> TuningConfig:
+    return TuningConfig(
+        mode=ev["mode"],
+        epoch_interval=ev["interval"],
+        min_rate_bps=ev["min_rate"],
+        max_rate_bps=ev["max_rate"],
+        min_ack_frequency=ev["min_f"],
+        max_ack_frequency=ev["max_f"],
+        min_batch=ev["min_b"],
+        max_batch=ev["max_b"],
+        rate_step=ev["rate_step"],
+        backoff=ev["backoff"],
+        loss_high=ev["loss_high"],
+        loss_low=ev["loss_low"],
+        hysteresis=ev["hysteresis"],
+        hold_patience=ev["hp"],
+        streak_cap=ev["sc"],
+        vegas_alpha=ev["vegas_alpha"],
+        vegas_beta=ev["vegas_beta"],
+        feedback_interval=ev["fi"],
+        packet_size=ev["psize"],
+    )
+
+
+def replay_decisions(events: Iterable[dict], tid: Optional[int] = None) -> List[Decision]:
+    """Re-derive the decision sequence for one tuned transfer.
+
+    ``events`` is an iterable of event dicts (e.g. from
+    :func:`repro.telemetry.events.read_events`).  When ``tid`` is None
+    the stream must contain exactly one tuned transfer.
+
+    Raises ValueError if no init event is found, and AssertionError if
+    a replayed decision disagrees with what was recorded — that would
+    mean the recorded stream is not self-contained.
+    """
+    controller: Optional[TuningController] = None
+    decisions: List[Decision] = []
+    for ev in events:
+        kind = ev.get("kind")
+        if tid is not None and ev.get("tid") != tid:
+            continue
+        if kind == EV_TUNE_DECISION and ev.get("action") == "init":
+            if controller is not None and tid is None:
+                raise ValueError(
+                    "multiple tuned transfers in stream; pass tid= to select one"
+                )
+            controller = TuningController(
+                _config_from_init(ev),
+                rate_bps=ev["rate"],
+                ack_frequency=ev["f"],
+                batch_size=ev["b"],
+            )
+        elif kind == EV_TUNE_EPOCH:
+            if controller is None:
+                raise ValueError("tune_epoch event before tune_decision init")
+            signals = EpochSignals(
+                duration=ev["dur"],
+                acked_delta=ev["acked"],
+                sent_delta=ev["sent"],
+                retrans_delta=ev["retrans"],
+                stall_events=ev["stalls"],
+                rtt_sample=ev.get("rtt"),
+                rate_ceiling_bps=ev.get("ceiling"),
+            )
+            decision = controller.on_epoch(signals)
+            recorded = (ev["rate"], ev["f"], ev["b"], ev["action"], ev["n"])
+            replayed = (
+                decision.rate_bps,
+                decision.ack_frequency,
+                decision.batch_size,
+                decision.action,
+                decision.n,
+            )
+            if recorded != replayed:
+                raise AssertionError(
+                    f"replay diverged at epoch {ev['n']}: "
+                    f"recorded {recorded}, replayed {replayed}"
+                )
+            decisions.append(decision)
+    if controller is None:
+        raise ValueError("no tune_decision init event in stream")
+    return decisions

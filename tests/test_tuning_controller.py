@@ -1,0 +1,243 @@
+"""Property-based tests for the sans-io tuning controller.
+
+Three families, matching the controller's contract:
+
+* **Determinism** — the controller is clock-free and random-free, so
+  the same signal trace must always produce the identical decision
+  sequence; that property is also what makes telemetry replay
+  (:mod:`repro.tuning.replay`) possible, and the round-trip is tested
+  against a live :class:`TransferTuner` event stream.
+* **Bounds** — whatever the signals do, every emitted knob stays
+  inside its configured [min, max] window, and an allocator ceiling in
+  the signals caps the rate even on hold epochs.
+* **Convergence** — under monotonically improving clean epochs the
+  hill climber only ever seeds/climbs/holds/explores and the rate is
+  non-decreasing; trouble epochs never raise the rate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.tuning import (
+    Decision,
+    EpochMeter,
+    EpochSignals,
+    TransferTuner,
+    TuningConfig,
+    TuningController,
+    replay_decisions,
+)
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+pytestmark = pytest.mark.tuning
+
+
+def signal_traces() -> st.SearchStrategy[list[EpochSignals]]:
+    """Arbitrary-but-valid epoch signal traces."""
+    signal = st.builds(
+        EpochSignals,
+        duration=st.floats(min_value=0.01, max_value=2.0,
+                           allow_nan=False, allow_infinity=False),
+        acked_delta=st.integers(min_value=0, max_value=50_000),
+        sent_delta=st.integers(min_value=0, max_value=50_000),
+        retrans_delta=st.integers(min_value=0, max_value=50_000),
+        stall_events=st.integers(min_value=0, max_value=3),
+        rtt_sample=st.one_of(
+            st.none(),
+            st.floats(min_value=1e-4, max_value=2.0,
+                      allow_nan=False, allow_infinity=False)),
+        rate_ceiling_bps=st.one_of(
+            st.none(),
+            st.floats(min_value=1e6, max_value=1e9,
+                      allow_nan=False, allow_infinity=False)),
+    )
+    return st.lists(signal, min_size=1, max_size=40)
+
+
+def configs() -> st.SearchStrategy[TuningConfig]:
+    return st.builds(
+        TuningConfig,
+        mode=st.sampled_from(("hill", "vegas")),
+        rate_step=st.floats(min_value=1.01, max_value=2.0),
+        backoff=st.floats(min_value=0.1, max_value=0.9),
+        hold_patience=st.integers(min_value=1, max_value=5),
+        streak_cap=st.integers(min_value=1, max_value=8),
+    )
+
+
+class TestDeterminism:
+    @given(config=configs(), trace=signal_traces())
+    @settings(max_examples=60, deadline=None)
+    def test_same_trace_same_decisions(self, config, trace):
+        a = TuningController(config)
+        b = TuningController(config)
+        for signals in trace:
+            assert a.on_epoch(signals) == b.on_epoch(signals)
+
+    @given(trace=signal_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_replay_round_trip(self, trace):
+        """A TransferTuner's emitted events replay to the same decisions."""
+
+        class Recorder:
+            enabled = True
+
+            def __init__(self):
+                self.events: list[dict] = []
+
+            def emit(self, kind, **fields):
+                self.events.append({"kind": kind, **fields})
+
+        recorder = Recorder()
+        tuner = TransferTuner(TuningConfig(), set_rate=lambda r: None,
+                              telemetry=recorder)
+        live: list[Decision] = []
+        for signals in trace:
+            decision = tuner.controller.on_epoch(signals)
+            tuner._apply(decision)
+            tuner._publish(signals, decision)
+            live.append(decision)
+        assert replay_decisions(recorder.events) == live
+
+
+class TestBounds:
+    @given(config=configs(), trace=signal_traces())
+    @settings(max_examples=60, deadline=None)
+    def test_knobs_stay_in_bounds(self, config, trace):
+        controller = TuningController(config)
+        for signals in trace:
+            decision = controller.on_epoch(signals)
+            assert (config.min_rate_bps <= decision.rate_bps
+                    <= config.max_rate_bps)
+            assert (config.min_ack_frequency <= decision.ack_frequency
+                    <= config.max_ack_frequency)
+            assert config.min_batch <= decision.batch_size <= config.max_batch
+
+    @given(trace=signal_traces(),
+           ceiling=st.floats(min_value=2e6, max_value=1e8))
+    @settings(max_examples=40, deadline=None)
+    def test_ceiling_caps_every_epoch(self, trace, ceiling):
+        """An allocator ceiling binds even on hold/explore epochs."""
+        config = TuningConfig()
+        controller = TuningController(config, rate_bps=1e9)
+        for signals in trace:
+            capped = EpochSignals(
+                duration=signals.duration,
+                acked_delta=signals.acked_delta,
+                sent_delta=signals.sent_delta,
+                retrans_delta=signals.retrans_delta,
+                stall_events=signals.stall_events,
+                rtt_sample=signals.rtt_sample,
+                rate_ceiling_bps=ceiling,
+            )
+            decision = controller.on_epoch(capped)
+            assert decision.rate_bps <= max(ceiling, config.min_rate_bps)
+
+    def test_f_capped_by_feedback_interval(self):
+        """A slow sender must not wait > feedback_interval between ACKs."""
+        config = TuningConfig()
+        controller = TuningController(config, rate_bps=2e6,
+                                      ack_frequency=256)
+        decision = controller.on_epoch(EpochSignals(
+            duration=0.15, acked_delta=30, sent_delta=30, retrans_delta=0))
+        packets_per_interval = (decision.rate_bps / (config.packet_size * 8.0)
+                                * config.feedback_interval)
+        assert decision.ack_frequency <= max(config.min_ack_frequency,
+                                             int(packets_per_interval))
+
+
+class TestConvergence:
+    def test_improving_clean_epochs_never_back_off(self):
+        """Monotone goodput growth => seed/climb/hold/explore only,
+        with a non-decreasing rate."""
+        controller = TuningController(TuningConfig())
+        last_rate = 0.0
+        for i in range(30):
+            decision = controller.on_epoch(EpochSignals(
+                duration=0.15,
+                acked_delta=1000 + 200 * i,
+                sent_delta=1000 + 200 * i,
+                retrans_delta=0))
+            assert decision.action in ("seed", "climb", "hold", "explore")
+            assert decision.rate_bps >= last_rate
+            last_rate = decision.rate_bps
+
+    def test_trouble_never_raises_rate(self):
+        controller = TuningController(TuningConfig(), rate_bps=8e7)
+        rate = 8e7
+        for _ in range(10):
+            decision = controller.on_epoch(EpochSignals(
+                duration=0.15, acked_delta=100, sent_delta=1000,
+                retrans_delta=900, stall_events=1))
+            assert decision.action == "back_off"
+            assert decision.rate_bps <= rate
+            rate = decision.rate_bps
+
+    def test_explore_escapes_flat_hold(self):
+        """A parked rate with a flat goodput slope climbs anyway after
+        hold_patience clean epochs — the hold-deadlock guard."""
+        config = TuningConfig(hold_patience=3)
+        controller = TuningController(config, rate_bps=1e7)
+        actions = []
+        for _ in range(8):
+            actions.append(controller.on_epoch(EpochSignals(
+                duration=0.15, acked_delta=1000, sent_delta=1000,
+                retrans_delta=0)).action)
+        assert "explore" in actions
+
+    def test_vegas_backs_off_on_queue_growth(self):
+        """RTT well above base at the current rate => vegas_down."""
+        config = TuningConfig(mode="vegas")
+        controller = TuningController(config, rate_bps=8e7)
+        first = controller.on_epoch(EpochSignals(
+            duration=0.15, acked_delta=1000, sent_delta=1000,
+            retrans_delta=0, rtt_sample=0.050))
+        decision = controller.on_epoch(EpochSignals(
+            duration=0.15, acked_delta=1000, sent_delta=1000,
+            retrans_delta=0, rtt_sample=0.080))
+        assert decision.action == "vegas_down"
+        assert decision.rate_bps < first.rate_bps
+
+
+class TestSignals:
+    @given(acked=st.integers(min_value=0, max_value=10_000),
+           sent=st.integers(min_value=0, max_value=10_000),
+           retrans=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_loss_and_waste_well_formed(self, acked, sent, retrans):
+        signals = EpochSignals(duration=0.1, acked_delta=acked,
+                               sent_delta=sent, retrans_delta=retrans)
+        assert 0.0 <= signals.loss <= 1.0
+        assert signals.waste >= 0.0
+        if sent == 0:
+            assert signals.loss == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TuningConfig(mode="bogus")
+        with pytest.raises(ValueError):
+            TuningConfig(min_rate_bps=2e9, max_rate_bps=1e9)
+        with pytest.raises(ValueError):
+            TuningConfig(rate_step=0.9)
+        with pytest.raises(ValueError):
+            TuningConfig(loss_low=0.5, loss_high=0.1)
+
+
+class TestMeter:
+    def test_first_poll_snapshots_then_deltas(self):
+        meter = EpochMeter(0.1)
+        assert meter.poll(0.0, acked=10, sent=20, retrans=5) is None
+        assert meter.poll(0.05, acked=15, sent=30, retrans=8) is None
+        signals = meter.poll(0.2, acked=40, sent=70, retrans=12)
+        assert signals is not None
+        assert signals.acked_delta == 30
+        assert signals.sent_delta == 50
+        assert signals.retrans_delta == 7
+        assert signals.duration == pytest.approx(0.2)
+
+    def test_replay_rejects_stream_without_init(self):
+        with pytest.raises(ValueError):
+            replay_decisions([{"kind": "tune_epoch", "n": 0}])
